@@ -1,0 +1,100 @@
+// Ablation (§IV-D): why the MCS adaptation, rather than the two obvious
+// alternatives, for CAF locks over OpenSHMEM?
+//
+//   mcs        — the paper's design: queue lock, local spinning, O(1)
+//                remote traffic per handoff.
+//   central    — centralized compare-and-swap spinning on the lock home
+//                (what a naive port would do): remote poll storm.
+//   shmem-N    — the OpenSHMEM global-lock API with an N-element symmetric
+//                lock array, the space-inefficient workaround §IV-D rules
+//                out (every image allocates N lock words per lock).
+#include <cstdio>
+#include <vector>
+
+#include "apps/driver.hpp"
+#include "net/profiles.hpp"
+#include "shmem/world.hpp"
+
+namespace {
+
+constexpr int kRounds = 4;
+
+sim::Time run_mcs(int images) {
+  driver::Stack stack(driver::StackKind::kShmemCray, images,
+                      net::Machine::kTitan, 1 << 20);
+  return stack.run([&](caf::Runtime& rt) {
+    caf::CoLock lck = rt.make_lock();
+    for (int r = 0; r < kRounds; ++r) {
+      rt.lock(lck, 1);
+      rt.unlock(lck, 1);
+    }
+    rt.sync_all();
+  });
+}
+
+sim::Time run_central_cas(int images) {
+  driver::Stack stack(driver::StackKind::kShmemCray, images,
+                      net::Machine::kTitan, 1 << 20);
+  return stack.run([&](caf::Runtime& rt) {
+    const std::uint64_t off = rt.allocate_coarray_bytes(8);
+    std::memset(rt.local_addr(off), 0, 8);
+    rt.sync_all();
+    for (int r = 0; r < kRounds; ++r) {
+      sim::Time backoff = 500;
+      while (rt.atomic_cas(1, off, 0, rt.this_image()) != 0) {
+        sim::Engine::current()->advance(backoff);
+        backoff = std::min<sim::Time>(backoff * 2, 30'000);
+      }
+      (void)rt.atomic_cas(1, off, rt.this_image(), 0);
+    }
+    rt.sync_all();
+  });
+}
+
+sim::Time run_shmem_global_lock(int images) {
+  // The OpenSHMEM lock API: one logically-global lock. Emulating CAF's
+  // lck[1] costs every image an N-element symmetric array per lock
+  // variable; we time the array element for image 1.
+  sim::Engine engine(64 * 1024);
+  net::Fabric fabric(net::machine_profile(net::Machine::kTitan), images);
+  shmem::World world(engine, fabric,
+                     net::sw_profile(net::Library::kShmemCray,
+                                     net::Machine::kTitan),
+                     1 << 20);
+  world.launch([&] {
+    auto* locks = static_cast<std::int64_t*>(
+        world.shmalloc(sizeof(std::int64_t) * images));  // N words per image!
+    world.barrier_all();
+    for (int r = 0; r < kRounds; ++r) {
+      world.set_lock(&locks[0]);
+      world.clear_lock(&locks[0]);
+    }
+    world.barrier_all();
+  });
+  engine.run();
+  return engine.sim_now();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: CAF lock designs over OpenSHMEM (§IV-D) ===\n\n");
+  std::printf("%-8s %16s %16s %16s   %s\n", "images", "mcs (ms)",
+              "central-cas (ms)", "shmem-array (ms)", "shmem-array bytes/image");
+  for (int images : {4, 16, 64, 256}) {
+    const double m = sim::to_ms(run_mcs(images));
+    const double c = sim::to_ms(run_central_cas(images));
+    const double s = sim::to_ms(run_shmem_global_lock(images));
+    std::printf("%-8d %16.3f %16.3f %16.3f   %zu\n", images, m, c, s,
+                sizeof(std::int64_t) * images);
+  }
+  std::printf(
+      "\nReading: MCS is fastest through mid scale and is FIFO-fair with\n"
+      "O(1) remote traffic per handoff. The centralized CAS lock can post\n"
+      "better *wall time* at extreme contention because it is unfair (its\n"
+      "backoff lets recent winners re-acquire cheaply), which is not an\n"
+      "acceptable trade for CAF lock semantics. The shmem-array workaround\n"
+      "additionally costs O(images) lock words per lock variable (last\n"
+      "column) — the space argument §IV-D makes against it.\n");
+  return 0;
+}

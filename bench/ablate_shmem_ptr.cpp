@@ -1,0 +1,51 @@
+// Ablation (§VII future work, implemented here): converting intra-node
+// co-indexed accesses into direct load/store through shmem_ptr.
+//
+// Workload: every image updates its left and right ring neighbors' halo
+// cells; with 16 images per node most transfers are intra-node. Compares
+// the ordinary putmem path against the shmem_ptr direct path.
+#include <cstdio>
+
+#include "apps/driver.hpp"
+#include "caf/shmem_conduit.hpp"
+
+namespace {
+
+sim::Time run_ring(bool direct, int images) {
+  driver::Stack stack(driver::StackKind::kShmemCray, images,
+                      net::Machine::kXC30, 2 << 20);
+  auto* conduit = dynamic_cast<caf::ShmemConduit*>(&stack.rt().conduit());
+  conduit->set_intra_node_direct(direct);
+  return stack.run([&](caf::Runtime& rt) {
+    auto x = caf::make_coarray<double>(rt, {512});
+    rt.sync_all();
+    const int me = rt.this_image();
+    const int n = rt.num_images();
+    std::vector<double> halo(64, me * 1.0);
+    for (int iter = 0; iter < 20; ++iter) {
+      x.put_contiguous(me % n + 1, halo.data(), 64, 0);
+      x.put_contiguous((me + n - 2) % n + 1, halo.data(), 64, 128);
+      rt.sync_all();
+    }
+  });
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: shmem_ptr intra-node direct load/store (§VII) ===\n\n");
+  std::printf("%-8s %18s %18s %10s\n", "images", "putmem path", "shmem_ptr path",
+              "speedup");
+  for (int images : {4, 16, 32, 64}) {
+    const sim::Time plain = run_ring(false, images);
+    const sim::Time direct = run_ring(true, images);
+    std::printf("%-8d %18s %18s %9.2fx\n", images,
+                sim::format_time(plain).c_str(),
+                sim::format_time(direct).c_str(),
+                static_cast<double>(plain) / static_cast<double>(direct));
+  }
+  std::printf("\nWith 16 images per node, ring-neighbor traffic is almost\n"
+              "entirely intra-node, so the direct path removes the library\n"
+              "put overhead and NIC loopback entirely.\n");
+  return 0;
+}

@@ -1,0 +1,241 @@
+#include "bench_util.hpp"
+
+#include <cmath>
+
+namespace bench {
+
+namespace {
+
+constexpr int kPesPerNode = 16;
+constexpr int kWorldPes = 32;  // two nodes
+
+net::Library raw_library(RawLib lib, net::Machine m) {
+  switch (lib) {
+    case RawLib::kShmem: return net::native_shmem(m);
+    case RawLib::kGasnet: return net::Library::kGasnet;
+    case RawLib::kMpi3: return net::Library::kMpi3;
+  }
+  return net::Library::kGasnet;
+}
+
+}  // namespace
+
+PutResult run_put_test(RawLib lib, net::Machine machine, std::size_t bytes,
+                       int pairs, int reps) {
+  const std::size_t seg = bytes * 2 + (512 << 10);
+  sim::Engine engine(64 * 1024);
+  net::Fabric fabric(net::machine_profile(machine), kWorldPes);
+  const net::SwProfile sw = net::sw_profile(raw_library(lib, machine), machine);
+
+  const std::vector<char> payload(bytes, 'x');
+
+  PutResult out;
+  switch (lib) {
+    case RawLib::kShmem: {
+      shmem::World world(engine, fabric, sw, seg);
+      std::vector<sim::Time> lat(kWorldPes, 0), bw(kWorldPes, 0);
+      world.launch([&] {
+        const int me = world.my_pe();
+        auto* buf = static_cast<char*>(world.shmalloc(bytes));
+        world.barrier_all();
+        if (me < pairs) {  // senders on node 0
+          const int dst = kPesPerNode + me;
+          sim::Time t0 = engine.now();
+          for (int r = 0; r < reps; ++r) {
+            world.putmem(buf, payload.data(), bytes, dst);
+            world.quiet();
+          }
+          lat[me] = engine.now() - t0;
+          world.barrier_all();
+          t0 = engine.now();
+          for (int r = 0; r < reps; ++r) {
+            world.putmem_nbi(buf, payload.data(), bytes, dst);
+          }
+          world.quiet();
+          bw[me] = engine.now() - t0;
+        } else {
+          world.barrier_all();
+        }
+        world.barrier_all();
+      });
+      engine.run();
+      sim::Time lat_sum = 0, bw_max = 0;
+      for (int p = 0; p < pairs; ++p) {
+        lat_sum += lat[p];
+        bw_max = std::max(bw_max, bw[p]);
+      }
+      out.latency_us = sim::to_us(lat_sum) / (pairs * reps);
+      out.bandwidth_mbs = static_cast<double>(bytes) * reps * pairs /
+                          (sim::to_sec(bw_max) * 1e6);
+      break;
+    }
+    case RawLib::kGasnet: {
+      gasnet::World world(engine, fabric, sw, seg);
+      std::vector<sim::Time> lat(kWorldPes, 0), bw(kWorldPes, 0);
+      const std::uint64_t off = gasnet::World::reserved_bytes();
+      world.launch([&] {
+        const int me = world.mynode();
+        world.barrier();
+        if (me < pairs) {
+          const int dst = kPesPerNode + me;
+          sim::Time t0 = engine.now();
+          for (int r = 0; r < reps; ++r) {
+            world.put(dst, off, payload.data(), bytes);  // remotely complete
+          }
+          lat[me] = engine.now() - t0;
+          world.barrier();
+          t0 = engine.now();
+          for (int r = 0; r < reps; ++r) {
+            world.put_nbi(dst, off, payload.data(), bytes);
+          }
+          world.wait_syncnbi_puts();
+          bw[me] = engine.now() - t0;
+        } else {
+          world.barrier();
+        }
+        world.barrier();
+      });
+      engine.run();
+      sim::Time lat_sum = 0, bw_max = 0;
+      for (int p = 0; p < pairs; ++p) {
+        lat_sum += lat[p];
+        bw_max = std::max(bw_max, bw[p]);
+      }
+      out.latency_us = sim::to_us(lat_sum) / (pairs * reps);
+      out.bandwidth_mbs = static_cast<double>(bytes) * reps * pairs /
+                          (sim::to_sec(bw_max) * 1e6);
+      break;
+    }
+    case RawLib::kMpi3: {
+      mpi3::Window win(engine, fabric, sw, seg);
+      std::vector<sim::Time> lat(kWorldPes, 0), bw(kWorldPes, 0);
+      const std::uint64_t off = mpi3::Window::reserved_bytes();
+      win.launch([&] {
+        const int me = win.rank();
+        win.barrier();
+        if (me < pairs) {
+          const int dst = kPesPerNode + me;
+          sim::Time t0 = engine.now();
+          for (int r = 0; r < reps; ++r) {
+            win.put(payload.data(), bytes, dst, off);
+            win.flush_all();
+          }
+          lat[me] = engine.now() - t0;
+          win.barrier();
+          t0 = engine.now();
+          for (int r = 0; r < reps; ++r) {
+            win.put(payload.data(), bytes, dst, off);
+          }
+          win.flush_all();
+          bw[me] = engine.now() - t0;
+        } else {
+          win.barrier();
+        }
+        win.barrier();
+      });
+      engine.run();
+      sim::Time lat_sum = 0, bw_max = 0;
+      for (int p = 0; p < pairs; ++p) {
+        lat_sum += lat[p];
+        bw_max = std::max(bw_max, bw[p]);
+      }
+      out.latency_us = sim::to_us(lat_sum) / (pairs * reps);
+      out.bandwidth_mbs = static_cast<double>(bytes) * reps * pairs /
+                          (sim::to_sec(bw_max) * 1e6);
+      break;
+    }
+  }
+  return out;
+}
+
+PutResult run_get_test(RawLib lib, net::Machine machine, std::size_t bytes,
+                       int pairs, int reps) {
+  const std::size_t seg = bytes * 2 + (512 << 10);
+  sim::Engine engine(64 * 1024);
+  net::Fabric fabric(net::machine_profile(machine), kWorldPes);
+  const net::SwProfile sw = net::sw_profile(raw_library(lib, machine), machine);
+  std::vector<char> sink(bytes);
+  PutResult out;
+  std::vector<sim::Time> lat(kWorldPes, 0);
+
+  auto finish = [&] {
+    sim::Time lat_sum = 0;
+    for (int p = 0; p < pairs; ++p) lat_sum += lat[p];
+    out.latency_us = sim::to_us(lat_sum) / (pairs * reps);
+    out.bandwidth_mbs =
+        static_cast<double>(bytes) / (out.latency_us * 1e-6) / 1e6;
+  };
+
+  switch (lib) {
+    case RawLib::kShmem: {
+      shmem::World world(engine, fabric, sw, seg);
+      world.launch([&] {
+        const int me = world.my_pe();
+        auto* buf = static_cast<char*>(world.shmalloc(bytes));
+        world.barrier_all();
+        if (me < pairs) {
+          const int src = kPesPerNode + me;
+          const sim::Time t0 = engine.now();
+          for (int r = 0; r < reps; ++r) {
+            world.getmem(sink.data(), buf, bytes, src);
+          }
+          lat[me] = engine.now() - t0;
+        }
+        world.barrier_all();
+      });
+      engine.run();
+      finish();
+      break;
+    }
+    case RawLib::kGasnet: {
+      gasnet::World world(engine, fabric, sw, seg);
+      const std::uint64_t off = gasnet::World::reserved_bytes();
+      world.launch([&] {
+        const int me = world.mynode();
+        world.barrier();
+        if (me < pairs) {
+          const int src = kPesPerNode + me;
+          const sim::Time t0 = engine.now();
+          for (int r = 0; r < reps; ++r) {
+            world.get(sink.data(), src, off, bytes);
+          }
+          lat[me] = engine.now() - t0;
+        }
+        world.barrier();
+      });
+      engine.run();
+      finish();
+      break;
+    }
+    case RawLib::kMpi3: {
+      mpi3::Window win(engine, fabric, sw, seg);
+      const std::uint64_t off = mpi3::Window::reserved_bytes();
+      win.launch([&] {
+        const int me = win.rank();
+        win.barrier();
+        if (me < pairs) {
+          const int src = kPesPerNode + me;
+          const sim::Time t0 = engine.now();
+          for (int r = 0; r < reps; ++r) {
+            win.get(sink.data(), bytes, src, off);
+          }
+          lat[me] = engine.now() - t0;
+        }
+        win.barrier();
+      });
+      engine.run();
+      finish();
+      break;
+    }
+  }
+  return out;
+}
+
+double geomean_ratio(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  double acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::log(a[i] / b[i]);
+  return std::exp(acc / static_cast<double>(a.size()));
+}
+
+}  // namespace bench

@@ -1,0 +1,74 @@
+// Shared infrastructure for the figure/table harnesses: raw-conduit put
+// testers (SHMEM / GASNet / MPI-3) for the Figures 2-3 motivation study,
+// and small table-formatting helpers.
+//
+// Measurement conventions (PGAS Microbenchmark suite style, §III/§V-B):
+//   * pairs span two nodes: PE p (node 0) is paired with PE 16+p (node 1);
+//   * latency  = mean time of one remotely-complete put, 1 pair active;
+//   * bandwidth = payload * reps / elapsed with `reps` pipelined puts
+//     completed by one quiet, for 1 or 16 concurrently active pairs.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gasnet/gasnet.hpp"
+#include "mpi3/rma.hpp"
+#include "net/profiles.hpp"
+#include "shmem/world.hpp"
+
+namespace bench {
+
+/// The raw one-sided libraries compared in Figures 2-3.
+enum class RawLib { kShmem, kGasnet, kMpi3 };
+
+inline std::string raw_lib_name(RawLib lib, net::Machine m) {
+  switch (lib) {
+    case RawLib::kShmem:
+      return m == net::Machine::kStampede ? "MVAPICH2-X SHMEM" : "Cray SHMEM";
+    case RawLib::kGasnet:
+      return "GASNet";
+    case RawLib::kMpi3:
+      return m == net::Machine::kStampede ? "MVAPICH2-X MPI-3.0" : "Cray MPICH";
+  }
+  return "?";
+}
+
+struct PutResult {
+  double latency_us = 0;   ///< per-op, remotely complete
+  double bandwidth_mbs = 0;///< aggregate across active pairs, MB/s
+};
+
+/// Runs the pair put test for one library / machine / size / pair count.
+PutResult run_put_test(RawLib lib, net::Machine machine, std::size_t bytes,
+                       int pairs, int reps);
+
+/// Same harness for blocking gets (round-trip latency; pipelined bandwidth
+/// is not meaningful for blocking gets, so bandwidth here is per-op
+/// payload/latency).
+PutResult run_get_test(RawLib lib, net::Machine machine, std::size_t bytes,
+                       int pairs, int reps);
+
+/// Prints a CSV-ish row set header.
+inline void print_series_header(const char* xlabel,
+                                const std::vector<std::string>& series) {
+  std::printf("%-14s", xlabel);
+  for (const auto& s : series) std::printf(" %22s", s.c_str());
+  std::printf("\n");
+}
+
+inline void print_row(double x, const std::vector<double>& ys,
+                      const char* fmt = "%22.2f") {
+  std::printf("%-14.0f", x);
+  for (double y : ys) std::printf(" "), std::printf(fmt, y);
+  std::printf("\n");
+}
+
+/// Geometric mean of pairwise ratios a[i]/b[i]; the "average X% improvement"
+/// statistic the paper quotes.
+double geomean_ratio(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace bench

@@ -1,0 +1,141 @@
+// CAF-level put measurement helpers shared by the Figure 6 and Figure 7
+// harnesses: contiguous put bandwidth (batched/nbi mode) and 2-D strided put
+// bandwidth (per-statement CAF completion), for both the UHCAF stacks and
+// the Cray-CAF baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/driver.hpp"
+#include "craycaf/craycaf.hpp"
+
+namespace bench {
+
+inline constexpr int kPairNodePes = 16;
+inline constexpr int kPairWorld = 32;
+
+/// Contiguous CAF put bandwidth (MB/s): `pairs` senders on node 0 each put
+/// `bytes` to their partner on node 1, `reps` statements batched between
+/// memory syncs (the microbenchmark's bandwidth mode).
+inline double caf_contig_bw(driver::StackKind kind, net::Machine machine,
+                            std::size_t bytes, int pairs, int reps) {
+  caf::Options opts;
+  opts.memory_model = caf::MemoryModel::kRelaxed;
+  driver::Stack stack(kind, kPairWorld, machine, bytes * 2 + (1 << 20), opts);
+  std::vector<sim::Time> elapsed(kPairWorld, 0);
+  const std::vector<char> payload(bytes, 'p');
+  stack.run([&](caf::Runtime& rt) {
+    const int me0 = rt.this_image() - 1;
+    const std::uint64_t off = rt.allocate_coarray_bytes(bytes);
+    rt.sync_all();
+    if (me0 < pairs) {
+      const int dst = kPairNodePes + me0 + 1;
+      const sim::Time t0 = sim::Engine::current()->now();
+      for (int r = 0; r < reps; ++r) {
+        rt.put_bytes(dst, off, payload.data(), bytes);
+      }
+      rt.sync_memory();
+      elapsed[me0] = sim::Engine::current()->now() - t0;
+    }
+    rt.sync_all();
+  });
+  sim::Time worst = 1;
+  for (int p = 0; p < pairs; ++p) worst = std::max(worst, elapsed[p]);
+  return static_cast<double>(bytes) * reps * pairs /
+         (sim::to_sec(worst) * 1e6);
+}
+
+inline double craycaf_contig_bw(net::Machine machine, std::size_t bytes,
+                                int pairs, int reps) {
+  sim::Engine engine(64 * 1024);
+  net::Fabric fabric(net::machine_profile(machine), kPairWorld);
+  craycaf::Runtime rt(engine, fabric, bytes * 2 + (1 << 20), machine);
+  std::vector<sim::Time> elapsed(kPairWorld, 0);
+  const std::vector<char> payload(bytes, 'p');
+  rt.launch([&] {
+    const int me0 = rt.this_image() - 1;
+    const std::uint64_t off = rt.allocate(bytes);
+    rt.sync_all();
+    if (me0 < pairs) {
+      const int dst = kPairNodePes + me0 + 1;
+      const sim::Time t0 = engine.now();
+      for (int r = 0; r < reps; ++r) {
+        rt.put_bytes_nbi(dst, off, payload.data(), bytes);
+      }
+      rt.sync_memory();
+      elapsed[me0] = engine.now() - t0;
+    }
+    rt.sync_all();
+  });
+  engine.run();
+  sim::Time worst = 1;
+  for (int p = 0; p < pairs; ++p) worst = std::max(worst, elapsed[p]);
+  return static_cast<double>(bytes) * reps * pairs /
+         (sim::to_sec(worst) * 1e6);
+}
+
+/// 2-D strided CAF put bandwidth (MB/s of useful data): puts `nelems` ints
+/// with element stride `stride` (the microbenchmark's stride-length sweep),
+/// one CAF statement with full CAF completion.
+inline double caf_strided_bw(driver::StackKind kind, net::Machine machine,
+                             caf::StridedAlgo algo, std::int64_t stride,
+                             std::int64_t nelems, int pairs) {
+  caf::Options opts;
+  opts.strided = algo;
+  const std::size_t array_bytes =
+      static_cast<std::size_t>(stride) * nelems * sizeof(int);
+  driver::Stack stack(kind, kPairWorld, machine, array_bytes + (1 << 20),
+                      opts);
+  std::vector<sim::Time> elapsed(kPairWorld, 0);
+  stack.run([&](caf::Runtime& rt) {
+    const int me0 = rt.this_image() - 1;
+    auto x = caf::make_coarray<int>(rt, caf::Shape{stride, nelems});
+    rt.sync_all();
+    if (me0 < pairs) {
+      const int dst = kPairNodePes + me0 + 1;
+      const caf::Section sec{{1, 1, 1}, {1, nelems, 1}};
+      std::vector<int> src(static_cast<std::size_t>(nelems), 3);
+      const sim::Time t0 = sim::Engine::current()->now();
+      x.put_section(dst, sec, src.data());
+      elapsed[me0] = sim::Engine::current()->now() - t0;
+    }
+    rt.sync_all();
+  });
+  sim::Time worst = 1;
+  for (int p = 0; p < pairs; ++p) worst = std::max(worst, elapsed[p]);
+  return static_cast<double>(nelems) * sizeof(int) * pairs /
+         (sim::to_sec(worst) * 1e6);
+}
+
+inline double craycaf_strided_bw(net::Machine machine, std::int64_t stride,
+                                 std::int64_t nelems, int pairs) {
+  sim::Engine engine(64 * 1024);
+  net::Fabric fabric(net::machine_profile(machine), kPairWorld);
+  const std::size_t array_bytes =
+      static_cast<std::size_t>(stride) * nelems * sizeof(int);
+  craycaf::Runtime rt(engine, fabric, array_bytes + (1 << 20), machine);
+  std::vector<sim::Time> elapsed(kPairWorld, 0);
+  rt.launch([&] {
+    const int me0 = rt.this_image() - 1;
+    const std::uint64_t off = rt.allocate(array_bytes);
+    rt.sync_all();
+    if (me0 < pairs) {
+      const int dst = kPairNodePes + me0 + 1;
+      std::vector<int> src(static_cast<std::size_t>(nelems), 3);
+      const sim::Time t0 = engine.now();
+      rt.put_strided_1d(dst, off, static_cast<std::ptrdiff_t>(stride),
+                        src.data(), 1, sizeof(int),
+                        static_cast<std::size_t>(nelems));
+      elapsed[me0] = engine.now() - t0;
+    }
+    rt.sync_all();
+  });
+  engine.run();
+  sim::Time worst = 1;
+  for (int p = 0; p < pairs; ++p) worst = std::max(worst, elapsed[p]);
+  return static_cast<double>(nelems) * sizeof(int) * pairs /
+         (sim::to_sec(worst) * 1e6);
+}
+
+}  // namespace bench

@@ -1,0 +1,84 @@
+// google-benchmark microbenchmarks of the simulation substrate itself:
+// event-queue throughput, fiber context-switch cost, allocator hot paths,
+// and end-to-end simulated-barrier cost. These are *host* performance
+// numbers (how fast the simulator runs), not simulated results.
+#include <benchmark/benchmark.h>
+
+#include "net/profiles.hpp"
+#include "shmem/heap.hpp"
+#include "shmem/world.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < n; ++i) {
+      eng.schedule(i, [] {});
+    }
+    eng.run();
+    benchmark::DoNotOptimize(eng.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1'000)->Arg(100'000);
+
+void BM_FiberSwitch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng(16 * 1024);
+    eng.spawn(0, [] {
+      for (int i = 0; i < 1'000; ++i) sim::this_pe::advance(1);
+    });
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000 * 2);  // out + in
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_AllocatorChurn(benchmark::State& state) {
+  sim::Rng rng(7);
+  for (auto _ : state) {
+    shmem::FreeListAllocator a(0, 1 << 22);
+    std::vector<std::uint64_t> live;
+    for (int i = 0; i < 2'000; ++i) {
+      if (live.empty() || rng.below(100) < 60) {
+        if (auto off = a.allocate(16 + rng.below(2048))) live.push_back(*off);
+      } else {
+        const std::size_t k = rng.below(live.size());
+        a.release(live[k]);
+        live[k] = live.back();
+        live.pop_back();
+      }
+    }
+    for (auto off : live) a.release(off);
+    benchmark::DoNotOptimize(a.bytes_in_use());
+  }
+  state.SetItemsProcessed(state.iterations() * 2'000);
+}
+BENCHMARK(BM_AllocatorChurn);
+
+void BM_SimulatedBarrier(benchmark::State& state) {
+  const int pes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng(32 * 1024);
+    net::Fabric fabric(net::machine_profile(net::Machine::kXC30), pes);
+    shmem::World world(eng, fabric,
+                       net::sw_profile(net::Library::kShmemCray,
+                                       net::Machine::kXC30),
+                       512 << 10);
+    world.launch([&] {
+      for (int i = 0; i < 4; ++i) world.barrier_all();
+    });
+    eng.run();
+    benchmark::DoNotOptimize(eng.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * pes * 4);
+}
+BENCHMARK(BM_SimulatedBarrier)->Arg(16)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

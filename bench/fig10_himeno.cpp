@@ -1,0 +1,67 @@
+// Figure 10 (Stampede): CAF Himeno benchmark — MFLOPS vs number of images
+// for UHCAF over GASNet and UHCAF over MVAPICH2-X SHMEM (both with the
+// naive strided algorithm, which §V-D found best for Himeno's
+// matrix-oriented halo strides).
+//
+// Paper shapes to reproduce: UHCAF over MVAPICH2-X SHMEM wins for >= 16
+// images, ~6% on average and up to ~22%.
+#include <cstdio>
+#include <vector>
+
+#include "apps/driver.hpp"
+#include "apps/himeno.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+double run_himeno(driver::StackKind kind, int images) {
+  apps::himeno::Config base;
+  base.gx = 128;
+  base.gy = 64;
+  base.gz = 64;
+  base.iters = 3;
+  const auto cfg = apps::himeno::decompose(base, images);
+  caf::Options opts;
+  opts.strided = caf::StridedAlgo::kNaive;  // §V-D's best choice
+  opts.nonsym_slab_bytes = 64 << 10;
+  // Size the symmetric heap to the actual footprint: the ghosted local
+  // pressure block plus runtime internals.
+  const std::size_t p_bytes = static_cast<std::size_t>(cfg.gx) *
+                              (cfg.gy / cfg.py + 2) * (cfg.gz / cfg.pz + 2) *
+                              sizeof(double);
+  driver::Stack stack(kind, images, net::Machine::kStampede,
+                      p_bytes + (1 << 20), opts);
+  apps::himeno::Result result;
+  stack.run([&](caf::Runtime& rt) {
+    apps::himeno::Solver solver(rt, cfg);
+    result = solver.run();
+    rt.sync_all();
+  });
+  return result.mflops;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 10: CAF Himeno benchmark on Stampede ===\n");
+  std::printf("128x64x64 grid, 3 Jacobi iterations, naive strided halos\n\n");
+  bench::print_series_header(
+      "images", {"UHCAF-GASNet (MFLOPS)", "UHCAF-MV2X-SHMEM (MFLOPS)"});
+  std::vector<double> gasnet, shmem;
+  for (int images : {2, 8, 16, 32, 128, 512, 2048}) {
+    const double g = run_himeno(driver::StackKind::kGasnet, images);
+    const double s = run_himeno(driver::StackKind::kShmemMvapich, images);
+    gasnet.push_back(g);
+    shmem.push_back(s);
+    bench::print_row(images, {g, s}, "%22.1f");
+  }
+  std::printf("\nsummary: UHCAF-MV2X-SHMEM vs UHCAF-GASNet = %.0f%% better "
+              "(geomean)\n",
+              (bench::geomean_ratio(shmem, gasnet) - 1.0) * 100.0);
+  double best = 0;
+  for (std::size_t i = 0; i < shmem.size(); ++i) {
+    best = std::max(best, (shmem[i] / gasnet[i] - 1.0) * 100.0);
+  }
+  std::printf("summary: maximum improvement = %.0f%%\n", best);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 2: put latency comparison of SHMEM, MPI-3.0, and GASNet on the
+// Stampede and Titan machine models, 1 pair, small and large data sizes.
+//
+// Paper shape to reproduce: SHMEM <= GASNet < MPI-3.0 at small sizes; Cray
+// SHMEM better than GASNet on Titan even for the smallest messages; SHMEM
+// better than GASNet at large sizes.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace bench;
+
+namespace {
+
+void panel(const char* title, net::Machine machine,
+           const std::vector<std::size_t>& sizes) {
+  std::printf("\n-- %s --\n", title);
+  print_series_header("bytes", {raw_lib_name(RawLib::kShmem, machine) + " (us)",
+                                raw_lib_name(RawLib::kMpi3, machine) + " (us)",
+                                "GASNet (us)"});
+  std::vector<double> shmem_lat, gasnet_lat, mpi_lat;
+  for (std::size_t bytes : sizes) {
+    const double s = run_put_test(RawLib::kShmem, machine, bytes, 1, 20).latency_us;
+    const double m = run_put_test(RawLib::kMpi3, machine, bytes, 1, 20).latency_us;
+    const double g = run_put_test(RawLib::kGasnet, machine, bytes, 1, 20).latency_us;
+    shmem_lat.push_back(s);
+    mpi_lat.push_back(m);
+    gasnet_lat.push_back(g);
+    print_row(static_cast<double>(bytes), {s, m, g}, "%22.3f");
+  }
+  std::printf("summary: SHMEM vs MPI-3.0 latency ratio (geomean) = %.2fx lower\n",
+              geomean_ratio(mpi_lat, shmem_lat));
+  std::printf("summary: SHMEM vs GASNet  latency ratio (geomean) = %.2fx lower\n",
+              geomean_ratio(gasnet_lat, shmem_lat));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 2: put latency, 1 pair across two nodes ===\n");
+  const std::vector<std::size_t> small = {8, 16, 32, 64, 128, 256, 512, 1024, 2048};
+  const std::vector<std::size_t> large = {4096, 16384, 65536, 262144, 1048576, 4194304};
+  panel("(a) Stampede: small sizes", net::Machine::kStampede, small);
+  panel("(b) Stampede: large sizes", net::Machine::kStampede, large);
+  panel("(c) Titan: small sizes", net::Machine::kTitan, small);
+  panel("(d) Titan: large sizes", net::Machine::kTitan, large);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 3: put bandwidth comparison of SHMEM, MPI-3.0, and GASNet with 1
+// pair and with 16 pairs (inter-node contention) on Stampede and Titan.
+//
+// Paper shape to reproduce: SHMEM achieves the best bandwidth on both
+// machines; under 16-pair contention SHMEM stays ahead on Stampede and is
+// comparable to GASNet on Titan.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace bench;
+
+namespace {
+
+void panel(const char* title, net::Machine machine, int pairs) {
+  std::printf("\n-- %s --\n", title);
+  print_series_header("bytes",
+                      {raw_lib_name(RawLib::kShmem, machine) + " (MB/s)",
+                       raw_lib_name(RawLib::kMpi3, machine) + " (MB/s)",
+                       "GASNet (MB/s)"});
+  std::vector<double> shm, mpi, gas;
+  for (std::size_t bytes : {std::size_t{64}, std::size_t{512},
+                            std::size_t{4096}, std::size_t{32768},
+                            std::size_t{262144}, std::size_t{1048576},
+                            std::size_t{4194304}}) {
+    const double s =
+        run_put_test(RawLib::kShmem, machine, bytes, pairs, 20).bandwidth_mbs;
+    const double m =
+        run_put_test(RawLib::kMpi3, machine, bytes, pairs, 20).bandwidth_mbs;
+    const double g =
+        run_put_test(RawLib::kGasnet, machine, bytes, pairs, 20).bandwidth_mbs;
+    shm.push_back(s);
+    mpi.push_back(m);
+    gas.push_back(g);
+    print_row(static_cast<double>(bytes), {s, m, g});
+  }
+  std::printf("summary: SHMEM/GASNet bandwidth (geomean) = %.2fx\n",
+              geomean_ratio(shm, gas));
+  std::printf("summary: SHMEM/MPI-3.0 bandwidth (geomean) = %.2fx\n",
+              geomean_ratio(shm, mpi));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 3: put bandwidth across two nodes ===\n");
+  panel("(a) Stampede: 1 pair", net::Machine::kStampede, 1);
+  panel("(b) Stampede: 16 pairs", net::Machine::kStampede, 16);
+  panel("(c) Titan: 1 pair", net::Machine::kTitan, 1);
+  panel("(d) Titan: 16 pairs", net::Machine::kTitan, 16);
+  return 0;
+}

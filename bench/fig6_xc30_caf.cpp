@@ -1,0 +1,73 @@
+// Figure 6 (Cray XC30): CAF contiguous put bandwidth — Cray-CAF vs
+// UHCAF-over-Cray-SHMEM, 1 and 16 pairs — and 2-D strided put bandwidth —
+// Cray-CAF vs UHCAF naive vs UHCAF 2dim_strided.
+//
+// Paper shapes to reproduce: ~8% average contiguous-put improvement for
+// UHCAF over Cray SHMEM vs Cray CAF; for strided puts ~3x improvement of
+// 2dim_strided over Cray CAF and ~9x over the naive algorithm.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "caf_put_bench.hpp"
+
+using namespace bench;
+
+namespace {
+
+void contiguous_panel(const char* title, int pairs) {
+  std::printf("\n-- %s --\n", title);
+  print_series_header("bytes", {"Cray-CAF (MB/s)", "UHCAF-Cray-SHMEM (MB/s)"});
+  std::vector<double> cray, uhcaf;
+  for (std::size_t bytes : {std::size_t{64}, std::size_t{256},
+                            std::size_t{1024}, std::size_t{4096},
+                            std::size_t{16384}, std::size_t{65536},
+                            std::size_t{262144}, std::size_t{1048576}}) {
+    const double c = craycaf_contig_bw(net::Machine::kXC30, bytes, pairs, 20);
+    const double u = caf_contig_bw(driver::StackKind::kShmemCray,
+                                   net::Machine::kXC30, bytes, pairs, 20);
+    cray.push_back(c);
+    uhcaf.push_back(u);
+    print_row(static_cast<double>(bytes), {c, u});
+  }
+  std::printf("summary: UHCAF-Cray-SHMEM vs Cray-CAF bandwidth improvement "
+              "(geomean) = %.0f%%\n",
+              (geomean_ratio(uhcaf, cray) - 1.0) * 100.0);
+}
+
+void strided_panel(const char* title, int pairs) {
+  std::printf("\n-- %s --\n", title);
+  print_series_header("stride(ints)",
+                      {"Cray-CAF (MB/s)", "UHCAF-naive (MB/s)",
+                       "UHCAF-2dim (MB/s)"});
+  const std::int64_t nelems = 1024;
+  std::vector<double> cray, naive, twodim;
+  for (std::int64_t stride : {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
+    const double c = craycaf_strided_bw(net::Machine::kXC30, stride, nelems, pairs);
+    const double n =
+        caf_strided_bw(driver::StackKind::kShmemCray, net::Machine::kXC30,
+                       caf::StridedAlgo::kNaive, stride, nelems, pairs);
+    const double t =
+        caf_strided_bw(driver::StackKind::kShmemCray, net::Machine::kXC30,
+                       caf::StridedAlgo::kTwoDim, stride, nelems, pairs);
+    cray.push_back(c);
+    naive.push_back(n);
+    twodim.push_back(t);
+    print_row(static_cast<double>(stride), {c, n, t});
+  }
+  std::printf("summary: 2dim_strided vs Cray-CAF  = %.1fx\n",
+              geomean_ratio(twodim, cray));
+  std::printf("summary: 2dim_strided vs naive     = %.1fx\n",
+              geomean_ratio(twodim, naive));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 6: PGAS microbenchmarks on the Cray XC30 ===\n");
+  contiguous_panel("(a) contiguous put: 1 pair", 1);
+  contiguous_panel("(b) contiguous put: 16 pairs", 16);
+  strided_panel("(c) strided put: 1 pair", 1);
+  strided_panel("(d) strided put: 16 pairs", 16);
+  return 0;
+}

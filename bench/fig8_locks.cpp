@@ -1,0 +1,73 @@
+// Figure 8 (Titan): lock microbenchmark — every image repeatedly acquires
+// and releases a lock on image 1; execution time vs number of images for
+// Cray-CAF, UHCAF-GASNet, and UHCAF-Cray-SHMEM.
+//
+// Paper shapes to reproduce: UHCAF over Cray SHMEM is fastest (on average
+// ~22% faster than Cray-CAF and ~10% faster than UHCAF-GASNet), with the
+// gap most visible at >= 128 images.
+#include <cstdio>
+#include <vector>
+
+#include "apps/driver.hpp"
+#include "bench_util.hpp"
+#include "craycaf/craycaf.hpp"
+
+namespace {
+
+constexpr int kRounds = 5;
+
+sim::Time run_uhcaf_locks(driver::StackKind kind, int images) {
+  driver::Stack stack(kind, images, net::Machine::kTitan, 1 << 20);
+  return stack.run([&](caf::Runtime& rt) {
+    caf::CoLock lck = rt.make_lock();
+    for (int r = 0; r < kRounds; ++r) {
+      rt.lock(lck, 1);
+      rt.unlock(lck, 1);
+    }
+    rt.sync_all();
+  });
+}
+
+sim::Time run_craycaf_locks(int images) {
+  sim::Engine engine(64 * 1024);
+  net::Fabric fabric(net::machine_profile(net::Machine::kTitan), images);
+  craycaf::Runtime rt(engine, fabric, 1 << 20, net::Machine::kTitan);
+  rt.launch([&] {
+    craycaf::CoLock lck = rt.make_lock();
+    for (int r = 0; r < kRounds; ++r) {
+      rt.lock(lck, 1);
+      rt.unlock(lck, 1);
+    }
+    rt.sync_all();
+  });
+  engine.run();
+  return engine.sim_now();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 8: lock microbenchmark on Titan ===\n");
+  std::printf("all images acquire+release lck[1], %d rounds each\n\n", kRounds);
+  bench::print_series_header(
+      "images", {"Cray-CAF (ms)", "UHCAF-GASNet (ms)", "UHCAF-Cray-SHMEM (ms)"});
+  std::vector<double> cray, gasnet, shmem;
+  for (int images : {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
+    const double c = sim::to_ms(run_craycaf_locks(images));
+    const double g =
+        sim::to_ms(run_uhcaf_locks(driver::StackKind::kGasnet, images));
+    const double s =
+        sim::to_ms(run_uhcaf_locks(driver::StackKind::kShmemCray, images));
+    cray.push_back(c);
+    gasnet.push_back(g);
+    shmem.push_back(s);
+    bench::print_row(images, {c, g, s}, "%22.3f");
+  }
+  std::printf("\nsummary: UHCAF-Cray-SHMEM faster than Cray-CAF by %.0f%% "
+              "(geomean)\n",
+              (bench::geomean_ratio(cray, shmem) - 1.0) * 100.0);
+  std::printf("summary: UHCAF-Cray-SHMEM faster than UHCAF-GASNet by %.0f%% "
+              "(geomean)\n",
+              (bench::geomean_ratio(gasnet, shmem) - 1.0) * 100.0);
+  return 0;
+}

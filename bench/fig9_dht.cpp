@@ -1,0 +1,76 @@
+// Figure 9 (Titan): distributed hash table benchmark — random entry updates
+// under coarray locks; execution time vs number of images for Cray-CAF,
+// UHCAF-GASNet, and UHCAF-Cray-SHMEM.
+//
+// Paper shapes to reproduce: UHCAF over Cray SHMEM ~28% faster than
+// Cray-CAF and ~18% faster than UHCAF-GASNet.
+#include <cstdio>
+#include <vector>
+
+#include "apps/dht_drivers.hpp"
+#include "apps/driver.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+apps::dht::Config dht_config() {
+  apps::dht::Config cfg;
+  cfg.buckets_per_image = 64;
+  cfg.updates_per_image = 16;
+  cfg.locks_per_image = 8;
+  cfg.hot_percent = 40;
+  cfg.hot_keys = 4;
+  return cfg;
+}
+
+sim::Time run_uhcaf(driver::StackKind kind, int images) {
+  driver::Stack stack(kind, images, net::Machine::kTitan, 2 << 20);
+  return stack.run([&](caf::Runtime& rt) {
+    auto table = apps::dht::make_caf_table(rt, dht_config());
+    rt.sync_all();
+    table.run_updates();
+    rt.sync_all();
+  });
+}
+
+sim::Time run_craycaf(int images) {
+  sim::Engine engine(64 * 1024);
+  net::Fabric fabric(net::machine_profile(net::Machine::kTitan), images);
+  craycaf::Runtime rt(engine, fabric, 2 << 20, net::Machine::kTitan);
+  rt.launch([&] {
+    auto table = apps::dht::make_craycaf_table(rt, dht_config());
+    rt.sync_all();
+    table.run_updates();
+    rt.sync_all();
+  });
+  engine.run();
+  return engine.sim_now();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 9: distributed hash table on Titan ===\n");
+  std::printf("%d random locked updates per image\n\n",
+              dht_config().updates_per_image);
+  bench::print_series_header(
+      "images", {"Cray-CAF (ms)", "UHCAF-GASNet (ms)", "UHCAF-Cray-SHMEM (ms)"});
+  std::vector<double> cray, gasnet, shmem;
+  for (int images : {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
+    const double c = sim::to_ms(run_craycaf(images));
+    const double g = sim::to_ms(run_uhcaf(driver::StackKind::kGasnet, images));
+    const double s =
+        sim::to_ms(run_uhcaf(driver::StackKind::kShmemCray, images));
+    cray.push_back(c);
+    gasnet.push_back(g);
+    shmem.push_back(s);
+    bench::print_row(images, {c, g, s}, "%22.3f");
+  }
+  std::printf("\nsummary: UHCAF-Cray-SHMEM faster than Cray-CAF by %.0f%% "
+              "(geomean)\n",
+              (bench::geomean_ratio(cray, shmem) - 1.0) * 100.0);
+  std::printf("summary: UHCAF-Cray-SHMEM faster than UHCAF-GASNet by %.0f%% "
+              "(geomean)\n",
+              (bench::geomean_ratio(gasnet, shmem) - 1.0) * 100.0);
+  return 0;
+}

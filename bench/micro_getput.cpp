@@ -1,0 +1,46 @@
+// Supplementary microbenchmark (the PGAS Microbenchmark suite's get tests,
+// §V-B: "performance and correctness for put/get operations"): blocking-get
+// round-trip latency for SHMEM, MPI-3.0, and GASNet on both machine models.
+//
+// Expected shape: same ordering as the put tests (Figure 2) with uniformly
+// higher absolute latency (a get is a full round trip).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace bench;
+
+namespace {
+
+void panel(const char* title, net::Machine machine) {
+  std::printf("\n-- %s --\n", title);
+  print_series_header("bytes", {raw_lib_name(RawLib::kShmem, machine) + " (us)",
+                                raw_lib_name(RawLib::kMpi3, machine) + " (us)",
+                                "GASNet (us)"});
+  std::vector<double> shm, mpi, gas;
+  for (std::size_t bytes : {std::size_t{8}, std::size_t{64}, std::size_t{512},
+                            std::size_t{4096}, std::size_t{65536},
+                            std::size_t{1048576}}) {
+    const double s = run_get_test(RawLib::kShmem, machine, bytes, 1, 20).latency_us;
+    const double m = run_get_test(RawLib::kMpi3, machine, bytes, 1, 20).latency_us;
+    const double g = run_get_test(RawLib::kGasnet, machine, bytes, 1, 20).latency_us;
+    shm.push_back(s);
+    mpi.push_back(m);
+    gas.push_back(g);
+    print_row(static_cast<double>(bytes), {s, m, g}, "%22.3f");
+  }
+  std::printf("summary: SHMEM vs MPI-3.0 get latency = %.2fx lower\n",
+              geomean_ratio(mpi, shm));
+  std::printf("summary: SHMEM vs GASNet  get latency = %.2fx lower\n",
+              geomean_ratio(gas, shm));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Supplementary: get latency, 1 pair across two nodes ===\n");
+  panel("Stampede", net::Machine::kStampede);
+  panel("Titan", net::Machine::kTitan);
+  return 0;
+}

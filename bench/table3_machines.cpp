@@ -1,0 +1,51 @@
+// Table III: the experimental machine configurations, as modelled by the
+// net:: profiles (the simulation substitute for the real testbeds).
+#include <cstdio>
+
+#include "net/profiles.hpp"
+
+int main() {
+  std::printf("=== Table III: machine configurations (simulated models) ===\n");
+  std::printf("%-10s %-14s %-12s %-14s %-14s %-12s\n", "cluster",
+              "interconnect", "cores/node", "latency(ns)", "link(GB/s)",
+              "rx gap(ns)");
+  struct {
+    net::Machine m;
+    const char* interconnect;
+  } rows[] = {
+      {net::Machine::kStampede, "IB Mellanox"},
+      {net::Machine::kXC30, "Aries"},
+      {net::Machine::kTitan, "Gemini"},
+  };
+  for (const auto& r : rows) {
+    const auto p = net::machine_profile(r.m);
+    std::printf("%-10s %-14s %-12d %-14lld %-14.1f %-12lld\n", p.name.c_str(),
+                r.interconnect, p.cores_per_node,
+                static_cast<long long>(p.hw_latency), p.link_bytes_per_ns,
+                static_cast<long long>(p.rx_msg_gap));
+  }
+  std::printf("\nlibrary software profiles:\n");
+  std::printf("%-22s %-10s %-12s %-12s %-10s %-12s %-10s\n", "library",
+              "machine", "o_put(ns)", "o_amo(ns)", "bw eff", "hw strided",
+              "nic amo");
+  for (auto m : {net::Machine::kStampede, net::Machine::kTitan,
+                 net::Machine::kXC30}) {
+    for (auto l : {net::Library::kShmemMvapich, net::Library::kShmemCray,
+                   net::Library::kGasnet, net::Library::kMpi3,
+                   net::Library::kDmapp, net::Library::kCrayCaf}) {
+      // Only print the combinations the paper actually ran.
+      const bool stampede_lib = l == net::Library::kShmemMvapich ||
+                                l == net::Library::kGasnet ||
+                                l == net::Library::kMpi3;
+      const bool cray_lib = l != net::Library::kShmemMvapich;
+      if (m == net::Machine::kStampede ? !stampede_lib : !cray_lib) continue;
+      const auto s = net::sw_profile(l, m);
+      std::printf("%-22s %-10s %-12lld %-12lld %-10.2f %-12s %-10s\n",
+                  s.name.c_str(), net::to_string(m).c_str(),
+                  static_cast<long long>(s.put_overhead),
+                  static_cast<long long>(s.amo_overhead), s.bw_efficiency,
+                  s.hw_strided ? "yes" : "no", s.nic_amo ? "yes" : "no");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Example: distributed matrix row-block rotation with strided coarray
+// sections, demonstrating the 2dim_strided algorithm (§IV-C) on a realistic
+// access pattern.
+//
+// A (64 x 64) matrix block lives on each of 4 images. Every image sends the
+// odd columns of its block to the next image's block using a strided
+// section put, then verifies what it received. The example prints the
+// message counts of the naive vs 2dim_strided algorithms for the same
+// section — the paper's core §IV-C observation in action.
+//
+// Build & run:  ./examples/strided_transpose
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "apps/driver.hpp"
+
+int main() {
+  const int images = 4;
+  const std::int64_t n = 64;
+  caf::StridedStats naive_stats{}, twodim_stats{};
+  bool ok = true;
+
+  for (auto algo : {caf::StridedAlgo::kNaive, caf::StridedAlgo::kTwoDim}) {
+    caf::Options opts;
+    opts.strided = algo;
+    driver::Stack stack(driver::StackKind::kShmemCray, images,
+                        net::Machine::kXC30, 8 << 20, opts);
+    stack.run([&](caf::Runtime& rt) {
+      const int me = rt.this_image();
+      auto block = caf::make_coarray<double>(rt, {n, n});
+      for (std::int64_t j = 1; j <= n; ++j) {
+        for (std::int64_t i = 1; i <= n; ++i) {
+          block(i, j) = me * 1e6 + (j - 1) * n + (i - 1);
+        }
+      }
+      rt.sync_all();
+
+      // Send my odd rows (a strided section: stride 2 in the contiguous
+      // dimension) to the right neighbor's even rows.
+      const int right = me % images + 1;
+      const caf::Section odd_rows{{1, n - 1, 2}, {1, n, 1}};
+      const caf::Section even_rows{{2, n, 2}, {1, n, 1}};
+      std::vector<double> packed(static_cast<std::size_t>(n / 2 * n));
+      block.pack_local(packed.data(), odd_rows);
+      const auto stats = block.put_section(right, even_rows, packed.data());
+      if (me == 1) {
+        (algo == caf::StridedAlgo::kNaive ? naive_stats : twodim_stats) = stats;
+      }
+      rt.sync_all();
+
+      // Verify: my even rows now hold the left neighbor's odd rows.
+      const int left = (me + images - 2) % images + 1;
+      for (std::int64_t j = 1; j <= n && ok; ++j) {
+        for (std::int64_t i = 2; i <= n; i += 2) {
+          const double expect = left * 1e6 + (j - 1) * n + (i - 2);
+          if (block(i, j) != expect) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      rt.sync_all();
+    });
+  }
+
+  std::printf("strided section of %lld x %lld doubles, stride 2 rows:\n",
+              static_cast<long long>(n), static_cast<long long>(n));
+  std::printf("  naive        : %zu messages for %zu elements\n",
+              naive_stats.messages, naive_stats.elements);
+  std::printf("  2dim_strided : %zu messages for %zu elements\n",
+              twodim_stats.messages, twodim_stats.elements);
+  std::printf("strided_transpose %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

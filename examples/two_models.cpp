@@ -1,0 +1,149 @@
+// Example: one communication layer, two PGAS models (the paper's thesis).
+//
+// Computes the same 1-D relaxation twice — once as a Coarray Fortran
+// program (caf::Runtime) and once as a UPC program (upc::Runtime) — both
+// running over the identical OpenSHMEM library and machine model, and
+// checks that the numerics agree. This is §VI's closing argument made
+// executable: "OpenSHMEM may be considered as a potential candidate" for
+// the common base of all PGAS implementations.
+//
+// Build & run:  ./examples/two_models
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "caf/caf.hpp"
+#include "net/profiles.hpp"
+#include "upc/upc.hpp"
+
+namespace {
+
+constexpr int kImages = 8;
+constexpr std::int64_t kN = 64;  // global cells
+constexpr int kSteps = 10;
+
+// u_new[i] = (u[i-1] + u[i+1]) / 2 on the interior, fixed ends 0 / 1.
+std::vector<double> serial_reference() {
+  std::vector<double> u(kN, 0.0);
+  u[kN - 1] = 1.0;
+  for (int s = 0; s < kSteps; ++s) {
+    std::vector<double> v = u;
+    for (std::int64_t i = 1; i < kN - 1; ++i) v[i] = (u[i - 1] + u[i + 1]) / 2;
+    u = v;
+  }
+  return u;
+}
+
+std::vector<double> run_caf() {
+  sim::Engine engine(64 * 1024);
+  net::Fabric fabric(net::machine_profile(net::Machine::kStampede), kImages);
+  shmem::World shm(engine, fabric,
+                   net::sw_profile(net::Library::kShmemMvapich,
+                                   net::Machine::kStampede),
+                   4 << 20);
+  caf::ShmemConduit conduit(shm);
+  caf::Runtime rt(conduit);
+  std::vector<double> out(kN);
+  const std::int64_t local = kN / kImages;
+  shm.launch([&] {
+    rt.init();
+    const int me = rt.this_image();
+    // Local slice with two ghost cells: u(1) and u(local+2).
+    auto u = caf::make_coarray<double>(rt, {local + 2});
+    for (std::int64_t i = 1; i <= local + 2; ++i) u(i) = 0.0;
+    if (me == kImages) u(local + 1) = 1.0;  // right boundary cell
+    rt.sync_all();
+    std::vector<double> next(static_cast<std::size_t>(local));
+    for (int s = 0; s < kSteps; ++s) {
+      // Exchange ghosts: my first/last interior to neighbors' ghosts.
+      if (me > 1) u.put_scalar(me - 1, {local + 2}, u(2));
+      if (me < kImages) u.put_scalar(me + 1, {1}, u(local + 1));
+      rt.sync_all();
+      for (std::int64_t i = 0; i < local; ++i) {
+        const std::int64_t g = (me - 1) * local + i;  // global index
+        if (g == 0 || g == kN - 1) {
+          next[static_cast<std::size_t>(i)] = u(i + 2);
+        } else {
+          next[static_cast<std::size_t>(i)] = (u(i + 1) + u(i + 3)) / 2;
+        }
+      }
+      for (std::int64_t i = 0; i < local; ++i) {
+        u(i + 2) = next[static_cast<std::size_t>(i)];
+      }
+      rt.sync_all();
+    }
+    // Gather on image 1.
+    if (me == 1) {
+      for (int img = 1; img <= kImages; ++img) {
+        std::vector<double> slice(static_cast<std::size_t>(local));
+        u.get_contiguous(slice.data(), img, static_cast<std::size_t>(local), 1);
+        for (std::int64_t i = 0; i < local; ++i) {
+          out[static_cast<std::size_t>((img - 1) * local + i)] =
+              slice[static_cast<std::size_t>(i)];
+        }
+      }
+    }
+    rt.sync_all();
+  });
+  engine.run();
+  return out;
+}
+
+std::vector<double> run_upc() {
+  sim::Engine engine(64 * 1024);
+  net::Fabric fabric(net::machine_profile(net::Machine::kStampede), kImages);
+  shmem::World shm(engine, fabric,
+                   net::sw_profile(net::Library::kShmemMvapich,
+                                   net::Machine::kStampede),
+                   4 << 20);
+  upc::Runtime rt(shm);
+  std::vector<double> out(kN);
+  shm.launch([&] {
+    // shared [kN/THREADS] double u[kN], v[kN] — pure-blocked layout.
+    auto u = rt.all_alloc<double>(kN, kN / kImages);
+    auto v = rt.all_alloc<double>(kN, kN / kImages);
+    rt.forall(u, [&](std::int64_t i) {
+      *u.local_ptr(i) = i == kN - 1 ? 1.0 : 0.0;
+    });
+    rt.barrier();
+    for (int s = 0; s < kSteps; ++s) {
+      rt.forall(u, [&](std::int64_t i) {
+        if (i == 0 || i == kN - 1) {
+          *v.local_ptr(i) = *u.local_ptr(i);
+        } else {
+          // Neighbor reads may be remote: shared-pointer dereferences.
+          *v.local_ptr(i) = (u.read(i - 1) + u.read(i + 1)) / 2;
+        }
+      });
+      rt.barrier();
+      rt.forall(u, [&](std::int64_t i) { *u.local_ptr(i) = *v.local_ptr(i); });
+      rt.barrier();
+    }
+    if (rt.mythread() == 0) {
+      for (std::int64_t i = 0; i < kN; ++i) out[static_cast<std::size_t>(i)] = u.read(i);
+    }
+    rt.barrier();
+  });
+  engine.run();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto ref = serial_reference();
+  const auto caf_result = run_caf();
+  const auto upc_result = run_upc();
+  double caf_err = 0, upc_err = 0;
+  for (std::int64_t i = 0; i < kN; ++i) {
+    caf_err = std::max(caf_err, std::abs(caf_result[i] - ref[i]));
+    upc_err = std::max(upc_err, std::abs(upc_result[i] - ref[i]));
+  }
+  std::printf("1-D relaxation, %lld cells, %d steps, %d images/threads\n",
+              static_cast<long long>(kN), kSteps, kImages);
+  std::printf("  CAF over OpenSHMEM : max |err| = %.3e\n", caf_err);
+  std::printf("  UPC over OpenSHMEM : max |err| = %.3e\n", upc_err);
+  const bool ok = caf_err < 1e-12 && upc_err < 1e-12;
+  std::printf("two_models %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

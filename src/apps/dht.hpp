@@ -1,0 +1,106 @@
+// Distributed hash table benchmark (paper §V-C, after Maynard's CUG'12
+// one-sided comparison code).
+//
+// Each image owns a slice of a global table of (key, count) entries and
+// repeatedly updates *random* entries anywhere in the table. Updates to an
+// entry must be atomic, which is achieved with coarray locks: the table is
+// striped over per-image lock arrays, an updater acquires the lock at the
+// owning image, get-modify-puts the entry, and releases.
+//
+// The benchmark is templated over the runtime so that the same workload
+// runs on caf::Runtime (UHCAF over SHMEM or GASNet) and craycaf::Runtime
+// (the Cray baseline) — exactly the three curves of Figure 9. The caller
+// performs the collective setup (allocate the entry slice and the lock
+// array) and hands the handles in; see make_caf_table / make_craycaf_table
+// in the benches and tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace apps::dht {
+
+struct Config {
+  std::int64_t buckets_per_image = 256;
+  int updates_per_image = 32;
+  int locks_per_image = 16;     ///< buckets share locks round-robin
+  std::uint64_t seed = 1234;
+  sim::Time compute_ns = 300;   ///< local work per update (hash, compare)
+  /// Key skew: this percentage of updates hit one of `hot_keys` popular
+  /// entries (real key streams are Zipf-like); the induced lock contention
+  /// is what separates the lock designs in Figure 9.
+  int hot_percent = 0;
+  std::int64_t hot_keys = 4;
+};
+
+struct Entry {
+  std::int64_t key;
+  std::int64_t count;
+};
+
+/// The benchmark body, generic over the runtime (RT) and its lock handle
+/// type (LockT). RT must provide this_image(), num_images(),
+/// lock(LockT, image), unlock(LockT, image), get_bytes, put_bytes,
+/// local_addr.
+template <typename RT, typename LockT>
+class Table {
+ public:
+  Table(RT& rt, Config cfg, std::uint64_t data_off, std::vector<LockT> locks)
+      : rt_(rt), cfg_(cfg), data_off_(data_off), locks_(std::move(locks)) {}
+
+  /// One image's share of the benchmark: `updates_per_image` random
+  /// lock-get-modify-put-unlock cycles.
+  void run_updates() {
+    sim::Engine& eng = *sim::Engine::current();
+    const int me = rt_.this_image();
+    const int n = rt_.num_images();
+    sim::Rng rng(cfg_.seed * 1000003u + static_cast<std::uint64_t>(me));
+    const std::int64_t global_buckets =
+        cfg_.buckets_per_image * static_cast<std::int64_t>(n);
+    for (int u = 0; u < cfg_.updates_per_image; ++u) {
+      const bool hot = rng.below(100) < static_cast<std::uint64_t>(cfg_.hot_percent);
+      const std::int64_t key = static_cast<std::int64_t>(
+          hot ? rng.below(static_cast<std::uint64_t>(cfg_.hot_keys))
+              : rng.below(static_cast<std::uint64_t>(global_buckets)));
+      const int owner = static_cast<int>(key / cfg_.buckets_per_image) + 1;
+      const std::int64_t bucket = key % cfg_.buckets_per_image;
+      const LockT lck =
+          locks_[static_cast<std::size_t>(bucket % cfg_.locks_per_image)];
+      rt_.lock(lck, owner);
+      Entry e{};
+      const std::uint64_t entry_off =
+          data_off_ + static_cast<std::uint64_t>(bucket) * sizeof(Entry);
+      rt_.get_bytes(&e, owner, entry_off, sizeof(Entry));
+      eng.advance(cfg_.compute_ns);  // hash/compare work
+      e.key = key;
+      e.count += 1;
+      rt_.put_bytes(owner, entry_off, &e, sizeof(Entry));
+      rt_.unlock(lck, owner);
+    }
+  }
+
+  /// Sums the counts in this image's slice (call after a final sync_all);
+  /// the global sum must equal num_images * updates_per_image.
+  std::int64_t local_count_sum() {
+    const auto* entries =
+        reinterpret_cast<const Entry*>(rt_.local_addr(data_off_));
+    std::int64_t s = 0;
+    for (std::int64_t b = 0; b < cfg_.buckets_per_image; ++b) {
+      s += entries[b].count;
+    }
+    return s;
+  }
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  RT& rt_;
+  Config cfg_;
+  std::uint64_t data_off_;
+  std::vector<LockT> locks_;
+};
+
+}  // namespace apps::dht

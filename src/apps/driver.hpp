@@ -1,0 +1,101 @@
+// driver::Stack — one-call construction of a full simulated UHCAF stack
+// (engine → fabric → communication world → conduit → runtime) for examples
+// and benchmark harnesses.
+//
+// A Stack owns everything; run(body) launches `images` fibers that call
+// rt.init() and then the body, and drives the DES engine to completion.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "caf/caf.hpp"
+#include "net/profiles.hpp"
+
+namespace driver {
+
+/// Which UHCAF configuration from the paper's evaluation.
+enum class StackKind {
+  kShmemCray,     ///< UHCAF over Cray SHMEM (Titan / XC30)
+  kShmemMvapich,  ///< UHCAF over MVAPICH2-X SHMEM (Stampede)
+  kGasnet,        ///< UHCAF over GASNet (baseline)
+  kArmci,         ///< UHCAF over ARMCI (Table I's other conduit)
+};
+
+inline const char* name(StackKind k) {
+  switch (k) {
+    case StackKind::kShmemCray: return "UHCAF-Cray-SHMEM";
+    case StackKind::kShmemMvapich: return "UHCAF-MVAPICH2-X-SHMEM";
+    case StackKind::kGasnet: return "UHCAF-GASNet";
+    case StackKind::kArmci: return "UHCAF-ARMCI";
+  }
+  return "?";
+}
+
+class Stack {
+ public:
+  Stack(StackKind kind, int images, net::Machine machine,
+        std::size_t heap_bytes = 8 << 20, caf::Options opts = {})
+      : fabric_(net::machine_profile(machine), images) {
+    switch (kind) {
+      case StackKind::kShmemCray:
+      case StackKind::kShmemMvapich:
+        shmem_ = std::make_unique<shmem::World>(
+            engine_, fabric_,
+            net::sw_profile(kind == StackKind::kShmemCray
+                                ? net::Library::kShmemCray
+                                : net::Library::kShmemMvapich,
+                            machine),
+            heap_bytes);
+        conduit_ = std::make_unique<caf::ShmemConduit>(*shmem_);
+        break;
+      case StackKind::kGasnet:
+        gasnet_ = std::make_unique<gasnet::World>(
+            engine_, fabric_, net::sw_profile(net::Library::kGasnet, machine),
+            heap_bytes);
+        conduit_ = std::make_unique<caf::GasnetConduit>(*gasnet_);
+        break;
+      case StackKind::kArmci:
+        armci_ = std::make_unique<armci::World>(
+            engine_, fabric_, net::sw_profile(net::Library::kArmci, machine),
+            heap_bytes);
+        conduit_ = std::make_unique<caf::ArmciConduit>(*armci_);
+        break;
+    }
+    rt_ = std::make_unique<caf::Runtime>(*conduit_, opts);
+  }
+
+  caf::Runtime& rt() { return *rt_; }
+  sim::Engine& engine() { return engine_; }
+  net::Fabric& fabric() { return fabric_; }
+
+  /// Launches `body(rt)` on every image (after rt.init()) and runs the
+  /// engine to completion. Returns the final virtual time.
+  sim::Time run(const std::function<void(caf::Runtime&)>& body) {
+    auto main = [this, body] {
+      rt_->init();
+      body(*rt_);
+    };
+    if (shmem_) {
+      shmem_->launch(main);
+    } else if (gasnet_) {
+      gasnet_->launch(main);
+    } else {
+      armci_->launch(main);
+    }
+    engine_.run();
+    return engine_.sim_now();
+  }
+
+ private:
+  sim::Engine engine_{64 * 1024};
+  net::Fabric fabric_;
+  std::unique_ptr<shmem::World> shmem_;
+  std::unique_ptr<gasnet::World> gasnet_;
+  std::unique_ptr<armci::World> armci_;
+  std::unique_ptr<caf::Conduit> conduit_;
+  std::unique_ptr<caf::Runtime> rt_;
+};
+
+}  // namespace driver

@@ -1,0 +1,73 @@
+// CAF Himeno benchmark (paper §V-D).
+//
+// Himeno evaluates incompressible-fluid pressure solves: a 19-point Jacobi
+// relaxation of Poisson's equation on a 3-D grid, reporting MFLOPS. The CAF
+// version decomposes the grid over images and exchanges halo planes with
+// co-indexed strided puts — the "matrix-oriented" multi-dimensional strides
+// whose behaviour §V-D analyses (contiguous base dimension → the naive
+// per-run putmem path beats 2dim_strided's iput).
+//
+// The grid is decomposed over dims 2 (y) and 3 (z); dim 1 (x) stays local,
+// so +/-y halos are matrix-oriented strided sections and +/-z halos are
+// nearly-contiguous plane sections. Only the pressure array p is a coarray;
+// the coefficient arrays are image-local host memory, as in the original.
+#pragma once
+
+#include <cstdint>
+
+#include "caf/caf.hpp"
+
+namespace apps::himeno {
+
+struct Config {
+  int gx = 32;              ///< global interior extents (incl. boundary)
+  int gy = 32;
+  int gz = 32;
+  int py = 1;               ///< image grid over y (py*pz == num_images)
+  int pz = 1;
+  int iters = 4;
+  double flops_per_ns = 4.0;  ///< simulated per-core compute rate
+};
+
+struct Result {
+  double mflops = 0;
+  double gosa = 0;          ///< final residual (validation)
+  sim::Time elapsed = 0;
+};
+
+/// Picks the most-square (py, pz) decomposition of `images` that divides
+/// (gy, gz); throws if none exists.
+Config decompose(Config cfg, int images);
+
+class Solver {
+ public:
+  /// Collective: every image constructs the solver after rt.init().
+  Solver(caf::Runtime& rt, Config cfg);
+
+  /// Collective: runs cfg.iters Jacobi iterations; the Result is valid on
+  /// every image (gosa is globally reduced each iteration).
+  Result run();
+
+  /// Local pressure value (1-based local subscripts incl. ghosts); for tests.
+  double p_at(int i, int j, int k) const {
+    return const_cast<caf::Coarray<double>&>(p_)(i, j, k);
+  }
+
+ private:
+  double jacobi_sweep();    // returns local gosa contribution
+  void exchange_halos();
+  int rank_y() const { return (rt_.this_image() - 1) % cfg_.py; }
+  int rank_z() const { return (rt_.this_image() - 1) / cfg_.py; }
+  int image_of(int jy, int kz) const { return kz * cfg_.py + jy + 1; }
+  int global_j(int local_j) const { return rank_y() * ly_ + (local_j - 1); }
+  int global_k(int local_k) const { return rank_z() * lz_ + (local_k - 1); }
+
+  caf::Runtime& rt_;
+  Config cfg_;
+  int ly_, lz_;             // local interior extents in y, z
+  caf::Coarray<double> p_;  // (gx, ly+2, lz+2) with ghost layers
+  std::vector<double> wrk2_;
+  std::vector<double> pack_;
+};
+
+}  // namespace apps::himeno

@@ -1,0 +1,29 @@
+// Umbrella header for the CAF-over-OpenSHMEM runtime library.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   sim::Engine engine;
+//   net::Fabric fabric(net::machine_profile(net::Machine::kStampede), 32);
+//   shmem::World shm(engine, fabric,
+//                    net::sw_profile(net::Library::kShmemMvapich,
+//                                    net::Machine::kStampede), 8 << 20);
+//   caf::ShmemConduit conduit(shm);
+//   caf::Runtime rt(conduit);
+//   shm.launch([&] {
+//     rt.init();
+//     auto x = caf::make_coarray<int>(rt, {4});
+//     ...
+//     rt.sync_all();
+//   });
+//   engine.run();
+#pragma once
+
+#include "caf/coarray.hpp"
+#include "caf/conduit.hpp"
+#include "caf/armci_conduit.hpp"
+#include "caf/gasnet_conduit.hpp"
+#include "caf/mpi3_conduit.hpp"
+#include "caf/remote_ptr.hpp"
+#include "caf/runtime.hpp"
+#include "caf/section.hpp"
+#include "caf/shmem_conduit.hpp"

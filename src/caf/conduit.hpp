@@ -1,0 +1,110 @@
+// caf::Conduit — the communication-layer abstraction of the UHCAF runtime.
+//
+// The paper's UHCAF runtime can execute over GASNet, ARMCI, or (this
+// paper's contribution) OpenSHMEM. This interface captures exactly the
+// primitives the CAF translation of §IV needs:
+//
+//   * collective symmetric allocation       (allocate/deallocate — Table II
+//     maps CAF `allocate` to `shmalloc`);
+//   * contiguous one-sided put/get          (§IV-B, with quiet for CAF's
+//     stronger completion ordering);
+//   * 1-D strided put/get                   (§IV-C building block — may be
+//     hardware-offloaded or a software loop, the conduit decides);
+//   * 64-bit remote atomics                 (§IV-D locks; conduits without
+//     native atomics emulate them, at a cost);
+//   * local wait on a symmetric 64-bit word (MCS spin-on-local);
+//   * barrier, and optionally native broadcast/reduction.
+//
+// All offsets are into the conduit's symmetric segment; CAF image indices
+// here are 0-based ranks (the Runtime converts to CAF's 1-based images).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/model.hpp"
+#include "shmem/world.hpp"  // for shmem::Cmp / ReduceOp enums reused here
+
+namespace caf {
+
+using Cmp = shmem::Cmp;
+using ReduceOp = shmem::ReduceOp;
+
+class Conduit {
+ public:
+  virtual ~Conduit() = default;
+
+  // ---- identity & segment ----
+  virtual int rank() const = 0;       // 0-based
+  virtual int nranks() const = 0;
+  virtual std::byte* segment(int rank) = 0;
+  virtual std::size_t segment_bytes() const = 0;
+  virtual const net::SwProfile& sw() const = 0;
+  virtual sim::Engine& engine() = 0;
+
+  /// True when the conduit's 1-D strided transfers are NIC-offloaded
+  /// (Cray SHMEM over DMAPP); false when they loop in software
+  /// (MVAPICH2-X SHMEM, GASNet).
+  virtual bool hw_strided() const = 0;
+  /// True when remote atomics run on the NIC; false when they are
+  /// active-message emulations (GASNet).
+  virtual bool native_amo() const = 0;
+
+  /// Collective hook invoked once per image by Runtime::init() after the
+  /// runtime's internal allocations; conduits needing collective setup
+  /// (e.g. ARMCI mutex creation) override it.
+  virtual void post_init() {}
+
+  // ---- collective symmetric allocation ----
+  /// Collective; every rank calls with the same size and receives the same
+  /// segment offset. Includes an implicit barrier.
+  virtual std::uint64_t allocate(std::size_t bytes) = 0;
+  virtual void deallocate(std::uint64_t offset) = 0;
+
+  // ---- one-sided RMA ----
+  virtual void put(int rank, std::uint64_t dst_off, const void* src,
+                   std::size_t n, bool nbi) = 0;
+  virtual void get(void* dst, int rank, std::uint64_t src_off,
+                   std::size_t n) = 0;
+  /// 1-D strided put/get; strides in elements (shmem_iput conventions).
+  virtual void iput(int rank, std::uint64_t dst_off, std::ptrdiff_t dst_stride,
+                    const void* src, std::ptrdiff_t src_stride,
+                    std::size_t elem_bytes, std::size_t nelems) = 0;
+  virtual void iget(void* dst, std::ptrdiff_t dst_stride, int rank,
+                    std::uint64_t src_off, std::ptrdiff_t src_stride,
+                    std::size_t elem_bytes, std::size_t nelems) = 0;
+  /// Remote completion of all outstanding puts/AMOs from this rank.
+  virtual void quiet() = 0;
+
+  // ---- 64-bit remote atomics ----
+  virtual std::int64_t amo_swap(int rank, std::uint64_t off,
+                                std::int64_t value) = 0;
+  virtual std::int64_t amo_cswap(int rank, std::uint64_t off,
+                                 std::int64_t cond, std::int64_t value) = 0;
+  virtual std::int64_t amo_fadd(int rank, std::uint64_t off,
+                                std::int64_t value) = 0;
+  virtual std::int64_t amo_fand(int rank, std::uint64_t off,
+                                std::int64_t mask) = 0;
+  virtual std::int64_t amo_for(int rank, std::uint64_t off,
+                               std::int64_t mask) = 0;
+  virtual std::int64_t amo_fxor(int rank, std::uint64_t off,
+                                std::int64_t mask) = 0;
+
+  // ---- synchronization ----
+  /// Blocks until the 64-bit word at `off` in the *local* segment satisfies
+  /// cmp/value (woken by remote deliveries; no busy polling).
+  virtual void wait_until(std::uint64_t off, Cmp cmp, std::int64_t value) = 0;
+  virtual void barrier() = 0;
+
+  // ---- optional native collectives (Table II: co_broadcast →
+  //      shmem_broadcast, co_<op> → shmem_<op>_to_all) ----
+  virtual bool has_native_collectives() const { return false; }
+  virtual void native_broadcast(std::uint64_t /*off*/, std::size_t /*nbytes*/,
+                                int /*root*/) {}
+  virtual void native_reduce_f64(std::uint64_t /*off*/, std::size_t /*nelems*/,
+                                 ReduceOp /*op*/) {}
+  virtual void native_reduce_i64(std::uint64_t /*off*/, std::size_t /*nelems*/,
+                                 ReduceOp /*op*/) {}
+};
+
+}  // namespace caf

@@ -1,0 +1,142 @@
+#include "caf/gasnet_conduit.hpp"
+
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+namespace caf {
+
+namespace {
+// User allocations start past the conduit's own barrier flags, aligned.
+constexpr std::uint64_t user_base() {
+  return (gasnet::World::reserved_bytes() + 15) & ~std::uint64_t{15};
+}
+}  // namespace
+
+GasnetConduit::GasnetConduit(gasnet::World& world)
+    : world_(world),
+      seg_bytes_(world.seg_bytes()),
+      allocator_(user_base(), world.seg_bytes() - user_base()) {
+  alloc_cursor_.assign(world_.nodes(), 0);
+
+  // The AMO-emulation handler: runs on the target CPU, performs the RMW on
+  // the target's segment at the handler's virtual time, replies with the
+  // fetched value. poke() fires the write hook so spinning waiters wake.
+  amo_handler_ = world_.register_handler(
+      [this](const gasnet::Token& tok, std::span<const std::byte> payload,
+             std::uint64_t off, std::uint64_t packed_kind) -> std::uint64_t {
+        const auto kind = static_cast<AmoKind>(packed_kind);
+        // payload = [operand, cond] as int64s; target = token destination,
+        // which is the node the handler runs on. We recover it from the
+        // payload's trailing rank field.
+        std::int64_t operand = 0, cond = 0;
+        std::int64_t target = 0;
+        std::memcpy(&operand, payload.data(), 8);
+        std::memcpy(&cond, payload.data() + 8, 8);
+        std::memcpy(&target, payload.data() + 16, 8);
+        std::int64_t old = 0;
+        std::memcpy(&old, world_.seg(static_cast<int>(target)) + off, 8);
+        std::int64_t neu = old;
+        bool store = true;
+        switch (kind) {
+          case kSwap: neu = operand; break;
+          case kCswap:
+            if (old == cond) neu = operand; else store = false;
+            break;
+          case kAdd: neu = old + operand; break;
+          case kAnd: neu = old & operand; break;
+          case kOr: neu = old | operand; break;
+          case kXor: neu = old ^ operand; break;
+        }
+        if (store) {
+          world_.domain().poke(static_cast<int>(target), off, &neu, 8,
+                               tok.when);
+        }
+        return static_cast<std::uint64_t>(old);
+      });
+}
+
+std::int64_t GasnetConduit::am_amo(AmoKind kind, int rank, std::uint64_t off,
+                                   std::int64_t operand, std::int64_t cond) {
+  std::int64_t payload[3] = {operand, cond, rank};
+  return static_cast<std::int64_t>(world_.am_request_reply(
+      rank, amo_handler_, off, static_cast<std::uint64_t>(kind), payload,
+      sizeof payload));
+}
+
+std::uint64_t GasnetConduit::allocate(std::size_t bytes) {
+  const int me = world_.mynode();
+  const std::size_t cursor = alloc_cursor_[me]++;
+  if (cursor == alloc_log_.size()) {
+    auto got = allocator_.allocate(bytes);
+    if (!got) throw std::bad_alloc();
+    alloc_log_.push_back({false, bytes, *got});
+  }
+  const AllocOp op = alloc_log_[cursor];  // copy: log grows during barrier
+  if (op.is_free || op.arg != bytes) {
+    throw std::logic_error("GasnetConduit::allocate: collective mismatch");
+  }
+  world_.barrier();
+  return op.result;
+}
+
+void GasnetConduit::deallocate(std::uint64_t offset) {
+  const int me = world_.mynode();
+  const std::size_t cursor = alloc_cursor_[me]++;
+  if (cursor == alloc_log_.size()) {
+    allocator_.release(offset);
+    alloc_log_.push_back({true, offset, 0});
+  }
+  const AllocOp op = alloc_log_[cursor];
+  if (!op.is_free || op.arg != offset) {
+    throw std::logic_error("GasnetConduit::deallocate: collective mismatch");
+  }
+  world_.barrier();
+}
+
+void GasnetConduit::iput(int rank, std::uint64_t dst_off,
+                         std::ptrdiff_t dst_stride, const void* src,
+                         std::ptrdiff_t src_stride, std::size_t elem_bytes,
+                         std::size_t nelems) {
+  // Software loop of nbi puts (GASNet has no strided API).
+  const auto* s = static_cast<const std::byte*>(src);
+  for (std::size_t i = 0; i < nelems; ++i) {
+    world_.put_nbi(rank,
+                   dst_off + i * static_cast<std::uint64_t>(dst_stride) *
+                                 elem_bytes,
+                   s + static_cast<std::ptrdiff_t>(i) * src_stride *
+                           static_cast<std::ptrdiff_t>(elem_bytes),
+                   elem_bytes);
+  }
+}
+
+void GasnetConduit::iget(void* dst, std::ptrdiff_t dst_stride, int rank,
+                         std::uint64_t src_off, std::ptrdiff_t src_stride,
+                         std::size_t elem_bytes, std::size_t nelems) {
+  auto* d = static_cast<std::byte*>(dst);
+  for (std::size_t i = 0; i < nelems; ++i) {
+    world_.get(d + static_cast<std::ptrdiff_t>(i) * dst_stride *
+                       static_cast<std::ptrdiff_t>(elem_bytes),
+               rank,
+               src_off + i * static_cast<std::uint64_t>(src_stride) *
+                             elem_bytes,
+               elem_bytes);
+  }
+}
+
+void GasnetConduit::wait_until(std::uint64_t off, Cmp cmp,
+                               std::int64_t value) {
+  world_.block_until(off, [cmp, value](std::int64_t v) {
+    switch (cmp) {
+      case Cmp::kEq: return v == value;
+      case Cmp::kNe: return v != value;
+      case Cmp::kGt: return v > value;
+      case Cmp::kGe: return v >= value;
+      case Cmp::kLt: return v < value;
+      case Cmp::kLe: return v <= value;
+    }
+    return false;
+  });
+}
+
+}  // namespace caf

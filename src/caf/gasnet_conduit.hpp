@@ -1,0 +1,110 @@
+// GasnetConduit — the baseline UHCAF communication layer (Table I).
+//
+// GASNet provides one-sided put/get and active messages but no remote
+// atomics and no strided transfers, so:
+//
+//   * 1-D strided transfers loop contiguous nbi puts / blocking gets in
+//     software;
+//   * remote atomics are emulated with AM round-trips whose handler
+//     executes the read-modify-write on the target CPU (serializing there —
+//     the contention behaviour that makes Figure 8's GASNet locks slower);
+//   * collective allocation is replayed through a shared log (GASNet has no
+//     symmetric allocator; UHCAF manages the segment itself).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "caf/conduit.hpp"
+#include "gasnet/gasnet.hpp"
+#include "shmem/heap.hpp"
+
+namespace caf {
+
+class GasnetConduit final : public Conduit {
+ public:
+  explicit GasnetConduit(gasnet::World& world);
+
+  int rank() const override { return world_.mynode(); }
+  int nranks() const override { return world_.nodes(); }
+  std::byte* segment(int rank) override { return world_.seg(rank); }
+  std::size_t segment_bytes() const override { return seg_bytes_; }
+  const net::SwProfile& sw() const override { return world_.domain().sw(); }
+  sim::Engine& engine() override { return world_.engine(); }
+  bool hw_strided() const override { return false; }
+  bool native_amo() const override { return false; }
+
+  std::uint64_t allocate(std::size_t bytes) override;
+  void deallocate(std::uint64_t offset) override;
+
+  void put(int rank, std::uint64_t dst_off, const void* src, std::size_t n,
+           bool nbi) override {
+    if (nbi) {
+      world_.put_nbi(rank, dst_off, src, n);
+    } else {
+      // UHCAF-over-GASNet uses nbi puts for RMA and syncs at fences; the
+      // blocking flavour here still has only local-completion semantics to
+      // match the SHMEM conduit's putmem (CAF inserts quiet itself).
+      world_.put_nbi(rank, dst_off, src, n);
+      // Charge the blocking call's extra bookkeeping.
+      world_.engine().advance(sw().put_overhead - sw().per_msg_gap);
+    }
+  }
+  void get(void* dst, int rank, std::uint64_t src_off, std::size_t n) override {
+    world_.get(dst, rank, src_off, n);
+  }
+  void iput(int rank, std::uint64_t dst_off, std::ptrdiff_t dst_stride,
+            const void* src, std::ptrdiff_t src_stride, std::size_t elem_bytes,
+            std::size_t nelems) override;
+  void iget(void* dst, std::ptrdiff_t dst_stride, int rank,
+            std::uint64_t src_off, std::ptrdiff_t src_stride,
+            std::size_t elem_bytes, std::size_t nelems) override;
+  void quiet() override { world_.wait_syncnbi_puts(); }
+
+  std::int64_t amo_swap(int rank, std::uint64_t off, std::int64_t v) override {
+    return am_amo(kSwap, rank, off, v, 0);
+  }
+  std::int64_t amo_cswap(int rank, std::uint64_t off, std::int64_t cond,
+                         std::int64_t v) override {
+    return am_amo(kCswap, rank, off, v, cond);
+  }
+  std::int64_t amo_fadd(int rank, std::uint64_t off, std::int64_t v) override {
+    return am_amo(kAdd, rank, off, v, 0);
+  }
+  std::int64_t amo_fand(int rank, std::uint64_t off, std::int64_t m) override {
+    return am_amo(kAnd, rank, off, m, 0);
+  }
+  std::int64_t amo_for(int rank, std::uint64_t off, std::int64_t m) override {
+    return am_amo(kOr, rank, off, m, 0);
+  }
+  std::int64_t amo_fxor(int rank, std::uint64_t off, std::int64_t m) override {
+    return am_amo(kXor, rank, off, m, 0);
+  }
+
+  void wait_until(std::uint64_t off, Cmp cmp, std::int64_t value) override;
+  void barrier() override { world_.barrier(); }
+
+  gasnet::World& world() { return world_; }
+
+ private:
+  enum AmoKind : std::uint64_t { kSwap, kCswap, kAdd, kAnd, kOr, kXor };
+
+  std::int64_t am_amo(AmoKind kind, int rank, std::uint64_t off,
+                      std::int64_t operand, std::int64_t cond);
+
+  gasnet::World& world_;
+  std::size_t seg_bytes_;
+  int amo_handler_ = -1;
+
+  // Shared collective-allocation replay log (same discipline as shmalloc).
+  shmem::FreeListAllocator allocator_;
+  struct AllocOp {
+    bool is_free;
+    std::uint64_t arg;
+    std::uint64_t result;
+  };
+  std::vector<AllocOp> alloc_log_;
+  std::vector<std::size_t> alloc_cursor_;
+};
+
+}  // namespace caf

@@ -1,0 +1,62 @@
+// Packed 64-bit remote pointers (paper §IV-D).
+//
+// The MCS lock queue links qnodes that live in *other images'* managed
+// buffers, so the `tail` and `next` fields must name (image, offset) pairs
+// compactly enough to be updated with 8-byte remote atomics. The paper packs
+// them as: 20 bits image index | 36 bits offset within the remote-accessible
+// buffer | 8 bits flags.
+#pragma once
+
+#include <cstdint>
+
+namespace caf {
+
+class RemotePtr {
+ public:
+  static constexpr int kImageBits = 20;
+  static constexpr int kOffsetBits = 36;
+  static constexpr int kFlagBits = 8;
+  static constexpr std::uint64_t kMaxImage = (1ull << kImageBits) - 1;
+  static constexpr std::uint64_t kMaxOffset = (1ull << kOffsetBits) - 1;
+  static constexpr std::uint64_t kMaxFlags = (1ull << kFlagBits) - 1;
+
+  /// Flag bit 0 marks a live pointer, so that a zero word is "null" even
+  /// though (image 0, offset 0) is a legal location.
+  static constexpr std::uint8_t kValidFlag = 0x01;
+
+  constexpr RemotePtr() = default;  // null
+
+  /// image is 0-based here (the runtime converts CAF 1-based image indices).
+  constexpr RemotePtr(int image, std::uint64_t offset, std::uint8_t flags = 0)
+      : bits_((static_cast<std::uint64_t>(image) << (kOffsetBits + kFlagBits)) |
+              (offset << kFlagBits) | flags | kValidFlag) {}
+
+  static constexpr RemotePtr from_bits(std::uint64_t bits) {
+    RemotePtr p;
+    p.bits_ = bits;
+    return p;
+  }
+
+  constexpr std::uint64_t bits() const { return bits_; }
+  constexpr bool is_null() const { return (bits_ & kValidFlag) == 0; }
+  constexpr explicit operator bool() const { return !is_null(); }
+
+  constexpr int image() const {
+    return static_cast<int>(bits_ >> (kOffsetBits + kFlagBits));
+  }
+  constexpr std::uint64_t offset() const {
+    return (bits_ >> kFlagBits) & kMaxOffset;
+  }
+  constexpr std::uint8_t flags() const {
+    return static_cast<std::uint8_t>(bits_ & kMaxFlags);
+  }
+
+  friend constexpr bool operator==(RemotePtr a, RemotePtr b) {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace caf

@@ -1,0 +1,377 @@
+#include "caf/runtime.hpp"
+
+#include <cassert>
+#include <new>
+#include <stdexcept>
+
+namespace caf {
+
+Runtime::Runtime(Conduit& conduit, Options opts)
+    : conduit_(conduit), opts_(opts) {
+  per_image_.resize(conduit_.nranks());
+}
+
+void Runtime::require_init() const {
+  if (!inited_) {
+    throw std::logic_error("caf::Runtime: call init() from every image first");
+  }
+}
+
+void Runtime::init() {
+  // Collective allocations: every image calls in the same order, so every
+  // image receives identical offsets (the conduits replay the log).
+  const std::uint64_t slab = conduit_.allocate(opts_.nonsym_slab_bytes);
+  const std::uint64_t sync =
+      conduit_.allocate(static_cast<std::size_t>(num_images()) *
+                        sizeof(std::int64_t));
+  const std::uint64_t flags =
+      conduit_.allocate((kMaxRounds + 1) * sizeof(std::int64_t));
+  const std::uint64_t slots = conduit_.allocate(kSlotBytes * (kMaxRounds + 1));
+  const std::uint64_t crit = conduit_.allocate(sizeof(std::int64_t));
+  slab_off_ = slab;
+  sync_ctrs_off_ = sync;
+  coll_flags_off_ = flags;
+  coll_slot_off_ = slots;
+  critical_off_ = crit;
+
+  conduit_.post_init();
+
+  auto& st = per_image_[me()];
+  st.slab = std::make_unique<shmem::FreeListAllocator>(
+      slab_off_, opts_.nonsym_slab_bytes);
+  inited_ = true;
+  conduit_.barrier();
+}
+
+// ---------------------------------------------------------------------------
+// Synchronization
+// ---------------------------------------------------------------------------
+
+void Runtime::sync_all() {
+  require_init();
+  ++per_image_[me()].stats.syncs;
+  // sync all implies completion of this image's outstanding RMA followed by
+  // a global barrier (§IV-B + Table II: sync all → shmem_barrier_all).
+  conduit_.quiet();
+  conduit_.barrier();
+}
+
+void Runtime::sync_images(std::span<const int> images) {
+  require_init();
+  ++per_image_[me()].stats.syncs;
+  conduit_.quiet();
+  auto& st = per_image_[me()];
+  for (int image : images) {
+    const int partner = image - 1;
+    ++st.sync_sent[partner];
+    // Tell `partner` that I reached a sync point with it: bump my slot in
+    // its counter array.
+    (void)conduit_.amo_fadd(partner,
+                            sync_ctrs_off_ + static_cast<std::uint64_t>(me()) *
+                                                 sizeof(std::int64_t),
+                            1);
+  }
+  for (int image : images) {
+    const int partner = image - 1;
+    conduit_.wait_until(sync_ctrs_off_ + static_cast<std::uint64_t>(partner) *
+                                             sizeof(std::int64_t),
+                        Cmp::kGe, st.sync_sent[partner]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Allocation
+// ---------------------------------------------------------------------------
+
+std::uint64_t Runtime::allocate_coarray_bytes(std::size_t bytes) {
+  require_init();
+  return conduit_.allocate(bytes);
+}
+
+void Runtime::deallocate_coarray_bytes(std::uint64_t off) {
+  require_init();
+  conduit_.deallocate(off);
+}
+
+RemotePtr Runtime::nonsym_alloc(std::size_t bytes) {
+  require_init();
+  auto& st = per_image_[me()];
+  auto got = st.slab->allocate(bytes);
+  if (!got) {
+    throw std::bad_alloc();
+  }
+  if (*got > RemotePtr::kMaxOffset) {
+    throw std::runtime_error("nonsym_alloc: offset exceeds 36-bit packing");
+  }
+  return RemotePtr(me(), *got);
+}
+
+void Runtime::nonsym_free(RemotePtr p) {
+  require_init();
+  if (p.image() != me()) {
+    throw std::invalid_argument("nonsym_free: pointer belongs to another image");
+  }
+  per_image_[me()].slab->release(p.offset());
+}
+
+// ---------------------------------------------------------------------------
+// RMA (§IV-B): quiet insertion per the paper's translation
+// ---------------------------------------------------------------------------
+
+void Runtime::put_bytes(int image, std::uint64_t dst_off, const void* src,
+                        std::size_t n) {
+  require_init();
+  auto& st = per_image_[me()].stats;
+  ++st.puts;
+  st.put_bytes += n;
+  conduit_.put(image - 1, dst_off, src, n, /*nbi=*/false);
+  if (opts_.memory_model == MemoryModel::kStrict) conduit_.quiet();
+}
+
+void Runtime::get_bytes(void* dst, int image, std::uint64_t src_off,
+                        std::size_t n) {
+  require_init();
+  auto& st = per_image_[me()].stats;
+  ++st.gets;
+  st.get_bytes += n;
+  if (opts_.memory_model == MemoryModel::kStrict) conduit_.quiet();
+  conduit_.get(dst, image - 1, src_off, n);
+}
+
+// ---------------------------------------------------------------------------
+// MCS coarray locks (§IV-D)
+// ---------------------------------------------------------------------------
+
+CoLock Runtime::make_lock() {
+  const std::uint64_t off = allocate_coarray_bytes(sizeof(std::int64_t));
+  std::memset(local_addr(off), 0, sizeof(std::int64_t));
+  conduit_.barrier();  // all images see an unlocked tail
+  return CoLock{off};
+}
+
+void Runtime::free_lock(CoLock lck) {
+  conduit_.barrier();
+  deallocate_coarray_bytes(lck.tail_off);
+}
+
+namespace {
+constexpr std::uint64_t kQnodeBytes = 2 * sizeof(std::int64_t);
+constexpr std::uint64_t kLockedField = 0;
+constexpr std::uint64_t kNextField = sizeof(std::int64_t);
+}  // namespace
+
+void Runtime::lock(CoLock lck, int image) {
+  require_init();
+  auto& st = per_image_[me()];
+  const LockKey key{lck.tail_off, image};
+  if (st.held.contains(key)) {
+    throw std::logic_error("lock: image already holds this lock");
+  }
+  // Allocate my qnode out of the managed non-symmetric buffer so the
+  // predecessor/successor can reach it remotely (§IV-D).
+  const RemotePtr qn = nonsym_alloc(kQnodeBytes);
+  std::byte* q = local_addr(qn.offset());
+  const std::int64_t one = 1, null = 0;
+  std::memcpy(q + kLockedField, &one, sizeof one);   // locked = 1
+  std::memcpy(q + kNextField, &null, sizeof null);   // next = nil
+  const auto packed = static_cast<std::int64_t>(qn.bits());
+  // Atomically splice myself onto the tail of the queue at image `image`.
+  const std::int64_t pred_bits =
+      conduit_.amo_swap(image - 1, lck.tail_off, packed);
+  const RemotePtr pred = RemotePtr::from_bits(
+      static_cast<std::uint64_t>(pred_bits));
+  if (pred) {
+    // Link into my predecessor's next field, then spin locally until the
+    // predecessor hands the lock over by resetting my locked field.
+    conduit_.put(pred.image(), pred.offset() + kNextField, &packed,
+                 sizeof packed, /*nbi=*/false);
+    conduit_.wait_until(qn.offset() + kLockedField, Cmp::kEq, 0);
+  }
+  ++st.stats.locks_acquired;
+  st.held.emplace(key, qn);
+}
+
+int Runtime::lock_stat(CoLock lck, int image) {
+  // lock(lck[j], stat=s): STAT_LOCKED when the executing image already
+  // holds the lock; no error termination (Fortran 2008 8.5.6).
+  auto& st = per_image_[me()];
+  if (st.held.contains(LockKey{lck.tail_off, image})) return kStatLocked;
+  lock(lck, image);
+  return kStatOk;
+}
+
+int Runtime::unlock_stat(CoLock lck, int image) {
+  auto& st = per_image_[me()];
+  if (!st.held.contains(LockKey{lck.tail_off, image})) return kStatUnlocked;
+  unlock(lck, image);
+  return kStatOk;
+}
+
+bool Runtime::try_lock(CoLock lck, int image) {
+  require_init();
+  auto& st = per_image_[me()];
+  const LockKey key{lck.tail_off, image};
+  if (st.held.contains(key)) return false;
+  const RemotePtr qn = nonsym_alloc(kQnodeBytes);
+  std::byte* q = local_addr(qn.offset());
+  const std::int64_t one = 1, null = 0;
+  std::memcpy(q + kLockedField, &one, sizeof one);
+  std::memcpy(q + kNextField, &null, sizeof null);
+  const auto packed = static_cast<std::int64_t>(qn.bits());
+  const std::int64_t prev =
+      conduit_.amo_cswap(image - 1, lck.tail_off, 0, packed);
+  if (prev != 0) {
+    nonsym_free(qn);
+    return false;
+  }
+  st.held.emplace(key, qn);
+  return true;
+}
+
+void Runtime::unlock(CoLock lck, int image) {
+  require_init();
+  auto& st = per_image_[me()];
+  const LockKey key{lck.tail_off, image};
+  auto it = st.held.find(key);
+  if (it == st.held.end()) {
+    throw std::logic_error("unlock: image does not hold this lock");
+  }
+  const RemotePtr qn = it->second;
+  st.held.erase(it);
+  const auto packed = static_cast<std::int64_t>(qn.bits());
+  // If I am still the tail, swing it back to nil and we are done.
+  if (conduit_.amo_cswap(image - 1, lck.tail_off, packed, 0) == packed) {
+    nonsym_free(qn);
+    return;
+  }
+  // A successor exists but may not have linked yet: wait for my next field.
+  conduit_.wait_until(qn.offset() + kNextField, Cmp::kNe, 0);
+  std::int64_t succ_bits = 0;
+  std::memcpy(&succ_bits, local_addr(qn.offset() + kNextField),
+              sizeof succ_bits);
+  const RemotePtr succ =
+      RemotePtr::from_bits(static_cast<std::uint64_t>(succ_bits));
+  // Hand over: reset the successor's locked field.
+  const std::int64_t zero = 0;
+  conduit_.put(succ.image(), succ.offset() + kLockedField, &zero, sizeof zero,
+               /*nbi=*/false);
+  nonsym_free(qn);
+}
+
+std::size_t Runtime::held_qnodes() const { return per_image_[me()].held.size(); }
+
+void Runtime::begin_critical() { lock(CoLock{critical_off_}, 1); }
+void Runtime::end_critical() { unlock(CoLock{critical_off_}, 1); }
+
+// ---------------------------------------------------------------------------
+// Events (extension)
+// ---------------------------------------------------------------------------
+
+CoEvent Runtime::make_event() {
+  const std::uint64_t off = allocate_coarray_bytes(sizeof(std::int64_t));
+  std::memset(local_addr(off), 0, sizeof(std::int64_t));
+  conduit_.barrier();
+  return CoEvent{off};
+}
+
+void Runtime::event_post(CoEvent ev, int image) {
+  require_init();
+  conduit_.quiet();  // posted work must be visible before the count bumps
+  (void)conduit_.amo_fadd(image - 1, ev.count_off, 1);
+}
+
+void Runtime::event_wait(CoEvent ev, std::int64_t until_count) {
+  require_init();
+  auto& consumed = per_image_[me()].event_consumed[ev.count_off];
+  conduit_.wait_until(ev.count_off, Cmp::kGe, consumed + until_count);
+  consumed += until_count;
+}
+
+std::int64_t Runtime::event_query(CoEvent ev) {
+  require_init();
+  std::int64_t v = 0;
+  std::memcpy(&v, local_addr(ev.count_off), sizeof v);
+  return v - per_image_[me()].event_consumed[ev.count_off];
+}
+
+// ---------------------------------------------------------------------------
+// Collectives (paper footnote 1: built from one-sided + atomics, or mapped
+// to the conduit's native collectives per Table II)
+// ---------------------------------------------------------------------------
+
+void Runtime::coll_broadcast_bytes(void* data, std::size_t nbytes, int root0) {
+  const int n = num_images();
+  if (n == 1) return;
+  const std::uint64_t slot = coll_slot_off_ +
+                             static_cast<std::uint64_t>(kMaxRounds) * kSlotBytes;
+  // Only the root stages its payload into the slot: a non-root image may
+  // reach this point *after* the root's data already landed in its slot
+  // (image clocks skew under contention), and staging would overwrite it.
+  if (conduit_.has_native_collectives() && opts_.use_native_collectives) {
+    if (me() == root0) std::memcpy(local_addr(slot), data, nbytes);
+    conduit_.native_broadcast(slot, nbytes, root0);
+    std::memcpy(data, local_addr(slot), nbytes);
+    return;
+  }
+  // Generic binomial broadcast over one-sided puts + flag waits.
+  auto& st = per_image_[me()];
+  const std::int64_t gen = ++st.coll_gen;
+  const int vrank = (me() - root0 + n) % n;
+  const std::uint64_t flag =
+      coll_flags_off_ + static_cast<std::uint64_t>(kMaxRounds) * sizeof(std::int64_t);
+  if (vrank == 0) std::memcpy(local_addr(slot), data, nbytes);
+  int mask = 1;
+  if (vrank != 0) {
+    while (!(vrank & mask)) mask <<= 1;
+    conduit_.wait_until(flag, Cmp::kGe, gen);
+  } else {
+    while (mask < n) mask <<= 1;
+  }
+  for (int m = mask >> 1; m > 0; m >>= 1) {
+    if (vrank + m < n) {
+      const int child = (vrank + m + root0) % n;
+      conduit_.put(child, slot, local_addr(slot), nbytes, /*nbi=*/true);
+      conduit_.quiet();
+      conduit_.put(child, flag, &gen, sizeof gen, /*nbi=*/true);
+    }
+  }
+  std::memcpy(data, local_addr(slot), nbytes);
+}
+
+void Runtime::coll_reduce_bytes(
+    void* data, std::size_t nelems, std::size_t elem,
+    const std::function<void(void*, const void*)>& comb) {
+  const int n = num_images();
+  const std::size_t nbytes = nelems * elem;
+  assert(nbytes <= kSlotBytes);
+  if (n == 1) return;
+  auto& st = per_image_[me()];
+  const std::int64_t gen = ++st.coll_gen;
+  // Binomial combine toward image 1 with a slot + flag per tree level,
+  // then broadcast the result.
+  int level = 0;
+  for (int mask = 1; mask < n; mask <<= 1, ++level) {
+    assert(level < kMaxRounds);
+    const std::uint64_t slot =
+        coll_slot_off_ + static_cast<std::uint64_t>(level) * kSlotBytes;
+    const std::uint64_t flag =
+        coll_flags_off_ + static_cast<std::uint64_t>(level) * sizeof(std::int64_t);
+    if (me() & mask) {
+      const int peer = me() - mask;
+      conduit_.put(peer, slot, data, nbytes, /*nbi=*/true);
+      conduit_.quiet();
+      conduit_.put(peer, flag, &gen, sizeof gen, /*nbi=*/true);
+      break;
+    }
+    if (me() + mask < n) {
+      conduit_.wait_until(flag, Cmp::kGe, gen);
+      for (std::size_t i = 0; i < nelems; ++i) {
+        comb(static_cast<std::byte*>(data) + i * elem,
+             local_addr(slot) + i * elem);
+      }
+    }
+  }
+  coll_broadcast_bytes(data, nbytes, 0);
+}
+
+}  // namespace caf

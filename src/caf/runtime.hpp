@@ -1,0 +1,324 @@
+// caf::Runtime — the UHCAF-style Coarray Fortran runtime retargeted onto an
+// abstract communication conduit (the paper's contribution, §IV).
+//
+// A single Runtime instance is shared by all image fibers (exactly like the
+// real runtime's per-process state). Every image must call init() first —
+// it collectively allocates the runtime's internal symmetric structures:
+//
+//   * the managed buffer ("slab") for non-symmetric remotely-accessible
+//     data, out of which MCS-lock qnodes are carved (§IV-A, §IV-D);
+//   * sync_images counters (one int64 per partner image);
+//   * staging slots + flags for the one-sided broadcast/reduction
+//     implementation (paper footnote 1);
+//   * the qnode hash table for currently-held locks.
+//
+// Image indices in the public API are 1-based, as in Fortran.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "caf/conduit.hpp"
+#include "caf/remote_ptr.hpp"
+#include "caf/section.hpp"
+#include "shmem/heap.hpp"
+
+namespace caf {
+
+/// Multi-dimensional strided transfer algorithm (§IV-C).
+enum class StridedAlgo {
+  kNaive,    ///< one contiguous put/get per element run
+  kTwoDim,   ///< 2dim_strided: 1-D iput/iget along the best of dims 1-2
+  kAdaptive, ///< §VII future work: cost model picks between contiguous-run
+             ///< transfers and 1-D strided calls per section (accounts for
+             ///< per-call overhead, per-element NIC gap, and run lengths)
+};
+
+/// Completion-semantics policy for co-indexed RMA (§IV-B).
+enum class MemoryModel {
+  kStrict,   ///< insert quiet after puts / before gets (the paper's choice)
+  kRelaxed,  ///< OpenSHMEM-native ordering; user must sync memory explicitly
+};
+
+struct Options {
+  StridedAlgo strided = StridedAlgo::kTwoDim;
+  MemoryModel memory_model = MemoryModel::kStrict;
+  bool use_native_collectives = true;   ///< Table II co_* mappings when available
+  std::size_t nonsym_slab_bytes = 256 * 1024;
+};
+
+/// Statistics returned by the strided engine (used by tests/benches to
+/// verify message-count claims like "1*40*25 instead of 50*40*25").
+struct StridedStats {
+  std::size_t messages = 0;
+  std::size_t elements = 0;
+};
+
+/// Fortran 2008 stat= codes for image-control statements (the subset the
+/// runtime can raise; the values mirror ISO_FORTRAN_ENV's spirit).
+enum StatCode : int {
+  kStatOk = 0,
+  kStatLocked = 1,          ///< lock: executing image already holds it
+  kStatUnlocked = 2,        ///< unlock: executing image does not hold it
+  kStatLockedOtherImage = 3 ///< (reserved; not raised by this runtime)
+};
+
+/// Per-image communication counters (a runtime tracing facility; handy for
+/// verifying the §IV-C message-count claims on live programs).
+struct ImageStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t strided_puts = 0;   // 1-D iput calls issued
+  std::uint64_t strided_gets = 0;
+  std::uint64_t amos = 0;
+  std::uint64_t put_bytes = 0;
+  std::uint64_t get_bytes = 0;
+  std::uint64_t locks_acquired = 0;
+  std::uint64_t syncs = 0;          // sync all + sync images statements
+};
+
+/// Handle to a coarray lock variable (a symmetric 8-byte tail per image).
+struct CoLock {
+  std::uint64_t tail_off = 0;
+};
+
+/// Handle to a CAF event variable (an extension feature; counter-based).
+struct CoEvent {
+  std::uint64_t count_off = 0;
+};
+
+class Runtime {
+ public:
+  Runtime(Conduit& conduit, Options opts = {});
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Collective; must be each image's first runtime call.
+  void init();
+
+  // ---- image inquiry (Table II: this_image/num_images → my_pe/num_pes) --
+  int this_image() const { return conduit_.rank() + 1; }
+  int num_images() const { return conduit_.nranks(); }
+
+  Conduit& conduit() { return conduit_; }
+  const Options& options() const { return opts_; }
+  void set_strided_algo(StridedAlgo a) { opts_.strided = a; }
+
+  // ---- image control & synchronization ----
+  void sync_all();                                  // sync all
+  void sync_images(std::span<const int> images);    // sync images(list)
+  void sync_memory() { conduit_.quiet(); }          // sync memory
+
+  // ---- symmetric (coarray) allocation; collective ----
+  std::uint64_t allocate_coarray_bytes(std::size_t bytes);
+  void deallocate_coarray_bytes(std::uint64_t off);
+
+  /// Host address of a symmetric offset on a given 1-based image. Only the
+  /// caller's own image may be written through this pointer; other images'
+  /// addresses are for the runtime's delivery machinery and tests.
+  std::byte* local_addr(std::uint64_t off) {
+    return conduit_.segment(conduit_.rank()) + off;
+  }
+  std::byte* image_addr(int image, std::uint64_t off) {
+    return conduit_.segment(image - 1) + off;
+  }
+
+  // ---- non-symmetric managed buffer (§IV-A) ----
+  /// Allocates remotely-accessible memory local to this image; other images
+  /// can reach it through the returned packed RemotePtr.
+  RemotePtr nonsym_alloc(std::size_t bytes);
+  void nonsym_free(RemotePtr p);
+
+  // ---- co-indexed RMA with CAF completion semantics (§IV-B) ----
+  void put_bytes(int image, std::uint64_t dst_off, const void* src,
+                 std::size_t n);
+  void get_bytes(void* dst, int image, std::uint64_t src_off, std::size_t n);
+
+  // ---- multi-dimensional strided RMA (§IV-C) ----
+  /// Puts `src_packed` (elements in section order, column-major) into the
+  /// described section of a remote coarray whose storage starts at
+  /// `base_off`. Honors opts_.strided unless `algo_override` is given.
+  StridedStats put_strided(int image, std::uint64_t base_off,
+                           std::size_t elem_bytes, const SectionDesc& dst,
+                           const void* src_packed);
+  StridedStats get_strided(void* dst_packed, int image, std::uint64_t base_off,
+                           std::size_t elem_bytes, const SectionDesc& src);
+
+  // ---- coarray locks: MCS adaptation (§IV-D) ----
+  CoLock make_lock();             // collective
+  void free_lock(CoLock);         // collective
+  void lock(CoLock lck, int image);
+  void unlock(CoLock lck, int image);
+  /// Non-blocking acquire attempt (lock statement with acquired_lock=).
+  bool try_lock(CoLock lck, int image);
+  /// Fortran stat= variants: never throw; return a StatCode instead
+  /// (lock(lck[j], stat=s) / unlock(lck[j], stat=s)).
+  int lock_stat(CoLock lck, int image);
+  int unlock_stat(CoLock lck, int image);
+  /// Number of qnodes currently held by this image (tests: "M+1" bound).
+  std::size_t held_qnodes() const;
+
+  // ---- critical construct ----
+  void begin_critical();
+  void end_critical();
+
+  // ---- events (OpenUH extension features, §II-A) ----
+  CoEvent make_event();           // collective
+  void event_post(CoEvent ev, int image);
+  void event_wait(CoEvent ev, std::int64_t until_count = 1);
+  std::int64_t event_query(CoEvent ev);
+
+  // ---- atomics on symmetric int64 cells (atomic_* intrinsics) ----
+  std::int64_t atomic_fetch_add(int image, std::uint64_t off, std::int64_t v) {
+    return conduit_.amo_fadd(image - 1, off, v);
+  }
+  std::int64_t atomic_cas(int image, std::uint64_t off, std::int64_t cond,
+                          std::int64_t val) {
+    return conduit_.amo_cswap(image - 1, off, cond, val);
+  }
+  std::int64_t atomic_swap(int image, std::uint64_t off, std::int64_t v) {
+    return conduit_.amo_swap(image - 1, off, v);
+  }
+  std::int64_t atomic_fetch_and(int image, std::uint64_t off, std::int64_t m) {
+    return conduit_.amo_fand(image - 1, off, m);
+  }
+  std::int64_t atomic_fetch_or(int image, std::uint64_t off, std::int64_t m) {
+    return conduit_.amo_for(image - 1, off, m);
+  }
+  std::int64_t atomic_fetch_xor(int image, std::uint64_t off, std::int64_t m) {
+    return conduit_.amo_fxor(image - 1, off, m);
+  }
+  void atomic_define(int image, std::uint64_t off, std::int64_t v) {
+    (void)conduit_.amo_swap(image - 1, off, v);
+  }
+  std::int64_t atomic_ref(int image, std::uint64_t off) {
+    return conduit_.amo_fadd(image - 1, off, 0);
+  }
+
+  // ---- collectives (co_broadcast / co_sum / co_min / co_max) ----
+  template <typename T>
+  void co_broadcast(T* data, std::size_t nelems, int source_image);
+  template <typename T>
+  void co_sum(T* data, std::size_t nelems) {
+    co_reduce_impl(data, nelems, ReduceOp::kSum);
+  }
+  template <typename T>
+  void co_min(T* data, std::size_t nelems) {
+    co_reduce_impl(data, nelems, ReduceOp::kMin);
+  }
+  template <typename T>
+  void co_max(T* data, std::size_t nelems) {
+    co_reduce_impl(data, nelems, ReduceOp::kMax);
+  }
+
+  // ---- tracing ----
+  /// Snapshot of this image's communication counters since init/reset.
+  const ImageStats& stats() const { return per_image_[me()].stats; }
+  void reset_stats() { per_image_[me()].stats = ImageStats{}; }
+
+ private:
+  friend struct RuntimeTestPeer;
+
+  struct LockKey {
+    std::uint64_t tail_off;
+    int image;  // 1-based
+    bool operator==(const LockKey&) const = default;
+  };
+  struct LockKeyHash {
+    std::size_t operator()(const LockKey& k) const {
+      return std::hash<std::uint64_t>()(k.tail_off * 1'000'003u +
+                                        static_cast<std::uint64_t>(k.image));
+    }
+  };
+
+  void require_init() const;
+  int me() const { return conduit_.rank(); }
+
+  // Generic one-sided collective machinery (staged through internal slots).
+  void coll_broadcast_bytes(void* data, std::size_t nbytes, int root0);
+  void coll_reduce_bytes(void* data, std::size_t nelems, std::size_t elem,
+                         const std::function<void(void*, const void*)>& comb);
+  template <typename T>
+  void co_reduce_impl(T* data, std::size_t nelems, ReduceOp op);
+
+  Conduit& conduit_;
+  Options opts_;
+  bool inited_ = false;
+
+  // Internal symmetric offsets (identical across images).
+  std::uint64_t slab_off_ = 0;       // non-symmetric managed buffer
+  std::uint64_t sync_ctrs_off_ = 0;  // num_images int64 counters
+  std::uint64_t coll_flags_off_ = 0; // kMaxRounds + 1 int64 flags
+  std::uint64_t coll_slot_off_ = 0;  // kSlotBytes staging area
+  std::uint64_t critical_off_ = 0;   // global critical-section lock tail
+
+  static constexpr int kMaxRounds = 16;
+  static constexpr std::size_t kSlotBytes = 8192;
+
+  // Per-image runtime state, indexed by 0-based rank. Each fiber only
+  // touches its own entry.
+  struct PerImage {
+    std::unique_ptr<shmem::FreeListAllocator> slab;
+    std::unordered_map<LockKey, RemotePtr, LockKeyHash> held;
+    std::unordered_map<int, std::int64_t> sync_sent;  // partner rank -> count
+    std::unordered_map<std::uint64_t, std::int64_t> event_consumed;
+    std::int64_t coll_gen = 0;
+    ImageStats stats;
+  };
+  std::vector<PerImage> per_image_;
+};
+
+// ---------------------------------------------------------------------------
+// Collective templates
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void Runtime::co_broadcast(T* data, std::size_t nelems, int source_image) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  require_init();
+  auto* bytes = reinterpret_cast<std::byte*>(data);
+  std::size_t remaining = nelems * sizeof(T);
+  // Chunk through the staging slot so arbitrarily large payloads work.
+  while (remaining > 0) {
+    const std::size_t chunk = std::min(remaining, kSlotBytes);
+    coll_broadcast_bytes(bytes, chunk, source_image - 1);
+    bytes += chunk;
+    remaining -= chunk;
+  }
+}
+
+template <typename T>
+void Runtime::co_reduce_impl(T* data, std::size_t nelems, ReduceOp op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  require_init();
+  auto combine = [op](void* a, const void* b) {
+    T x, y;
+    std::memcpy(&x, a, sizeof(T));
+    std::memcpy(&y, b, sizeof(T));
+    switch (op) {
+      case ReduceOp::kSum: x = x + y; break;
+      case ReduceOp::kMin: x = y < x ? y : x; break;
+      case ReduceOp::kMax: x = x < y ? y : x; break;
+      default: break;
+    }
+    std::memcpy(a, &x, sizeof(T));
+  };
+  std::size_t done = 0;
+  const std::size_t per_chunk = kSlotBytes / sizeof(T);
+  while (done < nelems) {
+    const std::size_t n = std::min(nelems - done, per_chunk);
+    coll_reduce_bytes(data + done, n, sizeof(T), combine);
+    done += n;
+  }
+}
+
+}  // namespace caf

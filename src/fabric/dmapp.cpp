@@ -1,0 +1,9 @@
+#include "fabric/dmapp.hpp"
+
+namespace fabric::dmapp {
+
+Context::Context(sim::Engine& engine, net::Fabric& fabric,
+                 std::size_t seg_bytes, net::SwProfile sw)
+    : domain_(engine, fabric, std::move(sw), seg_bytes) {}
+
+}  // namespace fabric::dmapp

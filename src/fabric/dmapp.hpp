@@ -1,0 +1,91 @@
+// fabric::dmapp — a Cray-DMAPP-flavored one-sided interface.
+//
+// DMAPP is the system API under Cray SHMEM, Cray CAF, and Cray UPC on
+// Gemini/Aries machines (paper §I, §III, Table I). Its distinguishing
+// capabilities, which the paper's results depend on, are:
+//
+//   * hardware scatter/gather: dmapp_iput/iget move 1-D strided element
+//     lists in a single NIC transaction (this is why Cray's shmem_iput is
+//     fast and why the 2dim_strided algorithm wins on the XC30, Figure 6);
+//   * a rich NIC-executed AMO set (AFADD, ACSWAP, AAX — fetch-add,
+//     compare-swap, and bitwise ops);
+//   * explicit global sync (gsync) for remote completion.
+//
+// Blocking and non-blocking-implicit (nbi) variants mirror the real API's
+// dmapp_put / dmapp_put_nbi split.
+#pragma once
+
+#include <cstdint>
+
+#include "fabric/domain.hpp"
+#include "net/profiles.hpp"
+
+namespace fabric::dmapp {
+
+class Context {
+ public:
+  /// One symmetric data segment of `seg_bytes` per PE. Profile defaults to
+  /// raw DMAPP on a Cray XC30 (Aries).
+  Context(sim::Engine& engine, net::Fabric& fabric, std::size_t seg_bytes,
+          net::SwProfile sw = net::sw_profile(net::Library::kDmapp,
+                                              net::Machine::kXC30));
+
+  Domain& domain() { return domain_; }
+  int npes() const { return domain_.npes(); }
+  std::byte* seg(int pe) { return domain_.segment(pe); }
+
+  // ---- contiguous ----
+  void put(int pe, std::uint64_t dst_off, const void* src, std::size_t n) {
+    domain_.put(pe, dst_off, src, n, /*pipelined=*/false);
+  }
+  void put_nbi(int pe, std::uint64_t dst_off, const void* src, std::size_t n) {
+    domain_.put(pe, dst_off, src, n, /*pipelined=*/true);
+  }
+  void get(void* dst, int pe, std::uint64_t src_off, std::size_t n) {
+    domain_.get(dst, pe, src_off, n);
+  }
+
+  // ---- hardware strided (strides in elements, as in dmapp_iput) ----
+  void iput(int pe, std::uint64_t dst_off, std::ptrdiff_t dst_stride,
+            const void* src, std::ptrdiff_t src_stride,
+            std::size_t elem_bytes, std::size_t nelems) {
+    domain_.iput_hw(pe, dst_off, dst_stride, src, src_stride, elem_bytes,
+                    nelems, /*pipelined=*/false);
+  }
+  void iput_nbi(int pe, std::uint64_t dst_off, std::ptrdiff_t dst_stride,
+                const void* src, std::ptrdiff_t src_stride,
+                std::size_t elem_bytes, std::size_t nelems) {
+    domain_.iput_hw(pe, dst_off, dst_stride, src, src_stride, elem_bytes,
+                    nelems, /*pipelined=*/true);
+  }
+  void iget(void* dst, std::ptrdiff_t dst_stride, int pe,
+            std::uint64_t src_off, std::ptrdiff_t src_stride,
+            std::size_t elem_bytes, std::size_t nelems) {
+    domain_.iget_hw(dst, dst_stride, pe, src_off, src_stride, elem_bytes,
+                    nelems);
+  }
+
+  // ---- NIC atomics ----
+  std::uint64_t afadd(int pe, std::uint64_t off, std::uint64_t v) {
+    return domain_.amo(AmoOp::kFetchAdd, pe, off, v);
+  }
+  std::uint64_t acswap(int pe, std::uint64_t off, std::uint64_t cmp,
+                       std::uint64_t swp) {
+    return domain_.amo(AmoOp::kCompareSwap, pe, off, swp, cmp);
+  }
+  std::uint64_t afax(AmoOp bitop, int pe, std::uint64_t off,
+                     std::uint64_t mask) {
+    return domain_.amo(bitop, pe, off, mask);
+  }
+  std::uint64_t aswap(int pe, std::uint64_t off, std::uint64_t v) {
+    return domain_.amo(AmoOp::kSwap, pe, off, v);
+  }
+
+  /// Waits for global completion of all NBI transfers from this PE.
+  void gsync_wait() { domain_.quiet(); }
+
+ private:
+  Domain domain_;
+};
+
+}  // namespace fabric::dmapp

@@ -1,0 +1,222 @@
+#include "fabric/domain.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace fabric {
+
+Domain::ZeroedBuffer::ZeroedBuffer(std::size_t n)
+    : p_(static_cast<std::byte*>(std::calloc(n ? n : 1, 1))) {
+  if (p_ == nullptr) throw std::bad_alloc();
+}
+
+Domain::ZeroedBuffer::~ZeroedBuffer() { std::free(p_); }
+
+Domain::Domain(sim::Engine& engine, net::Fabric& fabric, net::SwProfile sw,
+               std::size_t segment_bytes)
+    : engine_(engine),
+      fabric_(fabric),
+      sw_(std::move(sw)),
+      segment_bytes_(segment_bytes) {
+  segments_.reserve(fabric_.npes());
+  for (int i = 0; i < fabric_.npes(); ++i) {
+    segments_.emplace_back(segment_bytes_);
+  }
+  outstanding_.assign(fabric_.npes(), 0);
+}
+
+std::byte* Domain::segment(int pe) {
+  assert(pe >= 0 && pe < npes());
+  return segments_[pe].data();
+}
+
+const std::byte* Domain::segment(int pe) const {
+  assert(pe >= 0 && pe < npes());
+  return segments_[pe].data();
+}
+
+int Domain::current_pe() const {
+  sim::Fiber* f = engine_.current_fiber();
+  assert(f != nullptr && "fabric operations require a PE fiber context");
+  return f->pe();
+}
+
+void Domain::note_outstanding(int src_pe, sim::Time t) {
+  outstanding_[src_pe] = std::max(outstanding_[src_pe], t);
+}
+
+void Domain::deliver(int dst_pe, std::uint64_t dst_off,
+                     std::vector<std::byte> data, sim::Time t) {
+  engine_.schedule(t, [this, dst_pe, dst_off, payload = std::move(data), t] {
+    assert(dst_off + payload.size() <= segment_bytes_);
+    std::memcpy(segments_[dst_pe].data() + dst_off, payload.data(),
+                payload.size());
+    if (write_hook_) write_hook_({dst_pe, dst_off, payload.size(), t});
+  });
+}
+
+void Domain::poke(int dst_pe, std::uint64_t dst_off, const void* src,
+                  std::size_t n, sim::Time t) {
+  assert(dst_off + n <= segment_bytes_);
+  std::memcpy(segments_[dst_pe].data() + dst_off, src, n);
+  if (write_hook_) write_hook_({dst_pe, dst_off, n, t});
+}
+
+net::PutCompletion Domain::put(int dst_pe, std::uint64_t dst_off,
+                               const void* src, std::size_t n,
+                               bool pipelined) {
+  const int me = current_pe();
+  if (dst_off + n > segment_bytes_) {
+    throw std::out_of_range("fabric::Domain::put beyond segment");
+  }
+  const auto c =
+      fabric_.submit_put(me, dst_pe, n, sw_, engine_.now(), pipelined);
+  note_outstanding(me, c.delivered);
+  // Capture the payload now: OpenSHMEM putmem guarantees the source buffer
+  // is reusable on return.
+  std::vector<std::byte> data(n);
+  std::memcpy(data.data(), src, n);
+  deliver(dst_pe, dst_off, std::move(data), c.delivered);
+  engine_.advance_to(c.local_complete);
+  return c;
+}
+
+void Domain::get(void* dst, int src_pe, std::uint64_t src_off, std::size_t n) {
+  const int me = current_pe();
+  if (src_off + n > segment_bytes_) {
+    throw std::out_of_range("fabric::Domain::get beyond segment");
+  }
+  const auto rt = fabric_.submit_get(me, src_pe, n, sw_, engine_.now());
+  sim::Fiber* f = engine_.current_fiber();
+  // Snapshot target memory at the moment the NIC services the read, then
+  // hand the bytes to the blocked initiator at reply time.
+  engine_.schedule(rt.target_read, [this, f, dst, src_pe, src_off, n, rt] {
+    auto snapshot = std::make_shared<std::vector<std::byte>>(n);
+    std::memcpy(snapshot->data(), segments_[src_pe].data() + src_off, n);
+    engine_.schedule(rt.complete, [this, f, dst, snapshot, rt] {
+      std::memcpy(dst, snapshot->data(), snapshot->size());
+      engine_.resume(*f, rt.complete);
+    });
+  });
+  engine_.block();
+}
+
+void Domain::iput_hw(int dst_pe, std::uint64_t dst_off,
+                     std::ptrdiff_t dst_stride, const void* src,
+                     std::ptrdiff_t src_stride, std::size_t elem_bytes,
+                     std::size_t nelems, bool pipelined) {
+  assert(sw_.hw_strided && "iput_hw requires a hardware-strided profile");
+  const int me = current_pe();
+  if (nelems == 0) return;
+  const std::uint64_t span =
+      dst_off + (nelems - 1) * static_cast<std::uint64_t>(dst_stride) * elem_bytes +
+      elem_bytes;
+  if (span > segment_bytes_) {
+    throw std::out_of_range("fabric::Domain::iput_hw beyond segment");
+  }
+  const auto c = fabric_.submit_strided_put(me, dst_pe, elem_bytes, nelems,
+                                            sw_, engine_.now(), pipelined);
+  note_outstanding(me, c.delivered);
+  // Gather the source elements at issue time.
+  std::vector<std::byte> data(elem_bytes * nelems);
+  const auto* s = static_cast<const std::byte*>(src);
+  for (std::size_t i = 0; i < nelems; ++i) {
+    std::memcpy(data.data() + i * elem_bytes,
+                s + static_cast<std::ptrdiff_t>(i) * src_stride *
+                        static_cast<std::ptrdiff_t>(elem_bytes),
+                elem_bytes);
+  }
+  // Scatter at the target at delivery time.
+  engine_.schedule(c.delivered, [this, dst_pe, dst_off, dst_stride, elem_bytes,
+                                 nelems, payload = std::move(data),
+                                 t = c.delivered] {
+    for (std::size_t i = 0; i < nelems; ++i) {
+      const std::uint64_t off =
+          dst_off + i * static_cast<std::uint64_t>(dst_stride) * elem_bytes;
+      std::memcpy(segments_[dst_pe].data() + off,
+                  payload.data() + i * elem_bytes, elem_bytes);
+      if (write_hook_) write_hook_({dst_pe, off, elem_bytes, t});
+    }
+  });
+  engine_.advance_to(c.local_complete);
+}
+
+void Domain::iget_hw(void* dst, std::ptrdiff_t dst_stride, int src_pe,
+                     std::uint64_t src_off, std::ptrdiff_t src_stride,
+                     std::size_t elem_bytes, std::size_t nelems) {
+  assert(sw_.hw_strided && "iget_hw requires a hardware-strided profile");
+  const int me = current_pe();
+  if (nelems == 0) return;
+  const auto rt = fabric_.submit_strided_get(me, src_pe, elem_bytes, nelems,
+                                             sw_, engine_.now());
+  sim::Fiber* f = engine_.current_fiber();
+  engine_.schedule(rt.target_read, [this, f, dst, dst_stride, src_pe, src_off,
+                                    src_stride, elem_bytes, nelems, rt] {
+    auto snapshot = std::make_shared<std::vector<std::byte>>(elem_bytes * nelems);
+    for (std::size_t i = 0; i < nelems; ++i) {
+      const std::uint64_t off =
+          src_off + i * static_cast<std::uint64_t>(src_stride) * elem_bytes;
+      std::memcpy(snapshot->data() + i * elem_bytes,
+                  segments_[src_pe].data() + off, elem_bytes);
+    }
+    engine_.schedule(rt.complete, [this, f, dst, dst_stride, elem_bytes,
+                                   nelems, snapshot, rt] {
+      auto* d = static_cast<std::byte*>(dst);
+      for (std::size_t i = 0; i < nelems; ++i) {
+        std::memcpy(d + static_cast<std::ptrdiff_t>(i) * dst_stride *
+                            static_cast<std::ptrdiff_t>(elem_bytes),
+                    snapshot->data() + i * elem_bytes, elem_bytes);
+      }
+      engine_.resume(*f, rt.complete);
+    });
+  });
+  engine_.block();
+}
+
+std::uint64_t Domain::amo(AmoOp op, int dst_pe, std::uint64_t dst_off,
+                          std::uint64_t operand, std::uint64_t cond) {
+  const int me = current_pe();
+  if (dst_off + sizeof(std::uint64_t) > segment_bytes_) {
+    throw std::out_of_range("fabric::Domain::amo beyond segment");
+  }
+  const auto rt = fabric_.submit_amo(me, dst_pe, sw_, engine_.now());
+  note_outstanding(me, rt.target_read);
+  sim::Fiber* f = engine_.current_fiber();
+  auto fetched = std::make_shared<std::uint64_t>(0);
+  engine_.schedule(rt.target_read, [this, op, dst_pe, dst_off, operand, cond,
+                                    fetched, t = rt.target_read] {
+    std::uint64_t old = 0;
+    std::byte* addr = segments_[dst_pe].data() + dst_off;
+    std::memcpy(&old, addr, sizeof old);
+    *fetched = old;
+    std::uint64_t neu = old;
+    bool store = true;
+    switch (op) {
+      case AmoOp::kSwap: neu = operand; break;
+      case AmoOp::kCompareSwap:
+        if (old == cond) neu = operand; else store = false;
+        break;
+      case AmoOp::kFetchAdd: neu = old + operand; break;
+      case AmoOp::kFetchAnd: neu = old & operand; break;
+      case AmoOp::kFetchOr: neu = old | operand; break;
+      case AmoOp::kFetchXor: neu = old ^ operand; break;
+    }
+    if (store) {
+      std::memcpy(addr, &neu, sizeof neu);
+      if (write_hook_) write_hook_({dst_pe, dst_off, sizeof neu, t});
+    }
+  });
+  engine_.schedule(rt.complete, [this, f, rt] { engine_.resume(*f, rt.complete); });
+  engine_.block();
+  return *fetched;
+}
+
+void Domain::quiet() {
+  const int me = current_pe();
+  engine_.advance_to(outstanding_[me]);
+}
+
+}  // namespace fabric

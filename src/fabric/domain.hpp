@@ -1,0 +1,169 @@
+// Domain: the functional core of every simulated RDMA-capable fabric API.
+//
+// A Domain binds together the DES engine, a net::Fabric timing oracle, and a
+// software profile, and actually moves bytes between the registered memory
+// segments of simulated PEs at the virtual times the oracle dictates:
+//
+//   * put        — payload captured at issue (OpenSHMEM local-completion
+//                  semantics), memcpy'd into the target segment at delivery.
+//   * get        — target memory snapshotted at the request's service time,
+//                  initiator blocked until the reply arrives.
+//   * amo        — read-modify-write executed in the delivery event at the
+//                  target (atomicity is trivial: one event at a time).
+//   * iput/iget  — NIC-offloaded 1-D strided transfers (only when the
+//                  profile has hw_strided; software stacks loop puts above).
+//   * quiet      — block until every remote completion this PE issued has
+//                  landed.
+//
+// A write hook fires on every remote update of a PE's segment so higher
+// layers can implement shmem_wait_until without polling.
+//
+// The vendor-style APIs (fabric::verbs, fabric::dmapp), the OpenSHMEM
+// transports, and the MPI-3 RMA subset are all thin veneers over Domain with
+// different profiles and capability surfaces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/model.hpp"
+#include "sim/engine.hpp"
+
+namespace fabric {
+
+/// Remote atomic operation kinds (the OpenSHMEM/DMAPP AMO set used by the
+/// paper: swap, compare-and-swap, fetch-add, fetch-inc, and bitwise ops).
+enum class AmoOp {
+  kSwap,
+  kCompareSwap,
+  kFetchAdd,
+  kFetchAnd,
+  kFetchOr,
+  kFetchXor,
+};
+
+/// Notification of a remote update to a PE's segment.
+struct WriteEvent {
+  int pe;                 ///< segment owner
+  std::uint64_t offset;   ///< first byte updated
+  std::size_t len;        ///< bytes updated
+  sim::Time time;         ///< virtual delivery time
+};
+
+class Domain {
+ public:
+  /// One segment of `segment_bytes` is allocated per PE; segments are
+  /// symmetric (same size, addressable by (pe, offset)).
+  Domain(sim::Engine& engine, net::Fabric& fabric, net::SwProfile sw,
+         std::size_t segment_bytes);
+
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  int npes() const { return fabric_.npes(); }
+  std::size_t segment_bytes() const { return segment_bytes_; }
+  const net::SwProfile& sw() const { return sw_; }
+  net::Fabric& fabric() { return fabric_; }
+  sim::Engine& engine() { return engine_; }
+
+  /// Base address of `pe`'s segment (host pointer; valid for local reads
+  /// and for the delivery machinery).
+  std::byte* segment(int pe);
+  const std::byte* segment(int pe) const;
+
+  /// Registers the hook invoked at every remote write/AMO delivery.
+  void set_write_hook(std::function<void(const WriteEvent&)> hook) {
+    write_hook_ = std::move(hook);
+  }
+
+  // ---- one-sided operations; must be called from the issuing PE's fiber ----
+
+  /// Contiguous put. Returns after local completion (source reusable);
+  /// remote completion is tracked for quiet(). If `pipelined`, the call
+  /// models a non-blocking-implicit (nbi) injection. The returned times let
+  /// callers with stronger semantics (e.g. GASNet's remotely-blocking
+  /// gasnet_put) wait for the delivery themselves.
+  net::PutCompletion put(int dst_pe, std::uint64_t dst_off, const void* src,
+                         std::size_t n, bool pipelined = false);
+
+  /// Writes `n` bytes into `dst_pe`'s segment immediately (at the current
+  /// scheduler event's virtual time `t`) and fires the write hook. Used by
+  /// active-message handlers, which mutate target memory from the scheduler
+  /// context rather than through the NIC.
+  void poke(int dst_pe, std::uint64_t dst_off, const void* src, std::size_t n,
+            sim::Time t);
+
+  /// Contiguous get; blocks the calling fiber until data is available.
+  void get(void* dst, int src_pe, std::uint64_t src_off, std::size_t n);
+
+  /// NIC-offloaded 1-D strided put: nelems elements of elem_bytes, source
+  /// stride sst elements, destination stride dst elements (strides in
+  /// *elements* as in shmem_iput). Requires sw().hw_strided.
+  void iput_hw(int dst_pe, std::uint64_t dst_off, std::ptrdiff_t dst_stride,
+               const void* src, std::ptrdiff_t src_stride,
+               std::size_t elem_bytes, std::size_t nelems,
+               bool pipelined = false);
+
+  /// NIC-offloaded 1-D strided get; blocks until complete.
+  void iget_hw(void* dst, std::ptrdiff_t dst_stride, int src_pe,
+               std::uint64_t src_off, std::ptrdiff_t src_stride,
+               std::size_t elem_bytes, std::size_t nelems);
+
+  /// 64-bit remote atomic; blocks until the fetched value returns.
+  /// `operand` is the swap/add/mask value; `cond` only used by kCompareSwap.
+  std::uint64_t amo(AmoOp op, int dst_pe, std::uint64_t dst_off,
+                    std::uint64_t operand, std::uint64_t cond = 0);
+
+  /// Blocks until all puts/AMOs issued by this PE have remotely completed.
+  void quiet();
+
+  /// Ordering fence. In this model fence is implemented as quiet (the
+  /// strongest legal implementation; see DESIGN.md).
+  void fence() { quiet(); }
+
+  /// Largest remote-completion timestamp outstanding for `pe`.
+  sim::Time outstanding(int pe) const { return outstanding_[pe]; }
+
+ private:
+  int current_pe() const;
+  void deliver(int dst_pe, std::uint64_t dst_off, std::vector<std::byte> data,
+               sim::Time t);
+  void note_outstanding(int src_pe, sim::Time t);
+
+  /// Zero-initialized segment storage backed by calloc so large segments
+  /// get lazily-zeroed pages from the OS (simulations with thousands of
+  /// PEs would otherwise spend their time memset-ing untouched memory).
+  class ZeroedBuffer {
+   public:
+    ZeroedBuffer() = default;
+    explicit ZeroedBuffer(std::size_t n);
+    ~ZeroedBuffer();
+    ZeroedBuffer(ZeroedBuffer&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+    ZeroedBuffer& operator=(ZeroedBuffer&& o) noexcept {
+      std::swap(p_, o.p_);
+      return *this;
+    }
+    ZeroedBuffer(const ZeroedBuffer&) = delete;
+    ZeroedBuffer& operator=(const ZeroedBuffer&) = delete;
+    std::byte* data() { return p_; }
+    const std::byte* data() const { return p_; }
+
+   private:
+    std::byte* p_ = nullptr;
+  };
+
+  sim::Engine& engine_;
+  net::Fabric& fabric_;
+  net::SwProfile sw_;
+  std::size_t segment_bytes_;
+  std::vector<ZeroedBuffer> segments_;
+  std::vector<sim::Time> outstanding_;
+  std::function<void(const WriteEvent&)> write_hook_;
+};
+
+}  // namespace fabric

@@ -1,0 +1,9 @@
+#include "fabric/verbs.hpp"
+
+namespace fabric::verbs {
+
+Hca::Hca(sim::Engine& engine, net::Fabric& fabric, std::size_t mr_bytes,
+         net::SwProfile sw)
+    : domain_(engine, fabric, std::move(sw), mr_bytes) {}
+
+}  // namespace fabric::verbs

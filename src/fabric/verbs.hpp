@@ -1,0 +1,68 @@
+// fabric::verbs — an InfiniBand-verbs-flavored RDMA interface.
+//
+// This is the system-level API under MVAPICH2-X on Stampede (paper §III).
+// It exposes the subset of verbs semantics the OpenSHMEM/MPI stacks rely
+// on: registered memory regions, RDMA WRITE/READ work requests with
+// local-completion semantics, HCA-executed 64-bit atomics (fetch-add and
+// compare-and-swap — the only two IB atomics), and completion polling.
+//
+// There is no hardware strided capability: scatter/gather of strided data
+// must be looped in software by the layer above (this is exactly why
+// MVAPICH2-X's shmem_iput degenerates to a series of contiguous puts in
+// Figure 7 and the Himeno discussion).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "fabric/domain.hpp"
+#include "net/profiles.hpp"
+
+namespace fabric::verbs {
+
+class Hca {
+ public:
+  /// Creates an HCA with one registered memory region of `mr_bytes` per PE.
+  /// The software profile defaults to the MVAPICH2-X stack on Stampede.
+  Hca(sim::Engine& engine, net::Fabric& fabric, std::size_t mr_bytes,
+      net::SwProfile sw = net::sw_profile(net::Library::kShmemMvapich,
+                                          net::Machine::kStampede));
+
+  Domain& domain() { return domain_; }
+  int npes() const { return domain_.npes(); }
+
+  /// Registered-memory base for `pe` (symmetric offsets across PEs).
+  std::byte* mr(int pe) { return domain_.segment(pe); }
+
+  /// Posts an RDMA WRITE. Returns once the source buffer is reusable.
+  /// `signaled == false` posts on the non-blocking path (gap-limited).
+  void rdma_write(int dst_pe, std::uint64_t dst_off, const void* src,
+                  std::size_t n, bool signaled = true) {
+    domain_.put(dst_pe, dst_off, src, n, /*pipelined=*/!signaled);
+  }
+
+  /// Posts an RDMA READ and waits for its completion.
+  void rdma_read(void* dst, int src_pe, std::uint64_t src_off, std::size_t n) {
+    domain_.get(dst, src_pe, src_off, n);
+  }
+
+  /// IB atomic fetch-and-add on a 64-bit remote location.
+  std::uint64_t atomic_fetch_add(int pe, std::uint64_t off, std::uint64_t v) {
+    return domain_.amo(AmoOp::kFetchAdd, pe, off, v);
+  }
+
+  /// IB atomic compare-and-swap on a 64-bit remote location.
+  std::uint64_t atomic_cmp_swap(int pe, std::uint64_t off, std::uint64_t cmp,
+                                std::uint64_t swp) {
+    return domain_.amo(AmoOp::kCompareSwap, pe, off, swp, cmp);
+  }
+
+  /// Drains the completion queue: all posted writes are remotely complete
+  /// when this returns (the building block for shmem_quiet).
+  void poll_cq_drain() { domain_.quiet(); }
+
+ private:
+  Domain domain_;
+};
+
+}  // namespace fabric::verbs

@@ -1,0 +1,160 @@
+#include "gasnet/gasnet.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace gasnet {
+
+World::World(sim::Engine& engine, net::Fabric& fabric, net::SwProfile sw,
+             std::size_t seg_bytes)
+    : engine_(engine) {
+  if (seg_bytes <= reserved_bytes()) {
+    throw std::invalid_argument("gasnet::World: segment too small");
+  }
+  domain_ = std::make_unique<fabric::Domain>(engine, fabric, std::move(sw),
+                                             seg_bytes);
+  domain_->set_write_hook([this](const fabric::WriteEvent& ev) { on_write(ev); });
+  watchers_.resize(domain_->npes());
+  barrier_gen_.assign(domain_->npes(), 0);
+  barrier_flags_off_ = 0;
+  // GASNet barriers are AM-based in every conduit: the notify message runs
+  // a handler on the target CPU that bumps the round flag.
+  barrier_handler_ = register_handler(
+      [this](const Token& tok, std::span<const std::byte>, std::uint64_t off,
+             std::uint64_t gen) -> std::uint64_t {
+        const auto g = static_cast<std::int64_t>(gen);
+        domain_->poke(tok.dst_node, off, &g, sizeof g, tok.when);
+        return 0;
+      });
+}
+
+World::~World() = default;
+
+void World::launch(std::function<void()> node_main) {
+  for (int node = 0; node < nodes(); ++node) {
+    engine_.spawn(node, node_main);
+  }
+}
+
+int World::mynode() const {
+  sim::Fiber* f = engine_.current_fiber();
+  assert(f != nullptr && "gasnet calls require a node fiber context");
+  return f->pe();
+}
+
+void World::put(int node, std::uint64_t dst_off, const void* src,
+                std::size_t n) {
+  // gasnet_put blocks until remote completion.
+  const auto c = domain_->put(node, dst_off, src, n, /*pipelined=*/false);
+  engine_.advance_to(c.delivered);
+}
+
+void World::put_nbi(int node, std::uint64_t dst_off, const void* src,
+                    std::size_t n) {
+  domain_->put(node, dst_off, src, n, /*pipelined=*/true);
+}
+
+void World::get(void* dst, int node, std::uint64_t src_off, std::size_t n) {
+  domain_->get(dst, node, src_off, n);
+}
+
+void World::wait_syncnbi_puts() { domain_->quiet(); }
+
+int World::register_handler(Handler fn) {
+  handlers_.push_back(std::move(fn));
+  return static_cast<int>(handlers_.size()) - 1;
+}
+
+void World::am_request(int node, int handler, std::uint64_t arg0,
+                       std::uint64_t arg1, const void* payload,
+                       std::size_t payload_bytes) {
+  assert(handler >= 0 && handler < static_cast<int>(handlers_.size()));
+  const int me = mynode();
+  const auto rt = domain_->fabric().submit_am(me, node, payload_bytes,
+                                              domain_->sw(), engine_.now());
+  std::vector<std::byte> data(payload_bytes);
+  if (payload_bytes > 0) std::memcpy(data.data(), payload, payload_bytes);
+  engine_.schedule(rt.target_read, [this, handler, me, node, arg0, arg1,
+                                    p = std::move(data), t = rt.target_read] {
+    Token tok{*this, me, node, t};
+    (void)handlers_[handler](tok, std::span<const std::byte>(p), arg0, arg1);
+  });
+  // Request injection costs the sender one put overhead.
+  engine_.advance(domain_->sw().put_overhead);
+}
+
+std::uint64_t World::am_request_reply(int node, int handler,
+                                      std::uint64_t arg0, std::uint64_t arg1,
+                                      const void* payload,
+                                      std::size_t payload_bytes) {
+  assert(handler >= 0 && handler < static_cast<int>(handlers_.size()));
+  const int me = mynode();
+  const auto rt = domain_->fabric().submit_am(me, node, payload_bytes,
+                                              domain_->sw(), engine_.now());
+  std::vector<std::byte> data(payload_bytes);
+  if (payload_bytes > 0) std::memcpy(data.data(), payload, payload_bytes);
+  sim::Fiber* f = engine_.current_fiber();
+  auto reply = std::make_shared<std::uint64_t>(0);
+  engine_.schedule(rt.target_read, [this, handler, me, node, arg0, arg1, reply,
+                                    p = std::move(data), t = rt.target_read] {
+    Token tok{*this, me, node, t};
+    *reply = handlers_[handler](tok, std::span<const std::byte>(p), arg0, arg1);
+  });
+  engine_.schedule(rt.complete,
+                   [this, f, rt] { engine_.resume(*f, rt.complete); });
+  engine_.block();
+  return *reply;
+}
+
+std::int64_t World::load_i64(int node, std::uint64_t off) const {
+  std::int64_t v = 0;
+  std::memcpy(&v, domain_->segment(node) + off, sizeof v);
+  return v;
+}
+
+void World::block_until(std::uint64_t off,
+                        const std::function<bool(std::int64_t)>& pred) {
+  const int me = mynode();
+  while (!pred(load_i64(me, off))) {
+    watchers_[me].push_back(
+        {off, sizeof(std::int64_t), engine_.current_fiber()});
+    engine_.block();
+  }
+}
+
+void World::on_write(const fabric::WriteEvent& ev) {
+  auto& list = watchers_[ev.pe];
+  if (list.empty()) return;
+  std::vector<sim::Fiber*> to_wake;
+  for (auto it = list.begin(); it != list.end();) {
+    const bool overlap =
+        it->off < ev.offset + ev.len && ev.offset < it->off + it->len;
+    if (overlap) {
+      to_wake.push_back(it->fiber);
+      it = list.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (sim::Fiber* f : to_wake) engine_.resume(*f, ev.time);
+}
+
+void World::barrier() {
+  const int me = mynode();
+  const int n = nodes();
+  if (n == 1) return;
+  const std::int64_t gen = ++barrier_gen_[me];
+  int round = 0;
+  for (int dist = 1; dist < n; dist <<= 1, ++round) {
+    assert(round < kMaxRounds);
+    const int peer = (me + dist) % n;
+    const std::uint64_t flag_off =
+        barrier_flags_off_ + static_cast<std::uint64_t>(round) * sizeof(std::int64_t);
+    am_request(peer, barrier_handler_, flag_off,
+               static_cast<std::uint64_t>(gen));
+    block_until(flag_off, [gen](std::int64_t v) { return v >= gen; });
+  }
+}
+
+}  // namespace gasnet

@@ -1,0 +1,171 @@
+#include "mpi3/rma.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace mpi3 {
+
+Window::Window(sim::Engine& engine, net::Fabric& fabric, net::SwProfile sw,
+               std::size_t win_bytes)
+    : engine_(engine) {
+  if (win_bytes <= reserved_bytes()) {
+    throw std::invalid_argument("mpi3::Window: window too small");
+  }
+  domain_ = std::make_unique<fabric::Domain>(engine, fabric, std::move(sw),
+                                             win_bytes);
+  domain_->set_write_hook([this](const fabric::WriteEvent& ev) { on_write(ev); });
+  watchers_.resize(domain_->npes());
+  barrier_gen_.assign(domain_->npes(), 0);
+  const std::uint64_t base = (reserved_bytes() + 15) & ~std::uint64_t{15};
+  allocator_ = std::make_unique<shmem::FreeListAllocator>(base,
+                                                          win_bytes - base);
+  alloc_cursor_.assign(domain_->npes(), 0);
+}
+
+Window::~Window() = default;
+
+void Window::launch(std::function<void()> rank_main) {
+  for (int r = 0; r < size(); ++r) engine_.spawn(r, rank_main);
+}
+
+int Window::rank() const {
+  sim::Fiber* f = engine_.current_fiber();
+  assert(f != nullptr);
+  return f->pe();
+}
+
+void Window::put(const void* origin, std::size_t n, int target_rank,
+                 std::uint64_t target_off) {
+  domain_->put(target_rank, target_off, origin, n, /*pipelined=*/false);
+}
+
+void Window::get(void* origin, std::size_t n, int target_rank,
+                 std::uint64_t target_off) {
+  domain_->get(origin, target_rank, target_off, n);
+}
+
+std::int64_t Window::fetch_and_op_sum(std::int64_t operand, int target_rank,
+                                      std::uint64_t target_off) {
+  return static_cast<std::int64_t>(
+      domain_->amo(fabric::AmoOp::kFetchAdd, target_rank, target_off,
+                   static_cast<std::uint64_t>(operand)));
+}
+
+std::int64_t Window::compare_and_swap(std::int64_t compare, std::int64_t value,
+                                      int target_rank,
+                                      std::uint64_t target_off) {
+  return static_cast<std::int64_t>(
+      domain_->amo(fabric::AmoOp::kCompareSwap, target_rank, target_off,
+                   static_cast<std::uint64_t>(value),
+                   static_cast<std::uint64_t>(compare)));
+}
+
+std::int64_t Window::fetch_and_op_replace(std::int64_t value, int target_rank,
+                                          std::uint64_t target_off) {
+  return static_cast<std::int64_t>(
+      domain_->amo(fabric::AmoOp::kSwap, target_rank, target_off,
+                   static_cast<std::uint64_t>(value)));
+}
+
+std::int64_t Window::fetch_and_op_band(std::int64_t mask, int target_rank,
+                                       std::uint64_t target_off) {
+  return static_cast<std::int64_t>(
+      domain_->amo(fabric::AmoOp::kFetchAnd, target_rank, target_off,
+                   static_cast<std::uint64_t>(mask)));
+}
+
+std::int64_t Window::fetch_and_op_bor(std::int64_t mask, int target_rank,
+                                      std::uint64_t target_off) {
+  return static_cast<std::int64_t>(
+      domain_->amo(fabric::AmoOp::kFetchOr, target_rank, target_off,
+                   static_cast<std::uint64_t>(mask)));
+}
+
+std::int64_t Window::fetch_and_op_bxor(std::int64_t mask, int target_rank,
+                                       std::uint64_t target_off) {
+  return static_cast<std::int64_t>(
+      domain_->amo(fabric::AmoOp::kFetchXor, target_rank, target_off,
+                   static_cast<std::uint64_t>(mask)));
+}
+
+void Window::flush_all() { domain_->quiet(); }
+
+std::uint64_t Window::allocate_collective(std::size_t bytes) {
+  const std::size_t cursor = alloc_cursor_[rank()]++;
+  if (cursor == alloc_log_.size()) {
+    auto got = allocator_->allocate(bytes);
+    if (!got) throw std::bad_alloc();
+    alloc_log_.push_back({false, bytes, *got});
+  }
+  const AllocOp op = alloc_log_[cursor];  // copy: log grows during barrier
+  if (op.is_free || op.arg != bytes) {
+    throw std::logic_error("mpi3 allocate: collective mismatch");
+  }
+  barrier();
+  return op.result;
+}
+
+void Window::free_collective(std::uint64_t off) {
+  const std::size_t cursor = alloc_cursor_[rank()]++;
+  if (cursor == alloc_log_.size()) {
+    allocator_->release(off);
+    alloc_log_.push_back({true, off, 0});
+  }
+  const AllocOp op = alloc_log_[cursor];
+  if (!op.is_free || op.arg != off) {
+    throw std::logic_error("mpi3 free: collective mismatch");
+  }
+  barrier();
+}
+
+void Window::wait_until_local(
+    std::uint64_t off, const std::function<bool(std::int64_t)>& pred) {
+  const int me = rank();
+  auto load = [&] {
+    std::int64_t v = 0;
+    std::memcpy(&v, domain_->segment(me) + off, sizeof v);
+    return v;
+  };
+  while (!pred(load())) {
+    watchers_[me].push_back({off, engine_.current_fiber()});
+    engine_.block();
+  }
+}
+
+void Window::block_until_ge(std::uint64_t off, std::int64_t gen) {
+  wait_until_local(off, [gen](std::int64_t v) { return v >= gen; });
+}
+
+void Window::on_write(const fabric::WriteEvent& ev) {
+  auto& list = watchers_[ev.pe];
+  if (list.empty()) return;
+  std::vector<sim::Fiber*> to_wake;
+  for (auto it = list.begin(); it != list.end();) {
+    if (it->off >= ev.offset && it->off < ev.offset + ev.len) {
+      to_wake.push_back(it->fiber);
+      it = list.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (sim::Fiber* f : to_wake) engine_.resume(*f, ev.time);
+}
+
+void Window::barrier() {
+  const int me = rank();
+  const int n = size();
+  if (n == 1) return;
+  const std::int64_t gen = ++barrier_gen_[me];
+  int round = 0;
+  for (int dist = 1; dist < n; dist <<= 1, ++round) {
+    assert(round < 16);
+    const int peer = (me + dist) % n;
+    const std::uint64_t off =
+        static_cast<std::uint64_t>(round) * sizeof(std::int64_t);
+    put(&gen, sizeof gen, peer, off);
+    block_until_ge(off, gen);
+  }
+}
+
+}  // namespace mpi3

@@ -1,0 +1,150 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace net {
+
+Fabric::Fabric(MachineProfile profile, int npes)
+    : profile_(std::move(profile)), npes_(npes) {
+  assert(npes > 0);
+  nnodes_ = (npes + profile_.cores_per_node - 1) / profile_.cores_per_node;
+  tx_free_.assign(nnodes_, 0);
+  rx_free_.assign(nnodes_, 0);
+  pe_proc_free_.assign(npes, 0);
+}
+
+void Fabric::reset() {
+  std::fill(tx_free_.begin(), tx_free_.end(), 0);
+  std::fill(rx_free_.begin(), rx_free_.end(), 0);
+  std::fill(pe_proc_free_.begin(), pe_proc_free_.end(), 0);
+}
+
+double Fabric::xfer_ns(std::size_t bytes, const SwProfile& sw,
+                       bool local) const {
+  const double bw = local ? profile_.local_bytes_per_ns
+                          : profile_.link_bytes_per_ns * sw.bw_efficiency;
+  return static_cast<double>(bytes) / bw;
+}
+
+sim::Time Fabric::wire(int src_pe, int dst_pe, double occupancy_ns,
+                       sim::Time start) {
+  if (same_node(src_pe, dst_pe)) {
+    // Intra-node transfers go through shared memory: no NIC involvement,
+    // just copy time plus a short handoff latency.
+    return start + profile_.local_latency + sim::from_ns(occupancy_ns);
+  }
+  const int sn = node_of(src_pe);
+  const int dn = node_of(dst_pe);
+  const sim::Time occ = sim::from_ns(occupancy_ns);
+  // Serialize on the source NIC: messages from all PEs of a node share one
+  // injection port (this is what creates the 16-pair contention in Figs 2-3).
+  const sim::Time tx_start = std::max(start, tx_free_[sn]);
+  tx_free_[sn] = tx_start + occ;
+  const sim::Time arrival = tx_start + occ + profile_.hw_latency;
+  // Receive side: the target NIC retires one message per rx_msg_gap; this is
+  // what limits many-to-one message rates (lock and DHT benchmarks).
+  const sim::Time rx_start = std::max(arrival, rx_free_[dn]);
+  const sim::Time delivered = rx_start + profile_.rx_msg_gap;
+  rx_free_[dn] = delivered;
+  return delivered;
+}
+
+sim::Time Fabric::wire_control(int src_pe, int dst_pe, double occupancy_ns,
+                               sim::Time start) const {
+  if (same_node(src_pe, dst_pe)) {
+    return start + profile_.local_latency + sim::from_ns(occupancy_ns);
+  }
+  return start + sim::from_ns(occupancy_ns) + profile_.hw_latency +
+         profile_.rx_msg_gap;
+}
+
+PutCompletion Fabric::submit_put(int src_pe, int dst_pe, std::size_t bytes,
+                                 const SwProfile& sw, sim::Time now,
+                                 bool pipelined) {
+  const sim::Time issue_cost = pipelined ? sw.per_msg_gap : sw.put_overhead;
+  const sim::Time local_complete = now + issue_cost;
+  const bool local = same_node(src_pe, dst_pe);
+  const sim::Time delivered =
+      wire(src_pe, dst_pe, xfer_ns(bytes, sw, local), local_complete);
+  return {local_complete, delivered};
+}
+
+PutCompletion Fabric::submit_strided_put(int src_pe, int dst_pe,
+                                         std::size_t elem_bytes,
+                                         std::size_t nelems,
+                                         const SwProfile& sw, sim::Time now,
+                                         bool pipelined) {
+  assert(sw.hw_strided &&
+         "software iput must be looped by the caller, not the fabric");
+  const sim::Time issue_cost = pipelined ? sw.per_msg_gap : sw.put_overhead;
+  const sim::Time local_complete = now + issue_cost;
+  const bool local = same_node(src_pe, dst_pe);
+  // The NIC gathers nelems descriptors: per-element gap plus byte cost.
+  const double occupancy =
+      xfer_ns(elem_bytes * nelems, sw, local) +
+      static_cast<double>(sw.strided_elem_gap) * static_cast<double>(nelems);
+  const sim::Time delivered = wire(src_pe, dst_pe, occupancy, local_complete);
+  return {local_complete, delivered};
+}
+
+RoundTrip Fabric::submit_get(int src_pe, int dst_pe, std::size_t bytes,
+                             const SwProfile& sw, sim::Time now) {
+  const bool local = same_node(src_pe, dst_pe);
+  // Request: a small (16-byte) descriptor to the target NIC.
+  const sim::Time req_arrival =
+      wire(src_pe, dst_pe, xfer_ns(16, sw, local), now + sw.get_overhead);
+  // The target NIC services the read directly (one-sided); the data flows
+  // back as a payload message.
+  const sim::Time reply =
+      wire(dst_pe, src_pe, xfer_ns(bytes, sw, local), req_arrival);
+  return {req_arrival, reply};
+}
+
+RoundTrip Fabric::submit_strided_get(int src_pe, int dst_pe,
+                                     std::size_t elem_bytes,
+                                     std::size_t nelems, const SwProfile& sw,
+                                     sim::Time now) {
+  assert(sw.hw_strided);
+  const bool local = same_node(src_pe, dst_pe);
+  const sim::Time req_arrival =
+      wire(src_pe, dst_pe, xfer_ns(16, sw, local), now + sw.get_overhead);
+  const double occupancy =
+      xfer_ns(elem_bytes * nelems, sw, local) +
+      static_cast<double>(sw.strided_elem_gap) * static_cast<double>(nelems);
+  const sim::Time reply = wire(dst_pe, src_pe, occupancy, req_arrival);
+  return {req_arrival, reply};
+}
+
+RoundTrip Fabric::submit_amo(int src_pe, int dst_pe, const SwProfile& sw,
+                             sim::Time now) {
+  const bool local = same_node(src_pe, dst_pe);
+  const sim::Time req_arrival =
+      wire(src_pe, dst_pe, xfer_ns(16, sw, local), now + sw.amo_overhead);
+  // Execution at the target serializes per PE: on the NIC's atomic unit for
+  // SHMEM/DMAPP/verbs, or on the target CPU for AM-emulated atomics.
+  const sim::Time unit_cost = sw.nic_amo ? profile_.nic_amo_gap : sw.handler_cpu;
+  const sim::Time exec_start = std::max(req_arrival, pe_proc_free_[dst_pe]);
+  const sim::Time exec_done = exec_start + unit_cost;
+  pe_proc_free_[dst_pe] = exec_done;
+  const sim::Time reply =
+      wire_control(dst_pe, src_pe, xfer_ns(8, sw, local), exec_done);
+  return {exec_done, reply};
+}
+
+RoundTrip Fabric::submit_am(int src_pe, int dst_pe, std::size_t bytes,
+                            const SwProfile& sw, sim::Time now) {
+  const bool local = same_node(src_pe, dst_pe);
+  const sim::Time req_arrival = wire(src_pe, dst_pe,
+                                     xfer_ns(bytes + 16, sw, local),
+                                     now + sw.put_overhead);
+  // The handler needs the target CPU; requests to the same PE serialize.
+  const sim::Time h_start = std::max(req_arrival, pe_proc_free_[dst_pe]);
+  const sim::Time h_done = h_start + sw.handler_cpu;
+  pe_proc_free_[dst_pe] = h_done;
+  const sim::Time reply =
+      wire_control(dst_pe, src_pe, xfer_ns(8, sw, local), h_done);
+  return {h_start, reply};
+}
+
+}  // namespace net

@@ -1,0 +1,89 @@
+// Fabric: the shared-state cost calculator for one simulated cluster.
+//
+// A Fabric instance tracks, per node, when the transmit and receive sides of
+// the NIC next become free, and per PE, when its target-side processing
+// resource (NIC atomic unit or CPU active-message handler) becomes free.
+// Transports call submit_* with the current virtual time; the Fabric
+// advances its link state and returns the completion times the transport
+// should schedule events at. The Fabric itself never touches the event
+// queue or any memory — it is a pure timing oracle, which keeps it trivially
+// unit-testable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/model.hpp"
+#include "sim/time.hpp"
+
+namespace net {
+
+class Fabric {
+ public:
+  Fabric(MachineProfile profile, int npes);
+
+  const MachineProfile& profile() const { return profile_; }
+  int npes() const { return npes_; }
+  int node_of(int pe) const { return pe / profile_.cores_per_node; }
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  /// One-way data transfer of `bytes` from `src_pe` to `dst_pe`.
+  /// If `pipelined`, the issuing CPU only pays the injection gap (non-
+  /// blocking interface); otherwise it pays the full put overhead.
+  PutCompletion submit_put(int src_pe, int dst_pe, std::size_t bytes,
+                           const SwProfile& sw, sim::Time now,
+                           bool pipelined = false);
+
+  /// 1-D hardware-strided transfer (DMAPP-style shmem_iput): `nelems`
+  /// elements of `elem_bytes` each gathered/scattered by the NIC in one
+  /// network operation. Requires sw.hw_strided.
+  PutCompletion submit_strided_put(int src_pe, int dst_pe,
+                                   std::size_t elem_bytes, std::size_t nelems,
+                                   const SwProfile& sw, sim::Time now,
+                                   bool pipelined = false);
+
+  /// Read of `bytes` from `dst_pe`'s memory back to `src_pe`.
+  RoundTrip submit_get(int src_pe, int dst_pe, std::size_t bytes,
+                       const SwProfile& sw, sim::Time now);
+
+  /// Strided read, NIC-gathered (requires sw.hw_strided).
+  RoundTrip submit_strided_get(int src_pe, int dst_pe, std::size_t elem_bytes,
+                               std::size_t nelems, const SwProfile& sw,
+                               sim::Time now);
+
+  /// 8-byte remote atomic at `dst_pe`. Serializes on the target's atomic
+  /// unit (NIC if sw.nic_amo, otherwise the target CPU's handler queue), so
+  /// many-to-one atomics contend realistically.
+  RoundTrip submit_amo(int src_pe, int dst_pe, const SwProfile& sw,
+                       sim::Time now);
+
+  /// Active-message request carrying `bytes` of payload; the handler runs on
+  /// the target CPU and a short reply returns. target_read = handler start.
+  RoundTrip submit_am(int src_pe, int dst_pe, std::size_t bytes,
+                      const SwProfile& sw, sim::Time now);
+
+  /// Resets link/occupancy state (e.g. between benchmark repetitions).
+  void reset();
+
+ private:
+  /// Wire-level one-way message; returns delivery time and updates links.
+  sim::Time wire(int src_pe, int dst_pe, double occupancy_ns, sim::Time start);
+
+  /// Control-channel message (AMO/AM replies): pays latency and occupancy
+  /// but does not reserve the data links. Replies are computed eagerly at
+  /// future timestamps; letting them reserve tx/rx slots would let the
+  /// future block the present (a causality artifact, not contention).
+  sim::Time wire_control(int src_pe, int dst_pe, double occupancy_ns,
+                         sim::Time start) const;
+
+  double xfer_ns(std::size_t bytes, const SwProfile& sw, bool local) const;
+
+  MachineProfile profile_;
+  int npes_;
+  int nnodes_;
+  std::vector<sim::Time> tx_free_;       // per node
+  std::vector<sim::Time> rx_free_;       // per node
+  std::vector<sim::Time> pe_proc_free_;  // per PE: AMO/handler serialization
+};
+
+}  // namespace net

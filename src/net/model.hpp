@@ -1,0 +1,77 @@
+// Interconnect and communication-library cost models.
+//
+// The paper's evaluation ran on three real machines (Stampede, Titan, a Cray
+// XC30 — Table III) with several communication libraries (Cray SHMEM,
+// MVAPICH2-X SHMEM, GASNet, MPI-3.0, Cray's CAF runtime over DMAPP). This
+// repository substitutes a parametric LogGP-style model:
+//
+//   * MachineProfile — the hardware: wire latency, NIC injection bandwidth,
+//     intra-node copy performance, per-message receive gap (message rate),
+//     and cores per node.
+//   * SwProfile — one communication library on that hardware: CPU overhead
+//     to issue puts/gets/AMOs, achievable fraction of link bandwidth,
+//     injection gap for pipelined non-blocking messages, whether 1-D strided
+//     transfers are offloaded to the NIC (Cray DMAPP) or looped in software
+//     (MVAPICH2-X), and the target-side cost of remote atomics (NIC-side for
+//     SHMEM/DMAPP, CPU active-message handler for GASNet).
+//
+// All parameters were calibrated once against the *ratios* the paper reports
+// (see EXPERIMENTS.md); absolute values are representative, not measured.
+#pragma once
+
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace net {
+
+/// Hardware description of one cluster (paper Table III).
+struct MachineProfile {
+  std::string name;
+  int cores_per_node = 16;
+
+  sim::Time hw_latency = 1'000;     ///< one-way wire+switch latency (ns)
+  double link_bytes_per_ns = 6.0;   ///< NIC injection bandwidth (B/ns == GB/s)
+  sim::Time rx_msg_gap = 60;        ///< per-message cost at the receiving NIC
+  sim::Time nic_amo_gap = 80;       ///< NIC-side atomic execution time
+
+  sim::Time local_latency = 120;    ///< intra-node one-way latency
+  double local_bytes_per_ns = 12.0; ///< intra-node copy bandwidth
+};
+
+/// Software (library) profile layered on a machine.
+struct SwProfile {
+  std::string name;
+
+  sim::Time put_overhead = 250;   ///< CPU cost to issue a blocking-local put
+  sim::Time get_overhead = 300;   ///< CPU cost to issue a get request
+  sim::Time amo_overhead = 250;   ///< CPU cost to issue a remote atomic
+  sim::Time per_msg_gap = 100;    ///< injection gap for pipelined (nbi) msgs
+  double bw_efficiency = 0.95;    ///< fraction of link bandwidth achieved
+
+  bool hw_strided = false;        ///< 1-D iput/iget offloaded to the NIC?
+  sim::Time strided_elem_gap = 25;///< per-element NIC cost when hw_strided
+
+  bool nic_amo = true;            ///< remote atomics executed by the NIC
+  sim::Time handler_cpu = 500;    ///< target-CPU AM handler cost (if !nic_amo)
+
+  /// Extra per-operation runtime overhead of a language runtime layered on
+  /// this library (used for the Cray CAF baseline, which pays descriptor
+  /// setup above DMAPP).
+  sim::Time runtime_overhead = 0;
+};
+
+/// Result of submitting a one-way transfer.
+struct PutCompletion {
+  sim::Time local_complete;  ///< source buffer reusable / issuing call returns
+  sim::Time delivered;       ///< bytes visible in target memory
+};
+
+/// Result of submitting a round-trip operation (get / atomic / AM request).
+struct RoundTrip {
+  sim::Time target_read;  ///< request processed at the target (memory
+                          ///< snapshot / RMW execution time)
+  sim::Time complete;     ///< reply available at the initiator
+};
+
+}  // namespace net

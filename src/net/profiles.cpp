@@ -1,0 +1,213 @@
+#include "net/profiles.hpp"
+
+#include <stdexcept>
+
+namespace net {
+
+MachineProfile machine_profile(Machine m) {
+  MachineProfile p;
+  switch (m) {
+    case Machine::kStampede:
+      // TACC Stampede: Intel Xeon E5 (Sandy Bridge), 16 cores/node,
+      // Mellanox InfiniBand FDR.
+      p.name = "stampede";
+      p.cores_per_node = 16;
+      p.hw_latency = 1'100;
+      p.link_bytes_per_ns = 6.0;  // ~6 GB/s per port
+      p.rx_msg_gap = 60;
+      p.nic_amo_gap = 120;  // HCA-side atomics
+      p.local_latency = 120;
+      p.local_bytes_per_ns = 12.0;
+      return p;
+    case Machine::kTitan:
+      // OLCF Titan: Cray XK7, AMD Opteron, 16 cores/node, Gemini.
+      p.name = "titan";
+      p.cores_per_node = 16;
+      p.hw_latency = 1'400;
+      p.link_bytes_per_ns = 5.0;
+      p.rx_msg_gap = 70;
+      p.nic_amo_gap = 80;  // Gemini AMO engine
+      p.local_latency = 140;
+      p.local_bytes_per_ns = 10.0;
+      return p;
+    case Machine::kXC30:
+      // Cray XC30: Intel Xeon E5, 16 cores/node, Aries dragonfly.
+      p.name = "xc30";
+      p.cores_per_node = 16;
+      p.hw_latency = 700;
+      p.link_bytes_per_ns = 10.0;
+      p.rx_msg_gap = 50;
+      p.nic_amo_gap = 60;
+      p.local_latency = 100;
+      p.local_bytes_per_ns = 14.0;
+      return p;
+  }
+  throw std::invalid_argument("unknown machine");
+}
+
+namespace {
+
+SwProfile shmem_mvapich() {
+  SwProfile s;
+  s.name = "mvapich2x-shmem";
+  s.put_overhead = 250;
+  s.get_overhead = 300;
+  s.amo_overhead = 250;
+  s.per_msg_gap = 90;
+  s.bw_efficiency = 0.97;
+  s.hw_strided = false;  // shmem_iput loops contiguous puts in software
+  s.nic_amo = true;      // IB verbs fetch-add / cmp-swap
+  return s;
+}
+
+SwProfile shmem_cray() {
+  SwProfile s;
+  s.name = "cray-shmem";
+  s.put_overhead = 150;
+  s.get_overhead = 200;
+  s.amo_overhead = 150;
+  s.per_msg_gap = 70;
+  s.bw_efficiency = 0.98;
+  s.hw_strided = true;  // DMAPP scatter/gather iput
+  s.strided_elem_gap = 15;
+  s.nic_amo = true;
+  return s;
+}
+
+SwProfile gasnet_on(Machine m) {
+  SwProfile s;
+  s.name = "gasnet";
+  if (m == Machine::kStampede) {
+    s.name += "-ibv";
+    s.put_overhead = 300;
+    s.get_overhead = 350;
+    s.bw_efficiency = 0.88;
+    s.handler_cpu = 600;
+  } else {
+    s.name += (m == Machine::kTitan) ? "-gemini" : "-aries";
+    s.put_overhead = 200;
+    s.get_overhead = 260;
+    s.bw_efficiency = 0.85;
+    s.handler_cpu = 480;
+  }
+  s.amo_overhead = s.put_overhead;  // AMOs are AM round-trips
+  s.per_msg_gap = 110;
+  s.hw_strided = false;
+  s.nic_amo = false;  // no remote atomics: active-message emulation
+  return s;
+}
+
+SwProfile armci_on(Machine m) {
+  // ARMCI over IB verbs / Gemini: put overheads between SHMEM's and
+  // GASNet's; native network RMW (fetch-add, swap) but no compare-swap;
+  // strided PutS aggregates in software with a per-run injection gap.
+  SwProfile s;
+  s.name = "armci";
+  if (m == Machine::kStampede) {
+    s.put_overhead = 280;
+    s.get_overhead = 330;
+    s.bw_efficiency = 0.90;
+  } else {
+    s.put_overhead = 190;
+    s.get_overhead = 250;
+    s.bw_efficiency = 0.88;
+  }
+  s.amo_overhead = s.put_overhead;
+  s.per_msg_gap = 100;
+  s.hw_strided = false;
+  s.nic_amo = true;  // ARMCI_Rmw maps to network atomics
+  return s;
+}
+
+SwProfile mpi3_on(Machine m) {
+  SwProfile s;
+  if (m == Machine::kStampede) {
+    s.name = "mvapich2x-mpi3";
+    s.put_overhead = 750;
+    s.get_overhead = 800;
+    s.amo_overhead = 700;
+    s.bw_efficiency = 0.93;
+  } else {
+    s.name = "cray-mpich";
+    s.put_overhead = 800;
+    s.get_overhead = 850;
+    s.amo_overhead = 750;
+    s.bw_efficiency = 0.92;
+  }
+  s.per_msg_gap = 220;
+  s.hw_strided = false;
+  s.nic_amo = true;
+  return s;
+}
+
+SwProfile dmapp() {
+  SwProfile s;
+  s.name = "dmapp";
+  s.put_overhead = 120;
+  s.get_overhead = 170;
+  s.amo_overhead = 120;
+  s.per_msg_gap = 60;
+  s.bw_efficiency = 0.98;
+  s.hw_strided = true;
+  s.strided_elem_gap = 15;
+  s.nic_amo = true;
+  return s;
+}
+
+SwProfile craycaf() {
+  // Cray's Fortran runtime above DMAPP: pays descriptor setup per
+  // operation, and its strided path pipelines per-element nbi puts with a
+  // wider injection gap than raw DMAPP.
+  SwProfile s = dmapp();
+  s.name = "cray-caf";
+  s.runtime_overhead = 100;
+  s.put_overhead += s.runtime_overhead;
+  s.get_overhead += s.runtime_overhead;
+  s.amo_overhead += s.runtime_overhead;
+  s.per_msg_gap = 45;
+  return s;
+}
+
+}  // namespace
+
+SwProfile sw_profile(Library lib, Machine m) {
+  switch (lib) {
+    case Library::kShmemMvapich:
+      return shmem_mvapich();
+    case Library::kShmemCray:
+      return shmem_cray();
+    case Library::kGasnet:
+      return gasnet_on(m);
+    case Library::kArmci:
+      return armci_on(m);
+    case Library::kMpi3:
+      return mpi3_on(m);
+    case Library::kDmapp:
+      return dmapp();
+    case Library::kCrayCaf:
+      return craycaf();
+  }
+  throw std::invalid_argument("unknown library");
+}
+
+Library native_shmem(Machine m) {
+  return m == Machine::kStampede ? Library::kShmemMvapich
+                                 : Library::kShmemCray;
+}
+
+std::string to_string(Machine m) { return machine_profile(m).name; }
+
+std::string to_string(Library lib) {
+  switch (lib) {
+    case Library::kShmemMvapich: return "mvapich2x-shmem";
+    case Library::kShmemCray: return "cray-shmem";
+    case Library::kGasnet: return "gasnet";
+    case Library::kArmci: return "armci";
+    case Library::kMpi3: return "mpi3";
+    case Library::kDmapp: return "dmapp";
+    case Library::kCrayCaf: return "cray-caf";
+  }
+  return "?";
+}
+
+}  // namespace net

@@ -1,0 +1,37 @@
+// Named machine and library profiles reproducing the paper's testbeds
+// (Table III) and communication stacks. See DESIGN.md §6 for calibration
+// methodology: parameters are chosen so the *ratios* reported in the paper's
+// figures hold; absolute values are representative only.
+#pragma once
+
+#include <string>
+
+#include "net/model.hpp"
+
+namespace net {
+
+/// Which cluster from Table III.
+enum class Machine { kStampede, kTitan, kXC30 };
+
+/// Which communication library / runtime layer.
+enum class Library {
+  kShmemMvapich,  ///< MVAPICH2-X OpenSHMEM (InfiniBand verbs)
+  kShmemCray,     ///< Cray SHMEM (DMAPP)
+  kGasnet,        ///< GASNet (ibv / gemini / aries conduit per machine)
+  kArmci,         ///< ARMCI (the other UHCAF conduit of Table I)
+  kMpi3,          ///< MPI-3.0 RMA (MVAPICH2-X or Cray MPICH)
+  kDmapp,         ///< raw Cray DMAPP
+  kCrayCaf,       ///< Cray's CAF runtime layered over DMAPP
+};
+
+MachineProfile machine_profile(Machine m);
+SwProfile sw_profile(Library lib, Machine m);
+
+std::string to_string(Machine m);
+std::string to_string(Library lib);
+
+/// The SHMEM flavor natively available on a machine (MVAPICH2-X on
+/// Stampede, Cray SHMEM on Titan/XC30), as used throughout Section V.
+Library native_shmem(Machine m);
+
+}  // namespace net

@@ -1,0 +1,176 @@
+#include "shmem/api.hpp"
+
+#include <stdexcept>
+
+namespace shmem {
+
+namespace {
+thread_local World* g_world = nullptr;
+}
+
+ApiGuard::ApiGuard(World& w) {
+  if (g_world != nullptr) {
+    throw std::logic_error("shmem::ApiGuard: a world is already bound");
+  }
+  g_world = &w;
+}
+
+ApiGuard::~ApiGuard() { g_world = nullptr; }
+
+World& current_world() {
+  if (g_world == nullptr) {
+    throw std::logic_error("shmem C API used with no bound World");
+  }
+  return *g_world;
+}
+
+}  // namespace shmem
+
+using shmem::current_world;
+
+void start_pes(int /*npes_hint*/) {}
+
+int my_pe() { return current_world().my_pe(); }
+int num_pes() { return current_world().n_pes(); }
+
+void* shmalloc(std::size_t bytes) { return current_world().shmalloc(bytes); }
+void shfree(void* ptr) { current_world().shfree(ptr); }
+
+void shmem_barrier_all() { current_world().barrier_all(); }
+void shmem_quiet() { current_world().quiet(); }
+void shmem_fence() { current_world().fence(); }
+
+void shmem_putmem(void* dst, const void* src, std::size_t n, int pe) {
+  current_world().putmem(dst, src, n, pe);
+}
+void shmem_getmem(void* dst, const void* src, std::size_t n, int pe) {
+  current_world().getmem(dst, src, n, pe);
+}
+
+void shmem_int_put(int* dst, const int* src, std::size_t nelems, int pe) {
+  current_world().put(dst, src, nelems, pe);
+}
+void shmem_int_get(int* dst, const int* src, std::size_t nelems, int pe) {
+  current_world().get(dst, src, nelems, pe);
+}
+void shmem_int_iput(int* dst, const int* src, std::ptrdiff_t dst_stride,
+                    std::ptrdiff_t src_stride, std::size_t nelems, int pe) {
+  current_world().iput(dst, src, dst_stride, src_stride, nelems, pe);
+}
+void shmem_int_iget(int* dst, const int* src, std::ptrdiff_t dst_stride,
+                    std::ptrdiff_t src_stride, std::size_t nelems, int pe) {
+  current_world().iget(dst, src, dst_stride, src_stride, nelems, pe);
+}
+
+long long shmem_longlong_swap(long long* target, long long value, int pe) {
+  return current_world().swap(reinterpret_cast<std::int64_t*>(target), value,
+                              pe);
+}
+long long shmem_longlong_cswap(long long* target, long long cond,
+                               long long value, int pe) {
+  return current_world().cswap(reinterpret_cast<std::int64_t*>(target), cond,
+                               value, pe);
+}
+long long shmem_longlong_fadd(long long* target, long long value, int pe) {
+  return current_world().fadd(reinterpret_cast<std::int64_t*>(target), value,
+                              pe);
+}
+long long shmem_longlong_finc(long long* target, int pe) {
+  return current_world().finc(reinterpret_cast<std::int64_t*>(target), pe);
+}
+void shmem_longlong_add(long long* target, long long value, int pe) {
+  current_world().add(reinterpret_cast<std::int64_t*>(target), value, pe);
+}
+void shmem_longlong_inc(long long* target, int pe) {
+  current_world().inc(reinterpret_cast<std::int64_t*>(target), pe);
+}
+
+void shmem_double_put(double* dst, const double* src, std::size_t nelems,
+                      int pe) {
+  current_world().put(dst, src, nelems, pe);
+}
+void shmem_double_get(double* dst, const double* src, std::size_t nelems,
+                      int pe) {
+  current_world().get(dst, src, nelems, pe);
+}
+void shmem_long_put(long* dst, const long* src, std::size_t nelems, int pe) {
+  current_world().put(dst, src, nelems, pe);
+}
+void shmem_long_get(long* dst, const long* src, std::size_t nelems, int pe) {
+  current_world().get(dst, src, nelems, pe);
+}
+void shmem_double_iput(double* dst, const double* src,
+                       std::ptrdiff_t dst_stride, std::ptrdiff_t src_stride,
+                       std::size_t nelems, int pe) {
+  current_world().iput(dst, src, dst_stride, src_stride, nelems, pe);
+}
+void shmem_double_iget(double* dst, const double* src,
+                       std::ptrdiff_t dst_stride, std::ptrdiff_t src_stride,
+                       std::size_t nelems, int pe) {
+  current_world().iget(dst, src, dst_stride, src_stride, nelems, pe);
+}
+
+void shmem_int_p(int* dst, int value, int pe) {
+  current_world().p(dst, value, pe);
+}
+int shmem_int_g(const int* src, int pe) {
+  return current_world().g(src, pe);
+}
+void shmem_double_p(double* dst, double value, int pe) {
+  current_world().p(dst, value, pe);
+}
+double shmem_double_g(const double* src, int pe) {
+  return current_world().g(src, pe);
+}
+
+void shmem_longlong_wait_until(long long* ivar, int cmp, long long value) {
+  current_world().wait_until(reinterpret_cast<std::int64_t*>(ivar),
+                             static_cast<shmem::Cmp>(cmp), value);
+}
+
+void shmem_barrier(int PE_start, int logPE_stride, int PE_size,
+                   long long* pSync) {
+  current_world().barrier(shmem::ActiveSet{PE_start, logPE_stride, PE_size},
+                          reinterpret_cast<std::int64_t*>(pSync));
+}
+void shmem_broadcast64(void* dst, const void* src, std::size_t nelems,
+                       int PE_root, int PE_start, int logPE_stride,
+                       int PE_size, long long* pSync) {
+  current_world().broadcast(shmem::ActiveSet{PE_start, logPE_stride, PE_size},
+                            dst, src, nelems * 8, PE_root,
+                            reinterpret_cast<std::int64_t*>(pSync));
+}
+void shmem_longlong_sum_to_all(long long* dst, const long long* src,
+                               std::size_t nreduce, int PE_start,
+                               int logPE_stride, int PE_size, long long* pWrk,
+                               long long* pSync) {
+  current_world().to_all(shmem::ActiveSet{PE_start, logPE_stride, PE_size},
+                         reinterpret_cast<std::int64_t*>(dst),
+                         reinterpret_cast<const std::int64_t*>(src), nreduce,
+                         shmem::ReduceOp::kSum,
+                         reinterpret_cast<std::int64_t*>(pWrk),
+                         reinterpret_cast<std::int64_t*>(pSync));
+}
+void shmem_double_max_to_all(double* dst, const double* src,
+                             std::size_t nreduce, int PE_start,
+                             int logPE_stride, int PE_size, double* pWrk,
+                             long long* pSync) {
+  current_world().to_all(shmem::ActiveSet{PE_start, logPE_stride, PE_size},
+                         dst, src, nreduce, shmem::ReduceOp::kMax, pWrk,
+                         reinterpret_cast<std::int64_t*>(pSync));
+}
+
+void shmem_fcollect64(void* dst, const void* src, std::size_t nelems) {
+  current_world().fcollect(dst, src, nelems * 8);
+}
+void shmem_set_lock(long long* lock) {
+  current_world().set_lock(reinterpret_cast<std::int64_t*>(lock));
+}
+void shmem_clear_lock(long long* lock) {
+  current_world().clear_lock(reinterpret_cast<std::int64_t*>(lock));
+}
+int shmem_test_lock(long long* lock) {
+  return current_world().test_lock(reinterpret_cast<std::int64_t*>(lock));
+}
+
+void* shmem_ptr(void* sym, int pe) { return current_world().ptr(sym, pe); }

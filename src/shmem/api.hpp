@@ -1,0 +1,117 @@
+// C-style OpenSHMEM shim, mirroring the right-hand side of paper Figure 1.
+//
+// The object API (shmem::World) is the primary interface; this shim binds
+// classic global-function names (start_pes, shmalloc, shmem_int_put, ...) to
+// a thread-local "current world" so example programs can be written exactly
+// like the paper's OpenSHMEM listing. Bind a world with ApiGuard before
+// launching PEs.
+#pragma once
+
+#include <cstddef>
+
+#include "shmem/world.hpp"
+
+namespace shmem {
+
+/// RAII binding of the C-style API to a World for the guard's lifetime.
+class ApiGuard {
+ public:
+  explicit ApiGuard(World& w);
+  ~ApiGuard();
+  ApiGuard(const ApiGuard&) = delete;
+  ApiGuard& operator=(const ApiGuard&) = delete;
+};
+
+/// The world currently bound (never nullptr inside API functions; throws
+/// std::logic_error when unbound).
+World& current_world();
+
+}  // namespace shmem
+
+// ---- classic SGI/OpenSHMEM spellings --------------------------------------
+
+/// No-op initializer kept for source compatibility with Figure 1; PEs are
+/// launched by World::launch.
+void start_pes(int npes_hint);
+
+int my_pe();
+int num_pes();
+
+void* shmalloc(std::size_t bytes);
+void shfree(void* ptr);
+
+void shmem_barrier_all();
+void shmem_quiet();
+void shmem_fence();
+
+void shmem_putmem(void* dst, const void* src, std::size_t n, int pe);
+void shmem_getmem(void* dst, const void* src, std::size_t n, int pe);
+
+void shmem_int_put(int* dst, const int* src, std::size_t nelems, int pe);
+void shmem_int_get(int* dst, const int* src, std::size_t nelems, int pe);
+void shmem_int_iput(int* dst, const int* src, std::ptrdiff_t dst_stride,
+                    std::ptrdiff_t src_stride, std::size_t nelems, int pe);
+void shmem_int_iget(int* dst, const int* src, std::ptrdiff_t dst_stride,
+                    std::ptrdiff_t src_stride, std::size_t nelems, int pe);
+
+long long shmem_longlong_swap(long long* target, long long value, int pe);
+long long shmem_longlong_cswap(long long* target, long long cond,
+                               long long value, int pe);
+long long shmem_longlong_fadd(long long* target, long long value, int pe);
+long long shmem_longlong_finc(long long* target, int pe);
+void shmem_longlong_add(long long* target, long long value, int pe);
+void shmem_longlong_inc(long long* target, int pe);
+
+// typed put/get for the other common element types
+void shmem_double_put(double* dst, const double* src, std::size_t nelems,
+                      int pe);
+void shmem_double_get(double* dst, const double* src, std::size_t nelems,
+                      int pe);
+void shmem_long_put(long* dst, const long* src, std::size_t nelems, int pe);
+void shmem_long_get(long* dst, const long* src, std::size_t nelems, int pe);
+void shmem_double_iput(double* dst, const double* src,
+                       std::ptrdiff_t dst_stride, std::ptrdiff_t src_stride,
+                       std::size_t nelems, int pe);
+void shmem_double_iget(double* dst, const double* src,
+                       std::ptrdiff_t dst_stride, std::ptrdiff_t src_stride,
+                       std::size_t nelems, int pe);
+
+// single-element convenience (shmem_p / shmem_g)
+void shmem_int_p(int* dst, int value, int pe);
+int shmem_int_g(const int* src, int pe);
+void shmem_double_p(double* dst, double value, int pe);
+double shmem_double_g(const double* src, int pe);
+
+// point-to-point sync
+void shmem_longlong_wait_until(long long* ivar, int cmp, long long value);
+// cmp constants (SHMEM_CMP_*)
+inline constexpr int SHMEM_CMP_EQ = 0;
+inline constexpr int SHMEM_CMP_NE = 1;
+inline constexpr int SHMEM_CMP_GT = 2;
+inline constexpr int SHMEM_CMP_GE = 3;
+inline constexpr int SHMEM_CMP_LT = 4;
+inline constexpr int SHMEM_CMP_LE = 5;
+
+// classic active-set collectives
+void shmem_barrier(int PE_start, int logPE_stride, int PE_size,
+                   long long* pSync);
+void shmem_broadcast64(void* dst, const void* src, std::size_t nelems,
+                       int PE_root, int PE_start, int logPE_stride,
+                       int PE_size, long long* pSync);
+void shmem_longlong_sum_to_all(long long* dst, const long long* src,
+                               std::size_t nreduce, int PE_start,
+                               int logPE_stride, int PE_size, long long* pWrk,
+                               long long* pSync);
+void shmem_double_max_to_all(double* dst, const double* src,
+                             std::size_t nreduce, int PE_start,
+                             int logPE_stride, int PE_size, double* pWrk,
+                             long long* pSync);
+
+// whole-world collectives and locks
+void shmem_fcollect64(void* dst, const void* src, std::size_t nelems);
+void shmem_set_lock(long long* lock);
+void shmem_clear_lock(long long* lock);
+int shmem_test_lock(long long* lock);
+
+// shmem_ptr
+void* shmem_ptr(void* sym, int pe);

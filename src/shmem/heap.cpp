@@ -1,0 +1,75 @@
+#include "shmem/heap.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace shmem {
+
+FreeListAllocator::FreeListAllocator(std::uint64_t base, std::uint64_t capacity,
+                                     std::uint64_t alignment)
+    : base_(base), capacity_(capacity), alignment_(alignment) {
+  assert((alignment & (alignment - 1)) == 0 && "alignment must be power of 2");
+  assert(align_up(base) == base && "base must be aligned");
+  if (capacity > 0) holes_[base] = capacity;
+}
+
+std::optional<std::uint64_t> FreeListAllocator::allocate(std::uint64_t bytes) {
+  const std::uint64_t need = align_up(bytes == 0 ? alignment_ : bytes);
+  for (auto it = holes_.begin(); it != holes_.end(); ++it) {
+    if (it->second >= need) {
+      const std::uint64_t off = it->first;
+      const std::uint64_t remaining = it->second - need;
+      holes_.erase(it);
+      if (remaining > 0) holes_[off + need] = remaining;
+      sizes_[off] = need;
+      in_use_ += need;
+      return off;
+    }
+  }
+  return std::nullopt;
+}
+
+void FreeListAllocator::release(std::uint64_t offset) {
+  auto it = sizes_.find(offset);
+  if (it == sizes_.end()) {
+    throw std::invalid_argument("FreeListAllocator::release: unknown block");
+  }
+  std::uint64_t off = offset;
+  std::uint64_t size = it->second;
+  sizes_.erase(it);
+  in_use_ -= size;
+  // Coalesce with the following hole.
+  auto next = holes_.lower_bound(off);
+  if (next != holes_.end() && off + size == next->first) {
+    size += next->second;
+    next = holes_.erase(next);
+  }
+  // Coalesce with the preceding hole.
+  if (next != holes_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == off) {
+      prev->second += size;
+      return;
+    }
+  }
+  holes_[off] = size;
+}
+
+bool FreeListAllocator::check_invariants() const {
+  std::uint64_t free_total = 0;
+  std::uint64_t prev_end = base_;
+  bool first = true;
+  for (const auto& [off, size] : holes_) {
+    if (size == 0) return false;
+    if (!first && off <= prev_end) return false;  // overlap or not coalesced
+    // Adjacent holes must have a live block between them (coalescing).
+    if (!first && off == prev_end) return false;
+    prev_end = off + size;
+    free_total += size;
+    first = false;
+  }
+  if (prev_end > base_ + capacity_) return false;
+  return free_total + in_use_ == capacity_;
+}
+
+}  // namespace shmem

@@ -1,0 +1,58 @@
+// First-fit free-list allocator over an abstract [0, capacity) byte range.
+//
+// Used twice in this repository, mirroring the paper's two allocation
+// domains:
+//   * the OpenSHMEM symmetric heap (shmalloc/shfree, §IV-A) — one shared
+//     allocator instance produces identical offsets on every PE because
+//     shmalloc is collective with identical sizes;
+//   * the CAF managed buffer for non-symmetric remotely-accessible data
+//     (§IV-A), carved per image out of a pre-shmalloc'ed slab.
+//
+// Offset-based (not pointer-based) so a single instance can describe
+// allocations that exist at the same offset in many PEs' segments.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace shmem {
+
+class FreeListAllocator {
+ public:
+  /// Manages [base, base+capacity). All results are >= base and aligned to
+  /// `alignment` (a power of two).
+  FreeListAllocator(std::uint64_t base, std::uint64_t capacity,
+                    std::uint64_t alignment = 16);
+
+  /// Allocates `bytes` (rounded up to the alignment); returns std::nullopt
+  /// when no suitable hole exists.
+  std::optional<std::uint64_t> allocate(std::uint64_t bytes);
+
+  /// Releases a block previously returned by allocate(). Throws
+  /// std::invalid_argument for unknown offsets (double free / corruption).
+  void release(std::uint64_t offset);
+
+  std::uint64_t bytes_in_use() const { return in_use_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::size_t live_blocks() const { return sizes_.size(); }
+
+  /// Invariant check used by property tests: free holes are disjoint,
+  /// sorted, coalesced, and free+used == capacity.
+  bool check_invariants() const;
+
+ private:
+  std::uint64_t align_up(std::uint64_t v) const {
+    return (v + alignment_ - 1) & ~(alignment_ - 1);
+  }
+
+  std::uint64_t base_;
+  std::uint64_t capacity_;
+  std::uint64_t alignment_;
+  std::map<std::uint64_t, std::uint64_t> holes_;  // offset -> size
+  std::map<std::uint64_t, std::uint64_t> sizes_;  // live offset -> size
+  std::uint64_t in_use_ = 0;
+};
+
+}  // namespace shmem

@@ -1,0 +1,153 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace sim {
+
+namespace {
+thread_local Engine* g_current_engine = nullptr;
+}  // namespace
+
+Engine::Engine(std::size_t default_stack_bytes)
+    : default_stack_bytes_(default_stack_bytes) {}
+
+Engine::~Engine() = default;
+
+Engine* Engine::current() { return g_current_engine; }
+
+Fiber& Engine::spawn(int pe, std::function<void()> body) {
+  return spawn(pe, std::move(body), default_stack_bytes_);
+}
+
+Fiber& Engine::spawn(int pe, std::function<void()> body,
+                     std::size_t stack_bytes) {
+  fibers_.push_back(
+      std::make_unique<Fiber>(*this, pe, std::move(body), stack_bytes));
+  Fiber* f = fibers_.back().get();
+  f->set_clock(sim_now_);
+  schedule(sim_now_, [this, f] { run_fiber(*f, f->clock()); });
+  return *f;
+}
+
+void Engine::spawn_pes(int n, const std::function<void(int)>& body) {
+  for (int pe = 0; pe < n; ++pe) {
+    spawn(pe, [body, pe] { body(pe); });
+  }
+}
+
+void Engine::schedule(Time t, std::function<void()> fn) {
+  queue_.push(Event{std::max(t, sim_now_), next_seq_++, std::move(fn)});
+}
+
+Time Engine::now() const {
+  assert(current_ != nullptr && "now() requires a fiber context");
+  return current_->clock();
+}
+
+void Engine::advance(Time dt) {
+  assert(dt >= 0);
+  advance_to(now() + dt);
+}
+
+void Engine::advance_to(Time t) {
+  Fiber* f = current_;
+  assert(f != nullptr && "advance_to() requires a fiber context");
+  if (t <= f->clock()) return;
+  // Leave the fiber and re-enter once the virtual clock reaches t, so any
+  // deliveries with timestamps in (now, t] land in memory first.
+  f->set_clock(t);
+  f->state_ = Fiber::State::kRunnable;
+  schedule(t, [this, f] { run_fiber(*f, f->clock()); });
+  f->switch_out();
+}
+
+void Engine::tick(Time dt) {
+  assert(current_ != nullptr);
+  assert(dt >= 0);
+  current_->set_clock(current_->clock() + dt);
+}
+
+void Engine::block() {
+  Fiber* f = current_;
+  assert(f != nullptr && "block() requires a fiber context");
+  f->state_ = Fiber::State::kBlocked;
+  f->switch_out();
+}
+
+void Engine::resume(Fiber& f, Time t) {
+  assert(f.state() == Fiber::State::kBlocked &&
+         "resume() target must be blocked");
+  f.set_clock(std::max(f.clock(), t));
+  f.state_ = Fiber::State::kRunnable;
+  schedule(f.clock(), [this, pf = &f] { run_fiber(*pf, pf->clock()); });
+}
+
+void Engine::run_fiber(Fiber& f, Time t) {
+  if (f.state() == Fiber::State::kFinished) return;
+  assert(f.state() == Fiber::State::kCreated ||
+         f.state() == Fiber::State::kRunnable);
+  f.set_clock(std::max(f.clock(), t));
+  current_ = &f;
+  f.switch_in(&scheduler_ctx_);
+  current_ = nullptr;
+}
+
+int Engine::fibers_unfinished() const {
+  int n = 0;
+  for (const auto& f : fibers_) {
+    if (f->state() != Fiber::State::kFinished) ++n;
+  }
+  return n;
+}
+
+void Engine::run() {
+  assert(!running_ && "Engine::run is not reentrant");
+  running_ = true;
+  Engine* prev = g_current_engine;
+  g_current_engine = this;
+  try {
+    while (!queue_.empty()) {
+      Event ev = queue_.top();
+      queue_.pop();
+      sim_now_ = ev.t;
+      ++events_processed_;
+      ev.fn();
+    }
+  } catch (...) {
+    g_current_engine = prev;
+    running_ = false;
+    throw;
+  }
+  g_current_engine = prev;
+  running_ = false;
+  if (fibers_unfinished() > 0) report_deadlock();
+}
+
+void Engine::report_deadlock() const {
+  std::ostringstream os;
+  os << "simulation deadlock: " << fibers_unfinished()
+     << " fiber(s) still unfinished at t=" << format_time(sim_now_)
+     << "; blocked PEs:";
+  int listed = 0;
+  for (const auto& f : fibers_) {
+    if (f->state() != Fiber::State::kFinished) {
+      if (listed++ < 16) os << ' ' << f->pe();
+    }
+  }
+  if (listed > 16) os << " ...";
+  throw DeadlockError(os.str());
+}
+
+namespace this_pe {
+
+Time now() { return Engine::current()->now(); }
+
+void advance(Time dt) { Engine::current()->advance(dt); }
+
+int id() { return Engine::current()->current_fiber()->pe(); }
+
+}  // namespace this_pe
+
+}  // namespace sim

@@ -1,0 +1,139 @@
+// Deterministic discrete-event simulation engine.
+//
+// The engine owns a virtual clock, a time-ordered event queue, and a set of
+// fibers (one per simulated PE / CAF image). Communication layers schedule
+// delivery events; fibers advance their own clocks through Engine::advance*
+// and block/resume around communication completions. Ties in the event queue
+// are broken by insertion sequence, so a given program + seed always executes
+// identically.
+//
+// Threading model: everything runs on the calling OS thread. Exactly one
+// engine can be running on a thread at a time; Engine::current() returns it
+// for code (like the OpenSHMEM C-style shim) that cannot carry a handle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/fiber.hpp"
+#include "sim/time.hpp"
+
+namespace sim {
+
+/// Thrown by Engine::run when blocked fibers remain but no events are
+/// pending — i.e. the simulated program deadlocked.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Engine {
+ public:
+  /// `default_stack_bytes` sizes fiber stacks created by spawn(); simulated
+  /// programs keep bulky data on the heap, so the default is modest.
+  explicit Engine(std::size_t default_stack_bytes = 128 * 1024);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // ---- setup (scheduler context) ----
+
+  /// Creates a fiber for PE `pe` running `body`, resumable at time 0.
+  Fiber& spawn(int pe, std::function<void()> body);
+  Fiber& spawn(int pe, std::function<void()> body, std::size_t stack_bytes);
+
+  /// Convenience: spawn `n` PEs all running `body(pe)`.
+  void spawn_pes(int n, const std::function<void(int)>& body);
+
+  /// Runs until the event queue drains. Throws DeadlockError if unfinished
+  /// fibers remain afterwards.
+  void run();
+
+  // ---- event scheduling (any context) ----
+
+  /// Schedules `fn` to run on the scheduler context at absolute time `t`
+  /// (clamped to the current virtual time if in the past).
+  void schedule(Time t, std::function<void()> fn);
+
+  /// Absolute virtual time of the event currently being processed.
+  Time sim_now() const { return sim_now_; }
+
+  // ---- fiber-side operations ----
+
+  /// The fiber currently executing, or nullptr on the scheduler context.
+  Fiber* current_fiber() const { return current_; }
+
+  /// Current fiber's local clock. Must be called from a fiber.
+  Time now() const;
+
+  /// Advances the current fiber's clock by `dt`, yielding to the scheduler
+  /// so that deliveries with earlier timestamps are processed first.
+  void advance(Time dt);
+
+  /// Advances the current fiber's clock to absolute time `t` (no-op if
+  /// already past), yielding to the scheduler.
+  void advance_to(Time t);
+
+  /// Advances the current fiber's clock without yielding. Only safe for
+  /// costs that cannot interleave with deliveries the fiber later observes;
+  /// prefer advance().
+  void tick(Time dt);
+
+  /// Blocks the current fiber until some other event calls resume().
+  void block();
+
+  /// Makes `f` runnable again at absolute time `t` (>= its own clock).
+  /// Must not be called for fibers that are not blocked.
+  void resume(Fiber& f, Time t);
+
+  // ---- introspection ----
+
+  std::size_t events_processed() const { return events_processed_; }
+  int fibers_unfinished() const;
+
+  /// Engine bound to this thread while run() is active (else nullptr).
+  static Engine* current();
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void run_fiber(Fiber& f, Time t);
+  [[noreturn]] void report_deadlock() const;
+
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::uint64_t next_seq_ = 0;
+  Time sim_now_ = 0;
+  std::size_t events_processed_ = 0;
+  std::size_t default_stack_bytes_;
+
+  Fiber* current_ = nullptr;
+  ucontext_t scheduler_ctx_{};
+  bool running_ = false;
+};
+
+/// Convenience wrappers used throughout the communication layers; they all
+/// operate on Engine::current() and the currently running fiber.
+namespace this_pe {
+Time now();
+void advance(Time dt);
+int id();
+}  // namespace this_pe
+
+}  // namespace sim

@@ -1,0 +1,71 @@
+#include "sim/fiber.hpp"
+
+#include <cassert>
+#include <cstdint>
+
+#include "sim/engine.hpp"
+
+namespace sim {
+
+Fiber::Fiber(Engine& engine, int pe, std::function<void()> body,
+             std::size_t stack_bytes)
+    : engine_(engine),
+      pe_(pe),
+      body_(std::move(body)),
+      stack_bytes_((stack_bytes + 15) & ~std::size_t{15}) {
+  stack_ = std::make_unique<char[]>(stack_bytes_);
+}
+
+Fiber::~Fiber() = default;
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
+  self->run_body();
+  // Returning from a makecontext function whose uc_link is set resumes the
+  // linked context; we instead switch out explicitly so the engine can
+  // observe the kFinished state first.
+  self->state_ = State::kFinished;
+  swapcontext(&self->ctx_, self->return_ctx_);
+  // Unreachable: a finished fiber is never resumed.
+  assert(false && "finished fiber resumed");
+}
+
+void Fiber::run_body() {
+  try {
+    body_();
+  } catch (...) {
+    pending_exception_ = std::current_exception();
+  }
+}
+
+void Fiber::switch_in(ucontext_t* scheduler_ctx) {
+  assert(state_ == State::kCreated || state_ == State::kRunnable);
+  return_ctx_ = scheduler_ctx;
+  if (state_ == State::kCreated) {
+    getcontext(&ctx_);
+    ctx_.uc_stack.ss_sp = stack_.get();
+    ctx_.uc_stack.ss_size = stack_bytes_;
+    ctx_.uc_link = scheduler_ctx;
+    const auto ptr = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                static_cast<unsigned>(ptr >> 32),
+                static_cast<unsigned>(ptr & 0xffffffffu));
+  }
+  state_ = State::kRunning;
+  swapcontext(scheduler_ctx, &ctx_);
+  // Back on the scheduler. Propagate any exception raised in the fiber.
+  if (pending_exception_) {
+    auto ex = pending_exception_;
+    pending_exception_ = nullptr;
+    state_ = State::kFinished;
+    std::rethrow_exception(ex);
+  }
+}
+
+void Fiber::switch_out() {
+  assert(state_ != State::kRunning || return_ctx_ != nullptr);
+  swapcontext(&ctx_, return_ctx_);
+}
+
+}  // namespace sim

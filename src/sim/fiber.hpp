@@ -1,0 +1,74 @@
+// Cooperative fibers (user-level execution contexts) for simulated PEs.
+//
+// Each simulated processing element / CAF image runs as one fiber. The
+// engine's event loop switches fibers in virtual-time order; fibers yield
+// back to the loop whenever they advance their clock or block on a
+// communication event. All fibers run on the host's single OS thread, so no
+// locking is required anywhere in the simulation.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "sim/time.hpp"
+
+namespace sim {
+
+class Engine;
+
+class Fiber {
+ public:
+  enum class State {
+    kCreated,   // never run
+    kRunnable,  // has a pending resume event
+    kRunning,   // currently executing
+    kBlocked,   // waiting for an explicit resume
+    kFinished,  // body returned
+  };
+
+  /// Creates a fiber that will execute `body` when first resumed.
+  /// `stack_bytes` is rounded up to a multiple of 16.
+  Fiber(Engine& engine, int pe, std::function<void()> body,
+        std::size_t stack_bytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  int pe() const { return pe_; }
+  State state() const { return state_; }
+  Time clock() const { return clock_; }
+  void set_clock(Time t) { clock_ = t; }
+
+ private:
+  friend class Engine;
+
+  // Transfers control from the scheduler into this fiber. Must only be
+  // called by Engine on the scheduler context.
+  void switch_in(ucontext_t* scheduler_ctx);
+  // Transfers control from this fiber back to the scheduler.
+  void switch_out();
+
+  static void trampoline(unsigned hi, unsigned lo);
+  void run_body();
+
+  Engine& engine_;
+  int pe_;
+  std::function<void()> body_;
+  State state_ = State::kCreated;
+  Time clock_ = 0;
+
+  std::unique_ptr<char[]> stack_;
+  std::size_t stack_bytes_;
+  ucontext_t ctx_{};
+  ucontext_t* return_ctx_ = nullptr;  // where to go on yield/finish
+
+  // If an exception escapes the fiber body it is stashed here and rethrown
+  // by the engine on the scheduler context.
+  std::exception_ptr pending_exception_;
+};
+
+}  // namespace sim

@@ -1,0 +1,21 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace sim {
+
+std::string format_time(Time t) {
+  char buf[64];
+  if (t < kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(t));
+  } else if (t < kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.3f us", to_us(t));
+  } else if (t < kSecond) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", to_ms(t));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6f s", to_sec(t));
+  }
+  return buf;
+}
+
+}  // namespace sim

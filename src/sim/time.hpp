@@ -1,0 +1,42 @@
+// Virtual-time definitions for the discrete-event simulation engine.
+//
+// All simulated durations and timestamps are integral nanoseconds so that
+// event ordering is exact and runs are bit-reproducible across hosts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sim {
+
+/// A point in (or span of) virtual time, in nanoseconds.
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+
+/// Converts a duration in (possibly fractional) nanoseconds to Time,
+/// rounding half-up. Used by bandwidth models that compute byte costs as
+/// doubles.
+constexpr Time from_ns(double ns) {
+  return static_cast<Time>(ns + 0.5);
+}
+
+constexpr double to_us(Time t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_ms(Time t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_sec(Time t) { return static_cast<double>(t) / 1e9; }
+
+/// Human-readable rendering ("12.345 us", "3.2 s", ...) for logs and
+/// benchmark tables.
+std::string format_time(Time t);
+
+namespace literals {
+constexpr Time operator""_ns(unsigned long long v) { return static_cast<Time>(v); }
+constexpr Time operator""_us(unsigned long long v) { return static_cast<Time>(v) * kMicrosecond; }
+constexpr Time operator""_ms(unsigned long long v) { return static_cast<Time>(v) * kMillisecond; }
+constexpr Time operator""_s(unsigned long long v) { return static_cast<Time>(v) * kSecond; }
+}  // namespace literals
+
+}  // namespace sim

@@ -1,0 +1,190 @@
+// upc::Runtime — a UPC-style PGAS runtime over OpenSHMEM.
+//
+// The paper's thesis is that OpenSHMEM can serve as THE portable
+// communication layer for PGAS *models* (plural): §VI points at Cray
+// implementing UPC, CAF, and SHMEM over one substrate (DMAPP) and proposes
+// OpenSHMEM for that unifying role. This module demonstrates the claim for
+// a second language model: the core of UPC's runtime — THREADS/MYTHREAD,
+// block-cyclic shared arrays, upc_barrier, upc_forall affinity, global
+// locks, and the upc_all_* collectives — mapped onto the same shmem::World
+// the CAF runtime uses.
+//
+// Notably, UPC locks ARE single global entities, so OpenSHMEM's lock API —
+// which §IV-D shows is the *wrong* shape for CAF's per-image locks — is
+// exactly the right shape here.
+//
+// Shared-array layout ("shared [B] T A[N]"): element i lives on thread
+// (i / B) % THREADS, at local block i / (B*THREADS), slot i % B.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+#include "shmem/world.hpp"
+
+namespace upc {
+
+class Runtime;
+
+/// Affinity arithmetic for a block-cyclic shared array, exposed separately
+/// so it can be property-tested against a reference enumeration.
+struct Layout {
+  std::int64_t nelems = 0;
+  std::int64_t blocksize = 1;
+  int threads = 1;
+
+  int owner(std::int64_t i) const { return static_cast<int>((i / blocksize) % threads); }
+  /// Index within the owner's local slice.
+  std::int64_t local_index(std::int64_t i) const {
+    return (i / (blocksize * threads)) * blocksize + i % blocksize;
+  }
+  /// Elements resident on `thread`.
+  std::int64_t local_count(int thread) const {
+    std::int64_t full_cycles = nelems / (blocksize * threads);
+    std::int64_t count = full_cycles * blocksize;
+    const std::int64_t rem = nelems % (blocksize * threads);
+    const std::int64_t start = static_cast<std::int64_t>(thread) * blocksize;
+    if (rem > start) count += std::min(rem - start, blocksize);
+    return count;
+  }
+};
+
+/// A distributed shared array handle (same offset on every thread).
+template <typename T>
+class SharedArray {
+ public:
+  SharedArray() = default;
+
+  const Layout& layout() const { return layout_; }
+
+  /// Remote or local read of element i (shared pointer dereference).
+  T read(std::int64_t i) const;
+  /// Remote or local write.
+  void write(std::int64_t i, T v);
+  /// Host pointer if the caller has affinity to element i, else nullptr
+  /// (upc_cast / local pointer-to-shared conversion).
+  T* local_ptr(std::int64_t i);
+
+ private:
+  friend class Runtime;
+  Runtime* rt_ = nullptr;
+  std::uint64_t off_ = 0;  // symmetric offset of the local slice
+  Layout layout_;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(shmem::World& world) : world_(world) {}
+
+  int mythread() const { return world_.my_pe(); }
+  int threads() const { return world_.n_pes(); }
+  shmem::World& world() { return world_; }
+
+  void barrier() { world_.barrier_all(); }   // upc_barrier
+  void fence() { world_.quiet(); }           // upc_fence
+
+  /// upc_all_alloc: collective allocation of a shared [blocksize] T[nelems].
+  template <typename T>
+  SharedArray<T> all_alloc(std::int64_t nelems, std::int64_t blocksize) {
+    if (nelems < 0 || blocksize < 1) {
+      throw std::invalid_argument("upc_all_alloc: bad shape");
+    }
+    SharedArray<T> a;
+    a.rt_ = this;
+    a.layout_ = Layout{nelems, blocksize, threads()};
+    // Every thread allocates the maximum slice so offsets stay symmetric.
+    std::int64_t max_local = 0;
+    for (int t = 0; t < threads(); ++t) {
+      max_local = std::max(max_local, a.layout_.local_count(t));
+    }
+    void* p = world_.shmalloc(static_cast<std::size_t>(
+        std::max<std::int64_t>(max_local, 1) * static_cast<std::int64_t>(sizeof(T))));
+    a.off_ = world_.offset_of(p);
+    return a;
+  }
+
+  /// upc_forall(i = 0; i < n; ++i; affinity &A[i]) { body(i); } — executes
+  /// body(i) only on the thread with affinity to A[i].
+  template <typename T>
+  void forall(const SharedArray<T>& a,
+              const std::function<void(std::int64_t)>& body) {
+    for (std::int64_t i = 0; i < a.layout().nelems; ++i) {
+      if (a.layout().owner(i) == mythread()) body(i);
+    }
+  }
+
+  /// upc_global_lock_alloc: UPC locks are single global entities — the
+  /// OpenSHMEM lock API fits directly (contrast §IV-D for CAF).
+  std::int64_t* global_lock_alloc() {
+    auto* l = static_cast<std::int64_t*>(world_.shmalloc(sizeof(std::int64_t)));
+    *l = 0;
+    world_.barrier_all();
+    return l;
+  }
+  void lock(std::int64_t* l) { world_.set_lock(l); }
+  void unlock(std::int64_t* l) { world_.clear_lock(l); }
+  int lock_attempt(std::int64_t* l) { return world_.test_lock(l) == 0 ? 1 : 0; }
+
+  /// upc_all_reduce (sum/min/max over a private value per thread).
+  template <typename T>
+  T all_reduce(T v, shmem::ReduceOp op) {
+    auto* slot = static_cast<T*>(world_.shmalloc(sizeof(T)));
+    *slot = v;
+    world_.reduce(slot, slot, 1, op);
+    const T out = *slot;
+    world_.barrier_all();
+    world_.shfree(slot);
+    return out;
+  }
+
+  /// upc_all_broadcast of a private value from `root`.
+  template <typename T>
+  T all_broadcast(T v, int root) {
+    auto* slot = static_cast<T*>(world_.shmalloc(sizeof(T)));
+    if (mythread() == root) *slot = v;
+    world_.barrier_all();
+    world_.broadcast(slot, sizeof(T), root);
+    const T out = *slot;
+    world_.barrier_all();
+    world_.shfree(slot);
+    return out;
+  }
+
+ private:
+  template <typename U>
+  friend class SharedArray;
+
+  shmem::World& world_;
+};
+
+template <typename T>
+T SharedArray<T>::read(std::int64_t i) const {
+  const Layout& l = layout_;
+  const int owner = l.owner(i);
+  auto* base = reinterpret_cast<T*>(
+      rt_->world().domain().segment(rt_->mythread()) + off_);
+  T v{};
+  rt_->world().getmem(&v, base + l.local_index(i), sizeof(T), owner);
+  return v;
+}
+
+template <typename T>
+void SharedArray<T>::write(std::int64_t i, T v) {
+  const Layout& l = layout_;
+  const int owner = l.owner(i);
+  auto* base = reinterpret_cast<T*>(
+      rt_->world().domain().segment(rt_->mythread()) + off_);
+  rt_->world().putmem(base + l.local_index(i), &v, sizeof(T), owner);
+  rt_->world().quiet();
+}
+
+template <typename T>
+T* SharedArray<T>::local_ptr(std::int64_t i) {
+  if (layout_.owner(i) != rt_->mythread()) return nullptr;
+  auto* base = reinterpret_cast<T*>(
+      rt_->world().domain().segment(rt_->mythread()) + off_);
+  return base + layout_.local_index(i);
+}
+
+}  // namespace upc

@@ -1,0 +1,118 @@
+// Tests for the distributed hash table benchmark across all runtimes:
+// conservation of updates (atomicity), determinism, and cross-runtime
+// agreement on the final table contents.
+#include "apps/dht_drivers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "caf_test_util.hpp"
+
+using namespace apps::dht;
+using caftest::Harness;
+using caftest::Stack;
+
+namespace {
+
+std::int64_t run_caf_dht(Stack stack, int images, const Config& cfg) {
+  Harness h(stack, images, {}, 4 << 20);
+  std::int64_t total = 0;
+  h.run([&] {
+    auto table = make_caf_table(h.rt(), cfg);
+    table.run_updates();
+    h.rt().sync_all();
+    std::int64_t local = table.local_count_sum();
+    h.rt().co_sum(&local, 1);
+    total = local;
+    h.rt().sync_all();
+  });
+  return total;
+}
+
+}  // namespace
+
+class DhtAllStacks : public ::testing::TestWithParam<Stack> {};
+INSTANTIATE_TEST_SUITE_P(Stacks, DhtAllStacks,
+                         ::testing::ValuesIn(caftest::kAllStacks),
+                         [](const auto& info) {
+                           std::string s = caftest::to_string(info.param);
+                           for (auto& c : s) if (c == '-') c = '_';
+                           return s;
+                         });
+
+TEST_P(DhtAllStacks, NoUpdateIsLost) {
+  Config cfg;
+  cfg.updates_per_image = 20;
+  cfg.buckets_per_image = 64;
+  cfg.locks_per_image = 8;
+  const int images = 12;
+  EXPECT_EQ(run_caf_dht(GetParam(), images, cfg),
+            static_cast<std::int64_t>(images) * cfg.updates_per_image);
+}
+
+TEST(Dht, HighContentionFewLocks) {
+  // One lock per image: updates serialize heavily but must still all land.
+  Config cfg;
+  cfg.updates_per_image = 15;
+  cfg.buckets_per_image = 16;
+  cfg.locks_per_image = 1;
+  EXPECT_EQ(run_caf_dht(Stack::kShmemCray, 16, cfg), 16 * 15);
+}
+
+TEST(Dht, CrayCafBaselineConserves) {
+  sim::Engine engine{64 * 1024};
+  net::Fabric fabric(net::machine_profile(net::Machine::kXC30), 12);
+  craycaf::Runtime rt(engine, fabric, 4 << 20);
+  Config cfg;
+  cfg.updates_per_image = 20;
+  cfg.buckets_per_image = 64;
+  cfg.locks_per_image = 8;
+  double total = 0;
+  rt.launch([&] {
+    auto table = make_craycaf_table(rt, cfg);
+    table.run_updates();
+    rt.sync_all();
+    double local = static_cast<double>(table.local_count_sum());
+    rt.co_sum_f64(&local, 1);
+    total = local;
+    rt.sync_all();
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(total, 12.0 * 20);
+}
+
+TEST(Dht, DeterministicAcrossRuns) {
+  Config cfg;
+  cfg.updates_per_image = 10;
+  auto once = [&] {
+    Harness h(Stack::kShmemCray, 8, {}, 4 << 20);
+    sim::Time t = 0;
+    h.run([&] {
+      auto table = make_caf_table(h.rt(), cfg);
+      table.run_updates();
+      h.rt().sync_all();
+      t = h.engine().now();
+    });
+    return t;
+  };
+  EXPECT_EQ(once(), once());
+}
+
+TEST(Dht, ShmemFasterThanGasnet) {
+  // Figure 9's qualitative ordering on lock-heavy workloads.
+  Config cfg;
+  cfg.updates_per_image = 12;
+  cfg.locks_per_image = 2;  // contention matters
+  auto elapsed = [&](Stack stack) {
+    Harness h(stack, 16, {}, 4 << 20);
+    sim::Time t = 0;
+    h.run([&] {
+      auto table = make_caf_table(h.rt(), cfg);
+      h.rt().sync_all();
+      table.run_updates();
+      h.rt().sync_all();
+      t = h.engine().now();
+    });
+    return t;
+  };
+  EXPECT_LT(elapsed(Stack::kShmemCray), elapsed(Stack::kGasnet));
+}

@@ -1,0 +1,102 @@
+// Tests for the Himeno solver: decomposition logic, numerical agreement
+// between serial and decomposed runs, residual decrease, and conduit
+// independence of the numerics.
+#include "apps/himeno.hpp"
+
+#include <gtest/gtest.h>
+
+#include "caf_test_util.hpp"
+
+using namespace apps::himeno;
+using caftest::Harness;
+using caftest::Stack;
+
+namespace {
+
+Result run_himeno(Stack stack, int images, Config base,
+                  caf::StridedAlgo algo = caf::StridedAlgo::kNaive) {
+  caf::Options opts;
+  opts.strided = algo;
+  Harness h(stack, images, opts, 8 << 20);
+  const Config cfg = decompose(base, images);
+  Result r;
+  h.run([&] {
+    Solver solver(h.rt(), cfg);
+    r = solver.run();
+    h.rt().sync_all();
+  });
+  return r;
+}
+
+}  // namespace
+
+TEST(HimenoDecompose, PicksSquarishDivisibleGrids) {
+  Config cfg;
+  cfg.gy = 32;
+  cfg.gz = 32;
+  auto d4 = decompose(cfg, 4);
+  EXPECT_EQ(d4.py * d4.pz, 4);
+  EXPECT_EQ(d4.py, 2);
+  auto d8 = decompose(cfg, 8);
+  EXPECT_EQ(d8.py * d8.pz, 8);
+  EXPECT_EQ(32 % d8.py, 0);
+  EXPECT_EQ(32 % d8.pz, 0);
+  EXPECT_THROW(decompose(cfg, 7 * 11), std::invalid_argument);
+}
+
+TEST(Himeno, ResidualDecreasesOverIterations) {
+  Config cfg;
+  cfg.gx = cfg.gy = cfg.gz = 16;
+  cfg.iters = 1;
+  const Result r1 = run_himeno(Stack::kShmemCray, 4, cfg);
+  cfg.iters = 6;
+  const Result r6 = run_himeno(Stack::kShmemCray, 4, cfg);
+  EXPECT_GT(r1.gosa, 0.0);
+  EXPECT_LT(r6.gosa, r1.gosa);
+}
+
+TEST(Himeno, DecomposedMatchesSerialGosa) {
+  // The halo exchange must make a 2x2-image run numerically equivalent to
+  // the single-image run (co_sum ordering differences are within 1e-12).
+  Config cfg;
+  cfg.gx = cfg.gy = cfg.gz = 16;
+  cfg.iters = 3;
+  const Result serial = run_himeno(Stack::kShmemCray, 1, cfg);
+  const Result par4 = run_himeno(Stack::kShmemCray, 4, cfg);
+  const Result par8 = run_himeno(Stack::kShmemCray, 8, cfg);
+  EXPECT_NEAR(par4.gosa, serial.gosa, 1e-9 * std::max(1.0, serial.gosa));
+  EXPECT_NEAR(par8.gosa, serial.gosa, 1e-9 * std::max(1.0, serial.gosa));
+}
+
+TEST(Himeno, NumericsIndependentOfConduitAndAlgo) {
+  Config cfg;
+  cfg.gx = cfg.gy = cfg.gz = 16;
+  cfg.iters = 2;
+  const Result ref = run_himeno(Stack::kShmemCray, 4, cfg);
+  for (Stack s : caftest::kAllStacks) {
+    for (auto algo : {caf::StridedAlgo::kNaive, caf::StridedAlgo::kTwoDim}) {
+      const Result r = run_himeno(s, 4, cfg, algo);
+      EXPECT_NEAR(r.gosa, ref.gosa, 1e-12)
+          << caftest::to_string(s) << " algo " << static_cast<int>(algo);
+    }
+  }
+}
+
+TEST(Himeno, MoreImagesMoreMflops) {
+  Config cfg;
+  cfg.gx = cfg.gy = cfg.gz = 32;
+  cfg.iters = 2;
+  const Result r1 = run_himeno(Stack::kShmemMvapich, 1, cfg);
+  const Result r16 = run_himeno(Stack::kShmemMvapich, 16, cfg);
+  EXPECT_GT(r16.mflops, 2.0 * r1.mflops);
+}
+
+TEST(Himeno, ElapsedIsDeterministic) {
+  Config cfg;
+  cfg.gx = cfg.gy = cfg.gz = 16;
+  cfg.iters = 2;
+  const Result a = run_himeno(Stack::kGasnet, 4, cfg);
+  const Result b = run_himeno(Stack::kGasnet, 4, cfg);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_DOUBLE_EQ(a.gosa, b.gosa);
+}

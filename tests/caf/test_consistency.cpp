@@ -1,0 +1,163 @@
+// Randomized memory-consistency property test, run over every conduit:
+// images execute rounds of deterministic pseudo-random communication
+// (contiguous puts, strided section puts, scalar puts, atomics) into
+// conflict-free destinations, with sync all between rounds; the final
+// memory of every image must equal a sequentially computed golden model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "caf_test_util.hpp"
+#include "sim/rng.hpp"
+
+using namespace caf;
+using caftest::Harness;
+using caftest::Stack;
+
+namespace {
+
+constexpr int kImages = 6;
+constexpr std::int64_t kRows = 24;   // row r belongs to writer image r%6 + ...
+constexpr std::int64_t kCols = 16;
+constexpr int kRounds = 4;
+
+struct Op {
+  int writer;       // 1-based image that performs the op
+  int target;       // 1-based destination image
+  int kind;         // 0 = contiguous row put, 1 = strided row put, 2 = scalar
+  std::int64_t row; // row assigned to this writer (conflict-free)
+  std::int64_t col_lo, col_hi, col_st;
+  int value_seed;
+};
+
+/// Deterministically generates the ops of one round. Row ownership is
+/// writer-unique so concurrent puts never overlap.
+std::vector<Op> make_round(int round, std::uint64_t seed) {
+  sim::Rng rng(seed * 7919 + static_cast<std::uint64_t>(round));
+  std::vector<Op> ops;
+  for (int w = 1; w <= kImages; ++w) {
+    // Each writer owns rows where row % kImages == w-1.
+    const int n_ops = 2 + static_cast<int>(rng.below(3));
+    for (int k = 0; k < n_ops; ++k) {
+      Op op;
+      op.writer = w;
+      op.target = 1 + static_cast<int>(rng.below(kImages));
+      op.kind = static_cast<int>(rng.below(3));
+      op.row = 1 + (w - 1) +
+               kImages * static_cast<std::int64_t>(rng.below(kRows / kImages));
+      op.col_lo = 1 + static_cast<std::int64_t>(rng.below(kCols / 2));
+      op.col_hi = op.col_lo + static_cast<std::int64_t>(
+                                  rng.below(static_cast<std::uint64_t>(
+                                      kCols - op.col_lo + 1)));
+      op.col_st = 1 + static_cast<std::int64_t>(rng.below(3));
+      op.value_seed = static_cast<int>(rng.below(1 << 20));
+      ops.push_back(op);
+    }
+  }
+  return ops;
+}
+
+int op_value(const Op& op, std::int64_t i) {
+  return op.value_seed + static_cast<int>(i) * 13 + op.writer;
+}
+
+/// Applies one op to a golden image-memory model.
+void apply_golden(std::vector<std::vector<int>>& mem, const Op& op) {
+  auto& tgt = mem[static_cast<std::size_t>(op.target - 1)];
+  auto at = [&](std::int64_t r, std::int64_t c) -> int& {
+    return tgt[static_cast<std::size_t>((c - 1) * kRows + (r - 1))];
+  };
+  switch (op.kind) {
+    case 0:  // contiguous column segment within the row? use whole-row put
+      for (std::int64_t c = 1; c <= kCols; ++c) at(op.row, c) = op_value(op, c);
+      break;
+    case 1:  // strided section put along columns of the row
+      for (std::int64_t c = op.col_lo, i = 0; c <= op.col_hi; c += op.col_st, ++i)
+        at(op.row, c) = op_value(op, i);
+      break;
+    default:  // scalar
+      at(op.row, op.col_lo) = op_value(op, 0);
+      break;
+  }
+}
+
+}  // namespace
+
+class Consistency : public ::testing::TestWithParam<Stack> {};
+INSTANTIATE_TEST_SUITE_P(Stacks, Consistency,
+                         ::testing::ValuesIn(caftest::kAllStacks),
+                         [](const auto& info) {
+                           std::string s = caftest::to_string(info.param);
+                           for (auto& c : s) if (c == '-') c = '_';
+                           return s;
+                         });
+
+TEST_P(Consistency, RandomProgramMatchesGoldenModel) {
+  for (std::uint64_t seed : {11ull, 42ull}) {
+    for (auto algo : {StridedAlgo::kNaive, StridedAlgo::kTwoDim}) {
+      // Golden model.
+      std::vector<std::vector<int>> golden(
+          kImages, std::vector<int>(static_cast<std::size_t>(kRows * kCols), 0));
+      for (int r = 0; r < kRounds; ++r) {
+        for (const Op& op : make_round(r, seed)) apply_golden(golden, op);
+      }
+
+      Options opts;
+      opts.strided = algo;
+      Harness h(GetParam(), kImages, opts, 4 << 20);
+      std::vector<std::vector<int>> actual(kImages);
+      h.run([&] {
+        auto x = make_coarray<int>(h.rt(), Shape{kRows, kCols});
+        for (std::int64_t i = 0; i < x.size(); ++i) x.data()[i] = 0;
+        h.rt().sync_all();
+        const int me = h.rt().this_image();
+        for (int r = 0; r < kRounds; ++r) {
+          for (const Op& op : make_round(r, seed)) {
+            if (op.writer != me) continue;
+            switch (op.kind) {
+              case 0: {
+                // Whole-row put: a strided section with the row fixed.
+                std::vector<int> vals;
+                for (std::int64_t c = 1; c <= kCols; ++c) {
+                  vals.push_back(op_value(op, c));
+                }
+                x.put_section(op.target,
+                              Section{{op.row, op.row, 1}, {1, kCols, 1}},
+                              vals.data());
+                break;
+              }
+              case 1: {
+                std::vector<int> vals;
+                for (std::int64_t c = op.col_lo, i = 0; c <= op.col_hi;
+                     c += op.col_st, ++i) {
+                  vals.push_back(op_value(op, i));
+                }
+                if (!vals.empty()) {
+                  x.put_section(
+                      op.target,
+                      Section{{op.row, op.row, 1},
+                              {op.col_lo, op.col_hi, op.col_st}},
+                      vals.data());
+                }
+                break;
+              }
+              default:
+                x.put_scalar(op.target, {op.row, op.col_lo}, op_value(op, 0));
+                break;
+            }
+          }
+          h.rt().sync_all();
+        }
+        actual[me - 1].assign(x.data(), x.data() + x.size());
+        h.rt().sync_all();
+      });
+
+      for (int img = 0; img < kImages; ++img) {
+        ASSERT_EQ(actual[img], golden[img])
+            << "image " << img + 1 << " seed " << seed << " algo "
+            << static_cast<int>(algo) << " stack "
+            << caftest::to_string(GetParam());
+      }
+    }
+  }
+}

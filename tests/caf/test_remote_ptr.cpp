@@ -1,0 +1,63 @@
+// Tests for the packed 20/36/8-bit remote pointers of §IV-D.
+#include "caf/remote_ptr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+using caf::RemotePtr;
+
+TEST(RemotePtr, NullIsFalsy) {
+  RemotePtr p;
+  EXPECT_TRUE(p.is_null());
+  EXPECT_FALSE(p);
+  EXPECT_EQ(p.bits(), 0u);
+}
+
+TEST(RemotePtr, ImageZeroOffsetZeroIsNotNull) {
+  // The valid flag distinguishes a real (0, 0) pointer from null.
+  RemotePtr p(0, 0);
+  EXPECT_FALSE(p.is_null());
+  EXPECT_EQ(p.image(), 0);
+  EXPECT_EQ(p.offset(), 0u);
+}
+
+TEST(RemotePtr, FieldWidthsMatchPaper) {
+  EXPECT_EQ(RemotePtr::kImageBits, 20);
+  EXPECT_EQ(RemotePtr::kOffsetBits, 36);
+  EXPECT_EQ(RemotePtr::kFlagBits, 8);
+  EXPECT_EQ(RemotePtr::kImageBits + RemotePtr::kOffsetBits +
+                RemotePtr::kFlagBits,
+            64);
+}
+
+TEST(RemotePtr, ExtremesRoundTrip) {
+  RemotePtr hi(static_cast<int>(RemotePtr::kMaxImage), RemotePtr::kMaxOffset,
+               0xFE);
+  EXPECT_EQ(hi.image(), static_cast<int>(RemotePtr::kMaxImage));
+  EXPECT_EQ(hi.offset(), RemotePtr::kMaxOffset);
+  EXPECT_EQ(hi.flags(), 0xFF);  // valid bit forced on
+}
+
+TEST(RemotePtr, BitsRoundTrip) {
+  RemotePtr p(77, 123456, 0x10);
+  RemotePtr q = RemotePtr::from_bits(p.bits());
+  EXPECT_EQ(p, q);
+  EXPECT_EQ(q.image(), 77);
+  EXPECT_EQ(q.offset(), 123456u);
+}
+
+TEST(RemotePtrProperty, RandomRoundTrips) {
+  sim::Rng rng(2025);
+  for (int i = 0; i < 10'000; ++i) {
+    const int image = static_cast<int>(rng.below(RemotePtr::kMaxImage + 1));
+    const std::uint64_t off = rng.below(RemotePtr::kMaxOffset + 1);
+    const auto flags = static_cast<std::uint8_t>(rng.below(256) & ~1u);
+    RemotePtr p(image, off, flags);
+    ASSERT_EQ(p.image(), image);
+    ASSERT_EQ(p.offset(), off);
+    ASSERT_EQ(p.flags() & ~RemotePtr::kValidFlag, flags);
+    ASSERT_FALSE(p.is_null());
+    ASSERT_EQ(RemotePtr::from_bits(p.bits()), p);
+  }
+}

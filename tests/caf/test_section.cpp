@@ -1,0 +1,94 @@
+// Unit tests for Fortran-style shapes, triplets, sections, and SectionDesc.
+#include "caf/section.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace caf;
+
+TEST(Shape, ColumnMajorStrides) {
+  Shape s{10, 20, 30};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.size(), 6000);
+  EXPECT_EQ(s.dim_stride(0), 1);
+  EXPECT_EQ(s.dim_stride(1), 10);
+  EXPECT_EQ(s.dim_stride(2), 200);
+}
+
+TEST(Shape, LinearIndexIsOneBased) {
+  Shape s{4, 3};
+  EXPECT_EQ(s.linear_index({1, 1}), 0);
+  EXPECT_EQ(s.linear_index({2, 1}), 1);
+  EXPECT_EQ(s.linear_index({1, 2}), 4);
+  EXPECT_EQ(s.linear_index({4, 3}), 11);
+  EXPECT_THROW(s.linear_index({0, 1}), std::out_of_range);
+  EXPECT_THROW(s.linear_index({5, 1}), std::out_of_range);
+  EXPECT_THROW(s.linear_index({1}), std::invalid_argument);
+}
+
+TEST(Triplet, CountsInclusive) {
+  EXPECT_EQ((Triplet{1, 10, 1}).count(), 10);
+  EXPECT_EQ((Triplet{1, 10, 2}).count(), 5);
+  EXPECT_EQ((Triplet{1, 9, 2}).count(), 5);   // 1,3,5,7,9
+  EXPECT_EQ((Triplet{3, 3, 1}).count(), 1);
+  EXPECT_EQ((Triplet{5, 4, 1}).count(), 0);
+  EXPECT_THROW((Triplet{1, 4, 0}).count(), std::invalid_argument);
+}
+
+TEST(Section, PaperExampleCounts) {
+  // §IV-C: coarray X(100,100,100), section (1:100:2, 1:80:2, 1:100:4)
+  // has 50, 40, 25 strided elements per dimension.
+  Shape shape{100, 100, 100};
+  Section sec{{1, 100, 2}, {1, 80, 2}, {1, 100, 4}};
+  sec.validate(shape);
+  SectionDesc d = describe(shape, sec);
+  EXPECT_EQ(d.count[0], 50);
+  EXPECT_EQ(d.count[1], 40);
+  EXPECT_EQ(d.count[2], 25);
+  EXPECT_EQ(d.total, 50 * 40 * 25);
+  EXPECT_EQ(d.elem_stride[0], 2);
+  EXPECT_EQ(d.elem_stride[1], 2 * 100);
+  EXPECT_EQ(d.elem_stride[2], 4 * 100 * 100);
+  EXPECT_FALSE(d.dim0_contiguous());
+}
+
+TEST(Section, MatrixOrientedIsDim0Contiguous) {
+  // The Himeno halo case: full contiguous rows, strided planes.
+  Shape shape{64, 64, 8};
+  Section sec{{1, 64, 1}, {1, 64, 2}, {2, 2, 1}};
+  SectionDesc d = describe(shape, sec);
+  EXPECT_TRUE(d.dim0_contiguous());
+  EXPECT_EQ(d.total, 64 * 32);
+  EXPECT_EQ(d.first_elem, 64 * 64);  // k == 2 plane
+}
+
+TEST(Section, ValidationCatchesBadTriplets) {
+  Shape shape{10, 10};
+  EXPECT_THROW(describe(shape, Section{{1, 11, 1}, {1, 10, 1}}),
+               std::out_of_range);
+  EXPECT_THROW(describe(shape, Section{{0, 5, 1}, {1, 10, 1}}),
+               std::out_of_range);
+  EXPECT_THROW(describe(shape, Section{{1, 10, 1}}), std::invalid_argument);
+}
+
+TEST(Section, AllSelectsEverything) {
+  Shape shape{7, 5};
+  SectionDesc d = describe(shape, Section::all(shape));
+  EXPECT_EQ(d.total, 35);
+  EXPECT_EQ(d.first_elem, 0);
+  EXPECT_TRUE(d.dim0_contiguous());
+}
+
+TEST(Section, LinearElementsColumnMajorOrder) {
+  Shape shape{4, 3};
+  Section sec{{1, 3, 2}, {2, 3, 1}};  // rows 1,3; cols 2,3
+  auto elems = linear_elements(describe(shape, sec));
+  // (1,2)=4, (3,2)=6, (1,3)=8, (3,3)=10  (0-based linear)
+  EXPECT_EQ(elems, (std::vector<std::int64_t>{4, 6, 8, 10}));
+}
+
+TEST(Section, ScalarSectionHasOneElement) {
+  Shape shape{10};
+  SectionDesc d = describe(shape, Section{{3, 3, 1}});
+  EXPECT_EQ(d.total, 1);
+  EXPECT_EQ(d.first_elem, 2);
+}

@@ -1,0 +1,213 @@
+// Unit tests for the interconnect cost model: latency/bandwidth arithmetic,
+// NIC serialization (contention), atomic-unit serialization, intra-node
+// short-circuit, and profile sanity.
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/profiles.hpp"
+
+using namespace net;
+using sim::Time;
+
+namespace {
+
+Fabric make_fabric(Machine m = Machine::kStampede, int npes = 32) {
+  return Fabric(machine_profile(m), npes);
+}
+
+}  // namespace
+
+TEST(Fabric, NodeMapping) {
+  Fabric f = make_fabric(Machine::kStampede, 48);
+  EXPECT_EQ(f.node_of(0), 0);
+  EXPECT_EQ(f.node_of(15), 0);
+  EXPECT_EQ(f.node_of(16), 1);
+  EXPECT_EQ(f.node_of(47), 2);
+  EXPECT_TRUE(f.same_node(0, 15));
+  EXPECT_FALSE(f.same_node(15, 16));
+}
+
+TEST(Fabric, PutLatencyComposition) {
+  Fabric f = make_fabric();
+  const auto& mp = f.profile();
+  SwProfile sw = sw_profile(Library::kShmemMvapich, Machine::kStampede);
+  auto c = f.submit_put(0, 16, 8, sw, 0);
+  EXPECT_EQ(c.local_complete, sw.put_overhead);
+  // delivered = overhead + occupancy + wire latency + rx gap
+  const Time occ = sim::from_ns(8.0 / (mp.link_bytes_per_ns * sw.bw_efficiency));
+  EXPECT_EQ(c.delivered, sw.put_overhead + occ + mp.hw_latency + mp.rx_msg_gap);
+}
+
+TEST(Fabric, LargePutsApproachLinkBandwidth) {
+  Fabric f = make_fabric();
+  SwProfile sw = sw_profile(Library::kShmemMvapich, Machine::kStampede);
+  const std::size_t bytes = 4 << 20;
+  auto c = f.submit_put(0, 16, bytes, sw, 0);
+  const double secs = sim::to_sec(c.delivered);
+  const double gbps = static_cast<double>(bytes) / 1e9 / secs;
+  const double link = f.profile().link_bytes_per_ns * sw.bw_efficiency;
+  EXPECT_GT(gbps, 0.9 * link);
+  EXPECT_LE(gbps, link + 0.01);
+}
+
+TEST(Fabric, TxSerializationCreatesContention) {
+  // Two senders on node 0 each send 1 MB at t=0: the second message's
+  // delivery is pushed out by roughly one occupancy.
+  Fabric f = make_fabric();
+  SwProfile sw = sw_profile(Library::kShmemMvapich, Machine::kStampede);
+  auto a = f.submit_put(0, 16, 1 << 20, sw, 0);
+  auto b = f.submit_put(1, 17, 1 << 20, sw, 0);
+  EXPECT_GT(b.delivered, a.delivered);
+  EXPECT_NEAR(static_cast<double>(b.delivered - a.delivered),
+              (1 << 20) / (f.profile().link_bytes_per_ns * sw.bw_efficiency),
+              1'000.0);
+}
+
+TEST(Fabric, SixteenPairsSplitBandwidthEvenly) {
+  Fabric f = make_fabric();
+  SwProfile sw = sw_profile(Library::kShmemMvapich, Machine::kStampede);
+  const std::size_t bytes = 1 << 20;
+  sim::Time last = 0;
+  for (int p = 0; p < 16; ++p) {
+    last = std::max(last, f.submit_put(p, 16 + p, bytes, sw, 0).delivered);
+  }
+  const double agg = 16.0 * bytes / static_cast<double>(last);  // bytes/ns
+  EXPECT_NEAR(agg, f.profile().link_bytes_per_ns * sw.bw_efficiency,
+              0.2 * f.profile().link_bytes_per_ns);
+}
+
+TEST(Fabric, IntraNodeBypassesNic) {
+  Fabric f = make_fabric();
+  SwProfile sw = sw_profile(Library::kShmemMvapich, Machine::kStampede);
+  auto remote = f.submit_put(0, 16, 4096, sw, 0);
+  f.reset();
+  auto local = f.submit_put(0, 1, 4096, sw, 0);
+  EXPECT_LT(local.delivered, remote.delivered);
+  // Local transfers must not consume NIC budget: a subsequent remote put
+  // sees an idle link.
+  auto remote2 = f.submit_put(2, 17, 4096, sw, 0);
+  EXPECT_EQ(remote2.delivered, remote.delivered);
+}
+
+TEST(Fabric, GetIsARoundTrip) {
+  Fabric f = make_fabric();
+  SwProfile sw = sw_profile(Library::kShmemMvapich, Machine::kStampede);
+  auto rt = f.submit_get(0, 16, 8, sw, 0);
+  EXPECT_GT(rt.target_read, 0);
+  EXPECT_GT(rt.complete, rt.target_read + f.profile().hw_latency);
+  // A get of b bytes costs strictly more than a put of b bytes (extra hop).
+  f.reset();
+  auto put = f.submit_put(0, 16, 8, sw, 0);
+  EXPECT_GT(rt.complete, put.delivered);
+}
+
+TEST(Fabric, AmoSerializesAtTargetPe) {
+  // Many PEs hammering the same target PE with atomics serialize on its
+  // atomic unit; the k-th completion grows linearly.
+  Fabric f = make_fabric(Machine::kTitan, 64);
+  SwProfile sw = sw_profile(Library::kShmemCray, Machine::kTitan);
+  sim::Time prev = 0;
+  std::vector<sim::Time> done;
+  for (int p = 16; p < 48; ++p) {
+    done.push_back(f.submit_amo(p, 0, sw, 0).target_read);
+  }
+  for (std::size_t i = 1; i < done.size(); ++i) {
+    EXPECT_GE(done[i], done[i - 1] + f.profile().nic_amo_gap);
+  }
+  (void)prev;
+}
+
+TEST(Fabric, AmoToDistinctTargetsDoesNotSerializeAtUnit) {
+  Fabric f = make_fabric(Machine::kTitan, 64);
+  SwProfile sw = sw_profile(Library::kShmemCray, Machine::kTitan);
+  auto a = f.submit_amo(16, 0, sw, 0);
+  auto b = f.submit_amo(17, 1, sw, 0);
+  // Only the shared NIC rx gap separates them, not the atomic unit.
+  EXPECT_LT(b.target_read - a.target_read, f.profile().nic_amo_gap);
+}
+
+TEST(Fabric, AmHandlerCostExceedsNicAmo) {
+  Fabric f = make_fabric(Machine::kTitan, 64);
+  SwProfile shmem = sw_profile(Library::kShmemCray, Machine::kTitan);
+  SwProfile gasnet = sw_profile(Library::kGasnet, Machine::kTitan);
+  auto nic = f.submit_amo(16, 0, shmem, 0);
+  f.reset();
+  auto am = f.submit_am(16, 0, 8, gasnet, 0);
+  EXPECT_GT(am.complete, nic.complete);
+}
+
+TEST(Fabric, HwStridedBeatsSoftwareLoop) {
+  // One hardware iput of 1000 elements vs 1000 individual puts.
+  Fabric f = make_fabric(Machine::kXC30, 32);
+  SwProfile cray = sw_profile(Library::kShmemCray, Machine::kXC30);
+  auto hw = f.submit_strided_put(0, 16, 4, 1000, cray, 0);
+  f.reset();
+  sim::Time t = 0;
+  for (int i = 0; i < 1000; ++i) {
+    auto c = f.submit_put(0, 16, 4, cray, t);
+    t = c.local_complete;
+  }
+  EXPECT_LT(hw.delivered, t);
+  EXPECT_LT(hw.delivered * 5, t);  // at least ~5x faster
+}
+
+TEST(Fabric, PipelinedPutsPayOnlyInjectionGap) {
+  Fabric f = make_fabric();
+  SwProfile sw = sw_profile(Library::kShmemMvapich, Machine::kStampede);
+  auto blocking = f.submit_put(0, 16, 8, sw, 0, /*pipelined=*/false);
+  auto pipelined = f.submit_put(0, 16, 8, sw, blocking.local_complete,
+                                /*pipelined=*/true);
+  EXPECT_EQ(pipelined.local_complete - blocking.local_complete,
+            sw.per_msg_gap);
+}
+
+TEST(Fabric, ResetClearsLinkState) {
+  Fabric f = make_fabric();
+  SwProfile sw = sw_profile(Library::kShmemMvapich, Machine::kStampede);
+  auto first = f.submit_put(0, 16, 1 << 20, sw, 0);
+  f.reset();
+  auto again = f.submit_put(0, 16, 1 << 20, sw, 0);
+  EXPECT_EQ(first.delivered, again.delivered);
+}
+
+TEST(Profiles, AllCombinationsConstruct) {
+  for (Machine m : {Machine::kStampede, Machine::kTitan, Machine::kXC30}) {
+    auto mp = machine_profile(m);
+    EXPECT_GT(mp.cores_per_node, 0);
+    EXPECT_GT(mp.link_bytes_per_ns, 0.0);
+    for (Library l : {Library::kShmemMvapich, Library::kShmemCray,
+                      Library::kGasnet, Library::kMpi3, Library::kDmapp,
+                      Library::kCrayCaf}) {
+      auto sw = sw_profile(l, m);
+      EXPECT_GT(sw.put_overhead, 0);
+      EXPECT_GT(sw.bw_efficiency, 0.0);
+      EXPECT_LE(sw.bw_efficiency, 1.0);
+    }
+  }
+}
+
+TEST(Profiles, PaperOrderingsHold) {
+  // Figure 2 orderings: SHMEM <= GASNet < MPI-3.0 issue overheads.
+  auto shmem_s = sw_profile(Library::kShmemMvapich, Machine::kStampede);
+  auto gasnet_s = sw_profile(Library::kGasnet, Machine::kStampede);
+  auto mpi_s = sw_profile(Library::kMpi3, Machine::kStampede);
+  EXPECT_LE(shmem_s.put_overhead, gasnet_s.put_overhead);
+  EXPECT_LT(gasnet_s.put_overhead, mpi_s.put_overhead);
+  // Cray SHMEM beats GASNet on Cray machines at small sizes.
+  auto shmem_t = sw_profile(Library::kShmemCray, Machine::kTitan);
+  auto gasnet_t = sw_profile(Library::kGasnet, Machine::kTitan);
+  EXPECT_LT(shmem_t.put_overhead, gasnet_t.put_overhead);
+  // SHMEM achieves the best large-message efficiency (Figure 3).
+  EXPECT_GT(shmem_s.bw_efficiency, gasnet_s.bw_efficiency);
+  EXPECT_GT(shmem_s.bw_efficiency, mpi_s.bw_efficiency);
+  // Only DMAPP-based stacks have hardware strided transfers (§V-B-2).
+  EXPECT_TRUE(sw_profile(Library::kShmemCray, Machine::kXC30).hw_strided);
+  EXPECT_FALSE(sw_profile(Library::kShmemMvapich, Machine::kStampede).hw_strided);
+  // GASNet has no remote atomics (§III): AM emulation.
+  EXPECT_FALSE(gasnet_s.nic_amo);
+  EXPECT_TRUE(shmem_s.nic_amo);
+  // Native SHMEM selection.
+  EXPECT_EQ(native_shmem(Machine::kStampede), Library::kShmemMvapich);
+  EXPECT_EQ(native_shmem(Machine::kTitan), Library::kShmemCray);
+}

@@ -1,0 +1,167 @@
+// Tests for the C-style OpenSHMEM shim (the Figure-1 style global-function
+// API), including the classic active-set entry points.
+#include "shmem/api.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/profiles.hpp"
+
+namespace {
+
+struct Harness {
+  sim::Engine engine{64 * 1024};
+  net::Fabric fabric;
+  shmem::World world;
+  shmem::ApiGuard guard;
+
+  explicit Harness(int npes)
+      : fabric(net::machine_profile(net::Machine::kStampede), npes),
+        world(engine, fabric,
+              net::sw_profile(net::Library::kShmemMvapich,
+                              net::Machine::kStampede),
+              2 << 20),
+        guard(world) {}
+
+  void run(std::function<void()> pe_main) {
+    world.launch(std::move(pe_main));
+    engine.run();
+  }
+};
+
+}  // namespace
+
+TEST(CApi, RequiresBoundWorld) {
+  EXPECT_THROW(shmem::current_world(), std::logic_error);
+}
+
+TEST(CApi, GuardRejectsDoubleBind) {
+  Harness h(2);
+  EXPECT_THROW(shmem::ApiGuard second(h.world), std::logic_error);
+  h.run([] {});
+}
+
+TEST(CApi, TypedPutGetAndScalars) {
+  Harness h(8);
+  h.run([&] {
+    start_pes(0);
+    auto* d = static_cast<double*>(shmalloc(8 * sizeof(double)));
+    auto* i = static_cast<int*>(shmalloc(4 * sizeof(int)));
+    for (int k = 0; k < 8; ++k) d[k] = my_pe() * 10.0 + k;
+    for (int k = 0; k < 4; ++k) i[k] = my_pe();
+    shmem_barrier_all();
+    if (my_pe() == 0) {
+      double got[8];
+      shmem_double_get(got, d, 8, 3);
+      for (int k = 0; k < 8; ++k) EXPECT_DOUBLE_EQ(got[k], 30.0 + k);
+      shmem_int_p(i, -7, 5);
+      shmem_quiet();
+      EXPECT_EQ(shmem_int_g(i, 5), -7);
+      shmem_double_p(d, 3.25, 6);
+      shmem_quiet();
+      EXPECT_DOUBLE_EQ(shmem_double_g(d, 6), 3.25);
+    }
+    shmem_barrier_all();
+    shfree(i);
+    shfree(d);
+  });
+}
+
+TEST(CApi, StridedDouble) {
+  Harness h(4);
+  h.run([&] {
+    auto* buf = static_cast<double*>(shmalloc(32 * sizeof(double)));
+    std::fill_n(buf, 32, -1.0);
+    shmem_barrier_all();
+    if (my_pe() == 0) {
+      double src[8];
+      for (int k = 0; k < 8; ++k) src[k] = k + 0.5;
+      shmem_double_iput(buf, src, 4, 1, 8, 1);
+      shmem_quiet();
+      double back[8];
+      shmem_double_iget(back, buf, 1, 4, 8, 1);
+      for (int k = 0; k < 8; ++k) EXPECT_DOUBLE_EQ(back[k], k + 0.5);
+    }
+    shmem_barrier_all();
+    shfree(buf);
+  });
+}
+
+TEST(CApi, AtomicsAndWait) {
+  Harness h(6);
+  h.run([&] {
+    auto* ctr = static_cast<long long*>(shmalloc(sizeof(long long)));
+    *ctr = 0;
+    shmem_barrier_all();
+    shmem_longlong_inc(ctr, 0);
+    shmem_longlong_add(ctr, 2, 0);
+    if (my_pe() == 0) {
+      shmem_longlong_wait_until(ctr, SHMEM_CMP_GE, 18);  // 6 * (1+2)
+      EXPECT_GE(*ctr, 18);
+    }
+    shmem_barrier_all();
+    if (my_pe() == 1) {
+      EXPECT_EQ(shmem_longlong_fadd(ctr, 0, 0), 18);
+      EXPECT_EQ(shmem_longlong_finc(ctr, 0), 18);
+    }
+    shmem_barrier_all();
+    shfree(ctr);
+  });
+}
+
+TEST(CApi, ActiveSetCollectives) {
+  Harness h(8);
+  h.run([&] {
+    auto* pSync = static_cast<long long*>(
+        shmalloc(shmem::kSyncSize * sizeof(long long)));
+    auto* pWrk = static_cast<long long*>(
+        shmalloc(shmem::kSyncSize * 2 * sizeof(long long)));
+    auto* v = static_cast<long long*>(shmalloc(2 * sizeof(long long)));
+    // Active set: the 4 even PEs.
+    if (my_pe() % 2 == 0) {
+      long long mine[2] = {my_pe() + 1LL, -1LL};
+      shmem_longlong_sum_to_all(v, mine, 2, 0, 1, 4, pWrk, pSync);
+      EXPECT_EQ(v[0], 1 + 3 + 5 + 7);
+      EXPECT_EQ(v[1], -4);
+      shmem_barrier(0, 1, 4, pSync);
+      // Broadcast from relative root 1 (PE 2); buffers must be symmetric.
+      v[0] = my_pe() == 2 ? 777 : 0;
+      shmem_broadcast64(v, v, 1, 1, 0, 1, 4, pSync);
+      EXPECT_EQ(v[0], 777);
+    }
+    shmem_barrier_all();
+    shfree(v);
+    shfree(pWrk);
+    shfree(pSync);
+  });
+}
+
+TEST(CApi, FcollectAndLocksAndPtr) {
+  Harness h(6);
+  int counter = 0;
+  h.run([&] {
+    auto* gathered = static_cast<long long*>(
+        shmalloc(6 * sizeof(long long)));
+    const long long mine = 40 + my_pe();
+    shmem_fcollect64(gathered, &mine, 1);
+    for (int p = 0; p < 6; ++p) EXPECT_EQ(gathered[p], 40 + p);
+    auto* lock = static_cast<long long*>(shmalloc(sizeof(long long)));
+    *lock = 0;
+    shmem_barrier_all();
+    shmem_set_lock(lock);
+    const int snap = counter;
+    h.engine.advance(300);
+    counter = snap + 1;
+    shmem_clear_lock(lock);
+    shmem_barrier_all();
+    EXPECT_EQ(counter, 6);
+    // shmem_ptr within the node (6 PEs all on node 0).
+    auto* peer = static_cast<long long*>(shmem_ptr(gathered, (my_pe() + 1) % 6));
+    ASSERT_NE(peer, nullptr);
+    EXPECT_EQ(peer[0], 40);
+    shmem_barrier_all();
+    shfree(lock);
+    shfree(gathered);
+  });
+}

@@ -1,0 +1,111 @@
+// Tests for shmem_collect / shmem_alltoall.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/profiles.hpp"
+#include "shmem/world.hpp"
+
+using namespace shmem;
+
+namespace {
+
+struct Harness {
+  sim::Engine engine{64 * 1024};
+  net::Fabric fabric;
+  World world;
+
+  explicit Harness(int npes)
+      : fabric(net::machine_profile(net::Machine::kStampede), npes),
+        world(engine, fabric,
+              net::sw_profile(net::Library::kShmemMvapich,
+                              net::Machine::kStampede),
+              2 << 20) {}
+
+  void run(std::function<void()> pe_main) {
+    world.launch(std::move(pe_main));
+    engine.run();
+  }
+};
+
+}  // namespace
+
+TEST(Collect, VariableSizesConcatenateInOrder) {
+  Harness h(6);
+  h.run([&] {
+    const int me = h.world.my_pe();
+    // PE p contributes p+1 ints: 0 | 1 1 | 2 2 2 | ...
+    // (shmalloc is collective with identical sizes: allocate the max.)
+    const std::size_t mine = static_cast<std::size_t>(me) + 1;
+    auto* src = static_cast<int*>(h.world.shmalloc(6 * sizeof(int)));
+    for (std::size_t i = 0; i < mine; ++i) src[i] = me * 100 + static_cast<int>(i);
+    const std::size_t total = 1 + 2 + 3 + 4 + 5 + 6;
+    auto* dst = static_cast<int*>(h.world.shmalloc(total * sizeof(int)));
+    h.world.collect(dst, src, mine * sizeof(int));
+    std::size_t k = 0;
+    for (int p = 0; p < 6; ++p) {
+      for (int i = 0; i <= p; ++i) {
+        EXPECT_EQ(dst[k], p * 100 + i) << "slot " << k;
+        ++k;
+      }
+    }
+    h.world.barrier_all();
+    h.world.shfree(dst);
+    h.world.shfree(src);
+  });
+}
+
+TEST(Collect, ZeroContributionAllowed) {
+  Harness h(4);
+  h.run([&] {
+    const int me = h.world.my_pe();
+    auto* src = static_cast<int*>(h.world.shmalloc(4 * sizeof(int)));
+    src[0] = me;
+    auto* dst = static_cast<int*>(h.world.shmalloc(4 * sizeof(int)));
+    // PE 2 contributes nothing.
+    const std::size_t mine = me == 2 ? 0 : sizeof(int);
+    h.world.collect(dst, src, mine);
+    const int expect[3] = {0, 1, 3};
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(dst[i], expect[i]);
+    h.world.barrier_all();
+    h.world.shfree(dst);
+    h.world.shfree(src);
+  });
+}
+
+TEST(Alltoall, TransposesBlocks) {
+  Harness h(5);
+  h.run([&] {
+    const int me = h.world.my_pe();
+    const std::size_t block = 2 * sizeof(int);
+    auto* src = static_cast<int*>(h.world.shmalloc(5 * block));
+    auto* dst = static_cast<int*>(h.world.shmalloc(5 * block));
+    for (int p = 0; p < 5; ++p) {
+      src[2 * p] = me * 10 + p;       // destined for PE p
+      src[2 * p + 1] = -(me * 10 + p);
+    }
+    h.world.alltoall(dst, src, block);
+    for (int p = 0; p < 5; ++p) {
+      EXPECT_EQ(dst[2 * p], p * 10 + me);    // PE p's block for me
+      EXPECT_EQ(dst[2 * p + 1], -(p * 10 + me));
+    }
+    h.world.barrier_all();
+    h.world.shfree(dst);
+    h.world.shfree(src);
+  });
+}
+
+TEST(Alltoall, SelfBlockCorrect) {
+  Harness h(3);
+  h.run([&] {
+    const int me = h.world.my_pe();
+    auto* src = static_cast<long*>(h.world.shmalloc(3 * sizeof(long)));
+    auto* dst = static_cast<long*>(h.world.shmalloc(3 * sizeof(long)));
+    for (int p = 0; p < 3; ++p) src[p] = me * 1000 + p;
+    h.world.alltoall(dst, src, sizeof(long));
+    EXPECT_EQ(dst[me], me * 1000 + me);  // my own contribution to myself
+    h.world.barrier_all();
+    h.world.shfree(dst);
+    h.world.shfree(src);
+  });
+}

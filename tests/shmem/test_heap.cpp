@@ -1,0 +1,124 @@
+// Unit + property tests for the free-list allocator behind shmalloc and the
+// CAF non-symmetric slab.
+#include "shmem/heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+using shmem::FreeListAllocator;
+
+TEST(Heap, AllocatesAlignedNonOverlapping) {
+  FreeListAllocator a(0, 1 << 16);
+  auto x = a.allocate(100);
+  auto y = a.allocate(100);
+  ASSERT_TRUE(x && y);
+  EXPECT_EQ(*x % 16, 0u);
+  EXPECT_EQ(*y % 16, 0u);
+  EXPECT_GE(*y, *x + 100);
+  EXPECT_TRUE(a.check_invariants());
+}
+
+TEST(Heap, RespectsBaseOffset) {
+  FreeListAllocator a(4096, 8192);
+  auto x = a.allocate(64);
+  ASSERT_TRUE(x);
+  EXPECT_GE(*x, 4096u);
+  EXPECT_LT(*x + 64, 4096u + 8192u);
+}
+
+TEST(Heap, ZeroSizeAllocationsAreDistinct) {
+  FreeListAllocator a(0, 4096);
+  auto x = a.allocate(0);
+  auto y = a.allocate(0);
+  ASSERT_TRUE(x && y);
+  EXPECT_NE(*x, *y);
+}
+
+TEST(Heap, ExhaustionReturnsNullopt) {
+  FreeListAllocator a(0, 256);
+  EXPECT_TRUE(a.allocate(128));
+  EXPECT_TRUE(a.allocate(128));
+  EXPECT_FALSE(a.allocate(1));
+}
+
+TEST(Heap, FreeEnablesReuse) {
+  FreeListAllocator a(0, 256);
+  auto x = a.allocate(256);
+  ASSERT_TRUE(x);
+  EXPECT_FALSE(a.allocate(16));
+  a.release(*x);
+  EXPECT_TRUE(a.allocate(256));
+}
+
+TEST(Heap, CoalescingMergesNeighbors) {
+  FreeListAllocator a(0, 4096);
+  auto x = a.allocate(1024);
+  auto y = a.allocate(1024);
+  auto z = a.allocate(1024);
+  ASSERT_TRUE(x && y && z);
+  // Free in an order that requires both forward and backward coalescing.
+  a.release(*x);
+  a.release(*z);
+  a.release(*y);
+  EXPECT_TRUE(a.check_invariants());
+  auto big = a.allocate(4096);
+  EXPECT_TRUE(big);
+}
+
+TEST(Heap, DoubleFreeThrows) {
+  FreeListAllocator a(0, 4096);
+  auto x = a.allocate(64);
+  a.release(*x);
+  EXPECT_THROW(a.release(*x), std::invalid_argument);
+  EXPECT_THROW(a.release(12345), std::invalid_argument);
+}
+
+TEST(Heap, BytesInUseTracksLiveBlocks) {
+  FreeListAllocator a(0, 1 << 16);
+  EXPECT_EQ(a.bytes_in_use(), 0u);
+  auto x = a.allocate(100);  // rounds to 112
+  EXPECT_EQ(a.bytes_in_use(), 112u);
+  a.release(*x);
+  EXPECT_EQ(a.bytes_in_use(), 0u);
+}
+
+// Property test: random alloc/free sequences keep invariants, never hand out
+// overlapping blocks, and fully coalesce when everything is freed.
+TEST(HeapProperty, RandomWorkloadMaintainsInvariants) {
+  for (std::uint64_t seed : {1u, 7u, 42u, 1234u}) {
+    sim::Rng rng(seed);
+    FreeListAllocator a(0, 1 << 20);
+    std::map<std::uint64_t, std::uint64_t> live;  // off -> requested size
+    for (int step = 0; step < 4000; ++step) {
+      const bool do_alloc = live.empty() || rng.below(100) < 60;
+      if (do_alloc) {
+        const std::uint64_t sz = 1 + rng.below(5000);
+        auto off = a.allocate(sz);
+        if (off) {
+          // No overlap with any live block.
+          for (const auto& [o, s] : live) {
+            EXPECT_FALSE(*off < o + s && o < *off + sz)
+                << "overlap at step " << step;
+          }
+          live[*off] = sz;
+        }
+      } else {
+        auto it = live.begin();
+        std::advance(it, static_cast<long>(rng.below(live.size())));
+        a.release(it->first);
+        live.erase(it);
+      }
+      ASSERT_TRUE(a.check_invariants()) << "step " << step << " seed " << seed;
+    }
+    for (const auto& [o, s] : live) a.release(o);
+    ASSERT_TRUE(a.check_invariants());
+    EXPECT_EQ(a.bytes_in_use(), 0u);
+    // Fully coalesced: one max-size allocation must succeed.
+    EXPECT_TRUE(a.allocate((1 << 20) - 16));
+  }
+}

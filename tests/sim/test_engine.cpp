@@ -1,0 +1,172 @@
+// Unit tests for the discrete-event engine: event ordering, fiber lifecycle,
+// virtual-clock semantics, blocking/resume, deadlock detection, determinism.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace sim;
+using namespace sim::literals;
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule(30_ns, [&] { order.push_back(3); });
+  eng.schedule(10_ns, [&] { order.push_back(1); });
+  eng.schedule(20_ns, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    eng.schedule(5_ns, [&, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, PastEventsClampToNow) {
+  Engine eng;
+  Time seen = -1;
+  eng.schedule(100_ns, [&] {
+    eng.schedule(1_ns, [&] { seen = eng.sim_now(); });
+  });
+  eng.run();
+  EXPECT_EQ(seen, 100_ns);
+}
+
+TEST(Engine, FiberAdvancesOwnClock) {
+  Engine eng;
+  Time t0 = -1, t1 = -1;
+  eng.spawn(0, [&] {
+    t0 = this_pe::now();
+    this_pe::advance(250_ns);
+    t1 = this_pe::now();
+  });
+  eng.run();
+  EXPECT_EQ(t0, 0);
+  EXPECT_EQ(t1, 250_ns);
+  EXPECT_EQ(eng.fibers_unfinished(), 0);
+}
+
+TEST(Engine, AdvanceYieldsToEarlierEvents) {
+  // A fiber advancing past t=50 must let a t=50 event run before it resumes.
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule(50_ns, [&] { order.push_back(1); });
+  eng.spawn(0, [&] {
+    this_pe::advance(100_ns);
+    order.push_back(2);
+  });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, TickDoesNotYield) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule(50_ns, [&] { order.push_back(1); });
+  eng.spawn(0, [&] {
+    Engine::current()->tick(100_ns);
+    order.push_back(2);  // runs before the t=50 event: tick never yields
+  });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(Engine, BlockAndResume) {
+  Engine eng;
+  Time resumed_at = -1;
+  Fiber* waiter = nullptr;
+  eng.spawn(0, [&] {
+    waiter = Engine::current()->current_fiber();
+    Engine::current()->block();
+    resumed_at = this_pe::now();
+  });
+  eng.schedule(10_ns, [&] { eng.resume(*waiter, 70_ns); });
+  eng.run();
+  EXPECT_EQ(resumed_at, 70_ns);
+}
+
+TEST(Engine, ResumeNeverMovesClockBackwards) {
+  Engine eng;
+  Time resumed_at = -1;
+  Fiber* waiter = nullptr;
+  eng.spawn(0, [&] {
+    this_pe::advance(500_ns);
+    waiter = Engine::current()->current_fiber();
+    Engine::current()->block();
+    resumed_at = this_pe::now();
+  });
+  eng.schedule(600_ns, [&] { eng.resume(*waiter, 100_ns); });
+  eng.run();
+  EXPECT_EQ(resumed_at, 500_ns);  // clock stays at max(own, resume time)
+}
+
+TEST(Engine, ManyFibersInterleaveDeterministically) {
+  auto run_once = [] {
+    Engine eng;
+    std::vector<int> order;
+    eng.spawn_pes(16, [&](int pe) {
+      for (int r = 0; r < 4; ++r) {
+        this_pe::advance(Time{10} * (pe + 1));
+        order.push_back(pe * 100 + r);
+      }
+    });
+    eng.run();
+    return order;
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 64u);
+}
+
+TEST(Engine, DeadlockIsReported) {
+  Engine eng;
+  eng.spawn(0, [&] { Engine::current()->block(); });
+  EXPECT_THROW(eng.run(), DeadlockError);
+}
+
+TEST(Engine, FiberExceptionPropagates) {
+  Engine eng;
+  eng.spawn(0, [] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Engine, SpawnManyFibers) {
+  Engine eng(64 * 1024);
+  long sum = 0;
+  const int n = 2048;
+  eng.spawn_pes(n, [&](int pe) {
+    this_pe::advance(Time{pe});
+    sum += pe;
+  });
+  eng.run();
+  EXPECT_EQ(sum, static_cast<long>(n) * (n - 1) / 2);
+  EXPECT_EQ(eng.fibers_unfinished(), 0);
+}
+
+TEST(Engine, NestedSchedulingFromFibers) {
+  Engine eng;
+  int hits = 0;
+  eng.spawn(0, [&] {
+    Engine* e = Engine::current();
+    e->schedule(e->now() + 5_ns, [&] { ++hits; });
+    this_pe::advance(10_ns);
+    EXPECT_EQ(hits, 1);
+  });
+  eng.run();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(Time, Formatting) {
+  EXPECT_EQ(format_time(12_ns), "12 ns");
+  EXPECT_EQ(format_time(12'340_ns), "12.340 us");
+  EXPECT_EQ(format_time(12'340'000_ns), "12.340 ms");
+  EXPECT_EQ(format_time(2'500'000'000_ns), "2.500000 s");
+}

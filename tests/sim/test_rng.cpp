@@ -1,0 +1,50 @@
+// Tests for the deterministic RNG used by all simulated workloads.
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+using sim::Rng;
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(123);
+  std::array<int, 8> hist{};
+  const int n = 80'000;
+  for (int i = 0; i < n; ++i) ++hist[r.below(8)];
+  for (int h : hist) {
+    EXPECT_NEAR(h, n / 8, n / 8 * 0.1);  // within 10%
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(99);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}

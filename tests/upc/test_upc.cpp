@@ -1,0 +1,178 @@
+// Tests for the UPC-style runtime over OpenSHMEM: block-cyclic layout
+// arithmetic (property-tested against a reference enumeration), shared
+// array reads/writes, forall affinity, global locks, and collectives.
+#include "upc/upc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "net/profiles.hpp"
+#include "sim/rng.hpp"
+
+using namespace upc;
+
+namespace {
+
+struct Harness {
+  sim::Engine engine{64 * 1024};
+  net::Fabric fabric;
+  shmem::World world;
+  Runtime rt;
+
+  explicit Harness(int threads)
+      : fabric(net::machine_profile(net::Machine::kStampede), threads),
+        world(engine, fabric,
+              net::sw_profile(net::Library::kShmemMvapich,
+                              net::Machine::kStampede),
+              2 << 20),
+        rt(world) {}
+
+  void run(std::function<void()> main) {
+    world.launch(std::move(main));
+    engine.run();
+  }
+};
+
+}  // namespace
+
+TEST(UpcLayout, MatchesReferenceEnumeration) {
+  // Reference: deal elements into blocks round-robin over threads and
+  // compare owner/local_index/local_count against the closed forms.
+  sim::Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int threads = 1 + static_cast<int>(rng.below(9));
+    const std::int64_t block = 1 + static_cast<std::int64_t>(rng.below(7));
+    const std::int64_t n = static_cast<std::int64_t>(rng.below(200));
+    Layout l{n, block, threads};
+    std::map<int, std::int64_t> counts;
+    std::map<int, std::int64_t> next_slot;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const int owner = static_cast<int>((i / block) % threads);
+      ASSERT_EQ(l.owner(i), owner) << "i=" << i;
+      // Reference local index: elements arrive at the owner in order.
+      ASSERT_EQ(l.local_index(i), next_slot[owner]) << "i=" << i;
+      ++next_slot[owner];
+      ++counts[owner];
+    }
+    for (int t = 0; t < threads; ++t) {
+      ASSERT_EQ(l.local_count(t), counts[t])
+          << "t=" << t << " n=" << n << " b=" << block << " T=" << threads;
+    }
+  }
+}
+
+TEST(Upc, SharedArrayReadWriteRoundTrip) {
+  Harness h(6);
+  h.run([&] {
+    auto a = h.rt.all_alloc<int>(50, 4);  // shared [4] int a[50]
+    h.rt.barrier();
+    // Thread 0 writes every element; everyone reads them all back.
+    if (h.rt.mythread() == 0) {
+      for (std::int64_t i = 0; i < 50; ++i) a.write(i, static_cast<int>(i * 3));
+    }
+    h.rt.barrier();
+    for (std::int64_t i = 0; i < 50; ++i) {
+      ASSERT_EQ(a.read(i), static_cast<int>(i * 3)) << "i=" << i;
+    }
+    h.rt.barrier();
+  });
+}
+
+TEST(Upc, ForallRunsWithAffinityExactlyOnce) {
+  Harness h(5);
+  std::vector<int> touch_count(40, 0);
+  h.run([&] {
+    auto a = h.rt.all_alloc<long>(40, 3);
+    h.rt.barrier();
+    h.rt.forall(a, [&](std::int64_t i) {
+      // Affinity: the executing thread must own the element.
+      EXPECT_EQ(a.layout().owner(i), h.rt.mythread());
+      EXPECT_NE(a.local_ptr(i), nullptr);
+      ++touch_count[static_cast<std::size_t>(i)];
+    });
+    h.rt.barrier();
+  });
+  for (int c : touch_count) EXPECT_EQ(c, 1);
+}
+
+TEST(Upc, LocalPtrOnlyWithAffinity) {
+  Harness h(4);
+  h.run([&] {
+    auto a = h.rt.all_alloc<double>(16, 2);
+    h.rt.barrier();
+    for (std::int64_t i = 0; i < 16; ++i) {
+      const bool mine = a.layout().owner(i) == h.rt.mythread();
+      EXPECT_EQ(a.local_ptr(i) != nullptr, mine);
+    }
+    // Local writes through the pointer are visible to remote reads.
+    h.rt.forall(a, [&](std::int64_t i) {
+      *a.local_ptr(i) = h.rt.mythread() * 100.0 + static_cast<double>(i);
+    });
+    h.rt.barrier();
+    if (h.rt.mythread() == 1) {
+      for (std::int64_t i = 0; i < 16; ++i) {
+        EXPECT_DOUBLE_EQ(a.read(i),
+                         a.layout().owner(i) * 100.0 + static_cast<double>(i));
+      }
+    }
+    h.rt.barrier();
+  });
+}
+
+TEST(Upc, GlobalLockMutualExclusion) {
+  Harness h(10);
+  int counter = 0;
+  h.run([&] {
+    auto* lck = h.rt.global_lock_alloc();
+    for (int round = 0; round < 3; ++round) {
+      h.rt.lock(lck);
+      const int snap = counter;
+      h.engine.advance(400);
+      counter = snap + 1;
+      h.rt.unlock(lck);
+    }
+    h.rt.barrier();
+  });
+  EXPECT_EQ(counter, 30);
+}
+
+TEST(Upc, Collectives) {
+  Harness h(7);
+  h.run([&] {
+    const int me = h.rt.mythread();
+    EXPECT_EQ(h.rt.all_reduce<long>(me + 1, shmem::ReduceOp::kSum), 28);
+    EXPECT_EQ(h.rt.all_reduce<long>(me, shmem::ReduceOp::kMax), 6);
+    EXPECT_DOUBLE_EQ(h.rt.all_broadcast<double>(me == 3 ? 2.5 : 0.0, 3), 2.5);
+    h.rt.barrier();
+  });
+}
+
+TEST(Upc, HistogramApp) {
+  // A small end-to-end UPC program: block-cyclic histogram with forall
+  // initialization and lock-protected updates.
+  Harness h(8);
+  long total = 0;
+  h.run([&] {
+    auto hist = h.rt.all_alloc<long>(16, 2);
+    h.rt.forall(hist, [&](std::int64_t i) { *hist.local_ptr(i) = 0; });
+    h.rt.barrier();
+    auto* lck = h.rt.global_lock_alloc();
+    sim::Rng rng(90 + static_cast<std::uint64_t>(h.rt.mythread()));
+    for (int s = 0; s < 40; ++s) {
+      const auto bin = static_cast<std::int64_t>(rng.below(16));
+      h.rt.lock(lck);
+      hist.write(bin, hist.read(bin) + 1);
+      h.rt.unlock(lck);
+    }
+    h.rt.barrier();
+    if (h.rt.mythread() == 0) {
+      long sum = 0;
+      for (std::int64_t b = 0; b < 16; ++b) sum += hist.read(b);
+      total = sum;
+    }
+    h.rt.barrier();
+  });
+  EXPECT_EQ(total, 8 * 40);
+}
