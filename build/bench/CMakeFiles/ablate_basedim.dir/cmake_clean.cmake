@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_basedim.dir/ablate_basedim.cpp.o"
+  "CMakeFiles/ablate_basedim.dir/ablate_basedim.cpp.o.d"
+  "ablate_basedim"
+  "ablate_basedim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_basedim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_lock.dir/ablate_lock.cpp.o"
+  "CMakeFiles/ablate_lock.dir/ablate_lock.cpp.o.d"
+  "ablate_lock"
+  "ablate_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

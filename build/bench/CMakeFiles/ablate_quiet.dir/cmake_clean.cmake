@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_quiet.dir/ablate_quiet.cpp.o"
+  "CMakeFiles/ablate_quiet.dir/ablate_quiet.cpp.o.d"
+  "ablate_quiet"
+  "ablate_quiet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_quiet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

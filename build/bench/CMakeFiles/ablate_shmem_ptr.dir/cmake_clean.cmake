@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_shmem_ptr.dir/ablate_shmem_ptr.cpp.o"
+  "CMakeFiles/ablate_shmem_ptr.dir/ablate_shmem_ptr.cpp.o.d"
+  "ablate_shmem_ptr"
+  "ablate_shmem_ptr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_shmem_ptr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

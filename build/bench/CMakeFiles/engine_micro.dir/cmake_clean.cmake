@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_micro.dir/engine_micro.cpp.o"
+  "CMakeFiles/engine_micro.dir/engine_micro.cpp.o.d"
+  "engine_micro"
+  "engine_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

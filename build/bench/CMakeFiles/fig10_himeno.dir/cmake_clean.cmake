@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_himeno.dir/fig10_himeno.cpp.o"
+  "CMakeFiles/fig10_himeno.dir/fig10_himeno.cpp.o.d"
+  "fig10_himeno"
+  "fig10_himeno.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_himeno.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

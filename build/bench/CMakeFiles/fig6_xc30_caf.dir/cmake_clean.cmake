@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_xc30_caf.dir/fig6_xc30_caf.cpp.o"
+  "CMakeFiles/fig6_xc30_caf.dir/fig6_xc30_caf.cpp.o.d"
+  "fig6_xc30_caf"
+  "fig6_xc30_caf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_xc30_caf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_stampede_caf.dir/fig7_stampede_caf.cpp.o"
+  "CMakeFiles/fig7_stampede_caf.dir/fig7_stampede_caf.cpp.o.d"
+  "fig7_stampede_caf"
+  "fig7_stampede_caf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_stampede_caf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

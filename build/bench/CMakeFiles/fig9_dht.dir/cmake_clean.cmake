@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_dht.dir/fig9_dht.cpp.o"
+  "CMakeFiles/fig9_dht.dir/fig9_dht.cpp.o.d"
+  "fig9_dht"
+  "fig9_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_getput.dir/micro_getput.cpp.o"
+  "CMakeFiles/micro_getput.dir/micro_getput.cpp.o.d"
+  "micro_getput"
+  "micro_getput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_getput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_feature_map.dir/table2_feature_map.cpp.o"
+  "CMakeFiles/table2_feature_map.dir/table2_feature_map.cpp.o.d"
+  "table2_feature_map"
+  "table2_feature_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_feature_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

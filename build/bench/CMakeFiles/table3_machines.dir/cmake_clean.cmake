@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_machines.dir/table3_machines.cpp.o"
+  "CMakeFiles/table3_machines.dir/table3_machines.cpp.o.d"
+  "table3_machines"
+  "table3_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dht_wordcount.dir/dht_wordcount.cpp.o"
+  "CMakeFiles/dht_wordcount.dir/dht_wordcount.cpp.o.d"
+  "dht_wordcount"
+  "dht_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dht_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

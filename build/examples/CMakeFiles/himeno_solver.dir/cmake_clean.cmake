@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/himeno_solver.dir/himeno_solver.cpp.o"
+  "CMakeFiles/himeno_solver.dir/himeno_solver.cpp.o.d"
+  "himeno_solver"
+  "himeno_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/himeno_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

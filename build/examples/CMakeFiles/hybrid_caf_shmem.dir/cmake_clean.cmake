@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_caf_shmem.dir/hybrid_caf_shmem.cpp.o"
+  "CMakeFiles/hybrid_caf_shmem.dir/hybrid_caf_shmem.cpp.o.d"
+  "hybrid_caf_shmem"
+  "hybrid_caf_shmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_caf_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

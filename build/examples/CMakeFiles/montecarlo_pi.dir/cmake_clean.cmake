@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/montecarlo_pi.dir/montecarlo_pi.cpp.o"
+  "CMakeFiles/montecarlo_pi.dir/montecarlo_pi.cpp.o.d"
+  "montecarlo_pi"
+  "montecarlo_pi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/montecarlo_pi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/pipeline_stages.cpp" "examples/CMakeFiles/pipeline_stages.dir/pipeline_stages.cpp.o" "gcc" "examples/CMakeFiles/pipeline_stages.dir/pipeline_stages.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/repro_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/caf/CMakeFiles/repro_caf.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/repro_shmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/gasnet/CMakeFiles/repro_gasnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/armci/CMakeFiles/repro_armci.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi3/CMakeFiles/repro_mpi3.dir/DependInfo.cmake"
+  "/root/repo/build/src/craycaf/CMakeFiles/repro_craycaf.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/repro_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

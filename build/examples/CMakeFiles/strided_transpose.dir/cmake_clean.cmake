@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strided_transpose.dir/strided_transpose.cpp.o"
+  "CMakeFiles/strided_transpose.dir/strided_transpose.cpp.o.d"
+  "strided_transpose"
+  "strided_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strided_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

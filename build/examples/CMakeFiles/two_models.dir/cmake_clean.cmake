@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_models.dir/two_models.cpp.o"
+  "CMakeFiles/two_models.dir/two_models.cpp.o.d"
+  "two_models"
+  "two_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("net")
+subdirs("fabric")
+subdirs("shmem")
+subdirs("gasnet")
+subdirs("armci")
+subdirs("mpi3")
+subdirs("caf")
+subdirs("craycaf")
+subdirs("apps")

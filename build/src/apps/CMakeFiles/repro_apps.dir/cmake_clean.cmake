@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_apps.dir/himeno.cpp.o"
+  "CMakeFiles/repro_apps.dir/himeno.cpp.o.d"
+  "librepro_apps.a"
+  "librepro_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

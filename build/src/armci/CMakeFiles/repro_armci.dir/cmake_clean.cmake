@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_armci.dir/armci.cpp.o"
+  "CMakeFiles/repro_armci.dir/armci.cpp.o.d"
+  "librepro_armci.a"
+  "librepro_armci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_armci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_caf.dir/armci_conduit.cpp.o"
+  "CMakeFiles/repro_caf.dir/armci_conduit.cpp.o.d"
+  "CMakeFiles/repro_caf.dir/gasnet_conduit.cpp.o"
+  "CMakeFiles/repro_caf.dir/gasnet_conduit.cpp.o.d"
+  "CMakeFiles/repro_caf.dir/runtime.cpp.o"
+  "CMakeFiles/repro_caf.dir/runtime.cpp.o.d"
+  "CMakeFiles/repro_caf.dir/section.cpp.o"
+  "CMakeFiles/repro_caf.dir/section.cpp.o.d"
+  "CMakeFiles/repro_caf.dir/strided.cpp.o"
+  "CMakeFiles/repro_caf.dir/strided.cpp.o.d"
+  "librepro_caf.a"
+  "librepro_caf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_caf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_craycaf.dir/craycaf.cpp.o"
+  "CMakeFiles/repro_craycaf.dir/craycaf.cpp.o.d"
+  "librepro_craycaf.a"
+  "librepro_craycaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_craycaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

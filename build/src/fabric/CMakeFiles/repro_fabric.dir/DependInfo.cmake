@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/dmapp.cpp" "src/fabric/CMakeFiles/repro_fabric.dir/dmapp.cpp.o" "gcc" "src/fabric/CMakeFiles/repro_fabric.dir/dmapp.cpp.o.d"
+  "/root/repo/src/fabric/domain.cpp" "src/fabric/CMakeFiles/repro_fabric.dir/domain.cpp.o" "gcc" "src/fabric/CMakeFiles/repro_fabric.dir/domain.cpp.o.d"
+  "/root/repo/src/fabric/verbs.cpp" "src/fabric/CMakeFiles/repro_fabric.dir/verbs.cpp.o" "gcc" "src/fabric/CMakeFiles/repro_fabric.dir/verbs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

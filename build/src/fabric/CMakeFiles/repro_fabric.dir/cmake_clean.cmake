@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fabric.dir/dmapp.cpp.o"
+  "CMakeFiles/repro_fabric.dir/dmapp.cpp.o.d"
+  "CMakeFiles/repro_fabric.dir/domain.cpp.o"
+  "CMakeFiles/repro_fabric.dir/domain.cpp.o.d"
+  "CMakeFiles/repro_fabric.dir/verbs.cpp.o"
+  "CMakeFiles/repro_fabric.dir/verbs.cpp.o.d"
+  "librepro_fabric.a"
+  "librepro_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

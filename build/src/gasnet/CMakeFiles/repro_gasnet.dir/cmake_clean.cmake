@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_gasnet.dir/gasnet.cpp.o"
+  "CMakeFiles/repro_gasnet.dir/gasnet.cpp.o.d"
+  "librepro_gasnet.a"
+  "librepro_gasnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_gasnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

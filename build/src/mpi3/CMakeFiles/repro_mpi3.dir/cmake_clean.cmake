@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_mpi3.dir/rma.cpp.o"
+  "CMakeFiles/repro_mpi3.dir/rma.cpp.o.d"
+  "librepro_mpi3.a"
+  "librepro_mpi3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_mpi3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_net.dir/fabric.cpp.o"
+  "CMakeFiles/repro_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/repro_net.dir/profiles.cpp.o"
+  "CMakeFiles/repro_net.dir/profiles.cpp.o.d"
+  "librepro_net.a"
+  "librepro_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_shmem.dir/api.cpp.o"
+  "CMakeFiles/repro_shmem.dir/api.cpp.o.d"
+  "CMakeFiles/repro_shmem.dir/heap.cpp.o"
+  "CMakeFiles/repro_shmem.dir/heap.cpp.o.d"
+  "CMakeFiles/repro_shmem.dir/world.cpp.o"
+  "CMakeFiles/repro_shmem.dir/world.cpp.o.d"
+  "librepro_shmem.a"
+  "librepro_shmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

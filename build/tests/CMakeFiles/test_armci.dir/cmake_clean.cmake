@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_armci.dir/armci/test_armci.cpp.o"
+  "CMakeFiles/test_armci.dir/armci/test_armci.cpp.o.d"
+  "test_armci"
+  "test_armci.pdb"
+  "test_armci[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_armci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

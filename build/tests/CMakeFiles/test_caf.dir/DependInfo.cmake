@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/caf/test_adaptive.cpp" "tests/CMakeFiles/test_caf.dir/caf/test_adaptive.cpp.o" "gcc" "tests/CMakeFiles/test_caf.dir/caf/test_adaptive.cpp.o.d"
+  "/root/repo/tests/caf/test_conduit_conformance.cpp" "tests/CMakeFiles/test_caf.dir/caf/test_conduit_conformance.cpp.o" "gcc" "tests/CMakeFiles/test_caf.dir/caf/test_conduit_conformance.cpp.o.d"
+  "/root/repo/tests/caf/test_consistency.cpp" "tests/CMakeFiles/test_caf.dir/caf/test_consistency.cpp.o" "gcc" "tests/CMakeFiles/test_caf.dir/caf/test_consistency.cpp.o.d"
+  "/root/repo/tests/caf/test_extensions.cpp" "tests/CMakeFiles/test_caf.dir/caf/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/test_caf.dir/caf/test_extensions.cpp.o.d"
+  "/root/repo/tests/caf/test_lock.cpp" "tests/CMakeFiles/test_caf.dir/caf/test_lock.cpp.o" "gcc" "tests/CMakeFiles/test_caf.dir/caf/test_lock.cpp.o.d"
+  "/root/repo/tests/caf/test_remote_ptr.cpp" "tests/CMakeFiles/test_caf.dir/caf/test_remote_ptr.cpp.o" "gcc" "tests/CMakeFiles/test_caf.dir/caf/test_remote_ptr.cpp.o.d"
+  "/root/repo/tests/caf/test_runtime.cpp" "tests/CMakeFiles/test_caf.dir/caf/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/test_caf.dir/caf/test_runtime.cpp.o.d"
+  "/root/repo/tests/caf/test_section.cpp" "tests/CMakeFiles/test_caf.dir/caf/test_section.cpp.o" "gcc" "tests/CMakeFiles/test_caf.dir/caf/test_section.cpp.o.d"
+  "/root/repo/tests/caf/test_shmem_ptr.cpp" "tests/CMakeFiles/test_caf.dir/caf/test_shmem_ptr.cpp.o" "gcc" "tests/CMakeFiles/test_caf.dir/caf/test_shmem_ptr.cpp.o.d"
+  "/root/repo/tests/caf/test_strided.cpp" "tests/CMakeFiles/test_caf.dir/caf/test_strided.cpp.o" "gcc" "tests/CMakeFiles/test_caf.dir/caf/test_strided.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/caf/CMakeFiles/repro_caf.dir/DependInfo.cmake"
+  "/root/repo/build/src/gasnet/CMakeFiles/repro_gasnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/armci/CMakeFiles/repro_armci.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi3/CMakeFiles/repro_mpi3.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/repro_shmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/repro_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_caf.dir/caf/test_adaptive.cpp.o"
+  "CMakeFiles/test_caf.dir/caf/test_adaptive.cpp.o.d"
+  "CMakeFiles/test_caf.dir/caf/test_conduit_conformance.cpp.o"
+  "CMakeFiles/test_caf.dir/caf/test_conduit_conformance.cpp.o.d"
+  "CMakeFiles/test_caf.dir/caf/test_consistency.cpp.o"
+  "CMakeFiles/test_caf.dir/caf/test_consistency.cpp.o.d"
+  "CMakeFiles/test_caf.dir/caf/test_extensions.cpp.o"
+  "CMakeFiles/test_caf.dir/caf/test_extensions.cpp.o.d"
+  "CMakeFiles/test_caf.dir/caf/test_lock.cpp.o"
+  "CMakeFiles/test_caf.dir/caf/test_lock.cpp.o.d"
+  "CMakeFiles/test_caf.dir/caf/test_remote_ptr.cpp.o"
+  "CMakeFiles/test_caf.dir/caf/test_remote_ptr.cpp.o.d"
+  "CMakeFiles/test_caf.dir/caf/test_runtime.cpp.o"
+  "CMakeFiles/test_caf.dir/caf/test_runtime.cpp.o.d"
+  "CMakeFiles/test_caf.dir/caf/test_section.cpp.o"
+  "CMakeFiles/test_caf.dir/caf/test_section.cpp.o.d"
+  "CMakeFiles/test_caf.dir/caf/test_shmem_ptr.cpp.o"
+  "CMakeFiles/test_caf.dir/caf/test_shmem_ptr.cpp.o.d"
+  "CMakeFiles/test_caf.dir/caf/test_strided.cpp.o"
+  "CMakeFiles/test_caf.dir/caf/test_strided.cpp.o.d"
+  "test_caf"
+  "test_caf.pdb"
+  "test_caf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_caf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

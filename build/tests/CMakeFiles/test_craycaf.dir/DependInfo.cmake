@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/craycaf/test_craycaf.cpp" "tests/CMakeFiles/test_craycaf.dir/craycaf/test_craycaf.cpp.o" "gcc" "tests/CMakeFiles/test_craycaf.dir/craycaf/test_craycaf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/craycaf/CMakeFiles/repro_craycaf.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/repro_shmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/repro_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

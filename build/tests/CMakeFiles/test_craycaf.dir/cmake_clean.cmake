@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_craycaf.dir/craycaf/test_craycaf.cpp.o"
+  "CMakeFiles/test_craycaf.dir/craycaf/test_craycaf.cpp.o.d"
+  "test_craycaf"
+  "test_craycaf.pdb"
+  "test_craycaf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_craycaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

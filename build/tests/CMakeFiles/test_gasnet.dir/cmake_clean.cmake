@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gasnet.dir/gasnet/test_gasnet.cpp.o"
+  "CMakeFiles/test_gasnet.dir/gasnet/test_gasnet.cpp.o.d"
+  "test_gasnet"
+  "test_gasnet.pdb"
+  "test_gasnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gasnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

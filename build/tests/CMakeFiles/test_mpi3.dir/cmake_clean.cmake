@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi3.dir/mpi3/test_rma.cpp.o"
+  "CMakeFiles/test_mpi3.dir/mpi3/test_rma.cpp.o.d"
+  "test_mpi3"
+  "test_mpi3.pdb"
+  "test_mpi3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/shmem/test_active_set.cpp" "tests/CMakeFiles/test_shmem.dir/shmem/test_active_set.cpp.o" "gcc" "tests/CMakeFiles/test_shmem.dir/shmem/test_active_set.cpp.o.d"
+  "/root/repo/tests/shmem/test_api.cpp" "tests/CMakeFiles/test_shmem.dir/shmem/test_api.cpp.o" "gcc" "tests/CMakeFiles/test_shmem.dir/shmem/test_api.cpp.o.d"
+  "/root/repo/tests/shmem/test_collect.cpp" "tests/CMakeFiles/test_shmem.dir/shmem/test_collect.cpp.o" "gcc" "tests/CMakeFiles/test_shmem.dir/shmem/test_collect.cpp.o.d"
+  "/root/repo/tests/shmem/test_heap.cpp" "tests/CMakeFiles/test_shmem.dir/shmem/test_heap.cpp.o" "gcc" "tests/CMakeFiles/test_shmem.dir/shmem/test_heap.cpp.o.d"
+  "/root/repo/tests/shmem/test_world.cpp" "tests/CMakeFiles/test_shmem.dir/shmem/test_world.cpp.o" "gcc" "tests/CMakeFiles/test_shmem.dir/shmem/test_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shmem/CMakeFiles/repro_shmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/repro_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shmem.dir/shmem/test_active_set.cpp.o"
+  "CMakeFiles/test_shmem.dir/shmem/test_active_set.cpp.o.d"
+  "CMakeFiles/test_shmem.dir/shmem/test_api.cpp.o"
+  "CMakeFiles/test_shmem.dir/shmem/test_api.cpp.o.d"
+  "CMakeFiles/test_shmem.dir/shmem/test_collect.cpp.o"
+  "CMakeFiles/test_shmem.dir/shmem/test_collect.cpp.o.d"
+  "CMakeFiles/test_shmem.dir/shmem/test_heap.cpp.o"
+  "CMakeFiles/test_shmem.dir/shmem/test_heap.cpp.o.d"
+  "CMakeFiles/test_shmem.dir/shmem/test_world.cpp.o"
+  "CMakeFiles/test_shmem.dir/shmem/test_world.cpp.o.d"
+  "test_shmem"
+  "test_shmem.pdb"
+  "test_shmem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_fabric[1]_include.cmake")
+include("/root/repo/build/tests/test_shmem[1]_include.cmake")
+include("/root/repo/build/tests/test_gasnet[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi3[1]_include.cmake")
+include("/root/repo/build/tests/test_caf[1]_include.cmake")
+include("/root/repo/build/tests/test_craycaf[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_armci[1]_include.cmake")
+include("/root/repo/build/tests/test_upc[1]_include.cmake")
