@@ -1,5 +1,6 @@
 #include "bench_util.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace bench {
@@ -18,13 +19,42 @@ net::Library raw_library(RawLib lib, net::Machine m) {
   return net::Library::kGasnet;
 }
 
+double latency_us(const std::vector<sim::Time>& lat, int pairs, int reps) {
+  sim::Time sum = 0;
+  for (int p = 0; p < pairs; ++p) sum += lat[p];
+  return sim::to_us(sum) / (pairs * reps);
+}
+
+// Aggregate bandwidth over the global span: first sender released from the
+// barrier to last byte delivered. Per-pair max(dt) would under-report when
+// the release barrier itself staggers the senders (which message loss in
+// the barrier's own traffic can do).
+double aggregate_mbs(const std::vector<sim::Time>& begin,
+                     const std::vector<sim::Time>& end, int pairs,
+                     std::size_t bytes, int reps) {
+  sim::Time first = begin[0], last = end[0];
+  for (int p = 0; p < pairs; ++p) {
+    first = std::min(first, begin[p]);
+    last = std::max(last, end[p]);
+  }
+  return static_cast<double>(bytes) * reps * pairs /
+         (sim::to_sec(last - first) * 1e6);
+}
+
 }  // namespace
 
 PutResult run_put_test(RawLib lib, net::Machine machine, std::size_t bytes,
-                       int pairs, int reps) {
+                       int pairs, int reps, const net::FaultPlan* plan) {
   const std::size_t seg = bytes * 2 + (512 << 10);
   sim::Engine engine(64 * 1024);
   net::Fabric fabric(net::machine_profile(machine), kWorldPes);
+  std::unique_ptr<net::FaultInjector> injector;
+  if (plan != nullptr && plan->active()) {
+    injector = std::make_unique<net::FaultInjector>(
+        *plan, kWorldPes, fabric.profile().cores_per_node);
+    fabric.set_fault_injector(injector.get());
+    injector->arm(engine);
+  }
   const net::SwProfile sw = net::sw_profile(raw_library(lib, machine), machine);
 
   const std::vector<char> payload(bytes, 'x');
@@ -33,115 +63,100 @@ PutResult run_put_test(RawLib lib, net::Machine machine, std::size_t bytes,
   switch (lib) {
     case RawLib::kShmem: {
       shmem::World world(engine, fabric, sw, seg);
-      std::vector<sim::Time> lat(kWorldPes, 0), bw(kWorldPes, 0);
+      std::vector<sim::Time> lat(kWorldPes, 0);
+      std::vector<sim::Time> bw_begin(kWorldPes, 0), bw_end(kWorldPes, 0);
       world.launch([&] {
         const int me = world.my_pe();
         auto* buf = static_cast<char*>(world.shmalloc(bytes));
         world.barrier_all();
         if (me < pairs) {  // senders on node 0
           const int dst = kPesPerNode + me;
-          sim::Time t0 = engine.now();
+          const sim::Time t0 = engine.now();
           for (int r = 0; r < reps; ++r) {
             world.putmem(buf, payload.data(), bytes, dst);
             world.quiet();
           }
           lat[me] = engine.now() - t0;
           world.barrier_all();
-          t0 = engine.now();
+          bw_begin[me] = engine.now();
           for (int r = 0; r < reps; ++r) {
             world.putmem_nbi(buf, payload.data(), bytes, dst);
           }
           world.quiet();
-          bw[me] = engine.now() - t0;
+          bw_end[me] = engine.now();
         } else {
           world.barrier_all();
         }
         world.barrier_all();
       });
       engine.run();
-      sim::Time lat_sum = 0, bw_max = 0;
-      for (int p = 0; p < pairs; ++p) {
-        lat_sum += lat[p];
-        bw_max = std::max(bw_max, bw[p]);
-      }
-      out.latency_us = sim::to_us(lat_sum) / (pairs * reps);
-      out.bandwidth_mbs = static_cast<double>(bytes) * reps * pairs /
-                          (sim::to_sec(bw_max) * 1e6);
+      out.latency_us = latency_us(lat, pairs, reps);
+      out.bandwidth_mbs = aggregate_mbs(bw_begin, bw_end, pairs, bytes, reps);
       break;
     }
     case RawLib::kGasnet: {
       gasnet::World world(engine, fabric, sw, seg);
-      std::vector<sim::Time> lat(kWorldPes, 0), bw(kWorldPes, 0);
+      std::vector<sim::Time> lat(kWorldPes, 0);
+      std::vector<sim::Time> bw_begin(kWorldPes, 0), bw_end(kWorldPes, 0);
       const std::uint64_t off = gasnet::World::reserved_bytes();
       world.launch([&] {
         const int me = world.mynode();
         world.barrier();
         if (me < pairs) {
           const int dst = kPesPerNode + me;
-          sim::Time t0 = engine.now();
+          const sim::Time t0 = engine.now();
           for (int r = 0; r < reps; ++r) {
             world.put(dst, off, payload.data(), bytes);  // remotely complete
           }
           lat[me] = engine.now() - t0;
           world.barrier();
-          t0 = engine.now();
+          bw_begin[me] = engine.now();
           for (int r = 0; r < reps; ++r) {
             world.put_nbi(dst, off, payload.data(), bytes);
           }
           world.wait_syncnbi_puts();
-          bw[me] = engine.now() - t0;
+          bw_end[me] = engine.now();
         } else {
           world.barrier();
         }
         world.barrier();
       });
       engine.run();
-      sim::Time lat_sum = 0, bw_max = 0;
-      for (int p = 0; p < pairs; ++p) {
-        lat_sum += lat[p];
-        bw_max = std::max(bw_max, bw[p]);
-      }
-      out.latency_us = sim::to_us(lat_sum) / (pairs * reps);
-      out.bandwidth_mbs = static_cast<double>(bytes) * reps * pairs /
-                          (sim::to_sec(bw_max) * 1e6);
+      out.latency_us = latency_us(lat, pairs, reps);
+      out.bandwidth_mbs = aggregate_mbs(bw_begin, bw_end, pairs, bytes, reps);
       break;
     }
     case RawLib::kMpi3: {
       mpi3::Window win(engine, fabric, sw, seg);
-      std::vector<sim::Time> lat(kWorldPes, 0), bw(kWorldPes, 0);
+      std::vector<sim::Time> lat(kWorldPes, 0);
+      std::vector<sim::Time> bw_begin(kWorldPes, 0), bw_end(kWorldPes, 0);
       const std::uint64_t off = mpi3::Window::reserved_bytes();
       win.launch([&] {
         const int me = win.rank();
         win.barrier();
         if (me < pairs) {
           const int dst = kPesPerNode + me;
-          sim::Time t0 = engine.now();
+          const sim::Time t0 = engine.now();
           for (int r = 0; r < reps; ++r) {
             win.put(payload.data(), bytes, dst, off);
             win.flush_all();
           }
           lat[me] = engine.now() - t0;
           win.barrier();
-          t0 = engine.now();
+          bw_begin[me] = engine.now();
           for (int r = 0; r < reps; ++r) {
             win.put(payload.data(), bytes, dst, off);
           }
           win.flush_all();
-          bw[me] = engine.now() - t0;
+          bw_end[me] = engine.now();
         } else {
           win.barrier();
         }
         win.barrier();
       });
       engine.run();
-      sim::Time lat_sum = 0, bw_max = 0;
-      for (int p = 0; p < pairs; ++p) {
-        lat_sum += lat[p];
-        bw_max = std::max(bw_max, bw[p]);
-      }
-      out.latency_us = sim::to_us(lat_sum) / (pairs * reps);
-      out.bandwidth_mbs = static_cast<double>(bytes) * reps * pairs /
-                          (sim::to_sec(bw_max) * 1e6);
+      out.latency_us = latency_us(lat, pairs, reps);
+      out.bandwidth_mbs = aggregate_mbs(bw_begin, bw_end, pairs, bytes, reps);
       break;
     }
   }

@@ -17,6 +17,7 @@
 
 #include "gasnet/gasnet.hpp"
 #include "mpi3/rma.hpp"
+#include "net/fault.hpp"
 #include "net/profiles.hpp"
 #include "shmem/world.hpp"
 
@@ -43,8 +44,11 @@ struct PutResult {
 };
 
 /// Runs the pair put test for one library / machine / size / pair count.
+/// With a non-null, active `plan`, a FaultInjector drives the fabric for
+/// the whole run (the fault_sweep harness: bandwidth under message loss).
 PutResult run_put_test(RawLib lib, net::Machine machine, std::size_t bytes,
-                       int pairs, int reps);
+                       int pairs, int reps,
+                       const net::FaultPlan* plan = nullptr);
 
 /// Same harness for blocking gets (round-trip latency; pipelined bandwidth
 /// is not meaningful for blocking gets, so bandwidth here is per-op

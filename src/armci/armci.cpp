@@ -41,15 +41,24 @@ int World::me() const {
 }
 
 std::uint64_t World::malloc_collective(std::size_t bytes) {
-  const std::size_t cursor = alloc_cursor_[me()]++;
+  const int r = me();
+  const std::size_t cursor = alloc_cursor_[r];
   if (cursor == alloc_log_.size()) {
     auto got = allocator_->allocate(bytes);
-    if (!got) throw std::bad_alloc();
-    alloc_log_.push_back({false, bytes, *got});
+    // Failures are logged too (result = kAllocFailed) so replaying ranks
+    // observe the same failure at the same op index; later, smaller
+    // allocations still succeed.
+    alloc_log_.push_back({false, bytes, got ? *got : kAllocFailed});
   }
+  alloc_cursor_[r] = cursor + 1;
   const AllocOp op = alloc_log_[cursor];  // copy: log grows during barrier
   if (op.is_free || op.arg != bytes) {
     throw std::logic_error("ARMCI_Malloc: collective mismatch");
+  }
+  if (op.result == kAllocFailed) {
+    throw shmem::HeapExhaustedError("ARMCI_Malloc", bytes,
+                                    allocator_->bytes_in_use(),
+                                    allocator_->capacity());
   }
   barrier();
   return op.result;
@@ -208,6 +217,7 @@ void World::wait_until_local(std::uint64_t off,
   };
   while (!pred(load())) {
     watchers_[r].push_back({off, engine_.current_fiber()});
+    engine_.current_fiber()->set_block_op("armci_wait_until");
     engine_.block();
   }
 }

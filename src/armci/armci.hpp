@@ -118,8 +118,9 @@ class World {
   struct AllocOp {
     bool is_free;
     std::uint64_t arg;
-    std::uint64_t result;
+    std::uint64_t result;  // offset, or kAllocFailed when the alloc failed
   };
+  static constexpr std::uint64_t kAllocFailed = ~std::uint64_t{0};
   std::vector<AllocOp> alloc_log_;
   std::vector<std::size_t> alloc_cursor_;
   std::unique_ptr<shmem::FreeListAllocator> allocator_;

@@ -84,6 +84,11 @@ class ArmciConduit final : public Conduit {
   }
   void quiet() override { world_.all_fence(); }
 
+  void poke(int rank, std::uint64_t off, const void* src, std::size_t n,
+            sim::Time t) override {
+    world_.domain().poke(rank, off, src, n, t);
+  }
+
   // ARMCI_Rmw only offers fetch-add and swap. The CAF runtime mixes swap,
   // fetch-add, and compare-swap on the SAME words (the MCS tail), and a
   // native Rmw is not atomic with respect to a mutex-emulated one — so ALL

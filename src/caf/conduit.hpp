@@ -55,6 +55,13 @@ class Conduit {
   /// (e.g. ARMCI mutex creation) override it.
   virtual void post_init() {}
 
+  /// Scheduler-context store into `rank`'s segment at virtual time `t`,
+  /// firing the conduit's write hooks so blocked waiters wake. Used by the
+  /// runtime's failure handler (and AM handlers) which mutate target memory
+  /// from the event loop rather than through a fiber's NIC path.
+  virtual void poke(int rank, std::uint64_t off, const void* src,
+                    std::size_t n, sim::Time t) = 0;
+
   // ---- collective symmetric allocation ----
   /// Collective; every rank calls with the same size and receives the same
   /// segment offset. Includes an implicit barrier.

@@ -66,15 +66,23 @@ std::int64_t GasnetConduit::am_amo(AmoKind kind, int rank, std::uint64_t off,
 
 std::uint64_t GasnetConduit::allocate(std::size_t bytes) {
   const int me = world_.mynode();
-  const std::size_t cursor = alloc_cursor_[me]++;
+  const std::size_t cursor = alloc_cursor_[me];
   if (cursor == alloc_log_.size()) {
     auto got = allocator_.allocate(bytes);
-    if (!got) throw std::bad_alloc();
-    alloc_log_.push_back({false, bytes, *got});
+    // Failures are logged too (result = kAllocFailed) so replaying nodes
+    // observe the same failure at the same op index; later, smaller
+    // allocations still succeed.
+    alloc_log_.push_back({false, bytes, got ? *got : kAllocFailed});
   }
+  alloc_cursor_[me] = cursor + 1;
   const AllocOp op = alloc_log_[cursor];  // copy: log grows during barrier
   if (op.is_free || op.arg != bytes) {
     throw std::logic_error("GasnetConduit::allocate: collective mismatch");
+  }
+  if (op.result == kAllocFailed) {
+    throw shmem::HeapExhaustedError("GasnetConduit::allocate", bytes,
+                                    allocator_.bytes_in_use(),
+                                    allocator_.capacity());
   }
   world_.barrier();
   return op.result;

@@ -61,6 +61,11 @@ class GasnetConduit final : public Conduit {
             std::size_t elem_bytes, std::size_t nelems) override;
   void quiet() override { world_.wait_syncnbi_puts(); }
 
+  void poke(int rank, std::uint64_t off, const void* src, std::size_t n,
+            sim::Time t) override {
+    world_.domain().poke(rank, off, src, n, t);
+  }
+
   std::int64_t amo_swap(int rank, std::uint64_t off, std::int64_t v) override {
     return am_amo(kSwap, rank, off, v, 0);
   }
@@ -101,8 +106,9 @@ class GasnetConduit final : public Conduit {
   struct AllocOp {
     bool is_free;
     std::uint64_t arg;
-    std::uint64_t result;
+    std::uint64_t result;  // offset, or kAllocFailed when the alloc failed
   };
+  static constexpr std::uint64_t kAllocFailed = ~std::uint64_t{0};
   std::vector<AllocOp> alloc_log_;
   std::vector<std::size_t> alloc_cursor_;
 };

@@ -76,6 +76,11 @@ class Mpi3Conduit final : public Conduit {
   }
   void quiet() override { win_.flush_all(); }
 
+  void poke(int rank, std::uint64_t off, const void* src, std::size_t n,
+            sim::Time t) override {
+    win_.domain().poke(rank, off, src, n, t);
+  }
+
   std::int64_t amo_swap(int rank, std::uint64_t off, std::int64_t v) override {
     return win_.fetch_and_op_replace(v, rank, off);
   }

@@ -4,6 +4,9 @@
 #include <new>
 #include <stdexcept>
 
+#include "fabric/domain.hpp"
+#include "sim/engine.hpp"
+
 namespace caf {
 
 Runtime::Runtime(Conduit& conduit, Options opts)
@@ -28,11 +31,23 @@ void Runtime::init() {
       conduit_.allocate((kMaxRounds + 1) * sizeof(std::int64_t));
   const std::uint64_t slots = conduit_.allocate(kSlotBytes * (kMaxRounds + 1));
   const std::uint64_t crit = conduit_.allocate(sizeof(std::int64_t));
+  const std::uint64_t syncall =
+      conduit_.allocate(static_cast<std::size_t>(num_images()) *
+                        sizeof(std::int64_t));
   slab_off_ = slab;
   sync_ctrs_off_ = sync;
   coll_flags_off_ = flags;
   coll_slot_off_ = slots;
   critical_off_ = crit;
+  syncall_ctrs_off_ = syncall;
+  sync_offsets_ready_ = true;
+
+  if (!failure_hook_registered_) {
+    failure_hook_registered_ = true;
+    conduit_.engine().on_pe_failure([this](const sim::PeFailure& f) {
+      handle_image_failure(f.pe, f.at);
+    });
+  }
 
   conduit_.post_init();
 
@@ -80,12 +95,97 @@ void Runtime::sync_images(std::span<const int> images) {
 }
 
 // ---------------------------------------------------------------------------
+// Failed-image semantics (Fortran 2018)
+// ---------------------------------------------------------------------------
+
+void Runtime::handle_image_failure(int failed_pe, sim::Time at) {
+  // Scheduler context (engine failure hook). A plain `sync all` barrier or
+  // `sync images` with the dead partner still hangs — by design, so the
+  // engine's drain-time diagnostic identifies who was stuck on whom. Only
+  // the stat= path gets woken: poke the sentinel into every survivor's
+  // sync-all slot for the dead image so their kGe-round waits fire.
+  if (!sync_offsets_ready_) return;
+  sim::Engine& eng = conduit_.engine();
+  const std::int64_t sentinel = kFailedSentinel;
+  const int n = num_images();
+  for (int r = 0; r < n; ++r) {
+    if (r == failed_pe || eng.pe_failed(r)) continue;
+    conduit_.poke(r,
+                  syncall_ctrs_off_ + static_cast<std::uint64_t>(failed_pe) *
+                                          sizeof(std::int64_t),
+                  &sentinel, sizeof sentinel, at);
+  }
+}
+
+int Runtime::image_status(int image) {
+  return conduit_.engine().pe_failed(image - 1) ? kStatFailedImage : kStatOk;
+}
+
+std::vector<int> Runtime::failed_images() {
+  std::vector<int> out;
+  for (const auto& f : conduit_.engine().failures()) out.push_back(f.pe + 1);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int Runtime::sync_all_stat() {
+  require_init();
+  auto& st = per_image_[me()];
+  ++st.stats.syncs;
+  sim::Engine& eng = conduit_.engine();
+  conduit_.quiet();
+  // Counter-based barrier (a failed peer would wedge the conduit's native
+  // barrier): round r completes when every live image bumped my slot to r.
+  // A dead image's slot reads as kFailedSentinel (>= any round) instead.
+  const std::int64_t round = ++st.syncall_round;
+  const int n = num_images();
+  const int self = me();
+  for (int r = 0; r < n; ++r) {
+    if (r == self || eng.pe_failed(r)) continue;
+    try {
+      (void)conduit_.amo_fadd(r,
+                              syncall_ctrs_off_ +
+                                  static_cast<std::uint64_t>(self) *
+                                      sizeof(std::int64_t),
+                              1);
+    } catch (const fabric::PeerFailedError&) {
+      // Raced with the failure; the sentinel covers everyone's waits.
+    }
+  }
+  for (int r = 0; r < n; ++r) {
+    if (r == self || eng.pe_failed(r)) continue;
+    conduit_.wait_until(syncall_ctrs_off_ + static_cast<std::uint64_t>(r) *
+                                                sizeof(std::int64_t),
+                        Cmp::kGe, round);
+  }
+  return eng.failed_count() > 0 ? kStatFailedImage : kStatOk;
+}
+
+// ---------------------------------------------------------------------------
 // Allocation
 // ---------------------------------------------------------------------------
 
 std::uint64_t Runtime::allocate_coarray_bytes(std::size_t bytes) {
   require_init();
   return conduit_.allocate(bytes);
+}
+
+std::uint64_t Runtime::allocate_coarray_bytes(std::size_t bytes, int* stat) {
+  require_init();
+  assert(stat != nullptr);
+  if (conduit_.engine().failed_count() > 0) {
+    // The allocation is collective; with a dead image it can never complete.
+    *stat = kStatFailedImage;
+    return 0;
+  }
+  try {
+    const std::uint64_t off = conduit_.allocate(bytes);
+    *stat = kStatOk;
+    return off;
+  } catch (const shmem::HeapExhaustedError&) {
+    *stat = kStatOutOfMemory;
+    return 0;
+  }
 }
 
 void Runtime::deallocate_coarray_bytes(std::uint64_t off) {
@@ -98,7 +198,9 @@ RemotePtr Runtime::nonsym_alloc(std::size_t bytes) {
   auto& st = per_image_[me()];
   auto got = st.slab->allocate(bytes);
   if (!got) {
-    throw std::bad_alloc();
+    throw shmem::HeapExhaustedError("caf nonsym_alloc (managed slab)", bytes,
+                                    st.slab->bytes_in_use(),
+                                    st.slab->capacity());
   }
   if (*got > RemotePtr::kMaxOffset) {
     throw std::runtime_error("nonsym_alloc: offset exceeds 36-bit packing");
@@ -136,6 +238,30 @@ void Runtime::get_bytes(void* dst, int image, std::uint64_t src_off,
   st.get_bytes += n;
   if (opts_.memory_model == MemoryModel::kStrict) conduit_.quiet();
   conduit_.get(dst, image - 1, src_off, n);
+}
+
+int Runtime::put_bytes_stat(int image, std::uint64_t dst_off, const void* src,
+                            std::size_t n) {
+  require_init();
+  if (conduit_.engine().pe_failed(image - 1)) return kStatFailedImage;
+  try {
+    put_bytes(image, dst_off, src, n);
+  } catch (const fabric::PeerFailedError&) {
+    return kStatFailedImage;
+  }
+  return kStatOk;
+}
+
+int Runtime::get_bytes_stat(void* dst, int image, std::uint64_t src_off,
+                            std::size_t n) {
+  require_init();
+  if (conduit_.engine().pe_failed(image - 1)) return kStatFailedImage;
+  try {
+    get_bytes(dst, image, src_off, n);
+  } catch (const fabric::PeerFailedError&) {
+    return kStatFailedImage;
+  }
+  return kStatOk;
 }
 
 // ---------------------------------------------------------------------------

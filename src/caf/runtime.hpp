@@ -62,13 +62,15 @@ struct StridedStats {
   std::size_t elements = 0;
 };
 
-/// Fortran 2008 stat= codes for image-control statements (the subset the
+/// Fortran stat= codes for image-control statements (the subset the
 /// runtime can raise; the values mirror ISO_FORTRAN_ENV's spirit).
 enum StatCode : int {
   kStatOk = 0,
   kStatLocked = 1,          ///< lock: executing image already holds it
   kStatUnlocked = 2,        ///< unlock: executing image does not hold it
-  kStatLockedOtherImage = 3 ///< (reserved; not raised by this runtime)
+  kStatLockedOtherImage = 3,///< (reserved; not raised by this runtime)
+  kStatFailedImage = 4,     ///< Fortran 2018 STAT_FAILED_IMAGE: a peer died
+  kStatOutOfMemory = 5      ///< allocate: symmetric heap exhausted
 };
 
 /// Per-image communication counters (a runtime tracing facility; handy for
@@ -118,9 +120,26 @@ class Runtime {
   void sync_images(std::span<const int> images);    // sync images(list)
   void sync_memory() { conduit_.quiet(); }          // sync memory
 
+  // ---- failed-image semantics (Fortran 2018) ----
+  /// IMAGE_STATUS(image): kStatFailedImage if the image has failed, else
+  /// kStatOk. Image index is 1-based.
+  int image_status(int image);
+  /// FAILED_IMAGES(): sorted 1-based indices of all failed images.
+  std::vector<int> failed_images();
+  /// `sync all (stat=s)`: a barrier that survives image failure. Returns
+  /// kStatOk when every image participated, kStatFailedImage once any
+  /// image has failed (survivors still synchronize with each other and
+  /// never hang waiting on the dead image).
+  int sync_all_stat();
+
   // ---- symmetric (coarray) allocation; collective ----
   std::uint64_t allocate_coarray_bytes(std::size_t bytes);
   void deallocate_coarray_bytes(std::uint64_t off);
+  /// `allocate(..., stat=s)`: never throws. Sets *stat to kStatOk and
+  /// returns the offset on success; kStatOutOfMemory (heap exhausted) or
+  /// kStatFailedImage (a peer died — the collective can no longer complete)
+  /// with a 0 return otherwise.
+  std::uint64_t allocate_coarray_bytes(std::size_t bytes, int* stat);
 
   /// Host address of a symmetric offset on a given 1-based image. Only the
   /// caller's own image may be written through this pointer; other images'
@@ -142,6 +161,12 @@ class Runtime {
   void put_bytes(int image, std::uint64_t dst_off, const void* src,
                  std::size_t n);
   void get_bytes(void* dst, int image, std::uint64_t src_off, std::size_t n);
+  /// stat= variants: return kStatFailedImage instead of throwing when the
+  /// target image has failed (before or during the transfer).
+  int put_bytes_stat(int image, std::uint64_t dst_off, const void* src,
+                     std::size_t n);
+  int get_bytes_stat(void* dst, int image, std::uint64_t src_off,
+                     std::size_t n);
 
   // ---- multi-dimensional strided RMA (§IV-C) ----
   /// Puts `src_packed` (elements in section order, column-major) into the
@@ -243,6 +268,11 @@ class Runtime {
   void require_init() const;
   int me() const { return conduit_.rank(); }
 
+  /// Engine failure hook (scheduler context): pokes kFailedSentinel into
+  /// every survivor's sync-all counter slot for the dead image so blocked
+  /// `sync all (stat=)` waiters wake up instead of hanging.
+  void handle_image_failure(int failed_pe, sim::Time at);
+
   // Generic one-sided collective machinery (staged through internal slots).
   void coll_broadcast_bytes(void* data, std::size_t nbytes, int root0);
   void coll_reduce_bytes(void* data, std::size_t nelems, std::size_t elem,
@@ -260,9 +290,16 @@ class Runtime {
   std::uint64_t coll_flags_off_ = 0; // kMaxRounds + 1 int64 flags
   std::uint64_t coll_slot_off_ = 0;  // kSlotBytes staging area
   std::uint64_t critical_off_ = 0;   // global critical-section lock tail
+  std::uint64_t syncall_ctrs_off_ = 0;  // num_images int64 sync-all counters
+  bool sync_offsets_ready_ = false;     // init() finished allocating above
+  bool failure_hook_registered_ = false;
 
   static constexpr int kMaxRounds = 16;
   static constexpr std::size_t kSlotBytes = 8192;
+  /// Poked into a survivor's sync-all slot for a dead image: large enough
+  /// to satisfy any round's `>= round` wait, and an in-flight fadd merely
+  /// bumps it (staying >= every future round) rather than erasing it.
+  static constexpr std::int64_t kFailedSentinel = std::int64_t{1} << 62;
 
   // Per-image runtime state, indexed by 0-based rank. Each fiber only
   // touches its own entry.
@@ -272,6 +309,7 @@ class Runtime {
     std::unordered_map<int, std::int64_t> sync_sent;  // partner rank -> count
     std::unordered_map<std::uint64_t, std::int64_t> event_consumed;
     std::int64_t coll_gen = 0;
+    std::int64_t syncall_round = 0;  // rounds of sync_all_stat completed
     ImageStats stats;
   };
   std::vector<PerImage> per_image_;

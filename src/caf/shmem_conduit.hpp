@@ -80,6 +80,11 @@ class ShmemConduit final : public Conduit {
   }
   void quiet() override { world_.quiet(); }
 
+  void poke(int rank, std::uint64_t off, const void* src, std::size_t n,
+            sim::Time t) override {
+    world_.domain().poke(rank, off, src, n, t);
+  }
+
   std::int64_t amo_swap(int rank, std::uint64_t off, std::int64_t v) override {
     return world_.swap(i64_addr(off), v, rank);
   }

@@ -4,9 +4,30 @@
 #include <cstdlib>
 #include <cassert>
 #include <cstring>
+#include <sstream>
 #include <stdexcept>
 
 namespace fabric {
+
+namespace {
+std::string peer_failed_msg(const char* op, int src_pe, int dst_pe,
+                            int attempts, sim::Time t) {
+  std::ostringstream os;
+  os << op << " from pe " << src_pe << " to pe " << dst_pe << " failed after "
+     << attempts << " attempt(s) at t=" << sim::format_time(t)
+     << " (retransmit budget exhausted; peer dead or sustained loss)";
+  return os.str();
+}
+}  // namespace
+
+PeerFailedError::PeerFailedError(const char* op, int src_pe, int dst_pe,
+                                 int attempts, sim::Time t)
+    : std::runtime_error(peer_failed_msg(op, src_pe, dst_pe, attempts, t)),
+      op_(op),
+      src_pe_(src_pe),
+      dst_pe_(dst_pe),
+      attempts_(attempts),
+      time_(t) {}
 
 Domain::ZeroedBuffer::ZeroedBuffer(std::size_t n)
     : p_(static_cast<std::byte*>(std::calloc(n ? n : 1, 1))) {
@@ -74,6 +95,12 @@ net::PutCompletion Domain::put(int dst_pe, std::uint64_t dst_off,
   }
   const auto c =
       fabric_.submit_put(me, dst_pe, n, sw_, engine_.now(), pipelined);
+  if (!c.ok) {
+    // Don't record the give-up time as outstanding: the bytes never landed,
+    // and quiet() must not stall on them.
+    engine_.advance_to(c.local_complete);
+    throw PeerFailedError("put", me, dst_pe, c.attempts, c.delivered);
+  }
   note_outstanding(me, c.delivered);
   // Capture the payload now: OpenSHMEM putmem guarantees the source buffer
   // is reusable on return.
@@ -90,7 +117,12 @@ void Domain::get(void* dst, int src_pe, std::uint64_t src_off, std::size_t n) {
     throw std::out_of_range("fabric::Domain::get beyond segment");
   }
   const auto rt = fabric_.submit_get(me, src_pe, n, sw_, engine_.now());
+  if (!rt.ok) {
+    engine_.advance_to(rt.complete);
+    throw PeerFailedError("get", me, src_pe, rt.attempts, rt.complete);
+  }
   sim::Fiber* f = engine_.current_fiber();
+  f->set_block_op("get", src_pe);
   // Snapshot target memory at the moment the NIC services the read, then
   // hand the bytes to the blocked initiator at reply time.
   engine_.schedule(rt.target_read, [this, f, dst, src_pe, src_off, n, rt] {
@@ -119,6 +151,10 @@ void Domain::iput_hw(int dst_pe, std::uint64_t dst_off,
   }
   const auto c = fabric_.submit_strided_put(me, dst_pe, elem_bytes, nelems,
                                             sw_, engine_.now(), pipelined);
+  if (!c.ok) {
+    engine_.advance_to(c.local_complete);
+    throw PeerFailedError("iput", me, dst_pe, c.attempts, c.delivered);
+  }
   note_outstanding(me, c.delivered);
   // Gather the source elements at issue time.
   std::vector<std::byte> data(elem_bytes * nelems);
@@ -152,7 +188,12 @@ void Domain::iget_hw(void* dst, std::ptrdiff_t dst_stride, int src_pe,
   if (nelems == 0) return;
   const auto rt = fabric_.submit_strided_get(me, src_pe, elem_bytes, nelems,
                                              sw_, engine_.now());
+  if (!rt.ok) {
+    engine_.advance_to(rt.complete);
+    throw PeerFailedError("iget", me, src_pe, rt.attempts, rt.complete);
+  }
   sim::Fiber* f = engine_.current_fiber();
+  f->set_block_op("iget", src_pe);
   engine_.schedule(rt.target_read, [this, f, dst, dst_stride, src_pe, src_off,
                                     src_stride, elem_bytes, nelems, rt] {
     auto snapshot = std::make_shared<std::vector<std::byte>>(elem_bytes * nelems);
@@ -183,8 +224,13 @@ std::uint64_t Domain::amo(AmoOp op, int dst_pe, std::uint64_t dst_off,
     throw std::out_of_range("fabric::Domain::amo beyond segment");
   }
   const auto rt = fabric_.submit_amo(me, dst_pe, sw_, engine_.now());
+  if (!rt.ok) {
+    engine_.advance_to(rt.complete);
+    throw PeerFailedError("amo", me, dst_pe, rt.attempts, rt.complete);
+  }
   note_outstanding(me, rt.target_read);
   sim::Fiber* f = engine_.current_fiber();
+  f->set_block_op("amo", dst_pe);
   auto fetched = std::make_shared<std::uint64_t>(0);
   engine_.schedule(rt.target_read, [this, op, dst_pe, dst_off, operand, cond,
                                     fetched, t = rt.target_read] {

@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -35,6 +37,29 @@
 #include "sim/engine.hpp"
 
 namespace fabric {
+
+/// Thrown by one-sided operations when the reliable-delivery layer gave up:
+/// the retransmit budget was exhausted because the peer is dead (or loss is
+/// sustained beyond the RetryPolicy's budget). Carries enough context for
+/// runtimes to map it to language-level failure codes (STAT_FAILED_IMAGE).
+class PeerFailedError : public std::runtime_error {
+ public:
+  PeerFailedError(const char* op, int src_pe, int dst_pe, int attempts,
+                  sim::Time t);
+
+  const char* op() const { return op_; }
+  int src_pe() const { return src_pe_; }
+  int dst_pe() const { return dst_pe_; }
+  int attempts() const { return attempts_; }
+  sim::Time time() const { return time_; }
+
+ private:
+  const char* op_;
+  int src_pe_;
+  int dst_pe_;
+  int attempts_;
+  sim::Time time_;
+};
 
 /// Remote atomic operation kinds (the OpenSHMEM/DMAPP AMO set used by the
 /// paper: swap, compare-and-swap, fetch-add, fetch-inc, and bitwise ops).

@@ -73,6 +73,10 @@ void World::am_request(int node, int handler, std::uint64_t arg0,
   const int me = mynode();
   const auto rt = domain_->fabric().submit_am(me, node, payload_bytes,
                                               domain_->sw(), engine_.now());
+  if (!rt.ok) {
+    engine_.advance(domain_->sw().put_overhead);
+    throw fabric::PeerFailedError("am", me, node, rt.attempts, rt.complete);
+  }
   std::vector<std::byte> data(payload_bytes);
   if (payload_bytes > 0) std::memcpy(data.data(), payload, payload_bytes);
   engine_.schedule(rt.target_read, [this, handler, me, node, arg0, arg1,
@@ -92,9 +96,15 @@ std::uint64_t World::am_request_reply(int node, int handler,
   const int me = mynode();
   const auto rt = domain_->fabric().submit_am(me, node, payload_bytes,
                                               domain_->sw(), engine_.now());
+  if (!rt.ok) {
+    engine_.advance_to(rt.complete);
+    throw fabric::PeerFailedError("am_reply", me, node, rt.attempts,
+                                  rt.complete);
+  }
   std::vector<std::byte> data(payload_bytes);
   if (payload_bytes > 0) std::memcpy(data.data(), payload, payload_bytes);
   sim::Fiber* f = engine_.current_fiber();
+  f->set_block_op("gasnet_am_reply", node);
   auto reply = std::make_shared<std::uint64_t>(0);
   engine_.schedule(rt.target_read, [this, handler, me, node, arg0, arg1, reply,
                                     p = std::move(data), t = rt.target_read] {
@@ -119,6 +129,7 @@ void World::block_until(std::uint64_t off,
   while (!pred(load_i64(me, off))) {
     watchers_[me].push_back(
         {off, sizeof(std::int64_t), engine_.current_fiber()});
+    engine_.current_fiber()->set_block_op("gasnet_block_until");
     engine_.block();
   }
 }

@@ -92,15 +92,24 @@ std::int64_t Window::fetch_and_op_bxor(std::int64_t mask, int target_rank,
 void Window::flush_all() { domain_->quiet(); }
 
 std::uint64_t Window::allocate_collective(std::size_t bytes) {
-  const std::size_t cursor = alloc_cursor_[rank()]++;
+  const int me = rank();
+  const std::size_t cursor = alloc_cursor_[me];
   if (cursor == alloc_log_.size()) {
     auto got = allocator_->allocate(bytes);
-    if (!got) throw std::bad_alloc();
-    alloc_log_.push_back({false, bytes, *got});
+    // Failures are logged too (result = kAllocFailed) so replaying ranks
+    // observe the same failure at the same op index; later, smaller
+    // allocations still succeed.
+    alloc_log_.push_back({false, bytes, got ? *got : kAllocFailed});
   }
+  alloc_cursor_[me] = cursor + 1;
   const AllocOp op = alloc_log_[cursor];  // copy: log grows during barrier
   if (op.is_free || op.arg != bytes) {
     throw std::logic_error("mpi3 allocate: collective mismatch");
+  }
+  if (op.result == kAllocFailed) {
+    throw shmem::HeapExhaustedError("mpi3 allocate", bytes,
+                                    allocator_->bytes_in_use(),
+                                    allocator_->capacity());
   }
   barrier();
   return op.result;
@@ -129,6 +138,7 @@ void Window::wait_until_local(
   };
   while (!pred(load())) {
     watchers_[me].push_back({off, engine_.current_fiber()});
+    engine_.current_fiber()->set_block_op("mpi3_wait_until");
     engine_.block();
   }
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "net/fault.hpp"
+
 namespace net {
 
 Fabric::Fabric(MachineProfile profile, int npes)
@@ -27,6 +29,24 @@ double Fabric::xfer_ns(std::size_t bytes, const SwProfile& sw,
   return static_cast<double>(bytes) / bw;
 }
 
+sim::Time Fabric::wire_tx(int src_node, double occupancy_ns, sim::Time start) {
+  const sim::Time occ = sim::from_ns(occupancy_ns);
+  // Serialize on the source NIC: messages from all PEs of a node share one
+  // injection port (this is what creates the 16-pair contention in Figs 2-3).
+  const sim::Time tx_start = std::max(start, tx_free_[src_node]);
+  tx_free_[src_node] = tx_start + occ;
+  return tx_start + occ + profile_.hw_latency;
+}
+
+sim::Time Fabric::wire_rx(int dst_node, sim::Time arrival) {
+  // Receive side: the target NIC retires one message per rx_msg_gap; this is
+  // what limits many-to-one message rates (lock and DHT benchmarks).
+  const sim::Time rx_start = std::max(arrival, rx_free_[dst_node]);
+  const sim::Time delivered = rx_start + profile_.rx_msg_gap;
+  rx_free_[dst_node] = delivered;
+  return delivered;
+}
+
 sim::Time Fabric::wire(int src_pe, int dst_pe, double occupancy_ns,
                        sim::Time start) {
   if (same_node(src_pe, dst_pe)) {
@@ -34,20 +54,82 @@ sim::Time Fabric::wire(int src_pe, int dst_pe, double occupancy_ns,
     // just copy time plus a short handoff latency.
     return start + profile_.local_latency + sim::from_ns(occupancy_ns);
   }
-  const int sn = node_of(src_pe);
-  const int dn = node_of(dst_pe);
-  const sim::Time occ = sim::from_ns(occupancy_ns);
-  // Serialize on the source NIC: messages from all PEs of a node share one
-  // injection port (this is what creates the 16-pair contention in Figs 2-3).
-  const sim::Time tx_start = std::max(start, tx_free_[sn]);
-  tx_free_[sn] = tx_start + occ;
-  const sim::Time arrival = tx_start + occ + profile_.hw_latency;
-  // Receive side: the target NIC retires one message per rx_msg_gap; this is
-  // what limits many-to-one message rates (lock and DHT benchmarks).
-  const sim::Time rx_start = std::max(arrival, rx_free_[dn]);
-  const sim::Time delivered = rx_start + profile_.rx_msg_gap;
-  rx_free_[dn] = delivered;
-  return delivered;
+  const sim::Time arrival = wire_tx(node_of(src_pe), occupancy_ns, start);
+  return wire_rx(node_of(dst_pe), arrival);
+}
+
+Fabric::WireTry Fabric::wire_faulty(int src_pe, int dst_pe,
+                                    double occupancy_ns, sim::Time start) {
+  if (faults_ == nullptr || same_node(src_pe, dst_pe)) {
+    // Intra-node "wire" is a shared-memory copy; loss does not apply.
+    return {wire(src_pe, dst_pe, occupancy_ns, start), false};
+  }
+  // The transmit leg is always paid: the bytes leave the source NIC whether
+  // or not they survive the fabric.
+  const sim::Time arrival = wire_tx(node_of(src_pe), occupancy_ns, start);
+  if (faults_->pe_dead(dst_pe, arrival)) {
+    // Dead receivers neither retire the message nor ack it.
+    return {arrival, true};
+  }
+  const FaultInjector::Verdict v = faults_->judge(src_pe, dst_pe, start);
+  if (v.drop) return {arrival, true};
+  sim::Time delivered = wire_rx(node_of(dst_pe), arrival) + v.extra_delay;
+  if (v.duplicate) {
+    // A duplicate consumes a second full wire trip; the receiver dedups by
+    // sequence number so only the timing cost is observable.
+    const sim::Time dup_arrival =
+        wire_tx(node_of(src_pe), occupancy_ns, arrival);
+    (void)wire_rx(node_of(dst_pe), dup_arrival);
+  }
+  return {delivered, false};
+}
+
+PutCompletion Fabric::reliable_oneway(int src_pe, int dst_pe,
+                                      double occupancy_ns,
+                                      sim::Time local_complete) {
+  if (faults_ == nullptr || same_node(src_pe, dst_pe)) {
+    return {local_complete,
+            wire(src_pe, dst_pe, occupancy_ns, local_complete), true, 1};
+  }
+  const int max_attempts = 1 + faults_->retry().max_retransmits;
+  const double expected_oneway =
+      occupancy_ns + static_cast<double>(profile_.hw_latency);
+  sim::Time send = local_complete;
+  for (int a = 0; a < max_attempts; ++a) {
+    const WireTry t = wire_faulty(src_pe, dst_pe, occupancy_ns, send);
+    if (!t.dropped) return {local_complete, t.delivered, true, a + 1};
+    send += faults_->backoff_delay(a, expected_oneway);
+  }
+  return {local_complete, send, false, max_attempts};
+}
+
+RoundTrip Fabric::reliable_get(int src_pe, int dst_pe,
+                               double req_occupancy_ns,
+                               double reply_occupancy_ns, sim::Time start) {
+  if (faults_ == nullptr || same_node(src_pe, dst_pe)) {
+    const sim::Time req_arrival =
+        wire(src_pe, dst_pe, req_occupancy_ns, start);
+    const sim::Time reply =
+        wire(dst_pe, src_pe, reply_occupancy_ns, req_arrival);
+    return {req_arrival, reply, true, 1};
+  }
+  const int max_attempts = 1 + faults_->retry().max_retransmits;
+  const double expected_rtt = req_occupancy_ns + reply_occupancy_ns +
+                              2.0 * static_cast<double>(profile_.hw_latency);
+  sim::Time send = start;
+  for (int a = 0; a < max_attempts; ++a) {
+    const WireTry req = wire_faulty(src_pe, dst_pe, req_occupancy_ns, send);
+    if (!req.dropped) {
+      // The target NIC re-reads memory on every (re)request, so each retry
+      // snapshots afresh; the last successful request's snapshot is the one
+      // the caller observes.
+      const WireTry rep =
+          wire_faulty(dst_pe, src_pe, reply_occupancy_ns, req.delivered);
+      if (!rep.dropped) return {req.delivered, rep.delivered, true, a + 1};
+    }
+    send += faults_->backoff_delay(a, expected_rtt);
+  }
+  return {send, send, false, max_attempts};
 }
 
 sim::Time Fabric::wire_control(int src_pe, int dst_pe, double occupancy_ns,
@@ -65,9 +147,8 @@ PutCompletion Fabric::submit_put(int src_pe, int dst_pe, std::size_t bytes,
   const sim::Time issue_cost = pipelined ? sw.per_msg_gap : sw.put_overhead;
   const sim::Time local_complete = now + issue_cost;
   const bool local = same_node(src_pe, dst_pe);
-  const sim::Time delivered =
-      wire(src_pe, dst_pe, xfer_ns(bytes, sw, local), local_complete);
-  return {local_complete, delivered};
+  return reliable_oneway(src_pe, dst_pe, xfer_ns(bytes, sw, local),
+                         local_complete);
 }
 
 PutCompletion Fabric::submit_strided_put(int src_pe, int dst_pe,
@@ -84,21 +165,17 @@ PutCompletion Fabric::submit_strided_put(int src_pe, int dst_pe,
   const double occupancy =
       xfer_ns(elem_bytes * nelems, sw, local) +
       static_cast<double>(sw.strided_elem_gap) * static_cast<double>(nelems);
-  const sim::Time delivered = wire(src_pe, dst_pe, occupancy, local_complete);
-  return {local_complete, delivered};
+  return reliable_oneway(src_pe, dst_pe, occupancy, local_complete);
 }
 
 RoundTrip Fabric::submit_get(int src_pe, int dst_pe, std::size_t bytes,
                              const SwProfile& sw, sim::Time now) {
   const bool local = same_node(src_pe, dst_pe);
-  // Request: a small (16-byte) descriptor to the target NIC.
-  const sim::Time req_arrival =
-      wire(src_pe, dst_pe, xfer_ns(16, sw, local), now + sw.get_overhead);
-  // The target NIC services the read directly (one-sided); the data flows
-  // back as a payload message.
-  const sim::Time reply =
-      wire(dst_pe, src_pe, xfer_ns(bytes, sw, local), req_arrival);
-  return {req_arrival, reply};
+  // Request: a small (16-byte) descriptor to the target NIC; the target NIC
+  // services the read directly (one-sided) and the data flows back as a
+  // payload message.
+  return reliable_get(src_pe, dst_pe, xfer_ns(16, sw, local),
+                      xfer_ns(bytes, sw, local), now + sw.get_overhead);
 }
 
 RoundTrip Fabric::submit_strided_get(int src_pe, int dst_pe,
@@ -107,44 +184,83 @@ RoundTrip Fabric::submit_strided_get(int src_pe, int dst_pe,
                                      sim::Time now) {
   assert(sw.hw_strided);
   const bool local = same_node(src_pe, dst_pe);
-  const sim::Time req_arrival =
-      wire(src_pe, dst_pe, xfer_ns(16, sw, local), now + sw.get_overhead);
   const double occupancy =
       xfer_ns(elem_bytes * nelems, sw, local) +
       static_cast<double>(sw.strided_elem_gap) * static_cast<double>(nelems);
-  const sim::Time reply = wire(dst_pe, src_pe, occupancy, req_arrival);
-  return {req_arrival, reply};
+  return reliable_get(src_pe, dst_pe, xfer_ns(16, sw, local), occupancy,
+                      now + sw.get_overhead);
+}
+
+RoundTrip Fabric::reliable_exec(int src_pe, int dst_pe,
+                                double req_occupancy_ns,
+                                double reply_occupancy_ns, sim::Time start,
+                                sim::Time unit_cost, bool read_at_exec_done) {
+  const bool local = same_node(src_pe, dst_pe);
+  if (faults_ == nullptr || local) {
+    const sim::Time req_arrival =
+        wire(src_pe, dst_pe, req_occupancy_ns, start);
+    // Execution at the target serializes per PE (NIC atomic unit or target
+    // CPU handler queue).
+    const sim::Time exec_start = std::max(req_arrival, pe_proc_free_[dst_pe]);
+    const sim::Time exec_done = exec_start + unit_cost;
+    pe_proc_free_[dst_pe] = exec_done;
+    const sim::Time reply =
+        wire_control(dst_pe, src_pe, reply_occupancy_ns, exec_done);
+    return {read_at_exec_done ? exec_done : exec_start, reply, true, 1};
+  }
+  const int max_attempts = 1 + faults_->retry().max_retransmits;
+  const double expected_rtt = req_occupancy_ns + reply_occupancy_ns +
+                              2.0 * static_cast<double>(profile_.hw_latency) +
+                              static_cast<double>(unit_cost);
+  sim::Time send = start;
+  sim::Time exec_start = 0;
+  sim::Time exec_done = -1;  // -1: not executed yet
+  for (int a = 0; a < max_attempts; ++a) {
+    const WireTry req = wire_faulty(src_pe, dst_pe, req_occupancy_ns, send);
+    if (!req.dropped) {
+      if (exec_done < 0) {
+        // First delivered request executes; later deliveries hit the
+        // sequence-number dedup cache and only resend the reply.
+        exec_start = std::max(req.delivered, pe_proc_free_[dst_pe]);
+        exec_done = exec_start + unit_cost;
+        pe_proc_free_[dst_pe] = exec_done;
+      }
+      const sim::Time reply_start = std::max(exec_done, req.delivered);
+      // The reply is a control message (no data-link reservation) but can
+      // itself be lost; judge it like any other inter-node message.
+      const FaultInjector::Verdict v =
+          faults_->judge(dst_pe, src_pe, reply_start);
+      if (!v.drop) {
+        const sim::Time reply =
+            wire_control(dst_pe, src_pe, reply_occupancy_ns, reply_start) +
+            v.extra_delay;
+        return {read_at_exec_done ? exec_done : exec_start, reply, true,
+                a + 1};
+      }
+    }
+    send += faults_->backoff_delay(a, expected_rtt);
+  }
+  return {send, send, false, max_attempts};
 }
 
 RoundTrip Fabric::submit_amo(int src_pe, int dst_pe, const SwProfile& sw,
                              sim::Time now) {
   const bool local = same_node(src_pe, dst_pe);
-  const sim::Time req_arrival =
-      wire(src_pe, dst_pe, xfer_ns(16, sw, local), now + sw.amo_overhead);
   // Execution at the target serializes per PE: on the NIC's atomic unit for
   // SHMEM/DMAPP/verbs, or on the target CPU for AM-emulated atomics.
   const sim::Time unit_cost = sw.nic_amo ? profile_.nic_amo_gap : sw.handler_cpu;
-  const sim::Time exec_start = std::max(req_arrival, pe_proc_free_[dst_pe]);
-  const sim::Time exec_done = exec_start + unit_cost;
-  pe_proc_free_[dst_pe] = exec_done;
-  const sim::Time reply =
-      wire_control(dst_pe, src_pe, xfer_ns(8, sw, local), exec_done);
-  return {exec_done, reply};
+  return reliable_exec(src_pe, dst_pe, xfer_ns(16, sw, local),
+                       xfer_ns(8, sw, local), now + sw.amo_overhead, unit_cost,
+                       /*read_at_exec_done=*/true);
 }
 
 RoundTrip Fabric::submit_am(int src_pe, int dst_pe, std::size_t bytes,
                             const SwProfile& sw, sim::Time now) {
   const bool local = same_node(src_pe, dst_pe);
-  const sim::Time req_arrival = wire(src_pe, dst_pe,
-                                     xfer_ns(bytes + 16, sw, local),
-                                     now + sw.put_overhead);
   // The handler needs the target CPU; requests to the same PE serialize.
-  const sim::Time h_start = std::max(req_arrival, pe_proc_free_[dst_pe]);
-  const sim::Time h_done = h_start + sw.handler_cpu;
-  pe_proc_free_[dst_pe] = h_done;
-  const sim::Time reply =
-      wire_control(dst_pe, src_pe, xfer_ns(8, sw, local), h_done);
-  return {h_start, reply};
+  return reliable_exec(src_pe, dst_pe, xfer_ns(bytes + 16, sw, local),
+                       xfer_ns(8, sw, local), now + sw.put_overhead,
+                       sw.handler_cpu, /*read_at_exec_done=*/false);
 }
 
 }  // namespace net

@@ -18,6 +18,8 @@
 
 namespace net {
 
+class FaultInjector;
+
 class Fabric {
  public:
   Fabric(MachineProfile profile, int npes);
@@ -63,11 +65,60 @@ class Fabric {
                       const SwProfile& sw, sim::Time now);
 
   /// Resets link/occupancy state (e.g. between benchmark repetitions).
+  /// Does not reset the fault injector's rng or counters.
   void reset();
 
+  /// Attaches (or detaches, with nullptr) a fault injector. Not owned; must
+  /// outlive the Fabric or be detached first. With an injector attached,
+  /// inter-node submissions consult it per wire attempt and run a bounded
+  /// retransmit loop (timeout + exponential backoff with jitter, per the
+  /// plan's RetryPolicy), charging every retransmit through the normal link
+  /// model. Intra-node traffic and injector-free operation keep the original
+  /// single-attempt fast path bit-for-bit.
+  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+  FaultInjector* fault_injector() const { return faults_; }
+
  private:
+  /// Outcome of one wire attempt under fault injection.
+  struct WireTry {
+    sim::Time delivered;  ///< delivery time, or give-up point when dropped
+    bool dropped;
+  };
+
   /// Wire-level one-way message; returns delivery time and updates links.
   sim::Time wire(int src_pe, int dst_pe, double occupancy_ns, sim::Time start);
+
+  /// Transmit leg only: source NIC serialization + wire latency. Returns
+  /// arrival time at the destination node.
+  sim::Time wire_tx(int src_node, double occupancy_ns, sim::Time start);
+  /// Receive leg only: destination NIC message-retire serialization.
+  sim::Time wire_rx(int dst_node, sim::Time arrival);
+
+  /// One wire attempt with the injector consulted: the transmit leg is
+  /// always charged (the bytes leave the source NIC either way); the
+  /// message is then lost if the destination PE is dead on arrival or the
+  /// injector's verdict says drop. Duplicates charge a second full wire
+  /// trip (receivers dedup by sequence number, so contents apply once).
+  WireTry wire_faulty(int src_pe, int dst_pe, double occupancy_ns,
+                      sim::Time start);
+
+  /// Retransmit loop for one-way transfers (put / strided put).
+  PutCompletion reliable_oneway(int src_pe, int dst_pe, double occupancy_ns,
+                                sim::Time local_complete);
+
+  /// Retransmit loop for request/reply reads (get / strided get).
+  RoundTrip reliable_get(int src_pe, int dst_pe, double req_occupancy_ns,
+                         double reply_occupancy_ns, sim::Time start);
+
+  /// Retransmit loop for operations executed at the target (AMO / AM).
+  /// At-most-once semantics: the target executes on the first delivered
+  /// request and caches the reply; retried requests are deduped by sequence
+  /// number and answered from the cache, so the RMW/handler never reruns.
+  /// target_read is the execution completion time when `read_at_exec_done`,
+  /// else the handler start time (matching submit_amo vs submit_am).
+  RoundTrip reliable_exec(int src_pe, int dst_pe, double req_occupancy_ns,
+                          double reply_occupancy_ns, sim::Time start,
+                          sim::Time unit_cost, bool read_at_exec_done);
 
   /// Control-channel message (AMO/AM replies): pays latency and occupancy
   /// but does not reserve the data links. Replies are computed eagerly at
@@ -84,6 +135,7 @@ class Fabric {
   std::vector<sim::Time> tx_free_;       // per node
   std::vector<sim::Time> rx_free_;       // per node
   std::vector<sim::Time> pe_proc_free_;  // per PE: AMO/handler serialization
+  FaultInjector* faults_ = nullptr;      // not owned; nullptr = reliable
 };
 
 }  // namespace net

@@ -1,0 +1,103 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+
+namespace net {
+
+namespace {
+
+// Order-sensitive accumulator: same mixing as splitmix64's finalizer, keyed
+// by position so that swapping two verdicts changes the hash.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h += 0x9e3779b97f4a7c15ULL + v;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, int npes, int cores_per_node)
+    : plan_(std::move(plan)),
+      kill_at_(static_cast<std::size_t>(npes), kNever),
+      rng_(plan_.seed) {
+  if (npes <= 0) throw std::invalid_argument("FaultInjector: npes <= 0");
+  if (cores_per_node <= 0) {
+    throw std::invalid_argument("FaultInjector: cores_per_node <= 0");
+  }
+  for (const PeKill& k : plan_.pe_kills) {
+    if (k.pe < 0 || k.pe >= npes) {
+      throw std::out_of_range("FaultPlan: pe kill out of range");
+    }
+    auto& at = kill_at_[static_cast<std::size_t>(k.pe)];
+    at = std::min(at, k.at);
+  }
+  for (const NodeKill& k : plan_.node_kills) {
+    const int first = k.node * cores_per_node;
+    if (k.node < 0 || first >= npes) {
+      throw std::out_of_range("FaultPlan: node kill out of range");
+    }
+    const int last = std::min(first + cores_per_node, npes);
+    for (int pe = first; pe < last; ++pe) {
+      auto& at = kill_at_[static_cast<std::size_t>(pe)];
+      at = std::min(at, k.at);
+    }
+  }
+}
+
+FaultInjector::Verdict FaultInjector::judge(int src_pe, int dst_pe,
+                                            sim::Time t) {
+  // Always burn the same three draws regardless of the configured rates so
+  // that runs differing only in rates keep aligned rng streams, and so a
+  // verdict depends on (seed, call index) alone.
+  const double u_drop = rng_.uniform();
+  const double u_dup = rng_.uniform();
+  const double u_delay = rng_.uniform();
+
+  Verdict v;
+  v.drop = u_drop < plan_.drop_rate;
+  if (!v.drop) {
+    v.duplicate = u_dup < plan_.dup_rate;
+    if (u_delay < plan_.delay_rate) {
+      const double frac = rng_.uniform();
+      const double span =
+          static_cast<double>(plan_.delay_max - plan_.delay_min);
+      v.extra_delay = plan_.delay_min + sim::from_ns(frac * span);
+    }
+  }
+
+  ++counters_.judged;
+  if (v.drop) ++counters_.dropped;
+  if (v.duplicate) ++counters_.duplicated;
+  if (v.extra_delay > 0) ++counters_.delayed;
+
+  trace_hash_ = mix(trace_hash_, static_cast<std::uint64_t>(src_pe));
+  trace_hash_ = mix(trace_hash_, static_cast<std::uint64_t>(dst_pe));
+  trace_hash_ = mix(trace_hash_, static_cast<std::uint64_t>(t));
+  trace_hash_ = mix(trace_hash_, (v.drop ? 1u : 0u) | (v.duplicate ? 2u : 0u));
+  trace_hash_ = mix(trace_hash_, static_cast<std::uint64_t>(v.extra_delay));
+  return v;
+}
+
+sim::Time FaultInjector::backoff_delay(int attempt, double expected_oneway_ns) {
+  const RetryPolicy& r = plan_.retry;
+  const double base = static_cast<double>(r.rto) + 2.0 * expected_oneway_ns;
+  const int exp = std::min(attempt, r.max_backoff_exp);
+  const double mult = std::pow(r.backoff, static_cast<double>(exp));
+  const double jit = 1.0 + r.jitter * rng_.uniform();
+  return sim::from_ns(base * mult * jit);
+}
+
+void FaultInjector::arm(sim::Engine& engine) {
+  for (int pe = 0; pe < static_cast<int>(kill_at_.size()); ++pe) {
+    const sim::Time at = kill_at_[static_cast<std::size_t>(pe)];
+    if (at == kNever) continue;
+    engine.schedule(at, [&engine, pe] { engine.kill_pe(pe); });
+  }
+}
+
+}  // namespace net

@@ -1,0 +1,153 @@
+// Deterministic fault injection for the simulated fabric.
+//
+// Real deployments of every library the paper models (Cray SHMEM over
+// uGNI/DMAPP, MVAPICH2-X over IB verbs, GASNet, MPI-3 RMA) sit on transports
+// that lose, reorder, duplicate, and retransmit packets; the PGAS layer only
+// looks reliable because a retransmit state machine underneath absorbs the
+// loss. A FaultPlan describes such an imperfect transport — message drop /
+// duplicate / delay probabilities plus scheduled PE or node deaths — and a
+// FaultInjector executes the plan with its own sim::Rng stream, so a given
+// (plan, workload) pair produces a bit-identical event trace on every run.
+//
+// The injector plugs into net::Fabric (Fabric::set_fault_injector); the
+// Fabric stays a pure timing oracle and simply asks the injector for a
+// verdict per wire attempt, charging retransmissions as additional link
+// occupancy. Without an injector (or for intra-node traffic) the fast path
+// is untouched.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace sim {
+class Engine;
+}
+
+namespace net {
+
+/// Reliable-delivery parameters of the simulated transport: how long the
+/// sender waits before retransmitting and how the timeout escalates. The
+/// effective timeout of attempt k is
+///   (rto + 2 * expected_one_way) * backoff^min(k, max_backoff_exp)
+/// scaled by a uniform jitter in [1, 1+jitter).
+struct RetryPolicy {
+  sim::Time rto = 20'000;    ///< base ack-timeout margin (ns) beyond the RTT
+  double backoff = 2.0;      ///< exponential escalation per retransmit
+  int max_backoff_exp = 6;   ///< cap on the escalation exponent
+  double jitter = 0.2;       ///< uniform jitter fraction per timeout
+  int max_retransmits = 10;  ///< give up after 1 + max_retransmits attempts
+};
+
+/// Scheduled death of one PE (virtual time at which it stops executing and
+/// stops acknowledging messages).
+struct PeKill {
+  int pe = 0;
+  sim::Time at = 0;
+};
+
+/// Scheduled death of a whole node (all its PEs).
+struct NodeKill {
+  int node = 0;
+  sim::Time at = 0;
+};
+
+/// Declarative description of the faults to inject into one run.
+struct FaultPlan {
+  std::uint64_t seed = 0x5eedULL;
+  double drop_rate = 0.0;    ///< P(an inter-node message is lost)
+  double dup_rate = 0.0;     ///< P(a delivered message is duplicated)
+  double delay_rate = 0.0;   ///< P(a delivered message is extra-delayed)
+  sim::Time delay_min = 500;     ///< extra delay bounds (ns), uniform
+  sim::Time delay_max = 20'000;
+  std::vector<PeKill> pe_kills;
+  std::vector<NodeKill> node_kills;
+  RetryPolicy retry;
+
+  bool active() const {
+    return drop_rate > 0 || dup_rate > 0 || delay_rate > 0 ||
+           !pe_kills.empty() || !node_kills.empty();
+  }
+
+  FaultPlan& with_seed(std::uint64_t s) { seed = s; return *this; }
+  FaultPlan& with_loss(double p) { drop_rate = p; return *this; }
+  FaultPlan& with_duplicates(double p) { dup_rate = p; return *this; }
+  FaultPlan& with_delays(double p, sim::Time lo, sim::Time hi) {
+    delay_rate = p; delay_min = lo; delay_max = hi; return *this;
+  }
+  FaultPlan& kill_pe(int pe, sim::Time at) {
+    pe_kills.push_back({pe, at}); return *this;
+  }
+  FaultPlan& kill_node(int node, sim::Time at) {
+    node_kills.push_back({node, at}); return *this;
+  }
+};
+
+/// Executes a FaultPlan. One instance serves one Fabric/Engine pair; all of
+/// its randomness comes from a private xoshiro stream, and it is consulted
+/// in deterministic event order, so identical plans yield identical traces.
+class FaultInjector {
+ public:
+  /// What happens to one wire attempt.
+  struct Verdict {
+    bool drop = false;
+    bool duplicate = false;
+    sim::Time extra_delay = 0;
+  };
+
+  /// Counters for introspection and determinism tests.
+  struct Counters {
+    std::uint64_t judged = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t delayed = 0;
+  };
+
+  FaultInjector(FaultPlan plan, int npes, int cores_per_node);
+
+  const FaultPlan& plan() const { return plan_; }
+  const RetryPolicy& retry() const { return plan_.retry; }
+
+  /// Decides the fate of one inter-node message attempt sent at `t`.
+  /// Consumes a fixed number of rng draws per call (plus one when delayed)
+  /// so different fault rates stay on aligned rng streams.
+  Verdict judge(int src_pe, int dst_pe, sim::Time t);
+
+  /// True when `pe` is dead at time `t` per the kill schedule.
+  bool pe_dead(int pe, sim::Time t) const {
+    return kill_at_[static_cast<std::size_t>(pe)] <= t;
+  }
+  /// Scheduled death time of `pe` (Time max when it never dies).
+  sim::Time kill_time(int pe) const {
+    return kill_at_[static_cast<std::size_t>(pe)];
+  }
+
+  /// Sender-side retransmission timeout before attempt `attempt + 1`, given
+  /// the expected one-way cost of the message in ns. Consumes one rng draw
+  /// (the jitter).
+  sim::Time backoff_delay(int attempt, double expected_oneway_ns);
+
+  /// Schedules the plan's PE/node kills as engine events (Engine::kill_pe).
+  /// Call once before Engine::run.
+  void arm(sim::Engine& engine);
+
+  const Counters& counters() const { return counters_; }
+
+  /// Order-sensitive hash over every verdict issued so far; two runs are
+  /// draw-for-draw identical iff their trace hashes match.
+  std::uint64_t trace_hash() const { return trace_hash_; }
+
+  static constexpr sim::Time kNever = std::numeric_limits<sim::Time>::max();
+
+ private:
+  FaultPlan plan_;
+  std::vector<sim::Time> kill_at_;  // per PE; kNever if not scheduled
+  sim::Rng rng_;
+  Counters counters_;
+  std::uint64_t trace_hash_ = 0;
+};
+
+}  // namespace net

@@ -65,6 +65,13 @@ struct SwProfile {
 struct PutCompletion {
   sim::Time local_complete;  ///< source buffer reusable / issuing call returns
   sim::Time delivered;       ///< bytes visible in target memory
+  /// False when fault injection exhausted the retransmit budget (peer dead
+  /// or sustained loss); `delivered` then holds the give-up time and the
+  /// bytes never reach the target.
+  bool ok = true;
+  /// Wire attempts consumed (1 = no retransmits). Retransmits are charged
+  /// as real link occupancy, so this is also a bandwidth-tax indicator.
+  int attempts = 1;
 };
 
 /// Result of submitting a round-trip operation (get / atomic / AM request).
@@ -72,6 +79,11 @@ struct RoundTrip {
   sim::Time target_read;  ///< request processed at the target (memory
                           ///< snapshot / RMW execution time)
   sim::Time complete;     ///< reply available at the initiator
+  /// False when fault injection exhausted the retransmit budget; the target
+  /// memory snapshot / RMW / handler must not be applied.
+  bool ok = true;
+  /// Wire attempts consumed for the request leg (1 = no retransmits).
+  int attempts = 1;
 };
 
 }  // namespace net

@@ -15,9 +15,40 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <new>
 #include <optional>
+#include <sstream>
+#include <string>
 
 namespace shmem {
+
+/// Thrown when a symmetric-heap or managed-slab allocation cannot be
+/// satisfied. Derives from std::bad_alloc so legacy catch sites keep
+/// working, but carries a descriptive message (which heap, requested size,
+/// current usage) instead of the mute "std::bad_alloc". Runtimes that offer
+/// stat= out-parameters (CAF allocate) catch it and return an error code.
+class HeapExhaustedError : public std::bad_alloc {
+ public:
+  HeapExhaustedError(const std::string& where, std::uint64_t requested,
+                     std::uint64_t in_use, std::uint64_t capacity)
+      : requested_(requested), in_use_(in_use), capacity_(capacity) {
+    std::ostringstream os;
+    os << where << ": cannot allocate " << requested << " bytes (" << in_use
+       << " of " << capacity << " in use)";
+    msg_ = os.str();
+  }
+
+  const char* what() const noexcept override { return msg_.c_str(); }
+  std::uint64_t requested() const { return requested_; }
+  std::uint64_t in_use() const { return in_use_; }
+  std::uint64_t capacity() const { return capacity_; }
+
+ private:
+  std::string msg_;
+  std::uint64_t requested_;
+  std::uint64_t in_use_;
+  std::uint64_t capacity_;
+};
 
 class FreeListAllocator {
  public:

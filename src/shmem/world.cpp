@@ -100,12 +100,15 @@ std::size_t World::heap_user_bytes() const {
 
 void* World::shmalloc(std::size_t bytes) {
   const int me = my_pe();
-  const std::size_t cursor = alloc_cursor_[me]++;
+  const std::size_t cursor = alloc_cursor_[me];
   if (cursor == alloc_log_.size()) {
     auto got = allocator_->allocate(bytes);
-    if (!got) throw std::bad_alloc();
-    alloc_log_.push_back({false, bytes, *got});
+    // Failures are logged too (result = kAllocFailed): PEs are not
+    // synchronized here, so a replaying PE must observe the same failure at
+    // the same op index. Later, smaller shmallocs still succeed.
+    alloc_log_.push_back({false, bytes, got ? *got : kAllocFailed});
   }
+  alloc_cursor_[me] = cursor + 1;
   // Copy, not reference: other PEs append to the log while we sit in the
   // barrier below, which can reallocate the vector.
   const AllocOp op = alloc_log_[cursor];
@@ -113,6 +116,12 @@ void* World::shmalloc(std::size_t bytes) {
     throw std::logic_error(
         "shmalloc: collective call mismatch across PEs (differing sizes or "
         "interleaved shfree)");
+  }
+  if (op.result == kAllocFailed) {
+    // No barrier: every PE throws at this op, so none reaches it.
+    throw HeapExhaustedError("shmalloc (symmetric heap)", bytes,
+                             allocator_->bytes_in_use(),
+                             allocator_->capacity());
   }
   // The specification gives shmalloc an implicit barrier: all PEs own the
   // block when any PE returns.
@@ -221,6 +230,7 @@ void World::wait_until(const std::int64_t* ivar, Cmp cmp, std::int64_t value) {
   while (!compare_i64(load_i64(me, off), cmp, value)) {
     watchers_[me].push_back({off, sizeof(std::int64_t),
                              engine_.current_fiber()});
+    engine_.current_fiber()->set_block_op("shmem_wait_until");
     engine_.block();
   }
 }

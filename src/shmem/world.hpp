@@ -240,8 +240,9 @@ class World {
   struct AllocOp {
     bool is_free;
     std::uint64_t arg;     // size for alloc, offset for free
-    std::uint64_t result;  // offset for alloc
+    std::uint64_t result;  // offset for alloc, or kAllocFailed
   };
+  static constexpr std::uint64_t kAllocFailed = ~std::uint64_t{0};
   std::vector<AllocOp> alloc_log_;
   std::vector<std::size_t> alloc_cursor_;  // per PE
 

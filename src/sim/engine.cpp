@@ -61,6 +61,7 @@ void Engine::advance_to(Time t) {
   f->state_ = Fiber::State::kRunnable;
   schedule(t, [this, f] { run_fiber(*f, f->clock()); });
   f->switch_out();
+  if (f->kill_pending_) throw FiberKilled{};
 }
 
 void Engine::tick(Time dt) {
@@ -74,14 +75,55 @@ void Engine::block() {
   assert(f != nullptr && "block() requires a fiber context");
   f->state_ = Fiber::State::kBlocked;
   f->switch_out();
+  if (f->kill_pending_) throw FiberKilled{};
 }
 
 void Engine::resume(Fiber& f, Time t) {
+  // Stale wake-ups are legal: a watcher may fire for a fiber that was
+  // already woken (kRunnable) or killed (kFinished) by fault injection.
+  if (f.state() == Fiber::State::kFinished ||
+      f.state() == Fiber::State::kRunnable) {
+    return;
+  }
   assert(f.state() == Fiber::State::kBlocked &&
          "resume() target must be blocked");
   f.set_clock(std::max(f.clock(), t));
   f.state_ = Fiber::State::kRunnable;
   schedule(f.clock(), [this, pf = &f] { run_fiber(*pf, pf->clock()); });
+}
+
+void Engine::kill_pe(int pe) {
+  assert(current_ == nullptr && "kill_pe must run on the scheduler context");
+  if (pe_failed(pe)) return;
+  failures_.push_back(PeFailure{pe, sim_now_});
+  for (auto& f : fibers_) {
+    if (f->pe() != pe) continue;
+    switch (f->state()) {
+      case Fiber::State::kCreated:
+        // Never entered; nothing on its stack to unwind.
+        f->state_ = Fiber::State::kFinished;
+        break;
+      case Fiber::State::kBlocked:
+        f->kill_pending_ = true;
+        resume(*f, sim_now_);
+        break;
+      case Fiber::State::kRunnable:
+        // Already has a pending run event; it will unwind when it runs.
+        f->kill_pending_ = true;
+        break;
+      case Fiber::State::kRunning:
+      case Fiber::State::kFinished:
+        break;
+    }
+  }
+  for (const auto& hook : failure_hooks_) hook(failures_.back());
+}
+
+bool Engine::pe_failed(int pe) const {
+  for (const PeFailure& f : failures_) {
+    if (f.pe == pe) return true;
+  }
+  return false;
 }
 
 void Engine::run_fiber(Fiber& f, Time t) {
@@ -126,17 +168,37 @@ void Engine::run() {
 }
 
 void Engine::report_deadlock() const {
+  constexpr int kMaxListed = 32;
   std::ostringstream os;
-  os << "simulation deadlock: " << fibers_unfinished()
-     << " fiber(s) still unfinished at t=" << format_time(sim_now_)
-     << "; blocked PEs:";
+  if (!failures_.empty()) {
+    os << "simulation stalled after image failure: ";
+  } else {
+    os << "simulation deadlock: ";
+  }
+  os << fibers_unfinished() << " fiber(s) still unfinished at t="
+     << format_time(sim_now_);
   int listed = 0;
   for (const auto& f : fibers_) {
-    if (f->state() != Fiber::State::kFinished) {
-      if (listed++ < 16) os << ' ' << f->pe();
+    if (f->state() == Fiber::State::kFinished) continue;
+    if (listed++ >= kMaxListed) continue;
+    os << "\n  [pe " << f->pe() << "] clock=" << format_time(f->clock())
+       << " blocked in " << (f->block_op() ? f->block_op() : "<untagged>");
+    if (f->block_peer() >= 0) {
+      os << " (peer pe " << f->block_peer();
+      if (pe_failed(f->block_peer())) os << ", FAILED";
+      os << ')';
     }
   }
-  if (listed > 16) os << " ...";
+  if (listed > kMaxListed) {
+    os << "\n  ... " << (listed - kMaxListed) << " more";
+  }
+  if (!failures_.empty()) {
+    os << "\nfailed images:";
+    for (const PeFailure& f : failures_) {
+      os << " pe " << f.pe << " (killed at " << format_time(f.at) << ')';
+    }
+    throw FailedImageError(os.str());
+  }
   throw DeadlockError(os.str());
 }
 

@@ -32,6 +32,22 @@ class DeadlockError : public std::runtime_error {
   explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown instead of DeadlockError when the stall is attributable to fault
+/// injection: at least one PE was killed (Engine::kill_pe) and survivors are
+/// still blocked at drain time. Derives from DeadlockError so existing
+/// catch sites keep working while fault-aware callers can distinguish the
+/// two.
+class FailedImageError : public DeadlockError {
+ public:
+  explicit FailedImageError(const std::string& what) : DeadlockError(what) {}
+};
+
+/// Record of one injected PE death.
+struct PeFailure {
+  int pe;
+  Time at;  ///< virtual time at which the PE was killed
+};
+
 class Engine {
  public:
   /// `default_stack_bytes` sizes fiber stacks created by spawn(); simulated
@@ -89,8 +105,29 @@ class Engine {
   void block();
 
   /// Makes `f` runnable again at absolute time `t` (>= its own clock).
-  /// Must not be called for fibers that are not blocked.
+  /// A no-op for fibers that are already runnable or finished (e.g. stale
+  /// watcher wake-ups racing a kill); must not target a running fiber.
   void resume(Fiber& f, Time t);
+
+  // ---- fault injection (scheduler context) ----
+
+  /// Kills every fiber of PE `pe` at the current virtual time: blocked and
+  /// runnable fibers unwind via FiberKilled at their next scheduler
+  /// interaction, never-started fibers finish immediately. Records the
+  /// failure and invokes the registered failure hooks. Idempotent.
+  void kill_pe(int pe);
+
+  /// True once kill_pe(pe) has run.
+  bool pe_failed(int pe) const;
+
+  int failed_count() const { return static_cast<int>(failures_.size()); }
+  const std::vector<PeFailure>& failures() const { return failures_; }
+
+  /// Registers a hook invoked (on the scheduler context) after each PE
+  /// kill; runtimes use this to poke failure sentinels into sync state.
+  void on_pe_failure(std::function<void(const PeFailure&)> hook) {
+    failure_hooks_.push_back(std::move(hook));
+  }
 
   // ---- introspection ----
 
@@ -117,6 +154,8 @@ class Engine {
   [[noreturn]] void report_deadlock() const;
 
   std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::vector<PeFailure> failures_;
+  std::vector<std::function<void(const PeFailure&)>> failure_hooks_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::uint64_t next_seq_ = 0;
   Time sim_now_ = 0;

@@ -34,6 +34,10 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
 void Fiber::run_body() {
   try {
     body_();
+  } catch (const FiberKilled&) {
+    // Normal termination path for a killed PE: unwind the body's stack and
+    // let the fiber finish quietly. Must precede catch(...) so workload code
+    // cannot be blamed for a kill it merely unwound through.
   } catch (...) {
     pending_exception_ = std::current_exception();
   }

@@ -19,6 +19,12 @@ namespace sim {
 
 class Engine;
 
+/// Thrown inside a fiber when its PE is killed by fault injection
+/// (Engine::kill_pe). Deliberately NOT derived from std::exception: user
+/// workload code that catches (std::exception&) or specific error types must
+/// not be able to swallow a kill; only the fiber trampoline catches it.
+struct FiberKilled {};
+
 class Fiber {
  public:
   enum class State {
@@ -43,6 +49,21 @@ class Fiber {
   Time clock() const { return clock_; }
   void set_clock(Time t) { clock_ = t; }
 
+  /// Tags the operation this fiber is about to block on, so deadlock and
+  /// failed-image diagnostics can say *what* each stuck fiber was doing.
+  /// `op` must point at a string literal (stored, not copied); `peer` is the
+  /// remote PE involved, or -1 when not applicable.
+  void set_block_op(const char* op, int peer = -1) {
+    block_op_ = op;
+    block_peer_ = peer;
+  }
+  const char* block_op() const { return block_op_; }
+  int block_peer() const { return block_peer_; }
+
+  /// True when Engine::kill_pe has marked this fiber for death; the kill
+  /// takes effect (FiberKilled is thrown) at its next scheduler interaction.
+  bool kill_pending() const { return kill_pending_; }
+
  private:
   friend class Engine;
 
@@ -60,6 +81,9 @@ class Fiber {
   std::function<void()> body_;
   State state_ = State::kCreated;
   Time clock_ = 0;
+  bool kill_pending_ = false;
+  const char* block_op_ = nullptr;
+  int block_peer_ = -1;
 
   std::unique_ptr<char[]> stack_;
   std::size_t stack_bytes_;

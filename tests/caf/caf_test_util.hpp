@@ -11,6 +11,7 @@
 #include <string>
 
 #include "caf/caf.hpp"
+#include "net/fault.hpp"
 #include "net/profiles.hpp"
 
 namespace caftest {
@@ -31,9 +32,15 @@ inline const char* to_string(Stack s) {
 class Harness {
  public:
   Harness(Stack stack, int images, caf::Options opts = {},
-          std::size_t heap = 2 << 20)
+          std::size_t heap = 2 << 20, net::FaultPlan plan = {})
       : stack_(stack),
         fabric_(net::machine_profile(machine(stack)), images) {
+    if (plan.active()) {
+      injector_ = std::make_unique<net::FaultInjector>(
+          plan, images, fabric_.profile().cores_per_node);
+      fabric_.set_fault_injector(injector_.get());
+      injector_->arm(engine_);
+    }
     switch (stack) {
       case Stack::kShmemCray:
       case Stack::kShmemMvapich: {
@@ -82,6 +89,7 @@ class Harness {
   caf::Runtime& rt() { return *rt_; }
   sim::Engine& engine() { return engine_; }
   net::Fabric& fabric() { return fabric_; }
+  net::FaultInjector* injector() { return injector_.get(); }
 
   /// Launches `image_main` on every image (each calls rt().init() itself if
   /// `auto_init` is false; by default init is done for them).
@@ -106,6 +114,7 @@ class Harness {
   Stack stack_;
   sim::Engine engine_{64 * 1024};
   net::Fabric fabric_;
+  std::unique_ptr<net::FaultInjector> injector_;
   std::unique_ptr<shmem::World> shmem_;
   std::unique_ptr<gasnet::World> gasnet_;
   std::unique_ptr<armci::World> armci_;

@@ -2,10 +2,15 @@
 // every implementation (ShmemConduit, GasnetConduit, ArmciConduit) so that
 // a new conduit can be validated against the exact semantics the runtime
 // depends on, independent of the higher-level coarray machinery.
+//
+// Every case runs twice per conduit: once over a perfect wire, and once
+// with 1% message loss injected — the reliable-delivery layer must make
+// the loss invisible (same data lands, only timing differs).
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <numeric>
+#include <tuple>
 
 #include "caf_test_util.hpp"
 
@@ -17,20 +22,38 @@ namespace {
 
 Conduit& conduit(Harness& h) { return h.rt().conduit(); }
 
-class ConduitConformance : public ::testing::TestWithParam<Stack> {};
+class ConduitConformance
+    : public ::testing::TestWithParam<std::tuple<Stack, int>> {
+ protected:
+  Harness make(int images) {
+    const Stack stack = std::get<0>(GetParam());
+    const int loss_pct = std::get<1>(GetParam());
+    net::FaultPlan plan;
+    if (loss_pct > 0) {
+      plan.with_seed(0xC0FFEE).with_loss(loss_pct / 100.0);
+    }
+    return Harness(stack, images, {}, 2 << 20, plan);
+  }
+};
 
 }  // namespace
 
-INSTANTIATE_TEST_SUITE_P(Conduits, ConduitConformance,
-                         ::testing::ValuesIn(caftest::kAllStacks),
-                         [](const auto& info) {
-                           std::string s = caftest::to_string(info.param);
-                           for (auto& c : s) if (c == '-') c = '_';
-                           return s;
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Conduits, ConduitConformance,
+    ::testing::Combine(::testing::ValuesIn(caftest::kAllStacks),
+                       ::testing::Values(0, 1)),
+    [](const auto& info) {
+      std::string s = caftest::to_string(std::get<0>(info.param));
+      for (auto& c : s) {
+        if (c == '-') c = '_';
+      }
+      const int loss = std::get<1>(info.param);
+      s += loss > 0 ? "_loss" + std::to_string(loss) + "pct" : "_clean";
+      return s;
+    });
 
 TEST_P(ConduitConformance, IdentityAndSegments) {
-  Harness h(GetParam(), 6);
+  Harness h = make(6);
   h.run([&] {
     Conduit& c = conduit(h);
     EXPECT_EQ(c.nranks(), 6);
@@ -42,7 +65,7 @@ TEST_P(ConduitConformance, IdentityAndSegments) {
 }
 
 TEST_P(ConduitConformance, CollectiveAllocationIsSymmetricAndAligned) {
-  Harness h(GetParam(), 5);
+  Harness h = make(5);
   std::vector<std::uint64_t> offs(5);
   h.run([&] {
     Conduit& c = conduit(h);
@@ -57,7 +80,7 @@ TEST_P(ConduitConformance, CollectiveAllocationIsSymmetricAndAligned) {
 }
 
 TEST_P(ConduitConformance, PutHasLocalCompletionSemantics) {
-  Harness h(GetParam(), 4);
+  Harness h = make(4);
   h.run([&] {
     Conduit& c = conduit(h);
     const std::uint64_t off = c.allocate(64);
@@ -79,7 +102,7 @@ TEST_P(ConduitConformance, PutHasLocalCompletionSemantics) {
 }
 
 TEST_P(ConduitConformance, NbiPutsCompleteAtQuiet) {
-  Harness h(GetParam(), 4);
+  Harness h = make(4);
   h.run([&] {
     Conduit& c = conduit(h);
     const std::uint64_t off = c.allocate(1024);
@@ -105,7 +128,7 @@ TEST_P(ConduitConformance, NbiPutsCompleteAtQuiet) {
 }
 
 TEST_P(ConduitConformance, GetReadsCurrentRemoteState) {
-  Harness h(GetParam(), 4);
+  Harness h = make(4);
   h.run([&] {
     Conduit& c = conduit(h);
     const std::uint64_t off = c.allocate(8);
@@ -120,7 +143,7 @@ TEST_P(ConduitConformance, GetReadsCurrentRemoteState) {
 }
 
 TEST_P(ConduitConformance, StridedPutScatter) {
-  Harness h(GetParam(), 4);
+  Harness h = make(4);
   h.run([&] {
     Conduit& c = conduit(h);
     const std::uint64_t off = c.allocate(1024);
@@ -146,7 +169,7 @@ TEST_P(ConduitConformance, StridedPutScatter) {
 }
 
 TEST_P(ConduitConformance, StridedGetGather) {
-  Harness h(GetParam(), 4);
+  Harness h = make(4);
   h.run([&] {
     Conduit& c = conduit(h);
     const std::uint64_t off = c.allocate(1024);
@@ -166,7 +189,7 @@ TEST_P(ConduitConformance, StridedGetGather) {
 }
 
 TEST_P(ConduitConformance, AtomicsAreLinearizable) {
-  Harness h(GetParam(), 8);
+  Harness h = make(8);
   h.run([&] {
     Conduit& c = conduit(h);
     const std::uint64_t off = c.allocate(16);
@@ -203,7 +226,7 @@ TEST_P(ConduitConformance, AtomicsAreLinearizable) {
 }
 
 TEST_P(ConduitConformance, BitwiseAtomics) {
-  Harness h(GetParam(), 2);
+  Harness h = make(2);
   h.run([&] {
     Conduit& c = conduit(h);
     const std::uint64_t off = c.allocate(8);
@@ -222,7 +245,7 @@ TEST_P(ConduitConformance, BitwiseAtomics) {
 }
 
 TEST_P(ConduitConformance, WaitUntilWakesOnEveryComparison) {
-  Harness h(GetParam(), 2);
+  Harness h = make(2);
   h.run([&] {
     Conduit& c = conduit(h);
     const std::uint64_t off = c.allocate(8 * 6);
@@ -256,7 +279,7 @@ TEST_P(ConduitConformance, WaitUntilWakesOnEveryComparison) {
 }
 
 TEST_P(ConduitConformance, BarrierIsAFullFence) {
-  Harness h(GetParam(), 6);
+  Harness h = make(6);
   h.run([&] {
     Conduit& c = conduit(h);
     const std::uint64_t off = c.allocate(8);

@@ -1,0 +1,233 @@
+// net::FaultInjector + faulty-Fabric unit tests: determinism of the verdict
+// stream, statistical sanity of the configured rates, and the reliable-
+// delivery retransmit loop the Fabric runs when an injector is attached.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "net/fabric.hpp"
+#include "net/fault.hpp"
+#include "net/profiles.hpp"
+
+namespace {
+
+net::FaultPlan mixed_plan(std::uint64_t seed) {
+  net::FaultPlan plan;
+  plan.with_seed(seed)
+      .with_loss(0.10)
+      .with_duplicates(0.05)
+      .with_delays(0.20, 100, 5'000);
+  return plan;
+}
+
+}  // namespace
+
+TEST(FaultInjector, SamePlanYieldsIdenticalVerdictStream) {
+  const net::FaultPlan plan = mixed_plan(42);
+  net::FaultInjector a(plan, 8, 2);
+  net::FaultInjector b(plan, 8, 2);
+  for (int i = 0; i < 5'000; ++i) {
+    const sim::Time t = 100 * i;
+    const auto va = a.judge(i % 8, (i + 3) % 8, t);
+    const auto vb = b.judge(i % 8, (i + 3) % 8, t);
+    ASSERT_EQ(va.drop, vb.drop) << "judge " << i;
+    ASSERT_EQ(va.duplicate, vb.duplicate) << "judge " << i;
+    ASSERT_EQ(va.extra_delay, vb.extra_delay) << "judge " << i;
+  }
+  EXPECT_EQ(a.trace_hash(), b.trace_hash());
+  EXPECT_EQ(a.counters().dropped, b.counters().dropped);
+  EXPECT_EQ(a.counters().duplicated, b.counters().duplicated);
+  EXPECT_EQ(a.counters().delayed, b.counters().delayed);
+  // All three fault classes actually fired at these rates.
+  EXPECT_GT(a.counters().dropped, 0u);
+  EXPECT_GT(a.counters().duplicated, 0u);
+  EXPECT_GT(a.counters().delayed, 0u);
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  net::FaultInjector a(mixed_plan(1), 4, 2);
+  net::FaultInjector b(mixed_plan(2), 4, 2);
+  for (int i = 0; i < 1'000; ++i) {
+    (void)a.judge(0, 2, 10 * i);
+    (void)b.judge(0, 2, 10 * i);
+  }
+  EXPECT_NE(a.trace_hash(), b.trace_hash());
+}
+
+TEST(FaultInjector, DropRateIsApproximatelyRespected) {
+  net::FaultPlan plan;
+  plan.with_seed(7).with_loss(0.25);
+  net::FaultInjector inj(plan, 4, 2);
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) (void)inj.judge(0, 2, i);
+  const double observed =
+      static_cast<double>(inj.counters().dropped) / static_cast<double>(n);
+  EXPECT_NEAR(observed, 0.25, 0.02);
+  EXPECT_EQ(inj.counters().judged, static_cast<std::uint64_t>(n));
+}
+
+TEST(FaultInjector, KillScheduleGatesPeDeath) {
+  net::FaultPlan plan;
+  plan.kill_pe(3, 5'000);
+  net::FaultInjector inj(plan, 8, 2);
+  EXPECT_FALSE(inj.pe_dead(3, 4'999));
+  EXPECT_TRUE(inj.pe_dead(3, 5'000));
+  EXPECT_TRUE(inj.pe_dead(3, 1'000'000));
+  EXPECT_EQ(inj.kill_time(3), 5'000);
+  EXPECT_FALSE(inj.pe_dead(0, net::FaultInjector::kNever - 1));
+  EXPECT_EQ(inj.kill_time(0), net::FaultInjector::kNever);
+}
+
+TEST(FaultInjector, NodeKillTakesAllItsPes) {
+  net::FaultPlan plan;
+  plan.kill_node(1, 9'000);  // with 2 cores/node: pes 2 and 3
+  net::FaultInjector inj(plan, 6, 2);
+  EXPECT_TRUE(inj.pe_dead(2, 9'000));
+  EXPECT_TRUE(inj.pe_dead(3, 9'000));
+  EXPECT_FALSE(inj.pe_dead(0, 9'000));
+  EXPECT_FALSE(inj.pe_dead(4, 9'000));
+}
+
+TEST(FaultInjector, BackoffEscalatesThenCaps) {
+  net::FaultInjector inj(mixed_plan(3), 4, 2);
+  const sim::Time d0 = inj.backoff_delay(0, 1'000.0);
+  const sim::Time d3 = inj.backoff_delay(3, 1'000.0);
+  const sim::Time d6 = inj.backoff_delay(6, 1'000.0);
+  const sim::Time d9 = inj.backoff_delay(9, 1'000.0);
+  EXPECT_LT(d0, d3);
+  EXPECT_LT(d3, d6);
+  // Past max_backoff_exp the factor stops growing; only jitter differs.
+  EXPECT_LE(d9, d6 + d6 / 4);
+  EXPECT_GE(d9, d6 - d6 / 4);
+}
+
+// ---------------------------------------------------------------------------
+// Fabric integration
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct FabricPair {
+  net::MachineProfile mp = net::machine_profile(net::Machine::kXC30);
+  net::SwProfile sw =
+      net::sw_profile(net::Library::kShmemCray, net::Machine::kXC30);
+  int npes = 0;
+  int remote = 0;  // a PE on another node than PE 0
+
+  FabricPair() {
+    npes = 2 * mp.cores_per_node;
+    remote = mp.cores_per_node;  // first PE of node 1
+  }
+};
+
+}  // namespace
+
+TEST(FaultyFabric, ZeroRateInjectorIsBitIdenticalToCleanFabric) {
+  FabricPair fp;
+  net::Fabric clean(fp.mp, fp.npes);
+  net::Fabric faulty(fp.mp, fp.npes);
+  net::FaultInjector inj(net::FaultPlan{}, fp.npes, fp.mp.cores_per_node);
+  faulty.set_fault_injector(&inj);
+  sim::Time t = 0;
+  for (std::size_t bytes : {8u, 512u, 65'536u}) {
+    const auto c0 = clean.submit_put(0, fp.remote, bytes, fp.sw, t);
+    const auto c1 = faulty.submit_put(0, fp.remote, bytes, fp.sw, t);
+    EXPECT_EQ(c0.local_complete, c1.local_complete) << bytes;
+    EXPECT_EQ(c0.delivered, c1.delivered) << bytes;
+    EXPECT_TRUE(c1.ok);
+    EXPECT_EQ(c1.attempts, 1);
+    const auto g0 = clean.submit_get(0, fp.remote, bytes, fp.sw, t);
+    const auto g1 = faulty.submit_get(0, fp.remote, bytes, fp.sw, t);
+    EXPECT_EQ(g0.complete, g1.complete) << bytes;
+    const auto a0 = clean.submit_amo(0, fp.remote, fp.sw, t);
+    const auto a1 = faulty.submit_amo(0, fp.remote, fp.sw, t);
+    EXPECT_EQ(a0.complete, a1.complete) << bytes;
+    t = c0.delivered + 10'000;
+  }
+}
+
+TEST(FaultyFabric, TotalLossExhaustsRetransmitsAndGivesUp) {
+  FabricPair fp;
+  net::FaultPlan plan;
+  plan.with_seed(11).with_loss(1.0);
+  net::Fabric fab(fp.mp, fp.npes);
+  net::FaultInjector inj(plan, fp.npes, fp.mp.cores_per_node);
+  fab.set_fault_injector(&inj);
+  const auto c = fab.submit_put(0, fp.remote, 4'096, fp.sw, 0);
+  EXPECT_FALSE(c.ok);
+  EXPECT_EQ(c.attempts, 1 + plan.retry.max_retransmits);
+  // The give-up point reflects all the timeouts burned waiting for acks.
+  EXPECT_GT(c.delivered, c.local_complete);
+  const auto g = fab.submit_get(0, fp.remote, 4'096, fp.sw, 0);
+  EXPECT_FALSE(g.ok);
+  const auto a = fab.submit_amo(0, fp.remote, fp.sw, 0);
+  EXPECT_FALSE(a.ok);
+}
+
+TEST(FaultyFabric, ModerateLossAlwaysDeliversWithRetries) {
+  FabricPair fp;
+  net::FaultPlan plan;
+  plan.with_seed(13).with_loss(0.30);
+  net::Fabric fab(fp.mp, fp.npes);
+  net::FaultInjector inj(plan, fp.npes, fp.mp.cores_per_node);
+  fab.set_fault_injector(&inj);
+  sim::Time t = 0;
+  std::int64_t total_attempts = 0;
+  const int ops = 200;
+  for (int i = 0; i < ops; ++i) {
+    const auto c = fab.submit_put(0, fp.remote, 1'024, fp.sw, t);
+    ASSERT_TRUE(c.ok) << "op " << i;
+    total_attempts += c.attempts;
+    t = c.delivered;
+  }
+  // 30% loss must have forced a healthy number of retransmissions.
+  EXPECT_GT(total_attempts, ops + ops / 10);
+}
+
+TEST(FaultyFabric, DeadDestinationFailsEveryOp) {
+  FabricPair fp;
+  net::FaultPlan plan;
+  plan.kill_pe(fp.remote, 0);  // dead from t=0
+  net::Fabric fab(fp.mp, fp.npes);
+  net::FaultInjector inj(plan, fp.npes, fp.mp.cores_per_node);
+  fab.set_fault_injector(&inj);
+  EXPECT_FALSE(fab.submit_put(0, fp.remote, 64, fp.sw, 1'000).ok);
+  EXPECT_FALSE(fab.submit_get(0, fp.remote, 64, fp.sw, 1'000).ok);
+  EXPECT_FALSE(fab.submit_amo(0, fp.remote, fp.sw, 1'000).ok);
+  // A live destination on the same fabric still works.
+  EXPECT_TRUE(fab.submit_put(0, fp.remote + 1, 64, fp.sw, 1'000).ok);
+}
+
+TEST(FaultyFabric, IntraNodeTrafficBypassesInjection) {
+  FabricPair fp;
+  if (fp.mp.cores_per_node < 2) GTEST_SKIP() << "one core per node";
+  net::FaultPlan plan;
+  plan.with_seed(17).with_loss(1.0);
+  net::Fabric fab(fp.mp, fp.npes);
+  net::FaultInjector inj(plan, fp.npes, fp.mp.cores_per_node);
+  fab.set_fault_injector(&inj);
+  const auto c = fab.submit_put(0, 1, 256, fp.sw, 0);
+  EXPECT_TRUE(c.ok);
+  EXPECT_EQ(c.attempts, 1);
+  EXPECT_EQ(inj.counters().judged, 0u);
+}
+
+TEST(FaultyFabric, DuplicatesChargeExtraLinkOccupancy) {
+  FabricPair fp;
+  net::FaultPlan dup_plan;
+  dup_plan.with_seed(19).with_duplicates(1.0);
+  net::Fabric clean(fp.mp, fp.npes);
+  net::Fabric duped(fp.mp, fp.npes);
+  net::FaultInjector inj(dup_plan, fp.npes, fp.mp.cores_per_node);
+  duped.set_fault_injector(&inj);
+  // Back-to-back submissions at t=0: the duplicated stream must queue behind
+  // its own ghost copies and finish later than the clean stream.
+  sim::Time last_clean = 0;
+  sim::Time last_duped = 0;
+  for (int i = 0; i < 10; ++i) {
+    last_clean = clean.submit_put(0, fp.remote, 8'192, fp.sw, 0).delivered;
+    last_duped = duped.submit_put(0, fp.remote, 8'192, fp.sw, 0).delivered;
+  }
+  EXPECT_GT(last_duped, last_clean);
+}
