@@ -1,0 +1,329 @@
+// Failure-recovery harness (fig8/fig9-style sweep under scheduled kills):
+//
+//   Phase A — lock reclamation latency. An image acquires lck[1] and is
+//   killed while holding it; every survivor is already enqueued. Reported:
+//   virtual time from the kill to the first survivor acquisition, for the
+//   UHCAF robust MCS lock (epoch-stamped qnodes + CAS queue repair) vs the
+//   Cray-CAF baseline's ticket lock with owner-ring reclamation. The MCS
+//   waiters are woken by the failure hook and repair immediately; the
+//   ticket waiters discover the dead holder by remote polling, so their
+//   recovery latency carries the poll interval.
+//
+//   Phase B — degraded DHT throughput. The Figure 9 workload with one image
+//   killed mid-run: survivors redirect dead-owner updates to the next live
+//   image, reclaim any lock the corpse held, and keep going. Reported:
+//   update throughput before and after the failure, plus the redirect /
+//   reclaim / skip accounting. UHCAF survivors aggregate their ledgers with
+//   FORM TEAM + team co_sum; Cray-CAF survivors rendezvous manually (the
+//   vendor sync_all has no failed-image semantics).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/dht_drivers.hpp"
+#include "apps/driver.hpp"
+#include "bench_util.hpp"
+#include "net/fault.hpp"
+
+namespace {
+
+constexpr sim::Time kLockKillAt = 1'000'000;  // phase A: holder dies at 1 ms
+// Phase B kill times are calibrated per configuration: a fault-free pass
+// (kill scheduled far beyond the workload, so the resilient lock layout is
+// still armed) measures when table setup and the update loop end, and the
+// measured run kills the victim at the midpoint of the update window.
+constexpr sim::Time kFarFuture = 1'000'000'000'000;  // 1000 s: never reached
+constexpr sim::Time kStartSlack = 10'000;
+
+bool g_all_ok = true;
+
+void check(bool ok, const char* what, int images) {
+  if (!ok) {
+    std::printf("FAIL: %s (images=%d)\n", what, images);
+    g_all_ok = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase A
+// ---------------------------------------------------------------------------
+
+double caf_recovery_us(int images) {
+  net::FaultPlan plan;
+  plan.kill_pe(1, kLockKillAt);  // image 2: the holder
+  driver::Stack stack(driver::StackKind::kShmemCray, images,
+                      net::Machine::kXC30, 8 << 20, {}, plan);
+  sim::Time first_acquire = -1;
+  int reclaim_reports = 0;
+  int acquired = 0;
+  stack.run([&](caf::Runtime& rt) {
+    const int me = rt.this_image();
+    const caf::CoLock lck = rt.make_lock();
+    rt.sync_all();
+    if (me == 2) {
+      rt.lock(lck, 1);
+      for (;;) stack.engine().advance(100'000);  // dies holding lck[1]
+    }
+    stack.engine().advance(100'000);  // enqueue behind the doomed holder
+    const int st = rt.lock_stat(lck, 1);
+    if (st == caf::kStatFailedImage) ++reclaim_reports;
+    if (first_acquire < 0) first_acquire = stack.engine().now();
+    ++acquired;
+    stack.engine().advance(5'000);
+    (void)rt.unlock_stat(lck, 1);
+    (void)rt.sync_all_stat();
+  });
+  check(reclaim_reports == 1, "phase A: reclaim reported exactly once",
+        images);
+  check(acquired == images - 1, "phase A: every survivor acquired", images);
+  check(first_acquire >= kLockKillAt, "phase A: reclaim after the kill",
+        images);
+  return sim::to_us(first_acquire - kLockKillAt);
+}
+
+double craycaf_recovery_us(int images) {
+  net::FaultPlan plan;
+  plan.kill_pe(1, kLockKillAt);
+  sim::Engine engine(64 * 1024);
+  net::Fabric fabric(net::machine_profile(net::Machine::kXC30), images);
+  net::FaultInjector injector(plan, images, fabric.profile().cores_per_node);
+  craycaf::Runtime rt(engine, fabric, 8 << 20);
+  fabric.set_fault_injector(&injector);
+  injector.arm(engine);
+  sim::Time first_acquire = -1;
+  int reclaim_reports = 0;
+  int acquired = 0;
+  rt.launch([&] {
+    const int me = rt.this_image();
+    const craycaf::CoLock lck = rt.make_lock();
+    rt.sync_all();
+    if (me == 2) {
+      rt.lock(lck, 1);
+      for (;;) engine.advance(100'000);
+    }
+    engine.advance(100'000);
+    const int st = rt.lock_stat(lck, 1);
+    if (st == craycaf::kStatFailedImage) ++reclaim_reports;
+    if (first_acquire < 0) first_acquire = engine.now();
+    ++acquired;
+    engine.advance(5'000);
+    (void)rt.unlock_stat(lck, 1);
+    // no vendor sync_all after the kill: it would hang on the corpse
+  });
+  engine.run();
+  check(reclaim_reports == 1, "phase A: reclaim reported exactly once",
+        images);
+  check(acquired == images - 1, "phase A: every survivor acquired", images);
+  return sim::to_us(first_acquire - kLockKillAt);
+}
+
+// ---------------------------------------------------------------------------
+// Phase B
+// ---------------------------------------------------------------------------
+
+apps::dht::Config dht_config() {
+  apps::dht::Config cfg;
+  cfg.buckets_per_image = 64;
+  cfg.updates_per_image = 32;
+  cfg.locks_per_image = 8;
+  cfg.hot_percent = 40;
+  cfg.hot_keys = 4;
+  return cfg;
+}
+
+struct DhtOutcome {
+  double pre_per_ms = 0;    // survivor updates applied / ms before the kill
+  double post_per_ms = 0;   // ...and after it (degraded mode)
+  std::int64_t applied = 0;
+  std::int64_t redirected = 0;
+  std::int64_t skipped = 0;
+  std::int64_t reclaimed = 0;
+  double reclaim_us = -1;   // first lock reclamation after the kill; -1 none
+};
+
+// Calibrated virtual-time envelope of one DHT run: updates begin at `start`
+// (every image advances to it after setup) and the victim dies at `kill`.
+struct DhtTiming {
+  sim::Time start = 0;
+  sim::Time kill = 0;
+};
+
+DhtOutcome summarize(int images, int victim, const DhtTiming& tm,
+                     const std::vector<apps::dht::DegradedStats>& stats,
+                     const std::vector<sim::Time>& update_end) {
+  DhtOutcome out;
+  std::int64_t pre = 0, post = 0;
+  sim::Time last_end = tm.kill;
+  sim::Time first_reclaim = -1;
+  for (int img = 1; img <= images; ++img) {
+    if (img == victim) continue;
+    const auto& st = stats[static_cast<std::size_t>(img)];
+    check(st.applied + st.skipped == st.attempted,
+          "phase B: survivor accounting closes", images);
+    out.applied += st.applied;
+    out.redirected += st.redirected;
+    out.skipped += st.skipped;
+    out.reclaimed += st.reclaimed;
+    pre += st.applied_pre;
+    post += st.applied_post;
+    last_end = std::max(last_end, update_end[static_cast<std::size_t>(img)]);
+    if (st.first_reclaim_time >= 0 &&
+        (first_reclaim < 0 || st.first_reclaim_time < first_reclaim)) {
+      first_reclaim = st.first_reclaim_time;
+    }
+  }
+  out.pre_per_ms =
+      static_cast<double>(pre) / sim::to_ms(tm.kill - tm.start);
+  out.post_per_ms =
+      static_cast<double>(post) / sim::to_ms(last_end - tm.kill);
+  if (first_reclaim >= 0) out.reclaim_us = sim::to_us(first_reclaim - tm.kill);
+  return out;
+}
+
+DhtTiming timing_from(sim::Time setup_end_max, sim::Time update_end_max) {
+  DhtTiming tm;
+  tm.start = setup_end_max + kStartSlack;
+  // The calibration pass ran un-aligned, so its update window is a lower
+  // bound on the aligned one; the midpoint still lands well inside it.
+  tm.kill = tm.start + (update_end_max - setup_end_max) / 2;
+  return tm;
+}
+
+DhtOutcome caf_dht(int images) {
+  const int victim = images / 2 + 1;
+  const apps::dht::Config cfg = dht_config();
+  DhtTiming tm;
+  std::vector<apps::dht::DegradedStats> stats;
+  std::vector<sim::Time> update_end;
+  std::int64_t team_applied = -1;
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool calibrate = pass == 0;
+    net::FaultPlan plan;
+    plan.kill_pe(victim - 1, calibrate ? kFarFuture : tm.kill);
+    driver::Stack stack(driver::StackKind::kShmemCray, images,
+                        net::Machine::kXC30, 8 << 20, {}, plan);
+    stats.assign(images + 1, {});
+    update_end.assign(images + 1, 0);
+    sim::Time setup_end = 0;
+    stack.run([&](caf::Runtime& rt) {
+      const int me = rt.this_image();
+      auto table = apps::dht::make_caf_table(rt, cfg);
+      auto& eng = stack.engine();
+      setup_end = std::max(setup_end, eng.now());
+      if (!calibrate && eng.now() < tm.start) {
+        eng.advance(tm.start - eng.now());
+      }
+      stats[me] = table.run_updates_resilient();
+      update_end[me] = eng.now();
+      if (calibrate) return;
+      // Survivors regroup as a team and aggregate their ledgers with the
+      // team-scoped collective (the victim is excluded automatically).
+      const caf::Team team = rt.form_team();
+      std::int64_t v = stats[me].applied;
+      (void)rt.co_sum_team(team, &v, 1);
+      if (me == team.members[0]) team_applied = v;
+      (void)rt.team_sync(team);
+    });
+    if (calibrate) {
+      tm = timing_from(setup_end,
+                       *std::max_element(update_end.begin(), update_end.end()));
+    }
+  }
+  const DhtOutcome out = summarize(images, victim, tm, stats, update_end);
+  check(team_applied == out.applied,
+        "phase B: team co_sum agrees with host-side ledger sum", images);
+  return out;
+}
+
+DhtOutcome craycaf_dht(int images) {
+  const int victim = images / 2 + 1;
+  const apps::dht::Config cfg = dht_config();
+  DhtTiming tm;
+  std::vector<apps::dht::DegradedStats> stats;
+  std::vector<sim::Time> update_end;
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool calibrate = pass == 0;
+    net::FaultPlan plan;
+    plan.kill_pe(victim - 1, calibrate ? kFarFuture : tm.kill);
+    sim::Engine engine(64 * 1024);
+    net::Fabric fabric(net::machine_profile(net::Machine::kXC30), images);
+    net::FaultInjector injector(plan, images, fabric.profile().cores_per_node);
+    craycaf::Runtime rt(engine, fabric, 8 << 20);
+    fabric.set_fault_injector(&injector);
+    injector.arm(engine);
+    stats.assign(images + 1, {});
+    update_end.assign(images + 1, 0);
+    sim::Time setup_end = 0;
+    rt.launch([&] {
+      const int me = rt.this_image();
+      auto table = apps::dht::make_craycaf_table(rt, cfg);
+      const std::uint64_t done_off = rt.allocate(8);
+      if (me == 1) std::memset(rt.local_addr(done_off), 0, 8);
+      rt.sync_all();  // last vendor barrier before the kill can land
+      setup_end = std::max(setup_end, engine.now());
+      if (!calibrate && engine.now() < tm.start) {
+        engine.advance(tm.start - engine.now());
+      }
+      stats[me] = table.run_updates_resilient();
+      update_end[me] = engine.now();
+      // Manual survivor rendezvous (image 1 is never the victim here).
+      (void)rt.dmapp().afadd(0, done_off, 1);
+      for (;;) {
+        const auto arrived =
+            static_cast<std::int64_t>(rt.dmapp().afadd(0, done_off, 0));
+        if (arrived >= images - engine.failed_count()) break;
+        engine.advance(50'000);
+      }
+    });
+    engine.run();
+    if (calibrate) {
+      tm = timing_from(setup_end,
+                       *std::max_element(update_end.begin(), update_end.end()));
+    }
+  }
+  return summarize(images, victim, tm, stats, update_end);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Failure recovery: lock reclamation + degraded DHT (XC30) ===\n\n");
+
+  std::printf("Phase A: holder killed at %.1f ms with every survivor "
+              "enqueued;\nrecovery = kill -> first survivor acquisition\n\n",
+              sim::to_ms(kLockKillAt));
+  bench::print_series_header(
+      "images", {"UHCAF MCS reclaim (us)", "Cray-CAF ticket reclaim (us)"});
+  for (int images : {2, 4, 8, 16, 32, 64}) {
+    const double mcs = caf_recovery_us(images);
+    const double ticket = craycaf_recovery_us(images);
+    bench::print_row(images, {mcs, ticket});
+  }
+
+  std::printf("\nPhase B: Figure-9 DHT workload, one image killed mid-run "
+              "(%d updates/image);\nthroughput in applied updates per ms of "
+              "virtual time, before vs after the kill\n\n",
+              dht_config().updates_per_image);
+  std::printf("%-8s %-18s %10s %10s %9s %7s %7s %6s %12s\n", "images",
+              "stack", "pre/ms", "post/ms", "applied", "redir", "skip",
+              "recl", "reclaim_us");
+  for (int images : {2, 4, 8, 16, 32, 64}) {
+    for (int which = 0; which < 2; ++which) {
+      const DhtOutcome o = which == 0 ? caf_dht(images) : craycaf_dht(images);
+      std::printf("%-8d %-18s %10.1f %10.1f %9lld %7lld %7lld %6lld ",
+                  images, which == 0 ? "UHCAF-Cray-SHMEM" : "Cray-CAF",
+                  o.pre_per_ms, o.post_per_ms,
+                  static_cast<long long>(o.applied),
+                  static_cast<long long>(o.redirected),
+                  static_cast<long long>(o.skipped),
+                  static_cast<long long>(o.reclaimed));
+      if (o.reclaim_us >= 0) std::printf("%12.2f\n", o.reclaim_us);
+      else std::printf("%12s\n", "-");
+    }
+  }
+
+  std::printf("\n%s\n", g_all_ok ? "PASS: all recovery invariants held"
+                                 : "FAIL: see messages above");
+  return g_all_ok ? 0 : 1;
+}

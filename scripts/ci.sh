@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI entry point: build Release and Sanitize trees, run the full suite in
+# Release, and re-run the fault-injection/recovery tests (`ctest -L faults`)
+# under ASan/UBSan — the failure-recovery protocols exercise quarantined
+# qnode reuse, fiber unwinding through kills, and repair-time remote reads,
+# which is exactly the code sanitizers are good at catching.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+GENERATOR=()
+command -v ninja >/dev/null 2>&1 && GENERATOR=(-G Ninja)
+
+echo "=== Release build + full test suite ==="
+cmake -B build-release -S . "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j "$JOBS"
+ctest --test-dir build-release --output-on-failure -j "$JOBS"
+
+echo "=== Sanitize build (ASan/UBSan) + fault-label tests ==="
+cmake -B build-sanitize -S . "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=Sanitize
+cmake --build build-sanitize -j "$JOBS" --target test_faults
+ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1} \
+UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1} \
+  ctest --test-dir build-sanitize -L faults --output-on-failure -j "$JOBS"
+
+echo "=== CI passed ==="

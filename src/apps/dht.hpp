@@ -41,6 +41,26 @@ struct Entry {
   std::int64_t count;
 };
 
+/// Accounting for a degraded-mode run (run_updates_resilient): every
+/// attempted update is classified, so a conservation check can reconcile
+/// survivor table counts against what the survivors claim they applied.
+struct DegradedStats {
+  std::int64_t attempted = 0;
+  std::int64_t applied = 0;     ///< get-modify-put completed on a live image
+  std::int64_t redirected = 0;  ///< owner dead: rerouted to next live image
+  std::int64_t skipped = 0;     ///< no live target, or target died mid-update
+  std::int64_t reclaimed = 0;   ///< acquisitions that reclaimed a dead
+                                ///< holder's lock (stat= STAT_FAILED_IMAGE)
+  std::int64_t applied_pre = 0;   ///< applied while no image had failed yet
+  std::int64_t applied_post = 0;  ///< applied in degraded (post-failure) mode
+  sim::Time first_reclaim_time = -1;  ///< virtual ns; -1 if none happened
+  /// applied_to[i] = updates this image applied whose final target was
+  /// image i (1-based). For every surviving target t, the sum of survivors'
+  /// applied_to[t] is a lower bound on t's local_count_sum() (dead updaters
+  /// may have landed extra updates before dying).
+  std::vector<std::int64_t> applied_to;
+};
+
 /// The benchmark body, generic over the runtime (RT) and its lock handle
 /// type (LockT). RT must provide this_image(), num_images(),
 /// lock(LockT, image), unlock(LockT, image), get_bytes, put_bytes,
@@ -80,6 +100,91 @@ class Table {
       rt_.put_bytes(owner, entry_off, &e, sizeof(Entry));
       rt_.unlock(lck, owner);
     }
+  }
+
+  /// Degraded-mode benchmark body: the same update stream as run_updates,
+  /// but failure-aware. Updates whose owning image has failed are
+  /// *redirected* to the next live image in the ring (same bucket index, so
+  /// the survivor's slice absorbs the dead slice's traffic); locks held by
+  /// dead images are reclaimed via lock_stat; updates that cannot land
+  /// anywhere live are skipped, with full accounting. RT must additionally
+  /// provide image_status, lock_stat, unlock_stat, get_bytes_stat,
+  /// put_bytes_stat with caf::StatCode-aligned return values.
+  DegradedStats run_updates_resilient() {
+    constexpr int kOk = 0;           // caf::kStatOk == craycaf::kStatOk
+    constexpr int kFailedImage = 4;  // STAT_FAILED_IMAGE on both runtimes
+    DegradedStats st;
+    st.applied_to.assign(static_cast<std::size_t>(rt_.num_images()) + 1, 0);
+    sim::Engine& eng = *sim::Engine::current();
+    const int me = rt_.this_image();
+    const int n = rt_.num_images();
+    sim::Rng rng(cfg_.seed * 1000003u + static_cast<std::uint64_t>(me));
+    const std::int64_t global_buckets =
+        cfg_.buckets_per_image * static_cast<std::int64_t>(n);
+    for (int u = 0; u < cfg_.updates_per_image; ++u) {
+      ++st.attempted;
+      const bool hot =
+          rng.below(100) < static_cast<std::uint64_t>(cfg_.hot_percent);
+      const std::int64_t key = static_cast<std::int64_t>(
+          hot ? rng.below(static_cast<std::uint64_t>(cfg_.hot_keys))
+              : rng.below(static_cast<std::uint64_t>(global_buckets)));
+      const int owner = static_cast<int>(key / cfg_.buckets_per_image) + 1;
+      const std::int64_t bucket = key % cfg_.buckets_per_image;
+      // Pick the target: the key's home image, or — if it has failed — the
+      // next live image around the ring.
+      int target = 0;
+      for (int d = 0; d < n; ++d) {
+        const int cand = (owner - 1 + d) % n + 1;
+        if (rt_.image_status(cand) == kOk) {
+          target = cand;
+          break;
+        }
+      }
+      if (target == 0) {  // every image dead but us mid-kill; nothing to do
+        ++st.skipped;
+        continue;
+      }
+      if (target != owner) ++st.redirected;
+      const LockT lck =
+          locks_[static_cast<std::size_t>(bucket % cfg_.locks_per_image)];
+      const int lst = rt_.lock_stat(lck, target);
+      if (lst == kFailedImage) {
+        if (rt_.image_status(target) != kOk) {
+          // The target died under us; the lock cell is gone with it.
+          // unlock_stat is a safe no-op whether or not we acquired.
+          (void)rt_.unlock_stat(lck, target);
+          ++st.skipped;
+          continue;
+        }
+        // Target is alive, so STAT_FAILED_IMAGE means we hold the lock and
+        // the acquisition reclaimed it from a dead holder.
+        ++st.reclaimed;
+        if (st.first_reclaim_time < 0) st.first_reclaim_time = eng.now();
+      } else if (lst != kOk) {
+        ++st.skipped;
+        continue;
+      }
+      Entry e{};
+      const std::uint64_t entry_off =
+          data_off_ + static_cast<std::uint64_t>(bucket) * sizeof(Entry);
+      bool ok = rt_.get_bytes_stat(&e, target, entry_off, sizeof(Entry)) == kOk;
+      if (ok) {
+        eng.advance(cfg_.compute_ns);
+        e.key = key;
+        e.count += 1;
+        ok = rt_.put_bytes_stat(target, entry_off, &e, sizeof(Entry)) == kOk;
+      }
+      (void)rt_.unlock_stat(lck, target);
+      if (ok) {
+        ++st.applied;
+        ++st.applied_to[static_cast<std::size_t>(target)];
+        if (eng.failed_count() > 0) ++st.applied_post;
+        else ++st.applied_pre;
+      } else {
+        ++st.skipped;
+      }
+    }
+    return st;
   }
 
   /// Sums the counts in this image's slice (call after a final sync_all);

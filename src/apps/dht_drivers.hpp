@@ -11,6 +11,12 @@
 
 namespace apps::dht {
 
+// run_updates_resilient assumes both runtimes agree on stat= numerics.
+static_assert(static_cast<int>(caf::kStatOk) == craycaf::kStatOk &&
+                  static_cast<int>(caf::kStatFailedImage) ==
+                      craycaf::kStatFailedImage,
+              "dht degraded mode relies on caf/craycaf stat code alignment");
+
 /// Collective: call from every image fiber after rt.init().
 inline Table<caf::Runtime, caf::CoLock> make_caf_table(caf::Runtime& rt,
                                                        const Config& cfg) {

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "caf/caf.hpp"
+#include "net/fault.hpp"
 #include "net/profiles.hpp"
 
 namespace driver {
@@ -35,9 +36,19 @@ inline const char* name(StackKind k) {
 
 class Stack {
  public:
+  /// With an active `plan`, a FaultInjector is attached to the fabric and
+  /// armed on the engine before launch, so any scheduled kills mark the
+  /// engine and the runtime comes up with failure recovery enabled.
   Stack(StackKind kind, int images, net::Machine machine,
-        std::size_t heap_bytes = 8 << 20, caf::Options opts = {})
+        std::size_t heap_bytes = 8 << 20, caf::Options opts = {},
+        net::FaultPlan plan = {})
       : fabric_(net::machine_profile(machine), images) {
+    if (plan.active()) {
+      injector_ = std::make_unique<net::FaultInjector>(
+          plan, images, fabric_.profile().cores_per_node);
+      fabric_.set_fault_injector(injector_.get());
+      injector_->arm(engine_);
+    }
     switch (kind) {
       case StackKind::kShmemCray:
       case StackKind::kShmemMvapich:
@@ -69,6 +80,7 @@ class Stack {
   caf::Runtime& rt() { return *rt_; }
   sim::Engine& engine() { return engine_; }
   net::Fabric& fabric() { return fabric_; }
+  net::FaultInjector* injector() { return injector_.get(); }
 
   /// Launches `body(rt)` on every image (after rt.init()) and runs the
   /// engine to completion. Returns the final virtual time.
@@ -91,6 +103,7 @@ class Stack {
  private:
   sim::Engine engine_{64 * 1024};
   net::Fabric fabric_;
+  std::unique_ptr<net::FaultInjector> injector_;
   std::unique_ptr<shmem::World> shmem_;
   std::unique_ptr<gasnet::World> gasnet_;
   std::unique_ptr<armci::World> armci_;

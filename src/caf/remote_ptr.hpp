@@ -24,6 +24,15 @@ class RemotePtr {
   /// though (image 0, offset 0) is a legal location.
   static constexpr std::uint8_t kValidFlag = 0x01;
 
+  /// Flag bits 1-7 carry a 7-bit acquisition epoch. The failure-recovery
+  /// protocol stamps each qnode pointer with its owner's epoch counter, so
+  /// a stale pointer to a *reused* qnode slot never compares equal to the
+  /// current acquisition's pointer (CAS and queue-repair walks match exact
+  /// bits). Wraps at 128 — ancient stale pointers are already fenced off by
+  /// the quarantine delay on qnode reuse.
+  static constexpr int kEpochBits = kFlagBits - 1;
+  static constexpr std::uint8_t kMaxEpoch = (1u << kEpochBits) - 1;
+
   constexpr RemotePtr() = default;  // null
 
   /// image is 0-based here (the runtime converts CAF 1-based image indices).
@@ -49,6 +58,22 @@ class RemotePtr {
   }
   constexpr std::uint8_t flags() const {
     return static_cast<std::uint8_t>(bits_ & kMaxFlags);
+  }
+  constexpr std::uint8_t epoch() const {
+    return static_cast<std::uint8_t>(flags() >> 1);
+  }
+
+  /// Builds a pointer carrying `epoch` in flag bits 1-7 (valid bit set).
+  static constexpr RemotePtr with_epoch(int image, std::uint64_t offset,
+                                        std::uint8_t epoch) {
+    return RemotePtr(image, offset,
+                     static_cast<std::uint8_t>((epoch & kMaxEpoch) << 1));
+  }
+
+  /// True when both pointers name the same (image, offset), regardless of
+  /// flag/epoch bits — used to recognize a qnode slot across epochs.
+  friend constexpr bool same_location(RemotePtr a, RemotePtr b) {
+    return a && b && a.image() == b.image() && a.offset() == b.offset();
   }
 
   friend constexpr bool operator==(RemotePtr a, RemotePtr b) {

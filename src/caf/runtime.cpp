@@ -21,6 +21,10 @@ void Runtime::require_init() const {
 }
 
 void Runtime::init() {
+  // Failure recovery (robust lock layout, sentinel wake-ups, teams) is only
+  // enabled when the run's fault plan schedules kills; fault-free runs keep
+  // the original allocations and RMA sequences bit-for-bit.
+  resilient_ = conduit_.engine().kills_armed();
   // Collective allocations: every image calls in the same order, so every
   // image receives identical offsets (the conduits replay the log).
   const std::uint64_t slab = conduit_.allocate(opts_.nonsym_slab_bytes);
@@ -30,7 +34,7 @@ void Runtime::init() {
   const std::uint64_t flags =
       conduit_.allocate((kMaxRounds + 1) * sizeof(std::int64_t));
   const std::uint64_t slots = conduit_.allocate(kSlotBytes * (kMaxRounds + 1));
-  const std::uint64_t crit = conduit_.allocate(sizeof(std::int64_t));
+  const std::uint64_t crit = conduit_.allocate(lock_cell_bytes());
   const std::uint64_t syncall =
       conduit_.allocate(static_cast<std::size_t>(num_images()) *
                         sizeof(std::int64_t));
@@ -40,6 +44,19 @@ void Runtime::init() {
   coll_slot_off_ = slots;
   critical_off_ = crit;
   syncall_ctrs_off_ = syncall;
+  std::memset(local_addr(crit), 0, lock_cell_bytes());
+  if (resilient_) {
+    team_ctrs_off_ = conduit_.allocate(
+        static_cast<std::size_t>(num_images()) * sizeof(std::int64_t));
+    team_flag_off_ = conduit_.allocate(sizeof(std::int64_t));
+    team_coll_ctr_off_ = conduit_.allocate(sizeof(std::int64_t));
+    team_slots_off_ =
+        conduit_.allocate(static_cast<std::size_t>(num_images()) * kTeamChunk);
+    std::memset(local_addr(team_ctrs_off_), 0,
+                static_cast<std::size_t>(num_images()) * sizeof(std::int64_t));
+    std::memset(local_addr(team_flag_off_), 0, sizeof(std::int64_t));
+    std::memset(local_addr(team_coll_ctr_off_), 0, sizeof(std::int64_t));
+  }
   sync_offsets_ready_ = true;
 
   if (!failure_hook_registered_) {
@@ -71,6 +88,59 @@ void Runtime::sync_all() {
   conduit_.barrier();
 }
 
+namespace {
+
+bool cmp_i64(std::int64_t v, Cmp cmp, std::int64_t ref) {
+  switch (cmp) {
+    case Cmp::kEq: return v == ref;
+    case Cmp::kNe: return v != ref;
+    case Cmp::kGt: return v > ref;
+    case Cmp::kGe: return v >= ref;
+    case Cmp::kLt: return v < ref;
+    case Cmp::kLe: return v <= ref;
+  }
+  return false;
+}
+
+}  // namespace
+
+
+std::int64_t Runtime::read_local_i64(std::uint64_t off) {
+  std::int64_t v = 0;
+  std::memcpy(&v, local_addr(off), sizeof v);
+  return v;
+}
+
+void Runtime::write_local_i64(std::uint64_t off, std::int64_t v) {
+  std::memcpy(local_addr(off), &v, sizeof v);
+}
+
+bool Runtime::wait_fault(std::uint64_t off, Cmp cmp, std::int64_t value) {
+  auto& fw = per_image_[me()].fault_waits;
+  for (;;) {
+    const std::int64_t raw = read_local_i64(off);
+    if (raw >= kSentinelThreshold) {
+      // Failure wake-up: restore the true value (local store; this fiber is
+      // the only waiter on its own cells) and let the caller reassess.
+      write_local_i64(off, raw - kFailedSentinel);
+      return true;
+    }
+    if (cmp_i64(raw, cmp, value)) return false;
+    // Register, block, unregister. Between the registration and block()
+    // no yield occurs, so a kill either pokes the registered cell or has
+    // already been observed by the raw read above — no missed wake-ups.
+    fw.push_back(off);
+    conduit_.wait_until(off, cmp, value);
+    for (auto it = fw.end(); it != fw.begin();) {
+      --it;
+      if (*it == off) {
+        fw.erase(it);
+        break;
+      }
+    }
+  }
+}
+
 void Runtime::sync_images(std::span<const int> images) {
   require_init();
   ++per_image_[me()].stats.syncs;
@@ -88,10 +158,79 @@ void Runtime::sync_images(std::span<const int> images) {
   }
   for (int image : images) {
     const int partner = image - 1;
-    conduit_.wait_until(sync_ctrs_off_ + static_cast<std::uint64_t>(partner) *
-                                             sizeof(std::int64_t),
-                        Cmp::kGe, st.sync_sent[partner]);
+    const std::uint64_t cell =
+        sync_ctrs_off_ + static_cast<std::uint64_t>(partner) *
+                             sizeof(std::int64_t);
+    conduit_.wait_until(cell, Cmp::kGe, st.sync_sent[partner]);
+    // A sentinel-bumped cell (partner died) also satisfies the kGe wait; if
+    // the partner never actually reached this sync point, the plain (non-
+    // stat) statement has no escape — park forever so the watchdog's drain
+    // report names this image and the corpse it waited on.
+    std::int64_t raw = read_local_i64(cell);
+    if (raw >= kSentinelThreshold &&
+        raw - kFailedSentinel < st.sync_sent[partner]) {
+      sim::Engine& eng = conduit_.engine();
+      eng.current_fiber()->set_block_op("sync images (failed partner)",
+                                        partner);
+      for (;;) eng.block();
+    }
   }
+}
+
+int Runtime::sync_images_stat(std::span<const int> images) {
+  require_init();
+  auto& st = per_image_[me()];
+  ++st.stats.syncs;
+  sim::Engine& eng = conduit_.engine();
+  conduit_.quiet();
+  bool any_failed = false;
+  for (int image : images) {
+    const int partner = image - 1;
+    ++st.sync_sent[partner];
+    if (eng.pe_failed(partner)) {
+      any_failed = true;
+      continue;
+    }
+    try {
+      (void)conduit_.amo_fadd(
+          partner,
+          sync_ctrs_off_ + static_cast<std::uint64_t>(me()) *
+                               sizeof(std::int64_t),
+          1);
+    } catch (const fabric::PeerFailedError&) {
+      any_failed = true;
+    }
+  }
+  for (int image : images) {
+    const int partner = image - 1;
+    const std::uint64_t cell =
+        sync_ctrs_off_ + static_cast<std::uint64_t>(partner) *
+                             sizeof(std::int64_t);
+    const std::int64_t need = st.sync_sent[partner];
+    for (;;) {
+      const std::int64_t raw = read_local_i64(cell);
+      const bool dead_mark = raw >= kSentinelThreshold;
+      const std::int64_t count = dead_mark ? raw - kFailedSentinel : raw;
+      if (dead_mark && count < need) {
+        // Partner died before reaching this sync point. The sentinel stays
+        // in the cell as a permanent failed-partner mark.
+        any_failed = true;
+        break;
+      }
+      if (count >= need) {
+        if (eng.pe_failed(partner)) any_failed = true;
+        break;
+      }
+      if (eng.pe_failed(partner)) {
+        any_failed = true;
+        break;
+      }
+      // Live partner, not yet arrived: a kGe wait that a sentinel bump
+      // (from any kill) also satisfies, so this re-checks after failures.
+      conduit_.wait_until(cell, Cmp::kGe, need);
+    }
+  }
+  return any_failed ? kStatFailedImage : kStatOk;
 }
 
 // ---------------------------------------------------------------------------
@@ -114,6 +253,25 @@ void Runtime::handle_image_failure(int failed_pe, sim::Time at) {
                   syncall_ctrs_off_ + static_cast<std::uint64_t>(failed_pe) *
                                           sizeof(std::int64_t),
                   &sentinel, sizeof sentinel, at);
+  }
+  if (!resilient_) return;
+  // Additive sentinel bumps (value + kFailedSentinel, preserving the true
+  // count underneath) into: the dead image's sync_images slot on every
+  // survivor, and every cell a survivor registered through wait_fault().
+  // Idempotent: a cell already at/above the threshold is left alone, so a
+  // second kill before the waiter runs cannot double-bump it.
+  auto bump = [&](int r, std::uint64_t off) {
+    std::int64_t v = 0;
+    std::memcpy(&v, conduit_.segment(r) + off, sizeof v);
+    if (v >= kSentinelThreshold) return;
+    v += kFailedSentinel;
+    conduit_.poke(r, off, &v, sizeof v, at);
+  };
+  for (int r = 0; r < n; ++r) {
+    if (r == failed_pe || eng.pe_failed(r)) continue;
+    bump(r, sync_ctrs_off_ +
+                static_cast<std::uint64_t>(failed_pe) * sizeof(std::int64_t));
+    for (const std::uint64_t off : per_image_[r].fault_waits) bump(r, off);
   }
 }
 
@@ -268,9 +426,18 @@ int Runtime::get_bytes_stat(void* dst, int image, std::uint64_t src_off,
 // MCS coarray locks (§IV-D)
 // ---------------------------------------------------------------------------
 
+std::size_t Runtime::lock_cell_bytes() const {
+  // Non-resilient: the bare MCS tail word. Resilient: tail, holder word,
+  // repair mutex, then a 2-word {qnode_bits, pred_bits} record per image so
+  // queue repair can reconstruct the waiter list after a failure.
+  if (!resilient_) return sizeof(std::int64_t);
+  return (3 + 2 * static_cast<std::size_t>(num_images())) *
+         sizeof(std::int64_t);
+}
+
 CoLock Runtime::make_lock() {
-  const std::uint64_t off = allocate_coarray_bytes(sizeof(std::int64_t));
-  std::memset(local_addr(off), 0, sizeof(std::int64_t));
+  const std::uint64_t off = allocate_coarray_bytes(lock_cell_bytes());
+  std::memset(local_addr(off), 0, lock_cell_bytes());
   conduit_.barrier();  // all images see an unlocked tail
   return CoLock{off};
 }
@@ -284,7 +451,51 @@ namespace {
 constexpr std::uint64_t kQnodeBytes = 2 * sizeof(std::int64_t);
 constexpr std::uint64_t kLockedField = 0;
 constexpr std::uint64_t kNextField = sizeof(std::int64_t);
+// Resilient lock-cell layout, offsets from CoLock::tail_off.
+constexpr std::uint64_t kTailWord = 0;
+constexpr std::uint64_t kHolderWord = sizeof(std::int64_t);
+constexpr std::uint64_t kRepairWord = 2 * sizeof(std::int64_t);
+constexpr std::uint64_t kRecordsBase = 3 * sizeof(std::int64_t);
+constexpr std::uint64_t kRecordBytes = 2 * sizeof(std::int64_t);
+// Grant codes written into a waiter's qnode locked field.
+constexpr std::int64_t kReclaimGrant = -1;  // lock reclaimed from a corpse
+// A record's pred field between "record published" and "tail swap's result
+// published": the member is in (or entering) the queue but its predecessor
+// is not yet knowable.
+constexpr std::int64_t kPendingPred = -1;
+// Released qnodes sit out this much virtual time before slab reuse, so a
+// late in-flight handoff or repair write cannot land in a recycled slot.
+constexpr sim::Time kQuarantineNs = 10'000'000;  // 10 ms virtual
+constexpr sim::Time kRepairBackoffNs = 2'000;    // repair-mutex retry gap
 }  // namespace
+
+std::uint8_t Runtime::next_epoch() {
+  auto& e = per_image_[me()].qnode_epoch;
+  e = static_cast<std::uint8_t>((e + 1) & RemotePtr::kMaxEpoch);
+  return e;
+}
+
+void Runtime::quarantine_qnode(RemotePtr qn) {
+  per_image_[me()].quarantine.emplace_back(
+      qn, conduit_.engine().now() + kQuarantineNs);
+}
+
+void Runtime::drain_quarantine() {
+  auto& q = per_image_[me()].quarantine;
+  const sim::Time now = conduit_.engine().now();
+  for (auto it = q.begin(); it != q.end();) {
+    if (it->second <= now) {
+      nonsym_free(it->first);
+      it = q.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Runtime::holds_lock(CoLock lck, int image) const {
+  return per_image_[me()].held.contains(LockKey{lck.tail_off, image});
+}
 
 void Runtime::lock(CoLock lck, int image) {
   require_init();
@@ -292,6 +503,15 @@ void Runtime::lock(CoLock lck, int image) {
   const LockKey key{lck.tail_off, image};
   if (st.held.contains(key)) {
     throw std::logic_error("lock: image already holds this lock");
+  }
+  if (resilient_) {
+    bool reclaimed = false;
+    if (mcs_lock(lck, image, &reclaimed) != kStatOk) {
+      // Fortran semantics: lock without stat= on a failed lock image is an
+      // error termination.
+      throw std::runtime_error("lock: lock variable's image has failed");
+    }
+    return;
   }
   // Allocate my qnode out of the managed non-symmetric buffer so the
   // predecessor/successor can reach it remotely (§IV-D).
@@ -317,11 +537,124 @@ void Runtime::lock(CoLock lck, int image) {
   st.held.emplace(key, qn);
 }
 
+int Runtime::mcs_lock(CoLock lck, int image, bool* reclaimed) {
+  *reclaimed = false;
+  drain_quarantine();
+  sim::Engine& eng = conduit_.engine();
+  auto& st = per_image_[me()];
+  const int home = image - 1;
+  if (eng.pe_failed(home)) return kStatFailedImage;
+  const std::uint64_t L = lck.tail_off;
+  const std::uint64_t my_rec =
+      L + kRecordsBase + static_cast<std::uint64_t>(me()) * kRecordBytes;
+  const RemotePtr slot = nonsym_alloc(kQnodeBytes);
+  const RemotePtr qn = RemotePtr::with_epoch(me(), slot.offset(), next_epoch());
+  std::byte* q = local_addr(qn.offset());
+  const std::int64_t one = 1, null = 0;
+  std::memcpy(q + kLockedField, &one, sizeof one);
+  std::memcpy(q + kNextField, &null, sizeof null);
+  const auto packed = static_cast<std::int64_t>(qn.bits());
+  std::int64_t pred_bits = 0;
+  try {
+    // Publish my record *before* swapping onto the tail, so queue repair
+    // can account for me from the instant my swap could land.
+    const std::int64_t rec[2] = {packed, kPendingPred};
+    conduit_.put(home, my_rec, rec, sizeof rec, /*nbi=*/false);
+    conduit_.quiet();
+    pred_bits = conduit_.amo_swap(home, L + kTailWord, packed);
+    conduit_.put(home, my_rec + sizeof(std::int64_t), &pred_bits,
+                 sizeof pred_bits, /*nbi=*/false);
+    conduit_.quiet();
+  } catch (const fabric::PeerFailedError&) {
+    quarantine_qnode(qn);
+    return kStatFailedImage;
+  }
+  const RemotePtr pred =
+      RemotePtr::from_bits(static_cast<std::uint64_t>(pred_bits));
+  if (!pred) {
+    // Uncontended: record myself as the holder and enter.
+    try {
+      conduit_.put(home, L + kHolderWord, &packed, sizeof packed,
+                   /*nbi=*/false);
+      conduit_.quiet();
+    } catch (const fabric::PeerFailedError&) {
+      quarantine_qnode(qn);
+      return kStatFailedImage;
+    }
+    st.held.emplace(LockKey{L, image}, qn);
+    ++st.stats.locks_acquired;
+    return kStatOk;
+  }
+  // Link into the predecessor's next field. A dead predecessor (or one
+  // that dies mid-put) is fine: the repair path below splices me in.
+  if (!eng.pe_failed(pred.image())) {
+    try {
+      conduit_.put(pred.image(), pred.offset() + kNextField, &packed,
+                   sizeof packed, /*nbi=*/false);
+      conduit_.quiet();
+    } catch (const fabric::PeerFailedError&) {
+    }
+  }
+  for (;;) {
+    std::int64_t g = read_local_i64(qn.offset() + kLockedField);
+    if (g >= kSentinelThreshold) {
+      g -= kFailedSentinel;  // failure bump: restore the true grant state
+      write_local_i64(qn.offset() + kLockedField, g);
+    }
+    if (g == 0 || g == kReclaimGrant) {
+      if (g == kReclaimGrant) *reclaimed = true;
+      st.held.emplace(LockKey{L, image}, qn);
+      ++st.stats.locks_acquired;
+      return kStatOk;
+    }
+    if (eng.pe_failed(home)) {
+      quarantine_qnode(qn);
+      return kStatFailedImage;
+    }
+    // Refresh my predecessor from the home-side record: queue repair may
+    // have re-linked me behind someone else.
+    std::int64_t cur_pred = 0;
+    try {
+      conduit_.get(&cur_pred, home, my_rec + sizeof(std::int64_t),
+                   sizeof cur_pred);
+    } catch (const fabric::PeerFailedError&) {
+      quarantine_qnode(qn);
+      return kStatFailedImage;
+    }
+    const RemotePtr p =
+        RemotePtr::from_bits(static_cast<std::uint64_t>(cur_pred));
+    if (cur_pred != kPendingPred && p && eng.pe_failed(p.image())) {
+      // Dead predecessor: repair the queue (this may grant me the lock).
+      if (repair_mutex_acquire(home, lck) != kStatOk) {
+        quarantine_qnode(qn);
+        return kStatFailedImage;
+      }
+      (void)mcs_rebuild(lck, image);
+      repair_mutex_release(home, lck);
+      continue;
+    }
+    // Predecessor looks alive: block until the grant lands or a failure
+    // bump pokes my locked word (wait_fault registered the cell).
+    (void)wait_fault(qn.offset() + kLockedField, Cmp::kNe, 1);
+  }
+}
+
 int Runtime::lock_stat(CoLock lck, int image) {
   // lock(lck[j], stat=s): STAT_LOCKED when the executing image already
-  // holds the lock; no error termination (Fortran 2008 8.5.6).
+  // holds the lock; no error termination (Fortran 2008 8.5.6). Under
+  // failure recovery: STAT_FAILED_IMAGE without acquiring when the lock
+  // variable's image is dead, and STAT_FAILED_IMAGE *with* the lock
+  // acquired when it was reclaimed from a failed holder (exactly one
+  // survivor observes the reclamation) — check holds_lock() to tell the
+  // two apart.
   auto& st = per_image_[me()];
   if (st.held.contains(LockKey{lck.tail_off, image})) return kStatLocked;
+  if (resilient_) {
+    bool reclaimed = false;
+    const int s = mcs_lock(lck, image, &reclaimed);
+    if (s != kStatOk) return s;
+    return reclaimed ? kStatFailedImage : kStatOk;
+  }
   lock(lck, image);
   return kStatOk;
 }
@@ -329,6 +662,7 @@ int Runtime::lock_stat(CoLock lck, int image) {
 int Runtime::unlock_stat(CoLock lck, int image) {
   auto& st = per_image_[me()];
   if (!st.held.contains(LockKey{lck.tail_off, image})) return kStatUnlocked;
+  if (resilient_) return mcs_unlock(lck, image);
   unlock(lck, image);
   return kStatOk;
 }
@@ -338,6 +672,7 @@ bool Runtime::try_lock(CoLock lck, int image) {
   auto& st = per_image_[me()];
   const LockKey key{lck.tail_off, image};
   if (st.held.contains(key)) return false;
+  if (resilient_) return mcs_try_lock(lck, image);
   const RemotePtr qn = nonsym_alloc(kQnodeBytes);
   std::byte* q = local_addr(qn.offset());
   const std::int64_t one = 1, null = 0;
@@ -354,6 +689,416 @@ bool Runtime::try_lock(CoLock lck, int image) {
   return true;
 }
 
+bool Runtime::mcs_try_lock(CoLock lck, int image) {
+  drain_quarantine();
+  sim::Engine& eng = conduit_.engine();
+  auto& st = per_image_[me()];
+  const int home = image - 1;
+  // Dead lock image: fail fast instead of burning RMA timeouts.
+  if (eng.pe_failed(home)) return false;
+  const std::uint64_t L = lck.tail_off;
+  const RemotePtr slot = nonsym_alloc(kQnodeBytes);
+  const RemotePtr qn = RemotePtr::with_epoch(me(), slot.offset(), next_epoch());
+  std::byte* q = local_addr(qn.offset());
+  const std::int64_t one = 1, null = 0;
+  std::memcpy(q + kLockedField, &one, sizeof one);
+  std::memcpy(q + kNextField, &null, sizeof null);
+  const auto packed = static_cast<std::int64_t>(qn.bits());
+  try {
+    if (conduit_.amo_cswap(home, L + kTailWord, 0, packed) != 0) {
+      nonsym_free(qn);  // never published anywhere — safe to reuse at once
+      return false;
+    }
+    // Record + holder word, so repair sees this acquisition.
+    const std::int64_t rec[2] = {packed, 0};
+    conduit_.put(home,
+                 L + kRecordsBase +
+                     static_cast<std::uint64_t>(me()) * kRecordBytes,
+                 rec, sizeof rec, /*nbi=*/true);
+    conduit_.put(home, L + kHolderWord, &packed, sizeof packed, /*nbi=*/true);
+    conduit_.quiet();
+  } catch (const fabric::PeerFailedError&) {
+    quarantine_qnode(qn);
+    return false;
+  }
+  st.held.emplace(LockKey{L, image}, qn);
+  ++st.stats.locks_acquired;
+  return true;
+}
+
+int Runtime::mcs_unlock(CoLock lck, int image) {
+  drain_quarantine();
+  sim::Engine& eng = conduit_.engine();
+  auto& st = per_image_[me()];
+  const LockKey key{lck.tail_off, image};
+  const RemotePtr qn = st.held.at(key);
+  st.held.erase(key);
+  const int home = image - 1;
+  const std::uint64_t L = lck.tail_off;
+  if (eng.pe_failed(home)) {
+    // The whole lock cell died with its image; nothing left to release.
+    quarantine_qnode(qn);
+    return kStatFailedImage;
+  }
+  const auto packed = static_cast<std::int64_t>(qn.bits());
+  const std::int64_t zero2[2] = {0, 0};
+  const int n = num_images();
+  try {
+    // Retire my record first: from here on, repair treats me as gone and
+    // my bits in other records/tail as external.
+    conduit_.put(home,
+                 L + kRecordsBase +
+                     static_cast<std::uint64_t>(me()) * kRecordBytes,
+                 zero2, sizeof zero2, /*nbi=*/false);
+    conduit_.quiet();
+    if (conduit_.amo_cswap(home, L + kTailWord, packed, 0) == packed) {
+      quarantine_qnode(qn);
+      return kStatOk;
+    }
+  } catch (const fabric::PeerFailedError&) {
+    quarantine_qnode(qn);
+    return kStatFailedImage;
+  }
+  // Someone swapped in behind me. Find them and hand over, repairing
+  // around corpses as needed.
+  for (;;) {
+    std::int64_t next_bits = read_local_i64(qn.offset() + kNextField);
+    if (next_bits >= kSentinelThreshold) {
+      next_bits -= kFailedSentinel;
+      write_local_i64(qn.offset() + kNextField, next_bits);
+    }
+    if (eng.pe_failed(home)) {
+      quarantine_qnode(qn);
+      return kStatFailedImage;
+    }
+    if (next_bits != 0) {
+      const RemotePtr succ =
+          RemotePtr::from_bits(static_cast<std::uint64_t>(next_bits));
+      if (!eng.pe_failed(succ.image())) {
+        try {
+          // Holder word first, then the grant: a successor that dies
+          // between the two leaves the holder word naming a corpse, which
+          // is exactly what repair keys on.
+          conduit_.put(home, L + kHolderWord, &next_bits, sizeof next_bits,
+                       /*nbi=*/false);
+          conduit_.quiet();
+          const std::int64_t grant = 0;
+          conduit_.put(succ.image(), succ.offset() + kLockedField, &grant,
+                       sizeof grant, /*nbi=*/false);
+          conduit_.quiet();
+          quarantine_qnode(qn);
+          return kStatOk;
+        } catch (const fabric::PeerFailedError&) {
+          // fall through to repair
+        }
+      }
+      // Dead successor: splice it out under the repair mutex; the rebuild
+      // grants the first live waiter (or empties the queue).
+      if (repair_mutex_acquire(home, lck) != kStatOk) {
+        quarantine_qnode(qn);
+        return kStatFailedImage;
+      }
+      (void)mcs_rebuild(lck, image);
+      repair_mutex_release(home, lck);
+      quarantine_qnode(qn);
+      return kStatOk;
+    }
+    // next == 0 but the tail CAS failed: a successor exists somewhere in
+    // the pipeline. Snapshot the records to see who.
+    std::vector<std::int64_t> snap(static_cast<std::size_t>(3 + 2 * n));
+    try {
+      conduit_.get(snap.data(), home, L,
+                   snap.size() * sizeof(std::int64_t));
+    } catch (const fabric::PeerFailedError&) {
+      quarantine_qnode(qn);
+      return kStatFailedImage;
+    }
+    int succ_rank = -1;
+    bool any_live_pending = false;
+    for (int r = 0; r < n; ++r) {
+      const std::int64_t qb = snap[static_cast<std::size_t>(3 + 2 * r)];
+      const std::int64_t pb = snap[static_cast<std::size_t>(3 + 2 * r + 1)];
+      if (qb == 0) continue;
+      if (pb == packed) succ_rank = r;
+      if (pb == kPendingPred && !eng.pe_failed(r)) any_live_pending = true;
+    }
+    if (succ_rank >= 0 && !eng.pe_failed(succ_rank)) {
+      // Live direct successor: its link put is in flight; wait for it
+      // (a failure bump re-opens the scan).
+      (void)wait_fault(qn.offset() + kNextField, Cmp::kNe, 0);
+      continue;
+    }
+    const RemotePtr tail = RemotePtr::from_bits(
+        static_cast<std::uint64_t>(snap[0]));
+    if (succ_rank >= 0 || (tail && eng.pe_failed(tail.image()))) {
+      // My successor died (directly visible, or only as a dead tail whose
+      // pred-publication never landed): repair. Re-check my next under the
+      // mutex first — the link may have raced in.
+      if (repair_mutex_acquire(home, lck) != kStatOk) {
+        quarantine_qnode(qn);
+        return kStatFailedImage;
+      }
+      std::int64_t nb = read_local_i64(qn.offset() + kNextField);
+      if (nb >= kSentinelThreshold) {
+        nb -= kFailedSentinel;
+        write_local_i64(qn.offset() + kNextField, nb);
+      }
+      if (nb != 0) {
+        repair_mutex_release(home, lck);
+        continue;  // normal successor handling above
+      }
+      const RebuildResult rb = mcs_rebuild(lck, image);
+      repair_mutex_release(home, lck);
+      if (rb.granted || rb.queue_empty) {
+        quarantine_qnode(qn);
+        return kStatOk;
+      }
+      // A live member is still mid-enqueue; its own pass (or a link to my
+      // next) resolves things — keep watching.
+      continue;
+    }
+    if (!any_live_pending) {
+      // Nobody's record names my qnode and nobody is mid-enqueue, so no
+      // one can ever link to me: repair has already moved the queue past
+      // my (retired) record. My handoff duty is void.
+      quarantine_qnode(qn);
+      return kStatOk;
+    }
+    // A live member is mid-enqueue and may turn out to be my direct
+    // successor. Its publication doesn't touch my memory, so poll rather
+    // than block.
+    eng.advance(kRepairBackoffNs);
+  }
+}
+
+int Runtime::repair_mutex_acquire(int home, CoLock lck) {
+  sim::Engine& eng = conduit_.engine();
+  const std::uint64_t mtx = lck.tail_off + kRepairWord;
+  const std::int64_t mine = me() + 1;
+  for (;;) {
+    if (eng.pe_failed(home)) return kStatFailedImage;
+    std::int64_t cur = 0;
+    try {
+      cur = conduit_.amo_cswap(home, mtx, 0, mine);
+    } catch (const fabric::PeerFailedError&) {
+      return kStatFailedImage;
+    }
+    if (cur == 0) return kStatOk;
+    if (eng.pe_failed(static_cast<int>(cur) - 1)) {
+      // The previous repairer died holding the mutex: steal it. The CAS
+      // makes the steal race-free among surviving contenders.
+      try {
+        if (conduit_.amo_cswap(home, mtx, cur, mine) == cur) return kStatOk;
+      } catch (const fabric::PeerFailedError&) {
+        return kStatFailedImage;
+      }
+      continue;
+    }
+    eng.advance(kRepairBackoffNs);
+  }
+}
+
+void Runtime::repair_mutex_release(int home, CoLock lck) {
+  try {
+    (void)conduit_.amo_cswap(home, lck.tail_off + kRepairWord, me() + 1, 0);
+  } catch (const fabric::PeerFailedError&) {
+    // Home died; the mutex died with it.
+  }
+}
+
+Runtime::RebuildResult Runtime::mcs_rebuild(CoLock lck, int image) {
+  // Runs under the repair mutex. Reconstructs the waiter queue from the
+  // home-side acquisition records: splices out dead members, re-links the
+  // survivors in (repaired) FIFO order, grants the lock when its recorded
+  // holder is dead or gone, and swings a dead tail pointer back to the
+  // last live member.
+  RebuildResult out;
+  sim::Engine& eng = conduit_.engine();
+  const int home = image - 1;
+  const std::uint64_t L = lck.tail_off;
+  const int n = num_images();
+  struct Node {
+    int rank;
+    std::int64_t qnode, pred;
+    bool alive, pending;
+  };
+  auto rec_off = [&](int r) {
+    return L + kRecordsBase + static_cast<std::uint64_t>(r) * kRecordBytes;
+  };
+  try {
+    std::vector<std::int64_t> snap(static_cast<std::size_t>(3 + 2 * n));
+    conduit_.get(snap.data(), home, L, snap.size() * sizeof(std::int64_t));
+    const std::int64_t tail_bits = snap[0];
+    const std::int64_t holder_bits = snap[1];
+    std::vector<Node> nodes;
+    std::vector<std::uint64_t> scrub;
+    bool live_pending = false;
+    for (int r = 0; r < n; ++r) {
+      const std::int64_t qb = snap[static_cast<std::size_t>(3 + 2 * r)];
+      if (qb == 0) continue;
+      const std::int64_t pb = snap[static_cast<std::size_t>(3 + 2 * r + 1)];
+      const bool alive = !eng.pe_failed(r);
+      const bool pending = pb == kPendingPred;
+      if (!alive && pending) {
+        // Died mid-enqueue with its predecessor unknown: drop the record
+        // entirely so pointers at it read as external.
+        scrub.push_back(rec_off(r));
+        continue;
+      }
+      if (alive && pending) live_pending = true;
+      nodes.push_back(Node{r, qb, pb, alive, pending});
+    }
+    auto find = [&](std::int64_t bits) -> Node* {
+      if (bits == 0) return nullptr;
+      for (auto& nd : nodes)
+        if (nd.qnode == bits) return &nd;
+      return nullptr;
+    };
+    if (tail_bits == 0) {
+      for (const auto& nd : nodes)
+        if (!nd.alive) scrub.push_back(rec_off(nd.rank));
+      for (const std::uint64_t off : scrub) {
+        const std::int64_t z2[2] = {0, 0};
+        conduit_.put(home, off, z2, sizeof z2, /*nbi=*/true);
+      }
+      conduit_.quiet();
+      out.queue_empty = true;
+      return out;
+    }
+    // Head: the recorded holder when its record is present; otherwise the
+    // best candidate whose pred is null or names no present record (live
+    // preferred, then lowest rank). Preferring live matters: picking a dead
+    // candidate over a live (still-holding) one would grant a second owner.
+    Node* head = find(holder_bits);
+    if (head == nullptr) {
+      for (auto& nd : nodes) {
+        if (nd.pending) continue;
+        if (nd.pred != 0 && find(nd.pred) != nullptr) continue;
+        if (head == nullptr || (nd.alive && !head->alive)) head = &nd;
+      }
+    }
+    // Walk successor edges (exact-bit pred matches; epochs make stale
+    // pointers miss) to recover the FIFO order, then append live members
+    // the chain lost track of, in rank order.
+    std::vector<char> in_chain(nodes.size(), 0);
+    std::vector<Node*> order;
+    for (Node* cur = head; cur != nullptr;) {
+      const auto idx = static_cast<std::size_t>(cur - nodes.data());
+      if (in_chain[idx]) break;
+      in_chain[idx] = 1;
+      if (cur->alive) order.push_back(cur);
+      Node* succ = nullptr;
+      for (auto& nd : nodes) {
+        const auto j = static_cast<std::size_t>(&nd - nodes.data());
+        if (nd.pending || in_chain[j] || nd.pred != cur->qnode) continue;
+        succ = &nd;
+        break;
+      }
+      cur = succ;
+    }
+    // Members the chain lost track of sit behind a record the walk could
+    // not cross. When a live member is still mid-enqueue, that is (or may
+    // be) the crossing point: relinking a stranded member onto the prefix
+    // would give some predecessor a second successor, and the enqueuer's
+    // own link-put races the relink — last write wins and the loser is
+    // orphaned with a live, already-departed predecessor it waits on
+    // forever. The stranded members' real next-pointer links are intact
+    // (they linked into the pending member at enqueue, and the pending
+    // member links into its own predecessor once its record lands), so
+    // leave them alone; only append when no live enqueue is in flight.
+    if (!live_pending) {
+      for (auto& nd : nodes) {
+        const auto idx = static_cast<std::size_t>(&nd - nodes.data());
+        if (nd.pending || in_chain[idx] || !nd.alive) continue;
+        order.push_back(&nd);
+      }
+    }
+    for (const auto& nd : nodes)
+      if (!nd.alive) scrub.push_back(rec_off(nd.rank));
+    // Re-link the surviving order: forward qnode next pointers plus the
+    // home-side pred records (idempotent for pairs that were adjacent).
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      const RemotePtr a =
+          RemotePtr::from_bits(static_cast<std::uint64_t>(order[i - 1]->qnode));
+      conduit_.put(a.image(), a.offset() + kNextField, &order[i]->qnode,
+                   sizeof(std::int64_t), /*nbi=*/true);
+      conduit_.put(home, rec_off(order[i]->rank) + sizeof(std::int64_t),
+                   &order[i - 1]->qnode, sizeof(std::int64_t), /*nbi=*/true);
+    }
+    for (const std::uint64_t off : scrub) {
+      const std::int64_t z2[2] = {0, 0};
+      conduit_.put(home, off, z2, sizeof z2, /*nbi=*/true);
+    }
+    conduit_.quiet();
+    // Grant when the recorded holder is not a live present member that
+    // actually holds the lock. A reclaim grant (the head actually owned or
+    // was entering ownership of the lock when it died) tells the grantee to
+    // report STAT_FAILED_IMAGE.
+    const Node* holder_node = find(holder_bits);
+    bool held_live = holder_node != nullptr && holder_node->alive;
+    if (held_live && !holder_node->pending && holder_node->pred != 0) {
+      // A live member can be *named* by the holder word without holding:
+      // the handoff is two puts (holder word, then the grant), and a
+      // granter that dies between them leaves its successor named but
+      // still waiting, with no predecessor left to wake it. When the named
+      // holder's recorded predecessor is gone (dead, or retired from the
+      // records), read its grant word: locked still 1 means the handoff
+      // never completed and repair must deliver it. This is idempotent
+      // with an in-flight grant from a live mid-handoff granter — both
+      // write the same holder word and the same zero grant.
+      const Node* hp = find(holder_node->pred);
+      if (hp == nullptr || !hp->alive) {
+        const RemotePtr hq = RemotePtr::from_bits(
+            static_cast<std::uint64_t>(holder_node->qnode));
+        std::int64_t hl = 0;
+        conduit_.get(&hl, hq.image(), hq.offset() + kLockedField, sizeof hl);
+        if (hl >= kSentinelThreshold) hl -= kFailedSentinel;
+        if (hl == 1) held_live = false;
+      }
+    }
+    if (!order.empty() && !held_live) {
+      conduit_.put(home, L + kHolderWord, &order[0]->qnode,
+                   sizeof(std::int64_t), /*nbi=*/false);
+      conduit_.quiet();
+      std::int64_t grant = 0;
+      if (head != nullptr && !head->alive &&
+          (holder_bits == head->qnode || head->pred == 0)) {
+        grant = kReclaimGrant;
+      }
+      const RemotePtr g =
+          RemotePtr::from_bits(static_cast<std::uint64_t>(order[0]->qnode));
+      conduit_.put(g.image(), g.offset() + kLockedField, &grant,
+                   sizeof grant, /*nbi=*/false);
+      conduit_.quiet();
+      out.granted = true;
+    }
+    // A dead tail pointer: swing it to the last live member, or clear the
+    // queue outright — unless a live member is still mid-enqueue (its swap
+    // already landed in this tail chain), in which case leave it for that
+    // member's own repair pass.
+    const RemotePtr tp =
+        RemotePtr::from_bits(static_cast<std::uint64_t>(tail_bits));
+    if (tp && eng.pe_failed(tp.image())) {
+      if (!order.empty() && !live_pending) {
+        // Same caution as above: with a live enqueue in flight the relinked
+        // order may be a strict prefix of the real queue, and swinging the
+        // tail onto its last member would route new arrivals into next
+        // fields the stranded suffix already owns.
+        (void)conduit_.amo_cswap(home, L + kTailWord, tail_bits,
+                                 order.back()->qnode);
+      } else if (order.empty() && !live_pending) {
+        if (conduit_.amo_cswap(home, L + kTailWord, tail_bits, 0) ==
+            tail_bits) {
+          out.queue_empty = true;
+        }
+      }
+    }
+  } catch (const fabric::PeerFailedError&) {
+    // Home died mid-repair; callers re-check and bail out.
+  }
+  return out;
+}
+
 void Runtime::unlock(CoLock lck, int image) {
   require_init();
   auto& st = per_image_[me()];
@@ -361,6 +1106,12 @@ void Runtime::unlock(CoLock lck, int image) {
   auto it = st.held.find(key);
   if (it == st.held.end()) {
     throw std::logic_error("unlock: image does not hold this lock");
+  }
+  if (resilient_) {
+    if (mcs_unlock(lck, image) == kStatFailedImage) {
+      throw std::runtime_error("unlock: lock variable's image has failed");
+    }
+    return;
   }
   const RemotePtr qn = it->second;
   st.held.erase(it);
@@ -417,7 +1168,216 @@ std::int64_t Runtime::event_query(CoEvent ev) {
   require_init();
   std::int64_t v = 0;
   std::memcpy(&v, local_addr(ev.count_off), sizeof v);
+  if (v >= kSentinelThreshold) v -= kFailedSentinel;  // failure-marked cell
   return v - per_image_[me()].event_consumed[ev.count_off];
+}
+
+int Runtime::event_post_stat(CoEvent ev, int image) {
+  require_init();
+  if (conduit_.engine().pe_failed(image - 1)) return kStatFailedImage;
+  try {
+    event_post(ev, image);
+  } catch (const fabric::PeerFailedError&) {
+    return kStatFailedImage;
+  }
+  return kStatOk;
+}
+
+int Runtime::event_wait_stat(CoEvent ev, std::int64_t until_count) {
+  require_init();
+  auto& consumed = per_image_[me()].event_consumed[ev.count_off];
+  sim::Engine& eng = conduit_.engine();
+  for (;;) {
+    std::int64_t raw = read_local_i64(ev.count_off);
+    if (raw >= kSentinelThreshold) {
+      raw -= kFailedSentinel;
+      write_local_i64(ev.count_off, raw);
+    }
+    if (raw - consumed >= until_count) {
+      // Only a satisfied wait advances the consumed ledger: a poster that
+      // died mid-post must not leave the count debited below what actually
+      // arrived (the classic accounting underflow).
+      consumed += until_count;
+      return kStatOk;
+    }
+    if (eng.failed_count() > 0) return kStatFailedImage;
+    (void)wait_fault(ev.count_off, Cmp::kGe, consumed + until_count);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Survivor teams (minimal FORM TEAM facility)
+// ---------------------------------------------------------------------------
+
+Team Runtime::form_team(int* stat) {
+  require_init();
+  sim::Engine& eng = conduit_.engine();
+  Team t;
+  if (!resilient_) {
+    for (int i = 1; i <= num_images(); ++i) t.members.push_back(i);
+    if (stat != nullptr) *stat = kStatOk;
+    return t;
+  }
+  // Barrier with every currently-live image, then snapshot the survivors.
+  // Two images' snapshots can differ only in images that died mid-formation
+  // — which every team operation skips anyway, so the teams interoperate.
+  Team all;
+  for (int i = 1; i <= num_images(); ++i) {
+    if (!eng.pe_failed(i - 1)) all.members.push_back(i);
+  }
+  (void)team_sync(all);
+  for (int i = 1; i <= num_images(); ++i) {
+    if (!eng.pe_failed(i - 1)) t.members.push_back(i);
+  }
+  if (stat != nullptr) {
+    *stat = eng.failed_count() > 0 ? kStatFailedImage : kStatOk;
+  }
+  return t;
+}
+
+int Runtime::team_sync(const Team& team) {
+  require_init();
+  if (!resilient_) {
+    sync_all();
+    return kStatOk;
+  }
+  sim::Engine& eng = conduit_.engine();
+  auto& st = per_image_[me()];
+  conduit_.quiet();
+  bool any_failed = false;
+  // Pairwise cumulative counters, like sync images: immune to two members
+  // disagreeing about *other* (dead) members' membership.
+  for (int image : team.members) {
+    const int p = image - 1;
+    if (p == me()) continue;
+    ++st.team_sent[p];
+    if (eng.pe_failed(p)) {
+      any_failed = true;
+      continue;
+    }
+    try {
+      (void)conduit_.amo_fadd(p,
+                              team_ctrs_off_ + static_cast<std::uint64_t>(me()) *
+                                                   sizeof(std::int64_t),
+                              1);
+    } catch (const fabric::PeerFailedError&) {
+      any_failed = true;
+    }
+  }
+  for (int image : team.members) {
+    const int p = image - 1;
+    if (p == me()) continue;
+    const std::uint64_t cell =
+        team_ctrs_off_ + static_cast<std::uint64_t>(p) * sizeof(std::int64_t);
+    const std::int64_t need = st.team_sent[p];
+    for (;;) {
+      if (read_local_i64(cell) >= need) break;
+      if (eng.pe_failed(p)) {
+        any_failed = true;
+        break;
+      }
+      (void)wait_fault(cell, Cmp::kGe, need);
+    }
+  }
+  return any_failed ? kStatFailedImage : kStatOk;
+}
+
+int Runtime::team_broadcast_bytes(const Team& team, void* data,
+                                  std::size_t nbytes, int root_image) {
+  require_init();
+  assert(nbytes <= kTeamChunk);
+  if (!team.contains(root_image)) {
+    throw std::invalid_argument("team_broadcast_bytes: root not a member");
+  }
+  if (!resilient_) {
+    coll_broadcast_bytes(data, nbytes, root_image - 1);
+    return kStatOk;
+  }
+  sim::Engine& eng = conduit_.engine();
+  const int root0 = root_image - 1;
+  int stat = kStatOk;
+  if (me() == root0) {
+    std::memcpy(local_addr(team_slots_off_ +
+                           static_cast<std::uint64_t>(me()) * kTeamChunk),
+                data, nbytes);
+  }
+  if (team_sync(team) != kStatOk) stat = kStatFailedImage;
+  if (me() != root0) {
+    if (eng.pe_failed(root0)) return kStatFailedImage;
+    try {
+      conduit_.get(data, root0,
+                   team_slots_off_ +
+                       static_cast<std::uint64_t>(root0) * kTeamChunk,
+                   nbytes);
+    } catch (const fabric::PeerFailedError&) {
+      return kStatFailedImage;
+    }
+  }
+  // Hold the root until every live member pulled its copy, so a follow-up
+  // collective cannot overwrite the staged slot early.
+  if (team_sync(team) != kStatOk) stat = kStatFailedImage;
+  return stat;
+}
+
+int Runtime::team_coll_bytes(const Team& team, void* data, std::size_t nbytes,
+                             const std::function<void(void*, const void*)>& comb,
+                             int root_image) {
+  require_init();
+  assert(nbytes <= kTeamChunk);
+  if (team.members.empty()) return kStatFailedImage;
+  if (!resilient_) {
+    // Full-machine path: one staged chunk through the generic reduce tree.
+    coll_reduce_bytes(data, 1, nbytes, comb);
+    return kStatOk;
+  }
+  sim::Engine& eng = conduit_.engine();
+  const int root0 = root_image - 1;
+  int stat = kStatOk;
+  // Stage my contribution in my own slot; the barrier publishes it.
+  std::memcpy(local_addr(team_slots_off_ +
+                         static_cast<std::uint64_t>(me()) * kTeamChunk),
+              data, nbytes);
+  if (team_sync(team) != kStatOk) stat = kStatFailedImage;
+  if (eng.pe_failed(root0)) return kStatFailedImage;
+  if (me() == root0) {
+    // Root-side gather-combine over the live members. A member that dies
+    // before its slot is read drops out of the sum (reported via stat).
+    std::vector<std::byte> tmp(nbytes);
+    for (int image : team.members) {
+      const int p = image - 1;
+      if (p == root0) continue;
+      if (eng.pe_failed(p)) {
+        stat = kStatFailedImage;
+        continue;
+      }
+      try {
+        conduit_.get(tmp.data(), p,
+                     team_slots_off_ +
+                         static_cast<std::uint64_t>(p) * kTeamChunk,
+                     nbytes);
+        comb(data, tmp.data());
+      } catch (const fabric::PeerFailedError&) {
+        stat = kStatFailedImage;
+      }
+    }
+    std::memcpy(local_addr(team_slots_off_ +
+                           static_cast<std::uint64_t>(root0) * kTeamChunk),
+                data, nbytes);
+  }
+  if (team_sync(team) != kStatOk) stat = kStatFailedImage;
+  if (me() != root0) {
+    if (eng.pe_failed(root0)) return kStatFailedImage;
+    try {
+      conduit_.get(data, root0,
+                   team_slots_off_ +
+                       static_cast<std::uint64_t>(root0) * kTeamChunk,
+                   nbytes);
+    } catch (const fabric::PeerFailedError&) {
+      return kStatFailedImage;
+    }
+  }
+  if (team_sync(team) != kStatOk) stat = kStatFailedImage;
+  return stat;
 }
 
 // ---------------------------------------------------------------------------

@@ -97,6 +97,26 @@ struct CoEvent {
   std::uint64_t count_off = 0;
 };
 
+/// A survivor team (minimal Fortran 2018 FORM TEAM facility): the sorted
+/// 1-based indices of the images that were alive when form_team() ran.
+/// Team-scoped synchronization and collectives take a Team and skip (and
+/// report) members that have since failed. One team is active at a time;
+/// reform after each failure.
+struct Team {
+  std::vector<int> members;  // sorted, 1-based
+  int num_images() const { return static_cast<int>(members.size()); }
+  bool contains(int image) const {
+    return std::find(members.begin(), members.end(), image) != members.end();
+  }
+  /// 1-based team rank of `image` (Fortran this_image(team)); 0 if absent.
+  int rank_of(int image) const {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (members[i] == image) return static_cast<int>(i) + 1;
+    }
+    return 0;
+  }
+};
+
 class Runtime {
  public:
   Runtime(Conduit& conduit, Options opts = {});
@@ -131,6 +151,26 @@ class Runtime {
   /// image has failed (survivors still synchronize with each other and
   /// never hang waiting on the dead image).
   int sync_all_stat();
+  /// `sync images(list, stat=s)`: pairwise sync that survives partner
+  /// failure. Returns kStatFailedImage when any listed partner has failed
+  /// (still synchronizing with the live ones); kStatOk otherwise.
+  int sync_images_stat(std::span<const int> images);
+
+  // ---- survivor teams (minimal FORM TEAM, Fortran 2018) ----
+  /// Collective over the *live* images: barriers with every live peer and
+  /// returns the surviving membership. Optional *stat receives
+  /// kStatFailedImage when any image has failed (the team excludes them).
+  Team form_team(int* stat = nullptr);
+  /// Team-scoped barrier (`sync team`): synchronizes the live members and
+  /// returns kStatFailedImage when any member has failed since formation.
+  int team_sync(const Team& team);
+  /// Team-scoped broadcast from `root_image` (a 1-based *global* index that
+  /// must be a team member). Returns a StatCode.
+  int team_broadcast_bytes(const Team& team, void* data, std::size_t nbytes,
+                           int root_image);
+  /// Team-scoped co_sum over the live members. Returns a StatCode.
+  template <typename T>
+  int co_sum_team(const Team& team, T* data, std::size_t nelems);
 
   // ---- symmetric (coarray) allocation; collective ----
   std::uint64_t allocate_coarray_bytes(std::size_t bytes);
@@ -187,8 +227,17 @@ class Runtime {
   bool try_lock(CoLock lck, int image);
   /// Fortran stat= variants: never throw; return a StatCode instead
   /// (lock(lck[j], stat=s) / unlock(lck[j], stat=s)).
+  ///
+  /// Failure-recovery semantics (F2018 11.6.10, active when kills are
+  /// armed): if the lock variable's *owner image* has failed, lock_stat
+  /// returns kStatFailedImage without acquiring. If the lock was held by an
+  /// image that failed, the queue is repaired, the acquiring survivor gets
+  /// the lock, and that acquisition — exactly one per reclamation — reports
+  /// kStatFailedImage while still holding the lock (check holds_lock()).
   int lock_stat(CoLock lck, int image);
   int unlock_stat(CoLock lck, int image);
+  /// True when this image currently holds lck[image].
+  bool holds_lock(CoLock lck, int image) const;
   /// Number of qnodes currently held by this image (tests: "M+1" bound).
   std::size_t held_qnodes() const;
 
@@ -201,6 +250,13 @@ class Runtime {
   void event_post(CoEvent ev, int image);
   void event_wait(CoEvent ev, std::int64_t until_count = 1);
   std::int64_t event_query(CoEvent ev);
+  /// stat= variants: event_post_stat returns kStatFailedImage instead of
+  /// throwing when the target image died; event_wait_stat gives up with
+  /// kStatFailedImage once an image failure makes the count unreachable
+  /// (the count is only consumed on a satisfied wait, so event_query never
+  /// underflows when a poster died mid-post).
+  int event_post_stat(CoEvent ev, int image);
+  int event_wait_stat(CoEvent ev, std::int64_t until_count = 1);
 
   // ---- atomics on symmetric int64 cells (atomic_* intrinsics) ----
   std::int64_t atomic_fetch_add(int image, std::uint64_t off, std::int64_t v) {
@@ -270,8 +326,43 @@ class Runtime {
 
   /// Engine failure hook (scheduler context): pokes kFailedSentinel into
   /// every survivor's sync-all counter slot for the dead image so blocked
-  /// `sync all (stat=)` waiters wake up instead of hanging.
+  /// `sync all (stat=)` waiters wake up instead of hanging. In resilient
+  /// mode it additionally sentinel-bumps the dead image's sync_images slot
+  /// and every cell a survivor registered through wait_fault(), so robust
+  /// lock/event/team waits observe the failure instead of sleeping forever.
   void handle_image_failure(int failed_pe, sim::Time at);
+
+  // ---- failure-recovery machinery (active only when kills are armed) ----
+  std::int64_t read_local_i64(std::uint64_t off);
+  void write_local_i64(std::uint64_t off, std::int64_t v);
+  /// Blocks on a local cell like Conduit::wait_until, but registers the
+  /// cell so the failure hook can wake it with an additive sentinel bump.
+  /// Returns true on a failure wake-up (the cell is restored to its true
+  /// value first), false when the condition is genuinely satisfied. The
+  /// cmp/value pair must be satisfiable by a sentinel-bumped cell (kNe or
+  /// kGe forms).
+  bool wait_fault(std::uint64_t off, Cmp cmp, std::int64_t value);
+
+  // Robust MCS lock internals (epoch-stamped qnodes + home-side queue
+  // records + CAS queue repair). See runtime.cpp for the protocol.
+  std::size_t lock_cell_bytes() const;
+  int mcs_lock(CoLock lck, int image, bool* reclaimed);
+  int mcs_unlock(CoLock lck, int image);
+  bool mcs_try_lock(CoLock lck, int image);
+  int repair_mutex_acquire(int home, CoLock lck);
+  void repair_mutex_release(int home, CoLock lck);
+  struct RebuildResult {
+    bool queue_empty = false;
+    bool granted = false;  // some live member was granted the lock
+  };
+  RebuildResult mcs_rebuild(CoLock lck, int image);
+  void quarantine_qnode(RemotePtr qn);
+  void drain_quarantine();
+  std::uint8_t next_epoch();
+
+  int team_coll_bytes(const Team& team, void* data, std::size_t nbytes,
+                      const std::function<void(void*, const void*)>& comb,
+                      int root_image);
 
   // Generic one-sided collective machinery (staged through internal slots).
   void coll_broadcast_bytes(void* data, std::size_t nbytes, int root0);
@@ -293,13 +384,29 @@ class Runtime {
   std::uint64_t syncall_ctrs_off_ = 0;  // num_images int64 sync-all counters
   bool sync_offsets_ready_ = false;     // init() finished allocating above
   bool failure_hook_registered_ = false;
+  /// Kills are armed for this run (Engine::kills_armed at init time): the
+  /// failure-recovery protocols are enabled and the lock cells carry the
+  /// extended robust layout. Off by default so fault-free runs keep the
+  /// original RMA sequences bit-for-bit.
+  bool resilient_ = false;
+
+  // Team facility offsets (allocated by init() only in resilient mode).
+  std::uint64_t team_ctrs_off_ = 0;      // num_images pairwise sync counters
+  std::uint64_t team_flag_off_ = 0;      // collective result-ready flag
+  std::uint64_t team_coll_ctr_off_ = 0;  // root-side contribution counter
+  std::uint64_t team_slots_off_ = 0;     // num_images * kTeamChunk gather area
 
   static constexpr int kMaxRounds = 16;
   static constexpr std::size_t kSlotBytes = 8192;
+  static constexpr std::size_t kTeamChunk = 1024;
   /// Poked into a survivor's sync-all slot for a dead image: large enough
   /// to satisfy any round's `>= round` wait, and an in-flight fadd merely
   /// bumps it (staying >= every future round) rather than erasing it.
   static constexpr std::int64_t kFailedSentinel = std::int64_t{1} << 62;
+  /// A cell at or above this holds an additive failure sentinel (true value
+  /// + kFailedSentinel; the true values near a sentinel-bumped cell are the
+  /// small lock-grant codes, hence the -4 slack).
+  static constexpr std::int64_t kSentinelThreshold = kFailedSentinel - 4;
 
   // Per-image runtime state, indexed by 0-based rank. Each fiber only
   // touches its own entry.
@@ -311,6 +418,16 @@ class Runtime {
     std::int64_t coll_gen = 0;
     std::int64_t syncall_round = 0;  // rounds of sync_all_stat completed
     ImageStats stats;
+    // --- resilient-mode state ---
+    std::unordered_map<int, std::int64_t> team_sent;  // pairwise team syncs
+    std::uint8_t qnode_epoch = 0;  // per-acquisition epoch stamp (wraps)
+    /// Local cells currently blocked on through wait_fault(); the failure
+    /// hook sentinel-bumps these so the waiters wake.
+    std::vector<std::uint64_t> fault_waits;
+    /// Released qnodes parked until stale in-flight writes (late handoffs /
+    /// repair grants targeting the old acquisition) can no longer land in a
+    /// reused slot.
+    std::vector<std::pair<RemotePtr, sim::Time>> quarantine;
   };
   std::vector<PerImage> per_image_;
 };
@@ -332,6 +449,35 @@ void Runtime::co_broadcast(T* data, std::size_t nelems, int source_image) {
     bytes += chunk;
     remaining -= chunk;
   }
+}
+
+template <typename T>
+int Runtime::co_sum_team(const Team& team, T* data, std::size_t nelems) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  require_init();
+  int stat = kStatOk;
+  std::size_t done = 0;
+  const std::size_t per_chunk = kTeamChunk / sizeof(T);
+  while (done < nelems) {
+    const std::size_t n = std::min(nelems - done, per_chunk);
+    // The combiner works on a whole staged chunk (team_coll_bytes is
+    // element-size agnostic).
+    auto combine = [n](void* a, const void* b) {
+      for (std::size_t i = 0; i < n; ++i) {
+        T x, y;
+        std::memcpy(&x, static_cast<std::byte*>(a) + i * sizeof(T), sizeof(T));
+        std::memcpy(&y, static_cast<const std::byte*>(b) + i * sizeof(T),
+                    sizeof(T));
+        x = x + y;
+        std::memcpy(static_cast<std::byte*>(a) + i * sizeof(T), &x, sizeof(T));
+      }
+    };
+    const int st = team_coll_bytes(team, data + done, n * sizeof(T), combine,
+                                   team.members.empty() ? 1 : team.members[0]);
+    if (st != kStatOk) stat = st;
+    done += n;
+  }
+  return stat;
 }
 
 template <typename T>

@@ -31,6 +31,7 @@ Runtime::Runtime(sim::Engine& engine, net::Fabric& fabric,
   watchers_.resize(ctx_->npes());
   barrier_gen_.assign(ctx_->npes(), 0);
   coll_gen_.assign(ctx_->npes(), 0);
+  held_tickets_.resize(static_cast<std::size_t>(ctx_->npes()));
   ctx_->domain().set_write_hook(
       [this](const fabric::WriteEvent& ev) { on_write(ev); });
 }
@@ -38,6 +39,7 @@ Runtime::Runtime(sim::Engine& engine, net::Fabric& fabric,
 Runtime::~Runtime() = default;
 
 void Runtime::launch(std::function<void()> image_main) {
+  resilient_ = engine_.kills_armed();
   for (int pe = 0; pe < ctx_->npes(); ++pe) engine_.spawn(pe, image_main);
 }
 
@@ -166,14 +168,59 @@ void Runtime::sync_all() {
   }
 }
 
+int Runtime::image_status(int image) {
+  return engine_.pe_failed(image - 1) ? kStatFailedImage : kStatOk;
+}
+
+int Runtime::put_bytes_stat(int image, std::uint64_t dst_off, const void* src,
+                            std::size_t n) {
+  if (engine_.pe_failed(image - 1)) return kStatFailedImage;
+  try {
+    put_bytes(image, dst_off, src, n);
+  } catch (const fabric::PeerFailedError&) {
+    return kStatFailedImage;
+  }
+  return kStatOk;
+}
+
+int Runtime::get_bytes_stat(void* dst, int image, std::uint64_t src_off,
+                            std::size_t n) {
+  if (engine_.pe_failed(image - 1)) return kStatFailedImage;
+  try {
+    get_bytes(dst, image, src_off, n);
+  } catch (const fabric::PeerFailedError&) {
+    return kStatFailedImage;
+  }
+  return kStatOk;
+}
+
+namespace {
+/// Owner-ring slot values: ticket * kRingTagBase + image + 1, so a waiter
+/// can tell the *current* ticket's owner entry from a stale one left by a
+/// skipped (dead) previous occupant of the slot.
+constexpr std::int64_t kRingTagBase = std::int64_t{1} << 21;
+}  // namespace
+
 CoLock Runtime::make_lock() {
-  const std::uint64_t off = allocate(2 * sizeof(std::int64_t));
-  std::memset(local_addr(off), 0, 2 * sizeof(std::int64_t));
+  // Resilient cells append an owner ring of npes+1 slots: at most npes
+  // tickets are outstanding (one per image per lock), so ticket t and
+  // t + ring never coexist.
+  const std::size_t words =
+      resilient_ ? 2 + static_cast<std::size_t>(ctx_->npes()) + 1 : 2;
+  const std::uint64_t off = allocate(words * sizeof(std::int64_t));
+  std::memset(local_addr(off), 0, words * sizeof(std::int64_t));
   sync_all();
   return CoLock{off};
 }
 
 void Runtime::lock(CoLock lck, int image) {
+  if (resilient_) {
+    bool reclaimed = false;
+    if (ticket_lock(lck, image, &reclaimed) != kStatOk) {
+      throw std::runtime_error("craycaf lock: lock image has failed");
+    }
+    return;
+  }
   // Packed centralized ticket lock: one 64-bit word holds the next ticket
   // (high 32 bits) and now_serving (low 32 bits), so the uncontended
   // acquire is a single NIC fetch-add. Under contention every waiter must
@@ -201,7 +248,119 @@ void Runtime::lock(CoLock lck, int image) {
 }
 
 void Runtime::unlock(CoLock lck, int image) {
+  if (resilient_) {
+    if (ticket_unlock(lck, image) == kStatFailedImage) {
+      throw std::runtime_error("craycaf unlock: lock image has failed");
+    }
+    return;
+  }
   (void)ctx_->afadd(image - 1, lck.off, 1);  // bump now_serving
+}
+
+int Runtime::lock_stat(CoLock lck, int image) {
+  bool reclaimed = false;
+  const int st = ticket_lock(lck, image, &reclaimed);
+  if (st != kStatOk) return st;
+  return reclaimed ? kStatFailedImage : kStatOk;
+}
+
+int Runtime::unlock_stat(CoLock lck, int image) {
+  return ticket_unlock(lck, image);
+}
+
+int Runtime::ticket_lock(CoLock lck, int image, bool* reclaimed) {
+  const int home = image - 1;
+  if (engine_.pe_failed(home)) return kStatFailedImage;
+  const std::int64_t ring = ctx_->npes() + 1;
+  const auto& mp = ctx_->domain().fabric().profile();
+  const bool local = ctx_->domain().fabric().same_node(me(), home);
+  const sim::Time rt_est = ctx_->domain().sw().amo_overhead +
+                           2 * (local ? mp.local_latency : mp.hw_latency) +
+                           mp.nic_amo_gap;
+  constexpr std::int64_t kTicketOne = std::int64_t{1} << 32;
+  auto slot_off = [&](std::int64_t ticket) {
+    return lck.off + 16 +
+           static_cast<std::uint64_t>(ticket % ring) * sizeof(std::int64_t);
+  };
+  try {
+    const std::int64_t grabbed = ctx_->afadd(home, lck.off, kTicketOne);
+    const std::int64_t my_ticket = grabbed >> 32;
+    // Publish my owner-ring slot BEFORE polling: once now_serving reaches
+    // my_ticket, any other waiter must be able to see who holds that turn.
+    const std::int64_t tag = my_ticket * kRingTagBase + (me() + 1);
+    ctx_->put(home, slot_off(my_ticket), &tag, sizeof tag);
+    ctx_->gsync_wait();
+
+    std::int64_t packed = grabbed;
+    std::int64_t last_packed = -1;
+    int stagnant = 0;
+    while ((packed & 0xffffffff) != my_ticket) {
+      const std::int64_t serving = packed & 0xffffffff;
+      // Who owns the serving ticket? Authoritative only when the slot's
+      // embedded ticket matches: a waiter may not have published yet.
+      std::int64_t sv = 0;
+      ctx_->get(&sv, home, slot_off(serving), sizeof sv);
+      const std::int64_t slot_ticket = sv / kRingTagBase;
+      const int slot_image0 = static_cast<int>(sv % kRingTagBase) - 1;
+      bool bump = false;
+      if (sv != 0 && slot_ticket == serving) {
+        // Current holder identified; skip its turn iff it is dead.
+        if (engine_.pe_failed(slot_image0)) bump = true;
+      } else {
+        // Slot stale or unpublished. If the lock word has not moved for a
+        // while and some image has failed, assume the serving grabber died
+        // between its fetch-add and its slot publish, and skip its turn.
+        // (Window: a live publisher delayed pathologically long could be
+        // wrongly skipped; see DESIGN.md Known limits.)
+        if (packed == last_packed) ++stagnant;
+        else stagnant = 0;
+        if (stagnant >= 8 && engine_.failed_count() > 0) bump = true;
+      }
+      last_packed = packed;
+      if (bump) {
+        const std::int64_t seen =
+            ctx_->acswap(home, lck.off, packed, packed + 1);
+        if (seen == packed) {
+          *reclaimed = true;  // this waiter retired the dead holder's turn
+          stagnant = 0;
+        }
+        packed = (seen == packed) ? packed + 1 : seen;
+        continue;
+      }
+      engine_.advance(rt_est *
+                      std::max<std::int64_t>(1, my_ticket - serving));
+      packed = ctx_->afadd(home, lck.off, 0);
+    }
+    held_tickets_[static_cast<std::size_t>(me())][lck.off] = my_ticket;
+  } catch (const fabric::PeerFailedError&) {
+    return kStatFailedImage;
+  }
+  return kStatOk;
+}
+
+int Runtime::ticket_unlock(CoLock lck, int image) {
+  const int home = image - 1;
+  auto& held = held_tickets_[static_cast<std::size_t>(me())];
+  const auto it = held.find(lck.off);
+  if (it == held.end()) return kStatUnlocked;
+  const std::int64_t my_ticket = it->second;
+  held.erase(it);
+  if (engine_.pe_failed(home)) return kStatFailedImage;
+  const std::int64_t ring = ctx_->npes() + 1;
+  const std::uint64_t my_slot =
+      lck.off + 16 +
+      static_cast<std::uint64_t>(my_ticket % ring) * sizeof(std::int64_t);
+  try {
+    // Retire my slot before bumping now_serving: the next waiter must never
+    // read my (now stale) tag as the owner of a later ticket in this slot.
+    const std::int64_t zero = 0;
+    ctx_->put(home, my_slot, &zero, sizeof zero);
+    ctx_->gsync_wait();
+    (void)ctx_->afadd(home, lck.off, 1);
+  } catch (const fabric::PeerFailedError&) {
+    return kStatFailedImage;
+  }
+  return kStatOk;
 }
 
 void Runtime::co_sum_f64(double* data, std::size_t nelems) {

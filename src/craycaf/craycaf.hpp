@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "fabric/dmapp.hpp"
@@ -29,7 +30,16 @@
 
 namespace craycaf {
 
+/// Stat codes, numerically aligned with caf::StatCode so the templated
+/// apps can treat both runtimes uniformly.
+inline constexpr int kStatOk = 0;
+inline constexpr int kStatUnlocked = 2;
+inline constexpr int kStatFailedImage = 4;
+
 /// A coarray lock variable: two symmetric words (next_ticket, now_serving).
+/// Under failure recovery (kills armed) the cell grows an owner ring of
+/// num_images()+1 words: owners[ticket % ring] records which image grabbed
+/// that ticket, so survivors can tell a dead holder's turn from a live one.
 struct CoLock {
   std::uint64_t off = 0;
 };
@@ -72,10 +82,26 @@ class Runtime {
   // ---- synchronization ----
   void sync_all();
 
+  // ---- failed-image inquiry & stat= RMA (failure-recovery support) ----
+  /// kStatFailedImage when `image` (1-based) has failed, else kStatOk.
+  int image_status(int image);
+  int put_bytes_stat(int image, std::uint64_t dst_off, const void* src,
+                     std::size_t n);
+  int get_bytes_stat(void* dst, int image, std::uint64_t src_off,
+                     std::size_t n);
+
   // ---- centralized ticket locks ----
   CoLock make_lock();
   void lock(CoLock lck, int image);
   void unlock(CoLock lck, int image);
+  /// lock with stat=: kStatFailedImage without acquiring when the lock
+  /// variable's image is dead; kStatFailedImage *with* the lock acquired
+  /// when this waiter's CAS skipped a dead ticket holder (reclamation —
+  /// reported by exactly the CAS winner); kStatOk otherwise.
+  int lock_stat(CoLock lck, int image);
+  /// unlock with stat=: kStatUnlocked when not held, kStatFailedImage when
+  /// the lock variable's image died while held, else kStatOk.
+  int unlock_stat(CoLock lck, int image);
 
   // ---- collectives (tree over puts; enough for the benchmarks) ----
   void co_sum_f64(double* data, std::size_t nelems);
@@ -84,6 +110,10 @@ class Runtime {
   void wait_local_ge(std::uint64_t off, std::int64_t value);
   void on_write(const fabric::WriteEvent& ev);
   int me() const;
+  /// Shared acquire path: returns kStatOk / kStatFailedImage; *reclaimed
+  /// set when this waiter's CAS bumped now_serving past a dead owner.
+  int ticket_lock(CoLock lck, int image, bool* reclaimed);
+  int ticket_unlock(CoLock lck, int image);
 
   struct Watcher {
     std::uint64_t off;
@@ -103,6 +133,13 @@ class Runtime {
   std::vector<std::vector<Watcher>> watchers_;
   std::vector<std::int64_t> barrier_gen_;
   std::vector<std::int64_t> coll_gen_;
+  /// Kills armed for this run (checked at launch): locks carry the owner
+  /// ring and the acquire path reclaims past dead owners. Off by default so
+  /// fault-free runs keep the original layout and RMA sequence exactly.
+  bool resilient_ = false;
+  /// Per-PE map lock offset -> outstanding ticket (resilient unlock needs
+  /// the ticket to retire its owner-ring slot).
+  std::vector<std::unordered_map<std::uint64_t, std::int64_t>> held_tickets_;
 
   // Internal layout at the base of every segment.
   static constexpr int kMaxRounds = 16;

@@ -20,6 +20,7 @@ void Fabric::reset() {
   std::fill(tx_free_.begin(), tx_free_.end(), 0);
   std::fill(rx_free_.begin(), rx_free_.end(), 0);
   std::fill(pe_proc_free_.begin(), pe_proc_free_.end(), 0);
+  if (faults_ != nullptr) faults_->reset();
 }
 
 double Fabric::xfer_ns(std::size_t bytes, const SwProfile& sw,

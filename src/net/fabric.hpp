@@ -64,8 +64,9 @@ class Fabric {
   RoundTrip submit_am(int src_pe, int dst_pe, std::size_t bytes,
                       const SwProfile& sw, sim::Time now);
 
-  /// Resets link/occupancy state (e.g. between benchmark repetitions).
-  /// Does not reset the fault injector's rng or counters.
+  /// Resets link/occupancy state and, when a fault injector is attached,
+  /// rewinds it to its seeded initial state (FaultInjector::reset), so each
+  /// benchmark repetition starts from an identical fault stream.
   void reset();
 
   /// Attaches (or detaches, with nullptr) a fault injector. Not owned; must

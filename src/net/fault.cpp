@@ -93,11 +93,20 @@ sim::Time FaultInjector::backoff_delay(int attempt, double expected_oneway_ns) {
 }
 
 void FaultInjector::arm(sim::Engine& engine) {
+  bool any = false;
   for (int pe = 0; pe < static_cast<int>(kill_at_.size()); ++pe) {
     const sim::Time at = kill_at_[static_cast<std::size_t>(pe)];
     if (at == kNever) continue;
+    any = true;
     engine.schedule(at, [&engine, pe] { engine.kill_pe(pe); });
   }
+  if (any) engine.arm_kills();
+}
+
+void FaultInjector::reset() {
+  rng_ = sim::Rng(plan_.seed);
+  counters_ = Counters{};
+  trace_hash_ = 0;
 }
 
 }  // namespace net

@@ -131,8 +131,16 @@ class FaultInjector {
   sim::Time backoff_delay(int attempt, double expected_oneway_ns);
 
   /// Schedules the plan's PE/node kills as engine events (Engine::kill_pe).
-  /// Call once before Engine::run.
+  /// Call once before Engine::run. When the plan schedules any kill, also
+  /// marks the engine (Engine::arm_kills) so runtimes enable their
+  /// failure-recovery protocols.
   void arm(sim::Engine& engine);
+
+  /// Rewinds the injector to its initial state: re-seeds the rng stream and
+  /// clears the verdict counters and trace hash (the kill schedule is
+  /// immutable plan state and stays). Fabric::reset() calls this so every
+  /// benchmark repetition replays the identical fault stream.
+  void reset();
 
   const Counters& counters() const { return counters_; }
 

@@ -129,6 +129,13 @@ class Engine {
     failure_hooks_.push_back(std::move(hook));
   }
 
+  /// Declares that PE/node kills are scheduled for this run (set by
+  /// FaultInjector::arm before launch). Runtimes consult kills_armed() to
+  /// enable their failure-recovery protocols; without armed kills they keep
+  /// the original fast paths, so fault-free runs stay bit-identical.
+  void arm_kills() { kills_armed_ = true; }
+  bool kills_armed() const { return kills_armed_; }
+
   // ---- introspection ----
 
   std::size_t events_processed() const { return events_processed_; }
@@ -160,6 +167,7 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   Time sim_now_ = 0;
   std::size_t events_processed_ = 0;
+  bool kills_armed_ = false;
   std::size_t default_stack_bytes_;
 
   Fiber* current_ = nullptr;

@@ -1,0 +1,137 @@
+// Degraded-mode DHT tests: a mid-run image kill must not lose survivors'
+// updates — dead-owner traffic is redirected to the next live image in the
+// ring (or skipped, with accounting), locks held by the corpse are
+// reclaimed, and the survivor table contents reconcile with the per-image
+// DegradedStats ledgers. Covered on both runtimes (UHCAF-over-SHMEM and the
+// Cray-CAF baseline), mirroring the bench/fault_recovery harness.
+#include "apps/dht_drivers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "caf_test_util.hpp"
+#include "net/fault.hpp"
+
+using namespace apps::dht;
+using caftest::Harness;
+using caftest::Stack;
+
+namespace {
+
+Config degraded_cfg() {
+  Config cfg;
+  cfg.updates_per_image = 24;
+  cfg.buckets_per_image = 32;
+  cfg.locks_per_image = 4;
+  cfg.hot_percent = 25;  // some lock contention, so reclamation can trigger
+  cfg.hot_keys = 2;
+  return cfg;
+}
+
+// Reconciles survivor ledgers against survivor table contents.
+void check_conservation(int images, int victim,
+                        const std::vector<DegradedStats>& stats,
+                        const std::vector<std::int64_t>& counts,
+                        const Config& cfg) {
+  std::int64_t total_counts = 0;
+  std::int64_t total_applied = 0;
+  std::int64_t applied_to_victim = 0;
+  std::int64_t total_redirected = 0;
+  for (int img = 1; img <= images; ++img) {
+    if (img == victim) continue;
+    const DegradedStats& st = stats[static_cast<std::size_t>(img)];
+    EXPECT_EQ(st.attempted, cfg.updates_per_image) << "image " << img;
+    EXPECT_EQ(st.applied + st.skipped, st.attempted) << "image " << img;
+    EXPECT_EQ(st.applied_pre + st.applied_post, st.applied) << "image " << img;
+    total_applied += st.applied;
+    applied_to_victim += st.applied_to[static_cast<std::size_t>(victim)];
+    total_redirected += st.redirected;
+    total_counts += counts[static_cast<std::size_t>(img)];
+    // Per-target lower bound: everything a survivor claims it applied to a
+    // surviving target must be in that target's slice (the victim may have
+    // landed extra updates before dying, never fewer).
+  }
+  for (int t = 1; t <= images; ++t) {
+    if (t == victim) continue;
+    std::int64_t claimed = 0;
+    for (int u = 1; u <= images; ++u) {
+      if (u == victim) continue;
+      claimed += stats[static_cast<std::size_t>(u)]
+                     .applied_to[static_cast<std::size_t>(t)];
+    }
+    EXPECT_GE(counts[static_cast<std::size_t>(t)], claimed) << "target " << t;
+  }
+  // Global reconciliation: survivor tables hold exactly what survivors
+  // applied to survivors, plus whatever the victim landed before dying
+  // (bounded by its full quota).
+  EXPECT_GE(total_counts, total_applied - applied_to_victim);
+  EXPECT_LE(total_counts,
+            total_applied - applied_to_victim + cfg.updates_per_image);
+  // The kill lands mid-run, so some dead-owner traffic must actually have
+  // been rerouted (this is deterministic; it guards against the test
+  // passing vacuously with the victim untouched by any key).
+  EXPECT_GT(total_redirected, 0);
+}
+
+}  // namespace
+
+TEST(DhtDegraded, CafSurvivorsRedirectReclaimAndConserve) {
+  const Config cfg = degraded_cfg();
+  constexpr int kImages = 8;
+  constexpr int kVictim = 5;
+  net::FaultPlan plan;
+  // Mid-run: table setup completes by ~10 us of virtual time and the update
+  // loops run to ~60 us, so the kill lands with most updates still pending.
+  plan.kill_pe(kVictim - 1, 25'000);
+  Harness h(Stack::kShmemCray, kImages, {}, 4 << 20, plan);
+  std::vector<DegradedStats> stats(kImages + 1);
+  std::vector<std::int64_t> counts(kImages + 1, 0);
+  h.run([&] {
+    auto& rt = h.rt();
+    const int me = rt.this_image();
+    auto table = make_caf_table(rt, cfg);
+    stats[static_cast<std::size_t>(me)] = table.run_updates_resilient();
+    EXPECT_EQ(rt.sync_all_stat(), caf::kStatFailedImage);
+    counts[static_cast<std::size_t>(me)] = table.local_count_sum();
+  });
+  check_conservation(kImages, kVictim, stats, counts, cfg);
+}
+
+TEST(DhtDegraded, CrayCafSurvivorsRedirectReclaimAndConserve) {
+  const Config cfg = degraded_cfg();
+  constexpr int kImages = 8;
+  constexpr int kVictim = 5;
+  net::FaultPlan plan;
+  plan.kill_pe(kVictim - 1, 25'000);  // mid-run (setup ends ~5 us, see above)
+  sim::Engine engine{64 * 1024};
+  net::Fabric fabric(net::machine_profile(net::Machine::kXC30), kImages);
+  net::FaultInjector injector(plan, kImages, fabric.profile().cores_per_node);
+  craycaf::Runtime rt(engine, fabric, 4 << 20);
+  fabric.set_fault_injector(&injector);
+  injector.arm(engine);
+  std::vector<DegradedStats> stats(kImages + 1);
+  std::vector<std::int64_t> counts(kImages + 1, 0);
+  rt.launch([&] {
+    const int me = rt.this_image();
+    auto table = make_craycaf_table(rt, cfg);
+    const std::uint64_t done_off = rt.allocate(8);
+    if (me == 1) std::memset(rt.local_addr(done_off), 0, 8);
+    rt.sync_all();  // last vendor barrier before the kill can land
+    stats[static_cast<std::size_t>(me)] = table.run_updates_resilient();
+    // The vendor sync_all hangs once an image is dead, so survivors
+    // rendezvous manually: bump an arrival counter on image 1 and poll it
+    // until every live image has checked in.
+    (void)rt.dmapp().afadd(0, done_off, 1);
+    for (;;) {
+      const auto arrived =
+          static_cast<std::int64_t>(rt.dmapp().afadd(0, done_off, 0));
+      if (arrived >= kImages - engine.failed_count()) break;
+      engine.advance(100'000);
+    }
+    counts[static_cast<std::size_t>(me)] = table.local_count_sum();
+  });
+  engine.run();
+  check_conservation(kImages, kVictim, stats, counts, cfg);
+}

@@ -1,0 +1,412 @@
+// Failure-recovery tests for the robust MCS coarray lock (reclamation from
+// dead holders, queue splicing around dead waiters, dead-home fast paths),
+// the stat= synchronization statements (sync images / events), and the
+// minimal survivor-team facility — plus a seeded property sweep with
+// randomized kill schedules.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "caf_test_util.hpp"
+#include "net/fault.hpp"
+#include "sim/rng.hpp"
+
+using caftest::Harness;
+using caftest::Stack;
+
+// ---------------------------------------------------------------------------
+// Lock reclamation
+// ---------------------------------------------------------------------------
+
+// The ISSUE acceptance scenario: an image acquires lck[1], is killed while
+// holding it, and a survivor subsequently acquires with STAT_FAILED_IMAGE
+// reported by exactly one acquisition (the reclamation grant).
+TEST(LockRecovery, DeadHolderIsReclaimedAndReportedExactlyOnce) {
+  net::FaultPlan plan;
+  plan.kill_pe(1, 2'000'000);  // image 2 dies at 2 ms, holding the lock
+  Harness h(Stack::kShmemCray, 4, {}, 2 << 20, plan);
+  int reclaim_reports = 0;
+  std::vector<int> order;
+  h.run([&] {
+    auto& rt = h.rt();
+    const int me = rt.this_image();
+    const caf::CoLock lck = rt.make_lock();
+    const std::uint64_t owner_off = rt.allocate_coarray_bytes(8);
+    std::memset(rt.local_addr(owner_off), 0, 8);
+    rt.sync_all();
+    if (me == 2) {
+      rt.lock(lck, 1);
+      rt.atomic_define(1, owner_off, 2);
+      for (;;) h.engine().advance(100'000);  // dies inside the critical section
+    }
+    h.engine().advance(500'000);  // let the victim acquire first
+    const int st = rt.lock_stat(lck, 1);
+    ASSERT_TRUE(st == caf::kStatOk || st == caf::kStatFailedImage) << st;
+    ASSERT_TRUE(rt.holds_lock(lck, 1));
+    if (st == caf::kStatFailedImage) ++reclaim_reports;
+    // Mutual exclusion: the previous occupant of the critical section either
+    // left cleanly (0) or died inside it.
+    const std::int64_t prev = rt.atomic_swap(1, owner_off, me);
+    EXPECT_TRUE(prev == 0 || rt.image_status(static_cast<int>(prev)) ==
+                                 caf::kStatFailedImage)
+        << "image " << prev << " was still inside the critical section";
+    order.push_back(me);
+    h.engine().advance(50'000);
+    EXPECT_EQ(rt.atomic_cas(1, owner_off, me, 0), me);
+    EXPECT_EQ(rt.unlock_stat(lck, 1), caf::kStatOk);
+    EXPECT_EQ(rt.sync_all_stat(), caf::kStatFailedImage);
+  });
+  EXPECT_EQ(reclaim_reports, 1);
+  EXPECT_EQ(order.size(), 3u);  // every survivor eventually acquired
+}
+
+// The MCS handoff is two puts — name the successor in the home-side holder
+// word, then deliver the grant into its qnode — and a granter can die
+// between them. That leaves the holder word naming a live image that never
+// received the grant; queue repair must detect the undelivered handoff
+// (named holder alive, predecessor gone, grant word untouched) and finish
+// it, or the successor waits forever. Sweep the kill across the whole
+// handoff window so every alignment is covered: before the unlock, between
+// the puts, and after delivery.
+TEST(LockRecovery, GrantorDiesMidHandoffAtEveryAlignment) {
+  constexpr sim::Time kUnlockAt = 100'000;
+  for (sim::Time delta = 0; delta <= 3'000; delta += 150) {
+    net::FaultPlan plan;
+    plan.kill_pe(1, kUnlockAt + delta);  // image 2 dies around its unlock
+    Harness h(Stack::kShmemCray, 4, {}, 2 << 20, plan);
+    int acquired = 0;
+    h.run([&] {
+      auto& rt = h.rt();
+      const int me = rt.this_image();
+      const caf::CoLock lck = rt.make_lock();
+      rt.sync_all();
+      if (me == 2) {
+        rt.lock(lck, 1);
+        h.engine().advance(kUnlockAt - h.engine().now());
+        (void)rt.unlock_stat(lck, 1);  // the kill lands somewhere in here
+        for (;;) h.engine().advance(50'000);
+      }
+      if (me == 3) {
+        h.engine().advance(10'000);  // enqueue behind the doomed holder
+        const int st = rt.lock_stat(lck, 1);
+        ASSERT_TRUE(st == caf::kStatOk || st == caf::kStatFailedImage)
+            << "delta=" << delta << " st=" << st;
+        ASSERT_TRUE(rt.holds_lock(lck, 1)) << "delta=" << delta;
+        ++acquired;
+        h.engine().advance(20'000);
+        EXPECT_EQ(rt.unlock_stat(lck, 1), caf::kStatOk) << "delta=" << delta;
+      }
+      if (me == 4) {
+        // Late arrival: the queue must be healthy again after the repair.
+        h.engine().advance(300'000);
+        const int st = rt.lock_stat(lck, 1);
+        ASSERT_TRUE(st == caf::kStatOk || st == caf::kStatFailedImage)
+            << "delta=" << delta << " st=" << st;
+        ASSERT_TRUE(rt.holds_lock(lck, 1)) << "delta=" << delta;
+        ++acquired;
+        EXPECT_EQ(rt.unlock_stat(lck, 1), caf::kStatOk) << "delta=" << delta;
+      }
+      (void)rt.sync_all_stat();
+    });
+    EXPECT_EQ(acquired, 2) << "delta=" << delta;
+  }
+}
+
+// Mass pile-on onto a corpse-held lock: the holder dies with nobody
+// enqueued, then every survivor calls lock_stat at once. The first repair
+// snapshots the home-side records while other survivors are still
+// mid-enqueue (tail swap landed, pred record still pending); it must not
+// relink members stranded behind a live pending record — doing so invents
+// a second successor for some predecessor, the enqueuer's own link-put
+// races the relink, and the loser waits forever on a predecessor that
+// already moved on. 32 images across two nodes so the enqueue puts span
+// both latency classes.
+TEST(LockRecovery, SimultaneousPileOnAfterHolderDeath) {
+  constexpr int kImages = 32;
+  net::FaultPlan plan;
+  plan.kill_pe(6, 400'000);  // image 7 dies holding lck[1]
+  Harness h(Stack::kShmemCray, kImages, {}, 2 << 20, plan);
+  int acquired = 0;
+  int reclaim_reports = 0;
+  h.run([&] {
+    auto& rt = h.rt();
+    const int me = rt.this_image();
+    const caf::CoLock lck = rt.make_lock();
+    rt.sync_all();
+    if (me == 7) {
+      rt.lock(lck, 1);
+      for (;;) h.engine().advance(100'000);  // dies holding the lock
+    }
+    h.engine().advance(600'000);  // everyone arrives together, post-kill
+    const int st = rt.lock_stat(lck, 1);
+    ASSERT_TRUE(st == caf::kStatOk || st == caf::kStatFailedImage)
+        << "image " << me << " st=" << st;
+    ASSERT_TRUE(rt.holds_lock(lck, 1)) << "image " << me;
+    if (st == caf::kStatFailedImage) ++reclaim_reports;
+    ++acquired;
+    EXPECT_EQ(rt.unlock_stat(lck, 1), caf::kStatOk) << "image " << me;
+    EXPECT_EQ(rt.sync_all_stat(), caf::kStatFailedImage);
+  });
+  EXPECT_EQ(acquired, kImages - 1);
+  EXPECT_EQ(reclaim_reports, 1);
+}
+
+// A *waiter* (not the holder) dies in the middle of the queue: the repair
+// splices it out and the surviving waiters acquire in their original FIFO
+// order, with no STAT_FAILED_IMAGE report (no reclamation happened).
+TEST(LockRecovery, DeadWaiterIsSplicedOutPreservingFifo) {
+  net::FaultPlan plan;
+  plan.kill_pe(3, 2'000'000);  // image 4: mid-queue waiter
+  Harness h(Stack::kShmemCray, 6, {}, 2 << 20, plan);
+  std::vector<int> order;
+  h.run([&] {
+    auto& rt = h.rt();
+    const int me = rt.this_image();
+    const caf::CoLock lck = rt.make_lock();
+    rt.sync_all();
+    if (me == 1) {  // the lock's home just waits out the run
+      EXPECT_EQ(rt.sync_all_stat(), caf::kStatFailedImage);
+      return;
+    }
+    if (me == 2) {
+      rt.lock(lck, 1);
+      order.push_back(me);
+      h.engine().advance(5'000'000);  // hold across the waiter's death
+      rt.unlock(lck, 1);
+      EXPECT_EQ(rt.sync_all_stat(), caf::kStatFailedImage);
+      return;
+    }
+    // Images 3..6 enqueue staggered: 3 first, then 4 (the victim), 5, 6.
+    h.engine().advance(static_cast<sim::Time>(me) * 200'000);
+    const int st = rt.lock_stat(lck, 1);  // image 4 dies blocked in here
+    EXPECT_EQ(st, caf::kStatOk) << "image " << me;
+    order.push_back(me);
+    h.engine().advance(20'000);
+    rt.unlock(lck, 1);
+    EXPECT_EQ(rt.sync_all_stat(), caf::kStatFailedImage);
+  });
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 5, 6}));
+}
+
+// The image that *hosts* the lock variable dies: acquirers fail fast with
+// STAT_FAILED_IMAGE and never acquire; try_lock declines without blocking; a
+// survivor that held the lock when the home died gets STAT_FAILED_IMAGE from
+// unlock and its bookkeeping is cleaned up.
+TEST(LockRecovery, DeadHomeImageFailsFastWithoutAcquiring) {
+  net::FaultPlan plan;
+  plan.kill_pe(1, 1'000'000);  // image 2 hosts the lock
+  Harness h(Stack::kShmemCray, 4, {}, 2 << 20, plan);
+  h.run([&] {
+    auto& rt = h.rt();
+    const int me = rt.this_image();
+    const caf::CoLock lck = rt.make_lock();
+    rt.sync_all();
+    if (me == 2) {
+      for (;;) h.engine().advance(50'000);
+    }
+    if (me == 3) {
+      // Acquire before the home dies; release after.
+      EXPECT_EQ(rt.lock_stat(lck, 2), caf::kStatOk);
+      ASSERT_TRUE(rt.holds_lock(lck, 2));
+      h.engine().advance(2'000'000);
+      EXPECT_EQ(rt.unlock_stat(lck, 2), caf::kStatFailedImage);
+      EXPECT_FALSE(rt.holds_lock(lck, 2));
+    } else {
+      h.engine().advance(2'000'000);
+      EXPECT_EQ(rt.lock_stat(lck, 2), caf::kStatFailedImage);
+      EXPECT_FALSE(rt.holds_lock(lck, 2));
+      EXPECT_FALSE(rt.try_lock(lck, 2));
+      EXPECT_EQ(rt.unlock_stat(lck, 2), caf::kStatUnlocked);
+    }
+    EXPECT_EQ(rt.sync_all_stat(), caf::kStatFailedImage);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// stat= synchronization statements
+// ---------------------------------------------------------------------------
+
+TEST(SyncRecovery, SyncImagesStatSurvivesPartnerDeath) {
+  net::FaultPlan plan;
+  plan.kill_pe(2, 1'000'000);  // image 3
+  Harness h(Stack::kShmemCray, 4, {}, 2 << 20, plan);
+  h.run([&] {
+    auto& rt = h.rt();
+    const int me = rt.this_image();
+    if (me == 3) {
+      for (;;) h.engine().advance(50'000);
+    }
+    if (me == 4) {
+      EXPECT_EQ(rt.sync_all_stat(), caf::kStatFailedImage);
+      return;
+    }
+    const int partner = me == 1 ? 2 : 1;
+    const int pair[] = {partner};
+    EXPECT_EQ(rt.sync_images_stat(pair), caf::kStatOk);
+    h.engine().advance(2'000'000);
+    // A list containing the corpse reports the failure but still
+    // synchronizes the live pair...
+    const int both[] = {partner, 3};
+    EXPECT_EQ(rt.sync_images_stat(both), caf::kStatFailedImage);
+    // ...which the immediately-following live-only sync confirms.
+    EXPECT_EQ(rt.sync_images_stat(pair), caf::kStatOk);
+    EXPECT_EQ(rt.sync_all_stat(), caf::kStatFailedImage);
+  });
+}
+
+// Regression for the event-count underflow: a poster dies after delivering
+// one post; the blocked waiter must wake with STAT_FAILED_IMAGE, and the
+// arrived post must still be queryable/consumable (the count is only
+// consumed by satisfied waits).
+TEST(EventRecovery, WaitStatReportsFailureWithoutUnderflow) {
+  net::FaultPlan plan;
+  plan.kill_pe(1, 1'000'000);  // image 2
+  Harness h(Stack::kShmemCray, 3, {}, 2 << 20, plan);
+  h.run([&] {
+    auto& rt = h.rt();
+    const int me = rt.this_image();
+    const caf::CoEvent ev = rt.make_event();
+    rt.sync_all();
+    if (me == 2) {
+      EXPECT_EQ(rt.event_post_stat(ev, 1), caf::kStatOk);
+      for (;;) h.engine().advance(50'000);  // dies before its second post
+    }
+    if (me == 3) {
+      h.engine().advance(3'000'000);
+      EXPECT_EQ(rt.event_post_stat(ev, 1), caf::kStatOk);
+      EXPECT_EQ(rt.sync_all_stat(), caf::kStatFailedImage);
+      return;
+    }
+    // Image 1: blocked waiting for two posts when only one ever arrives
+    // from the victim; the kill must wake it, not hang it.
+    EXPECT_EQ(rt.event_wait_stat(ev, 2), caf::kStatFailedImage);
+    EXPECT_EQ(rt.event_query(ev), 1);  // the arrived post survived intact
+    // A single-count wait is satisfiable right now and must consume 1.
+    EXPECT_EQ(rt.event_wait_stat(ev, 1), caf::kStatOk);
+    EXPECT_EQ(rt.event_query(ev), 0);
+    // Image 3's late post completes a final wait (event_wait_stat gives up
+    // rather than blocks once an image has failed, so poll for arrival).
+    while (rt.event_query(ev) < 1) h.engine().advance(100'000);
+    EXPECT_EQ(rt.event_wait_stat(ev, 1), caf::kStatOk);
+    EXPECT_EQ(rt.event_query(ev), 0);
+    EXPECT_EQ(rt.sync_all_stat(), caf::kStatFailedImage);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Survivor teams
+// ---------------------------------------------------------------------------
+
+TEST(TeamRecovery, SurvivorTeamFormsSyncsAndReduces) {
+  net::FaultPlan plan;
+  plan.kill_pe(2, 1'000'000);  // image 3
+  Harness h(Stack::kShmemCray, 6, {}, 2 << 20, plan);
+  h.run([&] {
+    auto& rt = h.rt();
+    const int me = rt.this_image();
+    if (me == 3) {
+      for (;;) h.engine().advance(50'000);
+    }
+    h.engine().advance(2'000'000);
+    int st = -1;
+    const caf::Team team = rt.form_team(&st);
+    EXPECT_EQ(st, caf::kStatFailedImage);  // someone is dead...
+    EXPECT_EQ(team.num_images(), 5);       // ...and excluded
+    EXPECT_FALSE(team.contains(3));
+    EXPECT_EQ(team.rank_of(me), me < 3 ? me : me - 1);
+    EXPECT_EQ(rt.team_sync(team), caf::kStatOk);  // no member has failed
+    std::int64_t v = me;
+    EXPECT_EQ(rt.co_sum_team(team, &v, 1), caf::kStatOk);
+    EXPECT_EQ(v, 1 + 2 + 4 + 5 + 6);
+    int payload = me == team.members[0] ? 77 : 0;
+    EXPECT_EQ(rt.team_broadcast_bytes(team, &payload, sizeof payload,
+                                      team.members[0]),
+              caf::kStatOk);
+    EXPECT_EQ(payload, 77);
+    EXPECT_EQ(rt.sync_all_stat(), caf::kStatFailedImage);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: randomized kill schedules
+// ---------------------------------------------------------------------------
+
+class LockRecoveryProperty : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, LockRecoveryProperty,
+                         ::testing::Values(11u, 23u, 47u));
+
+// 12 images hammer one lock for several cycles each while 1-3 of them are
+// killed at seeded-random times (possibly mid-protocol: enqueued, holding,
+// or releasing). Invariants, checked across the whole run:
+//   * mutual exclusion — the critical-section owner cell is only ever taken
+//     over from a clean release or a corpse;
+//   * progress — every survivor completes all of its acquisitions;
+//   * FIFO among survivors — surviving images acquire in enqueue order;
+//   * reclamation is reported at most once per kill.
+TEST_P(LockRecoveryProperty, RandomKillsPreserveExclusionFifoAndProgress) {
+  const std::uint64_t seed = GetParam();
+  constexpr int kImages = 12;
+  constexpr int kCycles = 4;
+  sim::Rng plan_rng(seed);
+  net::FaultPlan plan;
+  const int nkills = 1 + static_cast<int>(plan_rng.below(3));
+  std::vector<bool> victim(kImages + 1, false);
+  for (int k = 0; k < nkills; ++k) {
+    // Never the home image (1): dead-home semantics are covered above.
+    int pe;
+    do {
+      pe = 1 + static_cast<int>(plan_rng.below(kImages - 1));
+    } while (victim[pe + 1]);
+    victim[pe + 1] = true;
+    plan.kill_pe(pe,
+                 500'000 + static_cast<sim::Time>(plan_rng.below(5'000'000)));
+  }
+  Harness h(Stack::kShmemCray, kImages, {}, 2 << 20, plan);
+  int enqueue_seq = 0;
+  std::vector<int> acq_seq;          // enqueue seq, in acquisition order
+  std::vector<bool> acq_by_victim;
+  std::vector<int> completed(kImages + 1, 0);
+  int reclaim_reports = 0;
+  h.run([&] {
+    auto& rt = h.rt();
+    const int me = rt.this_image();
+    const caf::CoLock lck = rt.make_lock();
+    const std::uint64_t owner_off = rt.allocate_coarray_bytes(8);
+    std::memset(rt.local_addr(owner_off), 0, 8);
+    rt.sync_all();
+    sim::Rng rng(seed * 7919 + static_cast<std::uint64_t>(me));
+    for (int c = 0; c < kCycles; ++c) {
+      h.engine().advance(static_cast<sim::Time>(rng.below(400'000)));
+      const int myseq = enqueue_seq++;
+      const int st = rt.lock_stat(lck, 1);
+      ASSERT_TRUE(st == caf::kStatOk || st == caf::kStatFailedImage) << st;
+      ASSERT_TRUE(rt.holds_lock(lck, 1));
+      if (st == caf::kStatFailedImage) ++reclaim_reports;
+      const std::int64_t prev = rt.atomic_swap(1, owner_off, me);
+      ASSERT_TRUE(prev == 0 || rt.image_status(static_cast<int>(prev)) ==
+                                   caf::kStatFailedImage)
+          << "image " << prev << " was still inside the critical section";
+      acq_seq.push_back(myseq);
+      acq_by_victim.push_back(victim[me]);
+      h.engine().advance(static_cast<sim::Time>(10'000 + rng.below(40'000)));
+      ASSERT_EQ(rt.atomic_cas(1, owner_off, me, 0), me);
+      ASSERT_EQ(rt.unlock_stat(lck, 1), caf::kStatOk);
+      ++completed[me];
+    }
+    (void)rt.sync_all_stat();
+  });
+  for (int img = 1; img <= kImages; ++img) {
+    if (!victim[img]) {
+      EXPECT_EQ(completed[img], kCycles) << "image " << img << " stalled";
+    }
+  }
+  EXPECT_LE(reclaim_reports, nkills);
+  int last = -1;
+  for (std::size_t i = 0; i < acq_seq.size(); ++i) {
+    if (acq_by_victim[i]) continue;  // victims may die mid-queue, reordering
+    EXPECT_GT(acq_seq[i], last) << "survivor FIFO violated at acquisition "
+                                << i;
+    last = acq_seq[i];
+  }
+}

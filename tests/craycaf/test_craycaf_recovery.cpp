@@ -1,0 +1,133 @@
+// Failure-recovery tests for the Cray-CAF baseline's centralized ticket
+// lock: dead-holder ticket reclamation (the owner-ring protocol), dead-home
+// fast paths, and the stat= RMA variants.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "craycaf/craycaf.hpp"
+#include "net/fault.hpp"
+
+namespace {
+
+struct FaultHarness {
+  sim::Engine engine{64 * 1024};
+  net::Fabric fabric;
+  net::FaultInjector injector;
+  craycaf::Runtime rt;
+
+  FaultHarness(int images, const net::FaultPlan& plan,
+               std::size_t heap = 2 << 20)
+      : fabric(net::machine_profile(net::Machine::kXC30), images),
+        injector(plan, images, fabric.profile().cores_per_node),
+        rt(engine, fabric, heap) {
+    fabric.set_fault_injector(&injector);
+    injector.arm(engine);
+  }
+
+  void run(std::function<void()> main) {
+    rt.launch(std::move(main));
+    engine.run();
+  }
+};
+
+}  // namespace
+
+TEST(CrayCafRecovery, DeadTicketHolderIsSkippedAndReportedOnce) {
+  net::FaultPlan plan;
+  plan.kill_pe(1, 2'000'000);  // image 2 dies holding the lock
+  FaultHarness h(4, plan);
+  int reclaim_reports = 0;
+  std::vector<int> order;
+  h.run([&] {
+    auto& rt = h.rt;
+    const int me = rt.this_image();
+    const craycaf::CoLock lck = rt.make_lock();
+    const std::uint64_t owner_off = rt.allocate(8);
+    std::memset(rt.local_addr(owner_off), 0, 8);
+    rt.sync_all();
+    if (me == 2) {
+      rt.lock(lck, 1);
+      (void)rt.dmapp().aswap(0, owner_off, 2);
+      for (;;) h.engine.advance(100'000);  // dies inside the critical section
+    }
+    h.engine.advance(500'000);  // queue up behind the doomed holder
+    const int st = rt.lock_stat(lck, 1);
+    EXPECT_TRUE(st == craycaf::kStatOk || st == craycaf::kStatFailedImage)
+        << st;
+    if (st == craycaf::kStatFailedImage) ++reclaim_reports;
+    const auto prev =
+        static_cast<std::int64_t>(rt.dmapp().aswap(0, owner_off, me));
+    EXPECT_TRUE(prev == 0 || prev == 2)  // clean release or the corpse
+        << "image " << prev << " was still inside the critical section";
+    order.push_back(me);
+    h.engine.advance(20'000);
+    (void)rt.dmapp().acswap(0, owner_off, static_cast<std::uint64_t>(me), 0);
+    EXPECT_EQ(rt.unlock_stat(lck, 1), craycaf::kStatOk);
+    // No final sync_all: the vendor barrier has no failed-image semantics
+    // and would hang on the corpse.
+  });
+  EXPECT_EQ(reclaim_reports, 1);  // exactly the CAS winner reports
+  EXPECT_EQ(order.size(), 3u);    // every survivor eventually acquired
+}
+
+TEST(CrayCafRecovery, DeadHomeImageFailsFast) {
+  net::FaultPlan plan;
+  plan.kill_pe(0, 1'000'000);  // image 1 hosts the lock
+  FaultHarness h(3, plan);
+  h.run([&] {
+    auto& rt = h.rt;
+    const int me = rt.this_image();
+    const craycaf::CoLock lck = rt.make_lock();
+    const std::uint64_t off = rt.allocate(8);
+    rt.sync_all();
+    if (me == 1) {
+      for (;;) h.engine.advance(50'000);
+    }
+    if (me == 2) {
+      // Acquire before the home dies; release after.
+      EXPECT_EQ(rt.lock_stat(lck, 1), craycaf::kStatOk);
+      h.engine.advance(2'000'000);
+      EXPECT_EQ(rt.unlock_stat(lck, 1), craycaf::kStatFailedImage);
+      // The held-ticket bookkeeping is gone: a second unlock is a no-op.
+      EXPECT_EQ(rt.unlock_stat(lck, 1), craycaf::kStatUnlocked);
+      return;
+    }
+    h.engine.advance(2'000'000);
+    EXPECT_EQ(rt.image_status(1), craycaf::kStatFailedImage);
+    EXPECT_EQ(rt.lock_stat(lck, 1), craycaf::kStatFailedImage);
+    EXPECT_EQ(rt.unlock_stat(lck, 1), craycaf::kStatUnlocked);
+    std::int64_t v = 7;
+    EXPECT_EQ(rt.put_bytes_stat(1, off, &v, sizeof v),
+              craycaf::kStatFailedImage);
+    std::int64_t g = 0;
+    EXPECT_EQ(rt.get_bytes_stat(&g, 1, off, sizeof g),
+              craycaf::kStatFailedImage);
+  });
+}
+
+TEST(CrayCafRecovery, FaultFreeResilientLockStillMutuallyExcludes) {
+  // Kills armed (so the resilient ring layout is active) but the victim dies
+  // only after all lock traffic is done: the ticket protocol must behave
+  // exactly like the plain one while everyone is alive.
+  net::FaultPlan plan;
+  plan.kill_pe(3, 50'000'000);  // far after the workload
+  FaultHarness h(4, plan);
+  std::vector<int> order;
+  h.run([&] {
+    auto& rt = h.rt;
+    const int me = rt.this_image();
+    const craycaf::CoLock lck = rt.make_lock();
+    rt.sync_all();
+    h.engine.advance(static_cast<sim::Time>(me) * 100'000);
+    EXPECT_EQ(rt.lock_stat(lck, 1), craycaf::kStatOk);
+    order.push_back(me);
+    h.engine.advance(30'000);
+    EXPECT_EQ(rt.unlock_stat(lck, 1), craycaf::kStatOk);
+    if (me != 4) return;  // image 4 is the (late) victim: spin until killed
+    for (;;) h.engine.advance(100'000);
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));  // ticket FIFO
+}

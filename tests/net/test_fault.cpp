@@ -45,6 +45,24 @@ TEST(FaultInjector, SamePlanYieldsIdenticalVerdictStream) {
   EXPECT_GT(a.counters().delayed, 0u);
 }
 
+TEST(FaultInjector, ResetReplaysTheIdenticalVerdictStream) {
+  net::FaultInjector inj(mixed_plan(42), 8, 2);
+  auto drive = [&] {
+    for (int i = 0; i < 5'000; ++i) {
+      (void)inj.judge(i % 8, (i + 3) % 8, 100 * i);
+    }
+    return inj.trace_hash();
+  };
+  const std::uint64_t first = drive();
+  const auto kills_before = inj.kill_time(3);
+  inj.reset();
+  EXPECT_EQ(inj.counters().judged, 0u);
+  EXPECT_EQ(inj.trace_hash(), 0u);
+  // The kill schedule is immutable plan state and survives the rewind.
+  EXPECT_EQ(inj.kill_time(3), kills_before);
+  EXPECT_EQ(drive(), first);
+}
+
 TEST(FaultInjector, DifferentSeedsDiverge) {
   net::FaultInjector a(mixed_plan(1), 4, 2);
   net::FaultInjector b(mixed_plan(2), 4, 2);
