@@ -19,9 +19,11 @@ inline constexpr int kPairWorld = 32;
 /// `bytes` to their partner on node 1, `reps` statements batched between
 /// memory syncs (the microbenchmark's bandwidth mode).
 inline double caf_contig_bw(driver::StackKind kind, net::Machine machine,
-                            std::size_t bytes, int pairs, int reps) {
+                            std::size_t bytes, int pairs, int reps,
+                            caf::RmaOptions rma = {}) {
   caf::Options opts;
   opts.memory_model = caf::MemoryModel::kRelaxed;
+  opts.rma = rma;
   driver::Stack stack(kind, kPairWorld, machine, bytes * 2 + (1 << 20), opts);
   std::vector<sim::Time> elapsed(kPairWorld, 0);
   const std::vector<char> payload(bytes, 'p');
@@ -80,9 +82,11 @@ inline double craycaf_contig_bw(net::Machine machine, std::size_t bytes,
 /// one CAF statement with full CAF completion.
 inline double caf_strided_bw(driver::StackKind kind, net::Machine machine,
                              caf::StridedAlgo algo, std::int64_t stride,
-                             std::int64_t nelems, int pairs) {
+                             std::int64_t nelems, int pairs,
+                             caf::RmaOptions rma = {}) {
   caf::Options opts;
   opts.strided = algo;
+  opts.rma = rma;
   const std::size_t array_bytes =
       static_cast<std::size_t>(stride) * nelems * sizeof(int);
   driver::Stack stack(kind, kPairWorld, machine, array_bytes + (1 << 20),
@@ -98,6 +102,7 @@ inline double caf_strided_bw(driver::StackKind kind, net::Machine machine,
       std::vector<int> src(static_cast<std::size_t>(nelems), 3);
       const sim::Time t0 = sim::Engine::current()->now();
       x.put_section(dst, sec, src.data());
+      rt.sync_memory();  // charge deferred/aggregated modes their flush
       elapsed[me0] = sim::Engine::current()->now() - t0;
     }
     rt.sync_all();
@@ -105,6 +110,46 @@ inline double caf_strided_bw(driver::StackKind kind, net::Machine machine,
   sim::Time worst = 1;
   for (int p = 0; p < pairs; ++p) worst = std::max(worst, elapsed[p]);
   return static_cast<double>(nelems) * sizeof(int) * pairs /
+         (sim::to_sec(worst) * 1e6);
+}
+
+/// Small-message strided put bandwidth: `nmsgs` runs of `run_bytes`
+/// contiguous bytes each, separated by an equal-sized remote gap (so runs
+/// never merge), one CAF statement with full completion. This is the
+/// aggregation ablation's workload: many sub-512B messages to one image.
+inline double caf_smallrun_bw(driver::StackKind kind, net::Machine machine,
+                              caf::StridedAlgo algo, std::size_t run_bytes,
+                              std::int64_t nmsgs, int pairs,
+                              caf::RmaOptions rma = {}) {
+  const std::int64_t run_elems =
+      static_cast<std::int64_t>(run_bytes / sizeof(int));
+  caf::Options opts;
+  opts.strided = algo;
+  opts.rma = rma;
+  const caf::Shape shape{2 * run_elems, nmsgs};
+  driver::Stack stack(kind, kPairWorld, machine,
+                      static_cast<std::size_t>(shape.size()) * sizeof(int) +
+                          (1 << 20),
+                      opts);
+  std::vector<sim::Time> elapsed(kPairWorld, 0);
+  stack.run([&](caf::Runtime& rt) {
+    const int me0 = rt.this_image() - 1;
+    auto x = caf::make_coarray<int>(rt, shape);
+    rt.sync_all();
+    if (me0 < pairs) {
+      const int dst = kPairNodePes + me0 + 1;
+      const caf::Section sec{{1, run_elems, 1}, {1, nmsgs, 1}};
+      std::vector<int> src(static_cast<std::size_t>(run_elems * nmsgs), 3);
+      const sim::Time t0 = sim::Engine::current()->now();
+      x.put_section(dst, sec, src.data());
+      rt.sync_memory();
+      elapsed[me0] = sim::Engine::current()->now() - t0;
+    }
+    rt.sync_all();
+  });
+  sim::Time worst = 1;
+  for (int p = 0; p < pairs; ++p) worst = std::max(worst, elapsed[p]);
+  return static_cast<double>(run_bytes) * nmsgs * pairs /
          (sim::to_sec(worst) * 1e6);
 }
 

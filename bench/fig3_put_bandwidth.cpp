@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "caf_put_bench.hpp"
 
 using namespace bench;
 
@@ -41,6 +42,44 @@ void panel(const char* title, net::Machine machine, int pairs) {
               geomean_ratio(shm, mpi));
 }
 
+/// This PR's pipeline panel: CAF-level strided small-message puts through
+/// the write-combining aggregation stage vs the paper's blocking-put
+/// translation. Each message is one contiguous run of `bytes`, 256 runs per
+/// statement, non-adjacent on the remote side.
+void aggregation_panel(const char* title, net::Machine machine, int pairs) {
+  const driver::StackKind kind = machine == net::Machine::kStampede
+                                     ? driver::StackKind::kShmemMvapich
+                                     : driver::StackKind::kShmemCray;
+  std::printf("\n-- %s --\n", title);
+  print_series_header("bytes/msg",
+                      {"CAF blocking (MB/s)", "CAF nbi (MB/s)",
+                       "CAF aggregated (MB/s)"});
+  caf::RmaOptions nbi;
+  nbi.completion = caf::CompletionMode::kDeferred;
+  caf::RmaOptions agg = nbi;
+  agg.write_combining = true;
+  std::vector<double> blocking, deferred, aggregated;
+  for (std::size_t bytes : {std::size_t{16}, std::size_t{64},
+                            std::size_t{128}, std::size_t{256},
+                            std::size_t{512}}) {
+    const double b = caf_smallrun_bw(kind, machine, caf::StridedAlgo::kNaive,
+                                     bytes, 256, pairs);
+    const double n = caf_smallrun_bw(kind, machine, caf::StridedAlgo::kNaive,
+                                     bytes, 256, pairs, nbi);
+    const double a =
+        caf_smallrun_bw(kind, machine, caf::StridedAlgo::kAggregate, bytes,
+                        256, pairs, agg);
+    blocking.push_back(b);
+    deferred.push_back(n);
+    aggregated.push_back(a);
+    print_row(static_cast<double>(bytes), {b, n, a});
+  }
+  std::printf("summary: aggregated/blocking bandwidth (geomean) = %.2fx\n",
+              geomean_ratio(aggregated, blocking));
+  std::printf("summary: nbi/blocking bandwidth (geomean)        = %.2fx\n",
+              geomean_ratio(deferred, blocking));
+}
+
 }  // namespace
 
 int main() {
@@ -49,5 +88,9 @@ int main() {
   panel("(b) Stampede: 16 pairs", net::Machine::kStampede, 16);
   panel("(c) Titan: 1 pair", net::Machine::kTitan, 1);
   panel("(d) Titan: 16 pairs", net::Machine::kTitan, 16);
+  aggregation_panel("(e) Stampede: CAF small strided puts, 1 pair",
+                    net::Machine::kStampede, 1);
+  aggregation_panel("(f) Titan: CAF small strided puts, 1 pair",
+                    net::Machine::kTitan, 1);
   return 0;
 }

@@ -39,9 +39,12 @@ void strided_panel(const char* title, int pairs) {
   std::printf("\n-- %s --\n", title);
   print_series_header("stride(ints)",
                       {"Cray-CAF (MB/s)", "UHCAF-naive (MB/s)",
-                       "UHCAF-2dim (MB/s)"});
+                       "UHCAF-2dim (MB/s)", "UHCAF-agg (MB/s)"});
   const std::int64_t nelems = 1024;
-  std::vector<double> cray, naive, twodim;
+  caf::RmaOptions agg;
+  agg.completion = caf::CompletionMode::kDeferred;
+  agg.write_combining = true;
+  std::vector<double> cray, naive, twodim, aggregated;
   for (std::int64_t stride : {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
     const double c = craycaf_strided_bw(net::Machine::kXC30, stride, nelems, pairs);
     const double n =
@@ -50,15 +53,22 @@ void strided_panel(const char* title, int pairs) {
     const double t =
         caf_strided_bw(driver::StackKind::kShmemCray, net::Machine::kXC30,
                        caf::StridedAlgo::kTwoDim, stride, nelems, pairs);
+    const double a =
+        caf_strided_bw(driver::StackKind::kShmemCray, net::Machine::kXC30,
+                       caf::StridedAlgo::kAggregate, stride, nelems, pairs,
+                       agg);
     cray.push_back(c);
     naive.push_back(n);
     twodim.push_back(t);
-    print_row(static_cast<double>(stride), {c, n, t});
+    aggregated.push_back(a);
+    print_row(static_cast<double>(stride), {c, n, t, a});
   }
   std::printf("summary: 2dim_strided vs Cray-CAF  = %.1fx\n",
               geomean_ratio(twodim, cray));
   std::printf("summary: 2dim_strided vs naive     = %.1fx\n",
               geomean_ratio(twodim, naive));
+  std::printf("summary: aggregated vs naive       = %.1fx\n",
+              geomean_ratio(aggregated, naive));
 }
 
 }  // namespace

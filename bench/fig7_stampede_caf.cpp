@@ -42,9 +42,12 @@ void strided_panel(const char* title, int pairs) {
   std::printf("\n-- %s --\n", title);
   print_series_header("stride(ints)",
                       {"UHCAF-GASNet (MB/s)", "UHCAF-MV2X-naive (MB/s)",
-                       "UHCAF-MV2X-2dim (MB/s)"});
+                       "UHCAF-MV2X-2dim (MB/s)", "UHCAF-MV2X-agg (MB/s)"});
   const std::int64_t nelems = 1024;
-  std::vector<double> gas, naive, twodim;
+  caf::RmaOptions agg;
+  agg.completion = caf::CompletionMode::kDeferred;
+  agg.write_combining = true;
+  std::vector<double> gas, naive, twodim, aggregated;
   for (std::int64_t stride : {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
     const double g =
         caf_strided_bw(driver::StackKind::kGasnet, net::Machine::kStampede,
@@ -57,15 +60,22 @@ void strided_panel(const char* title, int pairs) {
         caf_strided_bw(driver::StackKind::kShmemMvapich,
                        net::Machine::kStampede, caf::StridedAlgo::kTwoDim,
                        stride, nelems, pairs);
+    const double a =
+        caf_strided_bw(driver::StackKind::kShmemMvapich,
+                       net::Machine::kStampede, caf::StridedAlgo::kAggregate,
+                       stride, nelems, pairs, agg);
     gas.push_back(g);
     naive.push_back(n);
     twodim.push_back(t);
-    print_row(static_cast<double>(stride), {g, n, t});
+    aggregated.push_back(a);
+    print_row(static_cast<double>(stride), {g, n, t, a});
   }
   std::printf("summary: naive vs 2dim on MVAPICH2-X (should be ~1.0x) = %.2fx\n",
               geomean_ratio(naive, twodim));
   std::printf("summary: MV2X-SHMEM naive vs GASNet naive = %.2fx\n",
               geomean_ratio(naive, gas));
+  std::printf("summary: aggregated vs naive              = %.2fx\n",
+              geomean_ratio(aggregated, naive));
 }
 
 }  // namespace

@@ -23,8 +23,11 @@ apps::dht::Config dht_config() {
   return cfg;
 }
 
-sim::Time run_uhcaf(driver::StackKind kind, int images) {
-  driver::Stack stack(kind, images, net::Machine::kTitan, 2 << 20);
+sim::Time run_uhcaf(driver::StackKind kind, int images,
+                    caf::RmaOptions rma = {}) {
+  caf::Options opts;
+  opts.rma = rma;
+  driver::Stack stack(kind, images, net::Machine::kTitan, 2 << 20, opts);
   return stack.run([&](caf::Runtime& rt) {
     auto table = apps::dht::make_caf_table(rt, dht_config());
     rt.sync_all();
@@ -54,17 +57,24 @@ int main() {
   std::printf("%d random locked updates per image\n\n",
               dht_config().updates_per_image);
   bench::print_series_header(
-      "images", {"Cray-CAF (ms)", "UHCAF-GASNet (ms)", "UHCAF-Cray-SHMEM (ms)"});
-  std::vector<double> cray, gasnet, shmem;
+      "images", {"Cray-CAF (ms)", "UHCAF-GASNet (ms)", "UHCAF-Cray-SHMEM (ms)",
+                 "UHCAF-Cray-nbi (ms)"});
+  caf::RmaOptions nbi;
+  nbi.completion = caf::CompletionMode::kDeferred;
+  nbi.write_combining = true;
+  std::vector<double> cray, gasnet, shmem, pipelined;
   for (int images : {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
     const double c = sim::to_ms(run_craycaf(images));
     const double g = sim::to_ms(run_uhcaf(driver::StackKind::kGasnet, images));
     const double s =
         sim::to_ms(run_uhcaf(driver::StackKind::kShmemCray, images));
+    const double d =
+        sim::to_ms(run_uhcaf(driver::StackKind::kShmemCray, images, nbi));
     cray.push_back(c);
     gasnet.push_back(g);
     shmem.push_back(s);
-    bench::print_row(images, {c, g, s}, "%22.3f");
+    pipelined.push_back(d);
+    bench::print_row(images, {c, g, s, d}, "%22.3f");
   }
   std::printf("\nsummary: UHCAF-Cray-SHMEM faster than Cray-CAF by %.0f%% "
               "(geomean)\n",
@@ -72,5 +82,8 @@ int main() {
   std::printf("summary: UHCAF-Cray-SHMEM faster than UHCAF-GASNet by %.0f%% "
               "(geomean)\n",
               (bench::geomean_ratio(gasnet, shmem) - 1.0) * 100.0);
+  std::printf("summary: nbi pipeline vs eager UHCAF-Cray-SHMEM = %.1f%% "
+              "(geomean)\n",
+              (bench::geomean_ratio(shmem, pipelined) - 1.0) * 100.0);
   return 0;
 }

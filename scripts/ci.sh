@@ -23,4 +23,20 @@ ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1} \
 UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1} \
   ctest --test-dir build-sanitize -L faults --output-on-failure -j "$JOBS"
 
+echo "=== Bench smoke: RMA pipeline ==="
+# Exercise the put-bandwidth harness (including the CAF aggregation panels)
+# and the pipeline ablation, and publish the ablation series as a CI
+# artifact. The DES clock makes the numbers deterministic, so the JSON
+# doubles as a regression record for the aggregated/blocking ratio.
+./build-release/bench/fig3_put_bandwidth > /dev/null
+./build-release/bench/ablate_agg --json BENCH_rma.json
+python3 - <<'EOF'
+import json
+with open("BENCH_rma.json") as f:
+    data = json.load(f)
+ratio = data["agg_vs_blocking_geomean"]
+assert ratio >= 2.0, f"aggregation speedup regressed: {ratio:.2f}x < 2x"
+print(f"bench smoke ok: aggregated/blocking geomean = {ratio:.2f}x")
+EOF
+
 echo "=== CI passed ==="

@@ -87,6 +87,12 @@ void World::nb_put(int proc, std::uint64_t dst_off, const void* src,
   domain_->put(proc, dst_off, src, n, /*pipelined=*/true);
 }
 
+void World::putv(int proc, const fabric::ScatterRec* recs, std::size_t nrecs,
+                 const void* payload, std::size_t payload_bytes) {
+  domain_->put_scatter(proc, recs, nrecs, payload, payload_bytes,
+                       /*pipelined=*/true);
+}
+
 void World::get(void* dst, int proc, std::uint64_t src_off, std::size_t n) {
   domain_->get(dst, proc, src_off, n);
 }

@@ -71,6 +71,11 @@ class World {
   void nb_put(int proc, std::uint64_t dst_off, const void* src, std::size_t n);
   void get(void* dst, int proc, std::uint64_t src_off, std::size_t n);
 
+  /// ARMCI_PutV: vectored put. The descriptor list and packed payload move
+  /// as ONE pipelined message; completion via fence/all_fence.
+  void putv(int proc, const fabric::ScatterRec* recs, std::size_t nrecs,
+            const void* payload, std::size_t payload_bytes);
+
   // ---- strided (ARMCI_PutS / ARMCI_GetS) ----
   /// Moves the N-d patch described by `d` from local memory at `src` into
   /// `proc`'s segment at dst_off. The library walks the contiguous runs and

@@ -48,42 +48,6 @@ class ArmciConduit final : public Conduit {
     world_.free_collective(offset);
   }
 
-  void put(int rank, std::uint64_t dst_off, const void* src, std::size_t n,
-           bool nbi) override {
-    if (nbi) {
-      world_.nb_put(rank, dst_off, src, n);
-    } else {
-      world_.put(rank, dst_off, src, n);
-    }
-  }
-  void get(void* dst, int rank, std::uint64_t src_off, std::size_t n) override {
-    world_.get(dst, rank, src_off, n);
-  }
-
-  void iput(int rank, std::uint64_t dst_off, std::ptrdiff_t dst_stride,
-            const void* src, std::ptrdiff_t src_stride, std::size_t elem_bytes,
-            std::size_t nelems) override {
-    armci::StridedDesc d;
-    d.stride_levels = 1;
-    d.counts[0] = static_cast<std::int64_t>(elem_bytes);
-    d.counts[1] = static_cast<std::int64_t>(nelems);
-    d.src_strides[0] = src_stride * static_cast<std::ptrdiff_t>(elem_bytes);
-    d.dst_strides[0] = dst_stride * static_cast<std::ptrdiff_t>(elem_bytes);
-    world_.puts(rank, dst_off, src, d);
-  }
-  void iget(void* dst, std::ptrdiff_t dst_stride, int rank,
-            std::uint64_t src_off, std::ptrdiff_t src_stride,
-            std::size_t elem_bytes, std::size_t nelems) override {
-    armci::StridedDesc d;
-    d.stride_levels = 1;
-    d.counts[0] = static_cast<std::int64_t>(elem_bytes);
-    d.counts[1] = static_cast<std::int64_t>(nelems);
-    d.src_strides[0] = src_stride * static_cast<std::ptrdiff_t>(elem_bytes);
-    d.dst_strides[0] = dst_stride * static_cast<std::ptrdiff_t>(elem_bytes);
-    world_.gets(dst, rank, src_off, d);
-  }
-  void quiet() override { world_.all_fence(); }
-
   void poke(int rank, std::uint64_t off, const void* src, std::size_t n,
             sim::Time t) override {
     world_.domain().poke(rank, off, src, n, t);
@@ -116,6 +80,48 @@ class ArmciConduit final : public Conduit {
   void barrier() override { world_.barrier(); }
 
   armci::World& world() { return world_; }
+
+ protected:
+  void do_put(int rank, std::uint64_t dst_off, const void* src, std::size_t n,
+              bool nbi) override {
+    if (nbi) {
+      world_.nb_put(rank, dst_off, src, n);
+    } else {
+      world_.put(rank, dst_off, src, n);
+    }
+  }
+  void do_get(void* dst, int rank, std::uint64_t src_off,
+              std::size_t n) override {
+    world_.get(dst, rank, src_off, n);
+  }
+  void do_iput(int rank, std::uint64_t dst_off, std::ptrdiff_t dst_stride,
+               const void* src, std::ptrdiff_t src_stride,
+               std::size_t elem_bytes, std::size_t nelems) override {
+    armci::StridedDesc d;
+    d.stride_levels = 1;
+    d.counts[0] = static_cast<std::int64_t>(elem_bytes);
+    d.counts[1] = static_cast<std::int64_t>(nelems);
+    d.src_strides[0] = src_stride * static_cast<std::ptrdiff_t>(elem_bytes);
+    d.dst_strides[0] = dst_stride * static_cast<std::ptrdiff_t>(elem_bytes);
+    world_.puts(rank, dst_off, src, d);
+  }
+  void do_iget(void* dst, std::ptrdiff_t dst_stride, int rank,
+               std::uint64_t src_off, std::ptrdiff_t src_stride,
+               std::size_t elem_bytes, std::size_t nelems) override {
+    armci::StridedDesc d;
+    d.stride_levels = 1;
+    d.counts[0] = static_cast<std::int64_t>(elem_bytes);
+    d.counts[1] = static_cast<std::int64_t>(nelems);
+    d.src_strides[0] = src_stride * static_cast<std::ptrdiff_t>(elem_bytes);
+    d.dst_strides[0] = dst_stride * static_cast<std::ptrdiff_t>(elem_bytes);
+    world_.gets(dst, rank, src_off, d);
+  }
+  void do_put_scatter(int rank, const fabric::ScatterRec* recs,
+                      std::size_t nrecs, const void* payload,
+                      std::size_t payload_bytes) override {
+    world_.putv(rank, recs, nrecs, payload, payload_bytes);
+  }
+  void do_quiet() override { world_.all_fence(); }
 
  private:
   /// Generic mutex-protected read-modify-write for the ops ARMCI_Rmw lacks.

@@ -17,11 +17,20 @@
 //
 // All offsets are into the conduit's symmetric segment; CAF image indices
 // here are 0-based ranks (the Runtime converts to CAF's 1-based images).
+//
+// The public RMA entry points (put/iput/put_scatter/quiet/...) are
+// NON-virtual fronts over protected do_* hooks: the base class maintains a
+// per-issuing-rank outstanding-put tracker so quiet() is elided (a cheap
+// no-op, no conduit call) when nothing is in flight. This is the
+// "deferred-quiet completion tracking" half of the nonblocking RMA pipeline;
+// the runtime's aggregation buffer sits above it.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
+#include "fabric/domain.hpp"  // fabric::ScatterRec
 #include "net/model.hpp"
 #include "shmem/world.hpp"  // for shmem::Cmp / ReduceOp enums reused here
 
@@ -29,6 +38,14 @@ namespace caf {
 
 using Cmp = shmem::Cmp;
 using ReduceOp = shmem::ReduceOp;
+
+/// Per-issuing-rank observability counters for the RMA pipeline.
+struct RmaTelemetry {
+  std::uint64_t tracked_puts = 0;   ///< puts/iputs/scatters issued
+  std::uint64_t scatter_msgs = 0;   ///< write-combined messages issued
+  std::uint64_t quiet_calls = 0;    ///< quiet() front invocations
+  std::uint64_t quiet_elided = 0;   ///< quiets satisfied by the dirty flag
+};
 
 class Conduit {
  public:
@@ -68,20 +85,60 @@ class Conduit {
   virtual std::uint64_t allocate(std::size_t bytes) = 0;
   virtual void deallocate(std::uint64_t offset) = 0;
 
-  // ---- one-sided RMA ----
-  virtual void put(int rank, std::uint64_t dst_off, const void* src,
-                   std::size_t n, bool nbi) = 0;
-  virtual void get(void* dst, int rank, std::uint64_t src_off,
-                   std::size_t n) = 0;
+  // ---- one-sided RMA (non-virtual fronts over do_* hooks) ----
+  void put(int rank, std::uint64_t dst_off, const void* src, std::size_t n,
+           bool nbi) {
+    note_put(rank);
+    do_put(rank, dst_off, src, n, nbi);
+  }
+  void get(void* dst, int rank, std::uint64_t src_off, std::size_t n) {
+    do_get(dst, rank, src_off, n);
+  }
   /// 1-D strided put/get; strides in elements (shmem_iput conventions).
-  virtual void iput(int rank, std::uint64_t dst_off, std::ptrdiff_t dst_stride,
-                    const void* src, std::ptrdiff_t src_stride,
-                    std::size_t elem_bytes, std::size_t nelems) = 0;
-  virtual void iget(void* dst, std::ptrdiff_t dst_stride, int rank,
-                    std::uint64_t src_off, std::ptrdiff_t src_stride,
-                    std::size_t elem_bytes, std::size_t nelems) = 0;
-  /// Remote completion of all outstanding puts/AMOs from this rank.
-  virtual void quiet() = 0;
+  void iput(int rank, std::uint64_t dst_off, std::ptrdiff_t dst_stride,
+            const void* src, std::ptrdiff_t src_stride, std::size_t elem_bytes,
+            std::size_t nelems) {
+    note_put(rank);
+    do_iput(rank, dst_off, dst_stride, src, src_stride, elem_bytes, nelems);
+  }
+  void iget(void* dst, std::ptrdiff_t dst_stride, int rank,
+            std::uint64_t src_off, std::ptrdiff_t src_stride,
+            std::size_t elem_bytes, std::size_t nelems) {
+    do_iget(dst, dst_stride, rank, src_off, src_stride, elem_bytes, nelems);
+  }
+  /// Vectored (write-combining) put: packed payload + per-record headers as
+  /// one nbi message, scattered at the target. Completion via quiet().
+  void put_scatter(int rank, const fabric::ScatterRec* recs, std::size_t nrecs,
+                   const void* payload, std::size_t payload_bytes) {
+    Tracker& t = note_put(rank);
+    ++t.tele.scatter_msgs;
+    do_put_scatter(rank, recs, nrecs, payload, payload_bytes);
+  }
+  /// Remote completion of all outstanding puts from this rank. Elided (no
+  /// conduit call at all) when the tracker shows nothing in flight — the
+  /// "cheap no-op" half of deferred-quiet.
+  void quiet() {
+    Tracker& t = tracker();
+    ++t.tele.quiet_calls;
+    if (t.dirty_list.empty()) {
+      ++t.tele.quiet_elided;
+      return;
+    }
+    do_quiet();
+    for (int r : t.dirty_list) t.dirty[static_cast<std::size_t>(r)] = 0;
+    t.dirty_list.clear();
+  }
+
+  /// True when this rank has issued puts to `target` not yet covered by a
+  /// quiet().
+  bool pending(int target) {
+    Tracker& t = tracker();
+    return t.dirty[static_cast<std::size_t>(target)] != 0;
+  }
+  /// True when any put from this rank is outstanding.
+  bool pending_any() { return !tracker().dirty_list.empty(); }
+  /// This rank's pipeline counters.
+  const RmaTelemetry& telemetry() { return tracker().tele; }
 
   // ---- 64-bit remote atomics ----
   virtual std::int64_t amo_swap(int rank, std::uint64_t off,
@@ -112,6 +169,62 @@ class Conduit {
                                  ReduceOp /*op*/) {}
   virtual void native_reduce_i64(std::uint64_t /*off*/, std::size_t /*nelems*/,
                                  ReduceOp /*op*/) {}
+
+ protected:
+  // ---- RMA hooks implemented by each conduit ----
+  virtual void do_put(int rank, std::uint64_t dst_off, const void* src,
+                      std::size_t n, bool nbi) = 0;
+  virtual void do_get(void* dst, int rank, std::uint64_t src_off,
+                      std::size_t n) = 0;
+  virtual void do_iput(int rank, std::uint64_t dst_off,
+                       std::ptrdiff_t dst_stride, const void* src,
+                       std::ptrdiff_t src_stride, std::size_t elem_bytes,
+                       std::size_t nelems) = 0;
+  virtual void do_iget(void* dst, std::ptrdiff_t dst_stride, int rank,
+                       std::uint64_t src_off, std::ptrdiff_t src_stride,
+                       std::size_t elem_bytes, std::size_t nelems) = 0;
+  /// Default: record-at-a-time nbi puts (no wire-level combining). Conduits
+  /// with a vectored native call (shmemx scatter, GASNet access regions,
+  /// ARMCI_PutV, MPI datatypes) override for one-message delivery.
+  virtual void do_put_scatter(int rank, const fabric::ScatterRec* recs,
+                              std::size_t nrecs, const void* payload,
+                              std::size_t payload_bytes) {
+    const auto* p = static_cast<const std::byte*>(payload);
+    for (std::size_t i = 0; i < nrecs; ++i) {
+      do_put(rank, recs[i].dst_off, p + recs[i].payload_off, recs[i].len,
+             /*nbi=*/true);
+    }
+    (void)payload_bytes;
+  }
+  virtual void do_quiet() = 0;
+
+ private:
+  /// Per-issuing-rank dirty-target tracking. All images share one Conduit
+  /// object per stack, so state is keyed by the calling fiber's rank.
+  struct Tracker {
+    std::vector<std::uint8_t> dirty;  ///< dirty[target] != 0 → puts in flight
+    std::vector<int> dirty_list;      ///< targets with the flag set
+    RmaTelemetry tele;
+  };
+
+  Tracker& tracker() {
+    if (trk_.empty()) trk_.resize(static_cast<std::size_t>(nranks()));
+    Tracker& t = trk_[static_cast<std::size_t>(rank())];
+    if (t.dirty.empty()) t.dirty.assign(static_cast<std::size_t>(nranks()), 0);
+    return t;
+  }
+
+  Tracker& note_put(int target) {
+    Tracker& t = tracker();
+    ++t.tele.tracked_puts;
+    if (!t.dirty[static_cast<std::size_t>(target)]) {
+      t.dirty[static_cast<std::size_t>(target)] = 1;
+      t.dirty_list.push_back(target);
+    }
+    return t;
+  }
+
+  std::vector<Tracker> trk_;
 };
 
 }  // namespace caf

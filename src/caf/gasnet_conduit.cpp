@@ -102,7 +102,7 @@ void GasnetConduit::deallocate(std::uint64_t offset) {
   world_.barrier();
 }
 
-void GasnetConduit::iput(int rank, std::uint64_t dst_off,
+void GasnetConduit::do_iput(int rank, std::uint64_t dst_off,
                          std::ptrdiff_t dst_stride, const void* src,
                          std::ptrdiff_t src_stride, std::size_t elem_bytes,
                          std::size_t nelems) {
@@ -118,7 +118,7 @@ void GasnetConduit::iput(int rank, std::uint64_t dst_off,
   }
 }
 
-void GasnetConduit::iget(void* dst, std::ptrdiff_t dst_stride, int rank,
+void GasnetConduit::do_iget(void* dst, std::ptrdiff_t dst_stride, int rank,
                          std::uint64_t src_off, std::ptrdiff_t src_stride,
                          std::size_t elem_bytes, std::size_t nelems) {
   auto* d = static_cast<std::byte*>(dst);

@@ -37,30 +37,6 @@ class GasnetConduit final : public Conduit {
   std::uint64_t allocate(std::size_t bytes) override;
   void deallocate(std::uint64_t offset) override;
 
-  void put(int rank, std::uint64_t dst_off, const void* src, std::size_t n,
-           bool nbi) override {
-    if (nbi) {
-      world_.put_nbi(rank, dst_off, src, n);
-    } else {
-      // UHCAF-over-GASNet uses nbi puts for RMA and syncs at fences; the
-      // blocking flavour here still has only local-completion semantics to
-      // match the SHMEM conduit's putmem (CAF inserts quiet itself).
-      world_.put_nbi(rank, dst_off, src, n);
-      // Charge the blocking call's extra bookkeeping.
-      world_.engine().advance(sw().put_overhead - sw().per_msg_gap);
-    }
-  }
-  void get(void* dst, int rank, std::uint64_t src_off, std::size_t n) override {
-    world_.get(dst, rank, src_off, n);
-  }
-  void iput(int rank, std::uint64_t dst_off, std::ptrdiff_t dst_stride,
-            const void* src, std::ptrdiff_t src_stride, std::size_t elem_bytes,
-            std::size_t nelems) override;
-  void iget(void* dst, std::ptrdiff_t dst_stride, int rank,
-            std::uint64_t src_off, std::ptrdiff_t src_stride,
-            std::size_t elem_bytes, std::size_t nelems) override;
-  void quiet() override { world_.wait_syncnbi_puts(); }
-
   void poke(int rank, std::uint64_t off, const void* src, std::size_t n,
             sim::Time t) override {
     world_.domain().poke(rank, off, src, n, t);
@@ -90,6 +66,37 @@ class GasnetConduit final : public Conduit {
   void barrier() override { world_.barrier(); }
 
   gasnet::World& world() { return world_; }
+
+ protected:
+  void do_put(int rank, std::uint64_t dst_off, const void* src, std::size_t n,
+              bool nbi) override {
+    if (nbi) {
+      world_.put_nbi(rank, dst_off, src, n);
+    } else {
+      // UHCAF-over-GASNet uses nbi puts for RMA and syncs at fences; the
+      // blocking flavour here still has only local-completion semantics to
+      // match the SHMEM conduit's putmem (CAF inserts quiet itself).
+      world_.put_nbi(rank, dst_off, src, n);
+      // Charge the blocking call's extra bookkeeping.
+      world_.engine().advance(sw().put_overhead - sw().per_msg_gap);
+    }
+  }
+  void do_get(void* dst, int rank, std::uint64_t src_off,
+              std::size_t n) override {
+    world_.get(dst, rank, src_off, n);
+  }
+  void do_iput(int rank, std::uint64_t dst_off, std::ptrdiff_t dst_stride,
+               const void* src, std::ptrdiff_t src_stride,
+               std::size_t elem_bytes, std::size_t nelems) override;
+  void do_iget(void* dst, std::ptrdiff_t dst_stride, int rank,
+               std::uint64_t src_off, std::ptrdiff_t src_stride,
+               std::size_t elem_bytes, std::size_t nelems) override;
+  void do_put_scatter(int rank, const fabric::ScatterRec* recs,
+                      std::size_t nrecs, const void* payload,
+                      std::size_t payload_bytes) override {
+    world_.put_scatter_nbi(rank, recs, nrecs, payload, payload_bytes);
+  }
+  void do_quiet() override { world_.wait_syncnbi_puts(); }
 
  private:
   enum AmoKind : std::uint64_t { kSwap, kCswap, kAdd, kAnd, kOr, kXor };

@@ -40,42 +40,6 @@ class Mpi3Conduit final : public Conduit {
     win_.free_collective(offset);
   }
 
-  void put(int rank, std::uint64_t dst_off, const void* src, std::size_t n,
-           bool /*nbi*/) override {
-    // MPI_Put is always "nbi" (origin completion at flush); the simulated
-    // Window charges the blocking-issue overhead either way, matching the
-    // per-op software cost Figure 2 measures.
-    win_.put(src, n, rank, dst_off);
-  }
-  void get(void* dst, int rank, std::uint64_t src_off, std::size_t n) override {
-    win_.get(dst, n, rank, src_off);
-  }
-  void iput(int rank, std::uint64_t dst_off, std::ptrdiff_t dst_stride,
-            const void* src, std::ptrdiff_t src_stride, std::size_t elem_bytes,
-            std::size_t nelems) override {
-    const auto* s = static_cast<const std::byte*>(src);
-    for (std::size_t i = 0; i < nelems; ++i) {
-      win_.put(s + static_cast<std::ptrdiff_t>(i) * src_stride *
-                       static_cast<std::ptrdiff_t>(elem_bytes),
-               elem_bytes, rank,
-               dst_off + i * static_cast<std::uint64_t>(dst_stride) *
-                             elem_bytes);
-    }
-  }
-  void iget(void* dst, std::ptrdiff_t dst_stride, int rank,
-            std::uint64_t src_off, std::ptrdiff_t src_stride,
-            std::size_t elem_bytes, std::size_t nelems) override {
-    auto* d = static_cast<std::byte*>(dst);
-    for (std::size_t i = 0; i < nelems; ++i) {
-      win_.get(d + static_cast<std::ptrdiff_t>(i) * dst_stride *
-                       static_cast<std::ptrdiff_t>(elem_bytes),
-               elem_bytes, rank,
-               src_off + i * static_cast<std::uint64_t>(src_stride) *
-                             elem_bytes);
-    }
-  }
-  void quiet() override { win_.flush_all(); }
-
   void poke(int rank, std::uint64_t off, const void* src, std::size_t n,
             sim::Time t) override {
     win_.domain().poke(rank, off, src, n, t);
@@ -117,6 +81,49 @@ class Mpi3Conduit final : public Conduit {
   void barrier() override { win_.barrier(); }
 
   mpi3::Window& window() { return win_; }
+
+ protected:
+  void do_put(int rank, std::uint64_t dst_off, const void* src, std::size_t n,
+              bool /*nbi*/) override {
+    // MPI_Put is always "nbi" (origin completion at flush); the simulated
+    // Window charges the blocking-issue overhead either way, matching the
+    // per-op software cost Figure 2 measures.
+    win_.put(src, n, rank, dst_off);
+  }
+  void do_get(void* dst, int rank, std::uint64_t src_off,
+              std::size_t n) override {
+    win_.get(dst, n, rank, src_off);
+  }
+  void do_iput(int rank, std::uint64_t dst_off, std::ptrdiff_t dst_stride,
+               const void* src, std::ptrdiff_t src_stride,
+               std::size_t elem_bytes, std::size_t nelems) override {
+    const auto* s = static_cast<const std::byte*>(src);
+    for (std::size_t i = 0; i < nelems; ++i) {
+      win_.put(s + static_cast<std::ptrdiff_t>(i) * src_stride *
+                       static_cast<std::ptrdiff_t>(elem_bytes),
+               elem_bytes, rank,
+               dst_off + i * static_cast<std::uint64_t>(dst_stride) *
+                             elem_bytes);
+    }
+  }
+  void do_iget(void* dst, std::ptrdiff_t dst_stride, int rank,
+               std::uint64_t src_off, std::ptrdiff_t src_stride,
+               std::size_t elem_bytes, std::size_t nelems) override {
+    auto* d = static_cast<std::byte*>(dst);
+    for (std::size_t i = 0; i < nelems; ++i) {
+      win_.get(d + static_cast<std::ptrdiff_t>(i) * dst_stride *
+                       static_cast<std::ptrdiff_t>(elem_bytes),
+               elem_bytes, rank,
+               src_off + i * static_cast<std::uint64_t>(src_stride) *
+                             elem_bytes);
+    }
+  }
+  void do_put_scatter(int rank, const fabric::ScatterRec* recs,
+                      std::size_t nrecs, const void* payload,
+                      std::size_t payload_bytes) override {
+    win_.put_scatter(recs, nrecs, payload, payload_bytes, rank);
+  }
+  void do_quiet() override { win_.flush_all(); }
 
  private:
   mpi3::Window& win_;

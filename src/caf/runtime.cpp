@@ -72,6 +72,13 @@ void Runtime::init() {
   st.slab = std::make_unique<shmem::FreeListAllocator>(
       slab_off_, opts_.nonsym_slab_bytes);
   inited_ = true;
+  if (opts_.rma.write_combining) {
+    // Carve the per-image write-combining chunk out of the managed slab so
+    // staged payloads live in registered (remotely-accessible) memory, like
+    // the bounce buffers a real runtime would register with the NIC.
+    st.agg_chunk = nonsym_alloc(opts_.rma.agg_chunk_bytes);
+    st.agg_recs.reserve(64);
+  }
   conduit_.barrier();
 }
 
@@ -84,7 +91,7 @@ void Runtime::sync_all() {
   ++per_image_[me()].stats.syncs;
   // sync all implies completion of this image's outstanding RMA followed by
   // a global barrier (§IV-B + Table II: sync all → shmem_barrier_all).
-  conduit_.quiet();
+  rma_fence();
   conduit_.barrier();
 }
 
@@ -144,7 +151,7 @@ bool Runtime::wait_fault(std::uint64_t off, Cmp cmp, std::int64_t value) {
 void Runtime::sync_images(std::span<const int> images) {
   require_init();
   ++per_image_[me()].stats.syncs;
-  conduit_.quiet();
+  rma_fence();
   auto& st = per_image_[me()];
   for (int image : images) {
     const int partner = image - 1;
@@ -182,8 +189,12 @@ int Runtime::sync_images_stat(std::span<const int> images) {
   auto& st = per_image_[me()];
   ++st.stats.syncs;
   sim::Engine& eng = conduit_.engine();
-  conduit_.quiet();
   bool any_failed = false;
+  try {
+    rma_fence();
+  } catch (const fabric::PeerFailedError&) {
+    any_failed = true;  // a staged/in-flight put's target died
+  }
   for (int image : images) {
     const int partner = image - 1;
     ++st.sync_sent[partner];
@@ -291,7 +302,12 @@ int Runtime::sync_all_stat() {
   auto& st = per_image_[me()];
   ++st.stats.syncs;
   sim::Engine& eng = conduit_.engine();
-  conduit_.quiet();
+  bool fence_failed = false;
+  try {
+    rma_fence();
+  } catch (const fabric::PeerFailedError&) {
+    fence_failed = true;  // a staged/in-flight put's target died
+  }
   // Counter-based barrier (a failed peer would wedge the conduit's native
   // barrier): round r completes when every live image bumped my slot to r.
   // A dead image's slot reads as kFailedSentinel (>= any round) instead.
@@ -316,7 +332,8 @@ int Runtime::sync_all_stat() {
                                                 sizeof(std::int64_t),
                         Cmp::kGe, round);
   }
-  return eng.failed_count() > 0 ? kStatFailedImage : kStatOk;
+  return (fence_failed || eng.failed_count() > 0) ? kStatFailedImage
+                                                  : kStatOk;
 }
 
 // ---------------------------------------------------------------------------
@@ -325,6 +342,8 @@ int Runtime::sync_all_stat() {
 
 std::uint64_t Runtime::allocate_coarray_bytes(std::size_t bytes) {
   require_init();
+  // The allocation's implicit barrier is a completion point.
+  if (deferred()) rma_fence();
   return conduit_.allocate(bytes);
 }
 
@@ -337,17 +356,22 @@ std::uint64_t Runtime::allocate_coarray_bytes(std::size_t bytes, int* stat) {
     return 0;
   }
   try {
+    if (deferred()) rma_fence();
     const std::uint64_t off = conduit_.allocate(bytes);
     *stat = kStatOk;
     return off;
   } catch (const shmem::HeapExhaustedError&) {
     *stat = kStatOutOfMemory;
     return 0;
+  } catch (const fabric::PeerFailedError&) {
+    *stat = kStatFailedImage;  // a staged/in-flight put's target died
+    return 0;
   }
 }
 
 void Runtime::deallocate_coarray_bytes(std::uint64_t off) {
   require_init();
+  if (deferred()) rma_fence();
   conduit_.deallocate(off);
 }
 
@@ -375,7 +399,74 @@ void Runtime::nonsym_free(RemotePtr p) {
 }
 
 // ---------------------------------------------------------------------------
-// RMA (§IV-B): quiet insertion per the paper's translation
+// Nonblocking RMA pipeline: write-combining aggregation + deferred quiet
+// ---------------------------------------------------------------------------
+
+void Runtime::agg_flush() {
+  auto& img = per_image_[me()];
+  if (img.agg_recs.empty()) return;
+  ++img.stats.agg_flushes;
+  const int target = img.agg_target;
+  img.agg_target = -1;
+  // Reset the stage BEFORE issuing: the conduit may throw PeerFailedError
+  // (dead target), and the staged records are consumed either way — exactly
+  // like nbi puts whose delivery fails after issue.
+  const std::size_t used = img.agg_used;
+  img.agg_used = 0;
+  std::vector<fabric::ScatterRec> recs;
+  recs.swap(img.agg_recs);
+  conduit_.put_scatter(target, recs.data(), recs.size(),
+                       local_addr(img.agg_chunk.offset()), used);
+  recs.clear();
+  img.agg_recs = std::move(recs);  // keep the capacity
+}
+
+void Runtime::rma_fence() {
+  ++per_image_[me()].stats.fences;
+  agg_flush();
+  conduit_.quiet();  // tracker-elided when nothing is in flight
+}
+
+bool Runtime::stage_put(int rank0, std::uint64_t dst_off, const void* src,
+                        std::size_t n) {
+  if (!opts_.rma.write_combining || !per_image_[me()].agg_chunk) return false;
+  if (n == 0 || n > opts_.rma.agg_max_put) return false;
+  auto& img = per_image_[me()];
+  if (!img.agg_recs.empty() && img.agg_target != rank0) agg_flush();
+  if (img.agg_used + n > opts_.rma.agg_chunk_bytes) agg_flush();
+  conduit_.engine().advance(kAggStageCpuNs);
+  std::byte* stage = local_addr(img.agg_chunk.offset());
+  std::memcpy(stage + img.agg_used, src, n);
+  if (!img.agg_recs.empty() &&
+      img.agg_recs.back().dst_off + img.agg_recs.back().len == dst_off) {
+    // The new bytes extend the previous record's destination range and the
+    // staged payload is contiguous by construction: grow it in place.
+    img.agg_recs.back().len += static_cast<std::uint32_t>(n);
+  } else {
+    img.agg_recs.push_back({dst_off, static_cast<std::uint32_t>(n),
+                            static_cast<std::uint32_t>(img.agg_used)});
+  }
+  img.agg_target = rank0;
+  img.agg_used += n;
+  ++img.stats.agg_staged;
+  if (img.agg_used >= opts_.rma.agg_chunk_bytes) agg_flush();
+  return true;
+}
+
+void Runtime::pipelined_put(int rank0, std::uint64_t dst_off, const void* src,
+                            std::size_t n) {
+  if (stage_put(rank0, dst_off, src, n)) return;
+  // Direct nbi put. If records to the same image are staged, they precede
+  // this put in program order — flush them first; the transport's in-order
+  // delivery then keeps the memory ordering.
+  auto& img = per_image_[me()];
+  if (!img.agg_recs.empty() && img.agg_target == rank0) agg_flush();
+  conduit_.put(rank0, dst_off, src, n, /*nbi=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// RMA (§IV-B): quiet insertion per the paper's translation (eager mode), or
+// nbi issue with deferred completion (pipeline mode)
 // ---------------------------------------------------------------------------
 
 void Runtime::put_bytes(int image, std::uint64_t dst_off, const void* src,
@@ -384,6 +475,10 @@ void Runtime::put_bytes(int image, std::uint64_t dst_off, const void* src,
   auto& st = per_image_[me()].stats;
   ++st.puts;
   st.put_bytes += n;
+  if (deferred()) {
+    pipelined_put(image - 1, dst_off, src, n);
+    return;
+  }
   conduit_.put(image - 1, dst_off, src, n, /*nbi=*/false);
   if (opts_.memory_model == MemoryModel::kStrict) conduit_.quiet();
 }
@@ -394,7 +489,14 @@ void Runtime::get_bytes(void* dst, int image, std::uint64_t src_off,
   auto& st = per_image_[me()].stats;
   ++st.gets;
   st.get_bytes += n;
-  if (opts_.memory_model == MemoryModel::kStrict) conduit_.quiet();
+  if (opts_.memory_model == MemoryModel::kStrict) {
+    // A strict-mode get must observe this image's program-order-earlier
+    // puts: flush staged records headed to the read target, then complete
+    // in-flight puts — but only when the tracker shows any toward it.
+    auto& img = per_image_[me()];
+    if (!img.agg_recs.empty() && img.agg_target == image - 1) agg_flush();
+    if (conduit_.pending(image - 1)) conduit_.quiet();
+  }
   conduit_.get(dst, image - 1, src_off, n);
 }
 
@@ -404,6 +506,11 @@ int Runtime::put_bytes_stat(int image, std::uint64_t dst_off, const void* src,
   if (conduit_.engine().pe_failed(image - 1)) return kStatFailedImage;
   try {
     put_bytes(image, dst_off, src, n);
+    // stat= demands synchronous failure reporting: in deferred mode the
+    // failure would otherwise surface at some later fence, where no stat=
+    // variable is in scope. Completing here keeps the Fortran contract —
+    // the stat= put is itself a completion point.
+    if (deferred()) rma_fence();
   } catch (const fabric::PeerFailedError&) {
     return kStatFailedImage;
   }
@@ -499,6 +606,7 @@ bool Runtime::holds_lock(CoLock lck, int image) const {
 
 void Runtime::lock(CoLock lck, int image) {
   require_init();
+  if (deferred()) rma_fence();  // lock is an image-control completion point
   auto& st = per_image_[me()];
   const LockKey key{lck.tail_off, image};
   if (st.held.contains(key)) {
@@ -528,9 +636,10 @@ void Runtime::lock(CoLock lck, int image) {
       static_cast<std::uint64_t>(pred_bits));
   if (pred) {
     // Link into my predecessor's next field, then spin locally until the
-    // predecessor hands the lock over by resetting my locked field.
+    // predecessor hands the lock over by resetting my locked field. The
+    // link rides nbi: delivery timing is identical, issue is cheaper.
     conduit_.put(pred.image(), pred.offset() + kNextField, &packed,
-                 sizeof packed, /*nbi=*/false);
+                 sizeof packed, /*nbi=*/true);
     conduit_.wait_until(qn.offset() + kLockedField, Cmp::kEq, 0);
   }
   ++st.stats.locks_acquired;
@@ -557,14 +666,17 @@ int Runtime::mcs_lock(CoLock lck, int image, bool* reclaimed) {
   std::int64_t pred_bits = 0;
   try {
     // Publish my record *before* swapping onto the tail, so queue repair
-    // can account for me from the instant my swap could land.
+    // can account for me from the instant my swap could land. nbi issue +
+    // flush: the quiet is still needed (an AMO is not ordered behind a put
+    // by the transport), but the cheap injection is.
     const std::int64_t rec[2] = {packed, kPendingPred};
-    conduit_.put(home, my_rec, rec, sizeof rec, /*nbi=*/false);
+    conduit_.put(home, my_rec, rec, sizeof rec, /*nbi=*/true);
     conduit_.quiet();
     pred_bits = conduit_.amo_swap(home, L + kTailWord, packed);
+    // The pred-record update rides nbi; its flush merges with the next
+    // phase's (holder word or predecessor link) single quiet.
     conduit_.put(home, my_rec + sizeof(std::int64_t), &pred_bits,
-                 sizeof pred_bits, /*nbi=*/false);
-    conduit_.quiet();
+                 sizeof pred_bits, /*nbi=*/true);
   } catch (const fabric::PeerFailedError&) {
     quarantine_qnode(qn);
     return kStatFailedImage;
@@ -572,10 +684,11 @@ int Runtime::mcs_lock(CoLock lck, int image, bool* reclaimed) {
   const RemotePtr pred =
       RemotePtr::from_bits(static_cast<std::uint64_t>(pred_bits));
   if (!pred) {
-    // Uncontended: record myself as the holder and enter.
+    // Uncontended: record myself as the holder and enter. One flush covers
+    // both the pred-record update above and the holder word.
     try {
       conduit_.put(home, L + kHolderWord, &packed, sizeof packed,
-                   /*nbi=*/false);
+                   /*nbi=*/true);
       conduit_.quiet();
     } catch (const fabric::PeerFailedError&) {
       quarantine_qnode(qn);
@@ -590,11 +703,12 @@ int Runtime::mcs_lock(CoLock lck, int image, bool* reclaimed) {
   if (!eng.pe_failed(pred.image())) {
     try {
       conduit_.put(pred.image(), pred.offset() + kNextField, &packed,
-                   sizeof packed, /*nbi=*/false);
-      conduit_.quiet();
+                   sizeof packed, /*nbi=*/true);
     } catch (const fabric::PeerFailedError&) {
     }
   }
+  // Single flush for the pred-record update and the link put.
+  conduit_.quiet();
   for (;;) {
     std::int64_t g = read_local_i64(qn.offset() + kLockedField);
     if (g >= kSentinelThreshold) {
@@ -649,6 +763,13 @@ int Runtime::lock_stat(CoLock lck, int image) {
   // two apart.
   auto& st = per_image_[me()];
   if (st.held.contains(LockKey{lck.tail_off, image})) return kStatLocked;
+  if (deferred()) {
+    try {
+      rma_fence();
+    } catch (const fabric::PeerFailedError&) {
+      return kStatFailedImage;  // a staged/in-flight put's target died
+    }
+  }
   if (resilient_) {
     bool reclaimed = false;
     const int s = mcs_lock(lck, image, &reclaimed);
@@ -662,6 +783,13 @@ int Runtime::lock_stat(CoLock lck, int image) {
 int Runtime::unlock_stat(CoLock lck, int image) {
   auto& st = per_image_[me()];
   if (!st.held.contains(LockKey{lck.tail_off, image})) return kStatUnlocked;
+  if (deferred()) {
+    try {
+      rma_fence();
+    } catch (const fabric::PeerFailedError&) {
+      return kStatFailedImage;  // a staged/in-flight put's target died
+    }
+  }
   if (resilient_) return mcs_unlock(lck, image);
   unlock(lck, image);
   return kStatOk;
@@ -669,6 +797,7 @@ int Runtime::unlock_stat(CoLock lck, int image) {
 
 bool Runtime::try_lock(CoLock lck, int image) {
   require_init();
+  if (deferred()) rma_fence();
   auto& st = per_image_[me()];
   const LockKey key{lck.tail_off, image};
   if (st.held.contains(key)) return false;
@@ -749,8 +878,8 @@ int Runtime::mcs_unlock(CoLock lck, int image) {
     conduit_.put(home,
                  L + kRecordsBase +
                      static_cast<std::uint64_t>(me()) * kRecordBytes,
-                 zero2, sizeof zero2, /*nbi=*/false);
-    conduit_.quiet();
+                 zero2, sizeof zero2, /*nbi=*/true);
+    conduit_.quiet();  // retire must be visible before the tail CAS
     if (conduit_.amo_cswap(home, L + kTailWord, packed, 0) == packed) {
       quarantine_qnode(qn);
       return kStatOk;
@@ -778,13 +907,15 @@ int Runtime::mcs_unlock(CoLock lck, int image) {
         try {
           // Holder word first, then the grant: a successor that dies
           // between the two leaves the holder word naming a corpse, which
-          // is exactly what repair keys on.
+          // is exactly what repair keys on. Both ride nbi; when the
+          // successor waits on the home image the transport's in-order
+          // delivery already sequences them, so one flush suffices.
           conduit_.put(home, L + kHolderWord, &next_bits, sizeof next_bits,
-                       /*nbi=*/false);
-          conduit_.quiet();
+                       /*nbi=*/true);
+          if (succ.image() != home) conduit_.quiet();
           const std::int64_t grant = 0;
           conduit_.put(succ.image(), succ.offset() + kLockedField, &grant,
-                       sizeof grant, /*nbi=*/false);
+                       sizeof grant, /*nbi=*/true);
           conduit_.quiet();
           quarantine_qnode(qn);
           return kStatOk;
@@ -1101,6 +1232,9 @@ Runtime::RebuildResult Runtime::mcs_rebuild(CoLock lck, int image) {
 
 void Runtime::unlock(CoLock lck, int image) {
   require_init();
+  // Release consistency: work done inside the critical section (staged or
+  // in flight) completes before the lock can be handed to the next holder.
+  if (deferred()) rma_fence();
   auto& st = per_image_[me()];
   const LockKey key{lck.tail_off, image};
   auto it = st.held.find(key);
@@ -1128,10 +1262,11 @@ void Runtime::unlock(CoLock lck, int image) {
               sizeof succ_bits);
   const RemotePtr succ =
       RemotePtr::from_bits(static_cast<std::uint64_t>(succ_bits));
-  // Hand over: reset the successor's locked field.
+  // Hand over: reset the successor's locked field (nbi — the successor
+  // wakes at delivery either way; the cheaper issue shortens handoff).
   const std::int64_t zero = 0;
   conduit_.put(succ.image(), succ.offset() + kLockedField, &zero, sizeof zero,
-               /*nbi=*/false);
+               /*nbi=*/true);
   nonsym_free(qn);
 }
 
@@ -1153,7 +1288,7 @@ CoEvent Runtime::make_event() {
 
 void Runtime::event_post(CoEvent ev, int image) {
   require_init();
-  conduit_.quiet();  // posted work must be visible before the count bumps
+  rma_fence();  // posted work must be visible before the count bumps
   (void)conduit_.amo_fadd(image - 1, ev.count_off, 1);
 }
 
@@ -1323,6 +1458,13 @@ int Runtime::team_coll_bytes(const Team& team, void* data, std::size_t nbytes,
                              const std::function<void(void*, const void*)>& comb,
                              int root_image) {
   require_init();
+  if (deferred()) {
+    try {
+      rma_fence();
+    } catch (const fabric::PeerFailedError&) {
+      return kStatFailedImage;
+    }
+  }
   assert(nbytes <= kTeamChunk);
   if (team.members.empty()) return kStatFailedImage;
   if (!resilient_) {
@@ -1386,6 +1528,7 @@ int Runtime::team_coll_bytes(const Team& team, void* data, std::size_t nbytes,
 // ---------------------------------------------------------------------------
 
 void Runtime::coll_broadcast_bytes(void* data, std::size_t nbytes, int root0) {
+  if (deferred()) rma_fence();  // collective = completion point for staged RMA
   const int n = num_images();
   if (n == 1) return;
   const std::uint64_t slot = coll_slot_off_ +
@@ -1427,6 +1570,7 @@ void Runtime::coll_broadcast_bytes(void* data, std::size_t nbytes, int root0) {
 void Runtime::coll_reduce_bytes(
     void* data, std::size_t nelems, std::size_t elem,
     const std::function<void(void*, const void*)>& comb) {
+  if (deferred()) rma_fence();  // collective = completion point for staged RMA
   const int n = num_images();
   const std::size_t nbytes = nelems * elem;
   assert(nbytes <= kSlotBytes);

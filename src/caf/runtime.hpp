@@ -40,6 +40,9 @@ enum class StridedAlgo {
   kAdaptive, ///< §VII future work: cost model picks between contiguous-run
              ///< transfers and 1-D strided calls per section (accounts for
              ///< per-call overhead, per-element NIC gap, and run lengths)
+  kAggregate,///< puts only: stage the runs through the write-combining
+             ///< buffer so many small runs ship as few scatter messages
+             ///< (requires Options::rma.write_combining; planner-eligible)
 };
 
 /// Completion-semantics policy for co-indexed RMA (§IV-B).
@@ -48,11 +51,38 @@ enum class MemoryModel {
   kRelaxed,  ///< OpenSHMEM-native ordering; user must sync memory explicitly
 };
 
+/// When co-indexed puts complete (the nonblocking RMA pipeline).
+enum class CompletionMode {
+  kEager,    ///< quiet after every put — the paper's §IV-B translation
+  kDeferred, ///< nbi issue; flush only at completion points (sync/atomic/
+             ///< lock boundaries). Strict-mode *observable* semantics are
+             ///< preserved: same-target ordering comes from the transport's
+             ///< in-order delivery, and gets flush pending puts first.
+};
+
+/// Tuning for the nonblocking RMA pipeline (tentpole of this PR).
+struct RmaOptions {
+  CompletionMode completion = CompletionMode::kEager;
+  /// Coalesce small puts to the same image into a staging chunk carved from
+  /// the managed slab, shipped as one scatter message (needs kDeferred).
+  bool write_combining = false;
+  std::size_t agg_chunk_bytes = 4096;  ///< staging watermark per image
+  std::size_t agg_max_put = 512;       ///< larger puts bypass the stage
+  /// Merge adjacent innermost runs in strided transfers into one message.
+  bool run_coalescing = true;
+};
+
+/// CPU cost (ns) of appending one put to the write-combining stage (a bounds
+/// check, a descriptor store, and a short memcpy). Shared with the §VII
+/// planner so the aggregated plan prices its staging honestly.
+inline constexpr sim::Time kAggStageCpuNs = 15;
+
 struct Options {
   StridedAlgo strided = StridedAlgo::kTwoDim;
   MemoryModel memory_model = MemoryModel::kStrict;
   bool use_native_collectives = true;   ///< Table II co_* mappings when available
   std::size_t nonsym_slab_bytes = 256 * 1024;
+  RmaOptions rma;
 };
 
 /// Statistics returned by the strided engine (used by tests/benches to
@@ -60,6 +90,7 @@ struct Options {
 struct StridedStats {
   std::size_t messages = 0;
   std::size_t elements = 0;
+  std::size_t coalesced = 0;  ///< adjacent runs merged into a neighbor
 };
 
 /// Fortran stat= codes for image-control statements (the subset the
@@ -85,6 +116,11 @@ struct ImageStats {
   std::uint64_t get_bytes = 0;
   std::uint64_t locks_acquired = 0;
   std::uint64_t syncs = 0;          // sync all + sync images statements
+  // --- nonblocking-pipeline observability ---
+  std::uint64_t agg_staged = 0;     // puts absorbed by the staging chunk
+  std::uint64_t agg_flushes = 0;    // scatter messages the chunk emitted
+  std::uint64_t coalesced_runs = 0; // strided runs merged into a neighbor
+  std::uint64_t fences = 0;         // completion points reached
 };
 
 /// Handle to a coarray lock variable (a symmetric 8-byte tail per image).
@@ -138,7 +174,7 @@ class Runtime {
   // ---- image control & synchronization ----
   void sync_all();                                  // sync all
   void sync_images(std::span<const int> images);    // sync images(list)
-  void sync_memory() { conduit_.quiet(); }          // sync memory
+  void sync_memory() { rma_fence(); }               // sync memory
 
   // ---- failed-image semantics (Fortran 2018) ----
   /// IMAGE_STATUS(image): kStatFailedImage if the image has failed, else
@@ -259,29 +295,41 @@ class Runtime {
   int event_wait_stat(CoEvent ev, std::int64_t until_count = 1);
 
   // ---- atomics on symmetric int64 cells (atomic_* intrinsics) ----
+  // Atomics are completion points of the deferred pipeline in strict mode:
+  // an atomic often publishes data written by preceding puts, so those puts
+  // (staged or in flight) complete first. Free in eager mode — the
+  // aggregation chunk is empty and the quiet is tracker-elided.
   std::int64_t atomic_fetch_add(int image, std::uint64_t off, std::int64_t v) {
+    atomic_boundary();
     return conduit_.amo_fadd(image - 1, off, v);
   }
   std::int64_t atomic_cas(int image, std::uint64_t off, std::int64_t cond,
                           std::int64_t val) {
+    atomic_boundary();
     return conduit_.amo_cswap(image - 1, off, cond, val);
   }
   std::int64_t atomic_swap(int image, std::uint64_t off, std::int64_t v) {
+    atomic_boundary();
     return conduit_.amo_swap(image - 1, off, v);
   }
   std::int64_t atomic_fetch_and(int image, std::uint64_t off, std::int64_t m) {
+    atomic_boundary();
     return conduit_.amo_fand(image - 1, off, m);
   }
   std::int64_t atomic_fetch_or(int image, std::uint64_t off, std::int64_t m) {
+    atomic_boundary();
     return conduit_.amo_for(image - 1, off, m);
   }
   std::int64_t atomic_fetch_xor(int image, std::uint64_t off, std::int64_t m) {
+    atomic_boundary();
     return conduit_.amo_fxor(image - 1, off, m);
   }
   void atomic_define(int image, std::uint64_t off, std::int64_t v) {
+    atomic_boundary();
     (void)conduit_.amo_swap(image - 1, off, v);
   }
   std::int64_t atomic_ref(int image, std::uint64_t off) {
+    atomic_boundary();
     return conduit_.amo_fadd(image - 1, off, 0);
   }
 
@@ -323,6 +371,29 @@ class Runtime {
 
   void require_init() const;
   int me() const { return conduit_.rank(); }
+
+  // ---- nonblocking RMA pipeline (write combining + deferred quiet) ----
+  bool deferred() const {
+    return opts_.rma.completion == CompletionMode::kDeferred;
+  }
+  /// Completion point: flush the write-combining chunk, then complete every
+  /// outstanding nbi put. Cheap no-op when nothing is in flight.
+  void rma_fence();
+  /// Strict-mode atomics are completion points (see the atomic_* wrappers).
+  void atomic_boundary() {
+    if (opts_.memory_model == MemoryModel::kStrict) rma_fence();
+  }
+  /// Ship the staged records as one scatter message; no-op when empty.
+  void agg_flush();
+  /// Try to absorb a put into the staging chunk. False when staging is off,
+  /// the put is too large, or the target image has no room (after an
+  /// implicit watermark/target-switch flush).
+  bool stage_put(int rank0, std::uint64_t dst_off, const void* src,
+                 std::size_t n);
+  /// Deferred-path put: staged when small, direct nbi otherwise (flushing
+  /// the chunk first when it targets the same image, for program order).
+  void pipelined_put(int rank0, std::uint64_t dst_off, const void* src,
+                     std::size_t n);
 
   /// Engine failure hook (scheduler context): pokes kFailedSentinel into
   /// every survivor's sync-all counter slot for the dead image so blocked
@@ -428,6 +499,11 @@ class Runtime {
     /// repair grants targeting the old acquisition) can no longer land in a
     /// reused slot.
     std::vector<std::pair<RemotePtr, sim::Time>> quarantine;
+    // --- write-combining aggregation (deferred pipeline) ---
+    RemotePtr agg_chunk;   ///< staging memory carved from this image's slab
+    int agg_target = -1;   ///< 0-based rank the chunk targets; -1 when empty
+    std::size_t agg_used = 0;                 ///< staged payload bytes
+    std::vector<fabric::ScatterRec> agg_recs; ///< staged records
   };
   std::vector<PerImage> per_image_;
 };

@@ -47,39 +47,6 @@ class ShmemConduit final : public Conduit {
     world_.shfree(local_addr(offset));
   }
 
-  void put(int rank, std::uint64_t dst_off, const void* src, std::size_t n,
-           bool nbi) override {
-    if (intra_node_direct_ && direct_store(rank, dst_off, src, n)) return;
-    if (nbi) {
-      world_.putmem_nbi(local_addr(dst_off), src, n, rank);
-    } else {
-      world_.putmem(local_addr(dst_off), src, n, rank);
-    }
-  }
-  void get(void* dst, int rank, std::uint64_t src_off, std::size_t n) override {
-    if (intra_node_direct_) {
-      if (const void* p = world_.ptr(local_addr(src_off), rank)) {
-        world_.engine().advance(direct_copy_cost(n));
-        std::memcpy(dst, p, n);
-        return;
-      }
-    }
-    world_.getmem(dst, local_addr(src_off), n, rank);
-  }
-  void iput(int rank, std::uint64_t dst_off, std::ptrdiff_t dst_stride,
-            const void* src, std::ptrdiff_t src_stride, std::size_t elem_bytes,
-            std::size_t nelems) override {
-    world_.iputmem(local_addr(dst_off), src, dst_stride, src_stride,
-                   elem_bytes, nelems, rank);
-  }
-  void iget(void* dst, std::ptrdiff_t dst_stride, int rank,
-            std::uint64_t src_off, std::ptrdiff_t src_stride,
-            std::size_t elem_bytes, std::size_t nelems) override {
-    world_.igetmem(dst, local_addr(src_off), dst_stride, src_stride,
-                   elem_bytes, nelems, rank);
-  }
-  void quiet() override { world_.quiet(); }
-
   void poke(int rank, std::uint64_t off, const void* src, std::size_t n,
             sim::Time t) override {
     world_.domain().poke(rank, off, src, n, t);
@@ -127,6 +94,46 @@ class ShmemConduit final : public Conduit {
   }
 
   shmem::World& world() { return world_; }
+
+ protected:
+  void do_put(int rank, std::uint64_t dst_off, const void* src, std::size_t n,
+              bool nbi) override {
+    if (intra_node_direct_ && direct_store(rank, dst_off, src, n)) return;
+    if (nbi) {
+      world_.putmem_nbi(local_addr(dst_off), src, n, rank);
+    } else {
+      world_.putmem(local_addr(dst_off), src, n, rank);
+    }
+  }
+  void do_get(void* dst, int rank, std::uint64_t src_off,
+              std::size_t n) override {
+    if (intra_node_direct_) {
+      if (const void* p = world_.ptr(local_addr(src_off), rank)) {
+        world_.engine().advance(direct_copy_cost(n));
+        std::memcpy(dst, p, n);
+        return;
+      }
+    }
+    world_.getmem(dst, local_addr(src_off), n, rank);
+  }
+  void do_iput(int rank, std::uint64_t dst_off, std::ptrdiff_t dst_stride,
+               const void* src, std::ptrdiff_t src_stride,
+               std::size_t elem_bytes, std::size_t nelems) override {
+    world_.iputmem(local_addr(dst_off), src, dst_stride, src_stride,
+                   elem_bytes, nelems, rank);
+  }
+  void do_iget(void* dst, std::ptrdiff_t dst_stride, int rank,
+               std::uint64_t src_off, std::ptrdiff_t src_stride,
+               std::size_t elem_bytes, std::size_t nelems) override {
+    world_.igetmem(dst, local_addr(src_off), dst_stride, src_stride,
+                   elem_bytes, nelems, rank);
+  }
+  void do_put_scatter(int rank, const fabric::ScatterRec* recs,
+                      std::size_t nrecs, const void* payload,
+                      std::size_t payload_bytes) override {
+    world_.putmem_scatter_nbi(rank, recs, nrecs, payload, payload_bytes);
+  }
+  void do_quiet() override { world_.quiet(); }
 
  private:
   std::byte* local_addr(std::uint64_t off) {

@@ -69,6 +69,19 @@ void Domain::note_outstanding(int src_pe, sim::Time t) {
   outstanding_[src_pe] = std::max(outstanding_[src_pe], t);
 }
 
+sim::Time Domain::in_order_delivery(int src_pe, int dst_pe, sim::Time delivered) {
+  if (fifo_.empty()) fifo_.resize(static_cast<std::size_t>(npes()));
+  auto& row = fifo_[static_cast<std::size_t>(src_pe)];
+  if (row.empty()) row.assign(static_cast<std::size_t>(npes()), 0);
+  sim::Time& last = row[static_cast<std::size_t>(dst_pe)];
+  // Clamping only ever delays a message up to the latest delivery already
+  // scheduled on this pair, so the per-PE outstanding maximum (and hence
+  // quiet() timing) is unchanged — reordered deliveries are serialized,
+  // nothing else moves.
+  last = std::max(last, delivered);
+  return last;
+}
+
 void Domain::deliver(int dst_pe, std::uint64_t dst_off,
                      std::vector<std::byte> data, sim::Time t) {
   engine_.schedule(t, [this, dst_pe, dst_off, payload = std::move(data), t] {
@@ -93,20 +106,58 @@ net::PutCompletion Domain::put(int dst_pe, std::uint64_t dst_off,
   if (dst_off + n > segment_bytes_) {
     throw std::out_of_range("fabric::Domain::put beyond segment");
   }
-  const auto c =
-      fabric_.submit_put(me, dst_pe, n, sw_, engine_.now(), pipelined);
+  auto c = fabric_.submit_put(me, dst_pe, n, sw_, engine_.now(), pipelined);
   if (!c.ok) {
     // Don't record the give-up time as outstanding: the bytes never landed,
     // and quiet() must not stall on them.
     engine_.advance_to(c.local_complete);
     throw PeerFailedError("put", me, dst_pe, c.attempts, c.delivered);
   }
+  c.delivered = in_order_delivery(me, dst_pe, c.delivered);
   note_outstanding(me, c.delivered);
   // Capture the payload now: OpenSHMEM putmem guarantees the source buffer
   // is reusable on return.
   std::vector<std::byte> data(n);
   std::memcpy(data.data(), src, n);
   deliver(dst_pe, dst_off, std::move(data), c.delivered);
+  engine_.advance_to(c.local_complete);
+  return c;
+}
+
+net::PutCompletion Domain::put_scatter(int dst_pe, const ScatterRec* recs,
+                                       std::size_t nrecs, const void* payload,
+                                       std::size_t payload_bytes,
+                                       bool pipelined) {
+  const int me = current_pe();
+  for (std::size_t i = 0; i < nrecs; ++i) {
+    if (recs[i].dst_off + recs[i].len > segment_bytes_ ||
+        static_cast<std::size_t>(recs[i].payload_off) + recs[i].len >
+            payload_bytes) {
+      throw std::out_of_range("fabric::Domain::put_scatter beyond segment");
+    }
+  }
+  // One wire message: packed payload plus an (offset, length) header per
+  // record. The whole vector shares a single injection cost — that is the
+  // entire point of write combining.
+  const std::size_t wire = payload_bytes + nrecs * kScatterRecWire;
+  auto c = fabric_.submit_put(me, dst_pe, wire, sw_, engine_.now(), pipelined);
+  if (!c.ok) {
+    engine_.advance_to(c.local_complete);
+    throw PeerFailedError("put_scatter", me, dst_pe, c.attempts, c.delivered);
+  }
+  c.delivered = in_order_delivery(me, dst_pe, c.delivered);
+  note_outstanding(me, c.delivered);
+  std::vector<std::byte> data(payload_bytes);
+  std::memcpy(data.data(), payload, payload_bytes);
+  std::vector<ScatterRec> rv(recs, recs + nrecs);
+  engine_.schedule(c.delivered, [this, dst_pe, rv = std::move(rv),
+                                 data = std::move(data), t = c.delivered] {
+    for (const ScatterRec& r : rv) {
+      std::memcpy(segments_[dst_pe].data() + r.dst_off,
+                  data.data() + r.payload_off, r.len);
+      if (write_hook_) write_hook_({dst_pe, r.dst_off, r.len, t});
+    }
+  });
   engine_.advance_to(c.local_complete);
   return c;
 }
@@ -149,12 +200,13 @@ void Domain::iput_hw(int dst_pe, std::uint64_t dst_off,
   if (span > segment_bytes_) {
     throw std::out_of_range("fabric::Domain::iput_hw beyond segment");
   }
-  const auto c = fabric_.submit_strided_put(me, dst_pe, elem_bytes, nelems,
-                                            sw_, engine_.now(), pipelined);
+  auto c = fabric_.submit_strided_put(me, dst_pe, elem_bytes, nelems,
+                                      sw_, engine_.now(), pipelined);
   if (!c.ok) {
     engine_.advance_to(c.local_complete);
     throw PeerFailedError("iput", me, dst_pe, c.attempts, c.delivered);
   }
+  c.delivered = in_order_delivery(me, dst_pe, c.delivered);
   note_outstanding(me, c.delivered);
   // Gather the source elements at issue time.
   std::vector<std::byte> data(elem_bytes * nelems);

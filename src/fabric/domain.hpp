@@ -72,6 +72,20 @@ enum class AmoOp {
   kFetchXor,
 };
 
+/// One record of a scatter (write-combining) put: `len` payload bytes
+/// starting at `payload_off` in the packed payload land at `dst_off` in the
+/// target segment. Mirrors the iovec-style descriptors of ARMCI_PutV, MPI
+/// indexed datatypes, and the GASNet access-region idiom.
+struct ScatterRec {
+  std::uint64_t dst_off;    ///< destination offset in the target segment
+  std::uint32_t len;        ///< bytes for this record
+  std::uint32_t payload_off;///< source offset in the packed payload
+};
+
+/// Wire overhead charged per scatter record: an (offset, length) header
+/// travels with each record in the packed message.
+inline constexpr std::size_t kScatterRecWire = 12;
+
 /// Notification of a remote update to a PE's segment.
 struct WriteEvent {
   int pe;                 ///< segment owner
@@ -126,6 +140,16 @@ class Domain {
   /// Contiguous get; blocks the calling fiber until data is available.
   void get(void* dst, int src_pe, std::uint64_t src_off, std::size_t n);
 
+  /// Vectored (write-combining) put: a single wire message carrying a packed
+  /// payload plus kScatterRecWire bytes of header per record; each record is
+  /// applied (memcpy + write hook) at delivery. This is the transport for
+  /// iovec-style interfaces (ARMCI_PutV, MPI indexed datatypes, GASNet
+  /// access regions) and the CAF runtime's aggregation buffer.
+  net::PutCompletion put_scatter(int dst_pe, const ScatterRec* recs,
+                                 std::size_t nrecs, const void* payload,
+                                 std::size_t payload_bytes,
+                                 bool pipelined = true);
+
   /// NIC-offloaded 1-D strided put: nelems elements of elem_bytes, source
   /// stride sst elements, destination stride dst elements (strides in
   /// *elements* as in shmem_iput). Requires sw().hw_strided.
@@ -160,6 +184,14 @@ class Domain {
                sim::Time t);
   void note_outstanding(int src_pe, sim::Time t);
 
+  /// In-order (RC-style) delivery clamp for one (src, dst) pair: a message
+  /// never lands before an earlier message on the same pair, even when the
+  /// timing oracle produced an inversion (size inversion on the intra-node
+  /// path, loss retransmits). Returns the clamped delivery time. This is the
+  /// same-pair point-to-point ordering real RDMA transports give, and the
+  /// property the CAF deferred-quiet pipeline relies on for WAW safety.
+  sim::Time in_order_delivery(int src_pe, int dst_pe, sim::Time delivered);
+
   /// Zero-initialized segment storage backed by calloc so large segments
   /// get lazily-zeroed pages from the OS (simulations with thousands of
   /// PEs would otherwise spend their time memset-ing untouched memory).
@@ -188,6 +220,9 @@ class Domain {
   std::size_t segment_bytes_;
   std::vector<ZeroedBuffer> segments_;
   std::vector<sim::Time> outstanding_;
+  /// fifo_[src][dst]: latest delivery time scheduled on the (src, dst) pair;
+  /// rows are allocated lazily on a pair's first put.
+  std::vector<std::vector<sim::Time>> fifo_;
   std::function<void(const WriteEvent&)> write_hook_;
 };
 

@@ -55,6 +55,13 @@ void World::put_nbi(int node, std::uint64_t dst_off, const void* src,
   domain_->put(node, dst_off, src, n, /*pipelined=*/true);
 }
 
+void World::put_scatter_nbi(int node, const fabric::ScatterRec* recs,
+                            std::size_t nrecs, const void* payload,
+                            std::size_t payload_bytes) {
+  domain_->put_scatter(node, recs, nrecs, payload, payload_bytes,
+                       /*pipelined=*/true);
+}
+
 void World::get(void* dst, int node, std::uint64_t src_off, std::size_t n) {
   domain_->get(dst, node, src_off, n);
 }

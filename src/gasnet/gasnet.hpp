@@ -73,6 +73,12 @@ class World {
   /// Non-blocking implicit put: local completion only.
   void put_nbi(int node, std::uint64_t dst_off, const void* src,
                std::size_t n);
+  /// Access-region write combining: many small updates shipped as ONE
+  /// pipelined message (the GASNet VIS / access-region idiom), scattered at
+  /// the target per `recs`. Completes with wait_syncnbi_puts().
+  void put_scatter_nbi(int node, const fabric::ScatterRec* recs,
+                       std::size_t nrecs, const void* payload,
+                       std::size_t payload_bytes);
   /// Blocking get.
   void get(void* dst, int node, std::uint64_t src_off, std::size_t n);
   /// Completes all outstanding nbi puts from this node.

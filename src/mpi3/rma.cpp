@@ -45,6 +45,15 @@ void Window::get(void* origin, std::size_t n, int target_rank,
   domain_->get(origin, target_rank, target_off, n);
 }
 
+void Window::put_scatter(const fabric::ScatterRec* recs, std::size_t nrecs,
+                         const void* payload, std::size_t payload_bytes,
+                         int target_rank) {
+  // A single MPI_Put with an indexed datatype pays one call overhead, not
+  // one per record — model it as one non-pipelined injection.
+  domain_->put_scatter(target_rank, recs, nrecs, payload, payload_bytes,
+                       /*pipelined=*/false);
+}
+
 std::int64_t Window::fetch_and_op_sum(std::int64_t operand, int target_rank,
                                       std::uint64_t target_off) {
   return static_cast<std::int64_t>(

@@ -45,6 +45,11 @@ class Window {
   /// MPI_Get followed by MPI_Win_flush(target): blocking read.
   void get(void* origin, std::size_t n, int target_rank,
            std::uint64_t target_off);
+  /// MPI_Put with an indexed datatype: one RMA call ships the packed payload
+  /// and scatters it per `recs`. Remote completion requires flush, like put.
+  void put_scatter(const fabric::ScatterRec* recs, std::size_t nrecs,
+                   const void* payload, std::size_t payload_bytes,
+                   int target_rank);
   /// MPI_Fetch_and_op(MPI_SUM) on a 64-bit target.
   std::int64_t fetch_and_op_sum(std::int64_t operand, int target_rank,
                                 std::uint64_t target_off);

@@ -48,6 +48,11 @@ struct SwProfile {
   sim::Time amo_overhead = 250;   ///< CPU cost to issue a remote atomic
   sim::Time per_msg_gap = 100;    ///< injection gap for pipelined (nbi) msgs
   double bw_efficiency = 0.95;    ///< fraction of link bandwidth achieved
+  /// Raw link bandwidth of the machine this profile was built for (B/ns).
+  /// Stamped from MachineProfile::link_bytes_per_ns by sw_profile() so cost
+  /// models above the conduit layer (e.g. the §VII adaptive strided planner)
+  /// can price wire time without hardcoding a machine.
+  double link_bytes_per_ns = 6.0;
 
   bool hw_strided = false;        ///< 1-D iput/iget offloaded to the NIC?
   sim::Time strided_elem_gap = 25;///< per-element NIC cost when hw_strided

@@ -171,23 +171,36 @@ SwProfile craycaf() {
 }  // namespace
 
 SwProfile sw_profile(Library lib, Machine m) {
+  SwProfile s;
   switch (lib) {
     case Library::kShmemMvapich:
-      return shmem_mvapich();
+      s = shmem_mvapich();
+      break;
     case Library::kShmemCray:
-      return shmem_cray();
+      s = shmem_cray();
+      break;
     case Library::kGasnet:
-      return gasnet_on(m);
+      s = gasnet_on(m);
+      break;
     case Library::kArmci:
-      return armci_on(m);
+      s = armci_on(m);
+      break;
     case Library::kMpi3:
-      return mpi3_on(m);
+      s = mpi3_on(m);
+      break;
     case Library::kDmapp:
-      return dmapp();
+      s = dmapp();
+      break;
     case Library::kCrayCaf:
-      return craycaf();
+      s = craycaf();
+      break;
+    default:
+      throw std::invalid_argument("unknown library");
   }
-  throw std::invalid_argument("unknown library");
+  // Every library profile carries the raw link bandwidth of the machine it
+  // runs on, so layers above the conduit never hardcode a machine constant.
+  s.link_bytes_per_ns = machine_profile(m).link_bytes_per_ns;
+  return s;
 }
 
 Library native_shmem(Machine m) {

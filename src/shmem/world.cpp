@@ -162,6 +162,13 @@ void World::putmem_nbi(void* dst, const void* src, std::size_t n, int pe) {
   domain_->put(pe, sym_off(dst, "putmem_nbi"), src, n, /*pipelined=*/true);
 }
 
+void World::putmem_scatter_nbi(int pe, const fabric::ScatterRec* recs,
+                               std::size_t nrecs, const void* payload,
+                               std::size_t payload_bytes) {
+  domain_->put_scatter(pe, recs, nrecs, payload, payload_bytes,
+                       /*pipelined=*/true);
+}
+
 void World::getmem(void* dst, const void* src, std::size_t n, int pe) {
   domain_->get(dst, pe, sym_off(src, "getmem"), n);
 }

@@ -97,6 +97,12 @@ class World {
   void putmem(void* dst, const void* src, std::size_t n, int pe);
   void getmem(void* dst, const void* src, std::size_t n, int pe);
   void putmem_nbi(void* dst, const void* src, std::size_t n, int pe);
+  /// shmemx-style vectored nbi put: the packed payload is delivered as ONE
+  /// pipelined message and scattered at the target per `recs` (write
+  /// combining). Records carry symmetric-heap offsets directly.
+  void putmem_scatter_nbi(int pe, const fabric::ScatterRec* recs,
+                          std::size_t nrecs, const void* payload,
+                          std::size_t payload_bytes);
 
   template <typename T>
   void put(T* dst, const T* src, std::size_t nelems, int pe) {

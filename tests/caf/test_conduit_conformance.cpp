@@ -290,3 +290,71 @@ TEST_P(ConduitConformance, BarrierIsAFullFence) {
     EXPECT_GE(h.engine().now(), 3'000);
   });
 }
+
+// put_scatter: every record's bytes land at its destination offset after a
+// quiet, regardless of how the conduit maps the scatter (hardware scatter,
+// ARMCI vector put, MPI datatype, or a loop of nbi puts).
+TEST_P(ConduitConformance, PutScatterDeliversAllRecords) {
+  Harness h = make(4);
+  h.run([&] {
+    Conduit& c = conduit(h);
+    const std::uint64_t off = c.allocate(1024);
+    std::memset(c.segment(c.rank()) + off, 0, 1024);
+    c.barrier();
+    if (c.rank() == 0) {
+      constexpr int kRecs = 16;
+      std::int64_t vals[kRecs];
+      fabric::ScatterRec recs[kRecs];
+      for (int i = 0; i < kRecs; ++i) {
+        vals[i] = 1000 + i;
+        recs[i] = {off + static_cast<std::uint64_t>(i) * 32, 8,
+                   static_cast<std::uint32_t>(i) * 8};
+      }
+      c.put_scatter(1, recs, kRecs, vals, sizeof vals);
+      EXPECT_TRUE(c.pending(1));
+      c.quiet();
+      EXPECT_FALSE(c.pending(1));
+      for (int i = 0; i < kRecs; ++i) {
+        std::int64_t g = 0;
+        c.get(&g, 1, off + static_cast<std::uint64_t>(i) * 32, 8);
+        EXPECT_EQ(g, 1000 + i) << "record " << i;
+      }
+    }
+    c.barrier();
+    if (c.rank() == 1) {
+      // The gaps between records stayed untouched.
+      for (int i = 0; i < 16; ++i) {
+        std::int64_t gap = -1;
+        std::memcpy(&gap, c.segment(1) + off +
+                              static_cast<std::uint64_t>(i) * 32 + 8, 8);
+        EXPECT_EQ(gap, 0) << "gap after record " << i;
+      }
+    }
+    c.barrier();
+  });
+}
+
+// The outstanding-op tracker: quiet() with a clean tracker is elided (no
+// transport fence), and puts mark exactly their target dirty.
+TEST_P(ConduitConformance, QuietIsElidedWhenNoOpsAreInFlight) {
+  Harness h = make(4);
+  h.run([&] {
+    Conduit& c = conduit(h);
+    const std::uint64_t off = c.allocate(64);
+    c.barrier();
+    if (c.rank() == 0) {
+      const std::uint64_t elided0 = c.telemetry().quiet_elided;
+      c.quiet();
+      c.quiet();
+      EXPECT_EQ(c.telemetry().quiet_elided, elided0 + 2);
+      std::int64_t v = 5;
+      c.put(2, off, &v, sizeof v, /*nbi=*/true);
+      EXPECT_TRUE(c.pending(2));
+      EXPECT_FALSE(c.pending(1));
+      c.quiet();  // real fence: tracker dirty
+      EXPECT_EQ(c.telemetry().quiet_elided, elided0 + 2);
+      EXPECT_FALSE(c.pending_any());
+    }
+    c.barrier();
+  });
+}

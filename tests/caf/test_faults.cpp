@@ -129,6 +129,57 @@ TEST(FailedImage, SurvivorsSeeStatFailedImageAndFinish) {
   EXPECT_EQ(h.engine().failed_count(), 1);
 }
 
+// The write-combining stage + deferred quiet must not weaken failed-image
+// reporting: a staged put whose target dies still surfaces as
+// kStatFailedImage from the stat= variants and from sync stat= — never as
+// a hang or a silent drop (this PR's aggregation tentpole, fault leg).
+TEST(FailedImage, AggregationPreservesStatReporting) {
+  net::FaultPlan plan;
+  plan.kill_pe(2, 2'000'000);  // image 3 dies at 2 ms
+  caf::Options opts;
+  opts.rma.completion = caf::CompletionMode::kDeferred;
+  opts.rma.write_combining = true;
+  Harness h(Stack::kShmemCray, 4, opts, 2 << 20, plan);
+  h.run([&] {
+    auto& rt = h.rt();
+    const int me = rt.this_image();
+    const std::uint64_t off = rt.allocate_coarray_bytes(512);
+    if (me == 3) {
+      for (;;) {
+        h.engine().advance(100'000);
+        (void)rt.sync_all_stat();
+      }
+    }
+    int st = caf::kStatOk;
+    for (int k = 0; k < 30; ++k) {
+      h.engine().advance(100'000);
+      if (me == 1 && k < 10) {
+        // Keep feeding small puts for the stage to combine — some flush
+        // before the kill lands, some after.
+        for (int i = 0; i < 8; ++i) {
+          const std::int64_t v = k * 8 + i;
+          (void)rt.put_bytes_stat(3, off + static_cast<std::uint64_t>(i) * 8,
+                                  &v, 8);
+        }
+      }
+      st = rt.sync_all_stat();
+    }
+    EXPECT_EQ(st, caf::kStatFailedImage);
+    if (me == 1) EXPECT_GT(rt.stats().agg_staged, 0u);
+    // Post-mortem stat= RMA through the pipeline: synchronous reporting.
+    std::int64_t v = 42;
+    EXPECT_EQ(rt.put_bytes_stat(3, off, &v, sizeof v), caf::kStatFailedImage);
+    // Puts staged toward a peer that dies before the flush must not leave
+    // the stage wedged: traffic to live images keeps flowing.
+    if (me == 1) {
+      const std::int64_t ok = 7;
+      EXPECT_EQ(rt.put_bytes_stat(2, off, &ok, sizeof ok), caf::kStatOk);
+    }
+    (void)rt.sync_all_stat();
+  });
+  EXPECT_EQ(h.engine().failed_count(), 1);
+}
+
 TEST(FailedImage, WatchdogNamesStuckSurvivorAndDeadPeer) {
   net::FaultPlan plan;
   plan.kill_pe(1, 500'000);  // image 2 dies

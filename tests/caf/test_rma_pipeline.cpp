@@ -1,0 +1,277 @@
+// Tests for the nonblocking RMA pipeline (this PR's tentpole): cross-plan
+// bit-identical strided memory (naive / 2dim / adaptive / aggregated, clean
+// and under 1% loss), deferred-quiet semantics (read-your-writes, quiet
+// elision, staging telemetry), run coalescing, and the MCS lock handoff
+// latency regression guard for the nbi+single-flush collapse.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "caf_test_util.hpp"
+
+using namespace caf;
+using caftest::Harness;
+using caftest::Stack;
+
+namespace {
+
+/// One strided-put configuration under test: which plan and which
+/// completion pipeline carries it.
+struct PlanConfig {
+  const char* name;
+  StridedAlgo algo;
+  CompletionMode completion;
+  bool write_combining;
+};
+
+constexpr PlanConfig kPlanConfigs[] = {
+    {"eager-naive", StridedAlgo::kNaive, CompletionMode::kEager, false},
+    {"eager-2dim", StridedAlgo::kTwoDim, CompletionMode::kEager, false},
+    {"eager-adaptive", StridedAlgo::kAdaptive, CompletionMode::kEager, false},
+    {"eager-aggregate", StridedAlgo::kAggregate, CompletionMode::kEager, true},
+    {"deferred-naive", StridedAlgo::kNaive, CompletionMode::kDeferred, false},
+    {"deferred-adaptive", StridedAlgo::kAdaptive, CompletionMode::kDeferred,
+     true},
+    {"deferred-aggregate", StridedAlgo::kAggregate, CompletionMode::kDeferred,
+     true},
+};
+
+struct StridedRun {
+  std::vector<int> remote;
+  std::vector<int> readback;
+  StridedStats stats;
+};
+
+/// Puts `sec` of a coarray from image 1 into a cross-node image, reads it
+/// back with get_section on the writer, and snapshots the remote memory.
+StridedRun run_plan(Stack stack, const PlanConfig& cfg, Shape shape,
+                    Section sec, double loss = 0.0) {
+  Options opts;
+  opts.strided = cfg.algo;
+  opts.rma.completion = cfg.completion;
+  opts.rma.write_combining = cfg.write_combining;
+  net::FaultPlan plan;
+  if (loss > 0.0) plan.with_seed(0xA66).with_loss(loss);
+  constexpr int kImages = 18;
+  constexpr int kTarget = 17;  // crosses the node boundary on every machine
+  Harness h(stack, kImages, opts, 8 << 20, plan);
+  auto out = std::make_shared<StridedRun>();
+  h.run([&] {
+    auto x = make_coarray<int>(h.rt(), shape);
+    for (std::int64_t i = 0; i < x.size(); ++i) x.data()[i] = -1;
+    h.rt().sync_all();
+    const SectionDesc d = describe(shape, sec);
+    if (h.rt().this_image() == 1) {
+      std::vector<int> src(static_cast<std::size_t>(d.total));
+      std::iota(src.begin(), src.end(), 100);
+      out->stats = x.put_section(kTarget, sec, src.data());
+      // Strict-mode read-your-writes straight through the pipeline: the
+      // get must flush staged/in-flight puts before reading.
+      out->readback.resize(static_cast<std::size_t>(d.total));
+      x.get_section(out->readback.data(), kTarget, sec);
+    }
+    h.rt().sync_all();
+    if (h.rt().this_image() == kTarget) {
+      out->remote.assign(x.data(), x.data() + x.size());
+    }
+    h.rt().sync_all();
+  });
+  return std::move(*out);
+}
+
+std::vector<int> expected_remote(Shape shape, Section sec) {
+  std::vector<int> ref(static_cast<std::size_t>(shape.size()), -1);
+  const auto elems = linear_elements(describe(shape, sec));
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    ref[static_cast<std::size_t>(elems[i])] = 100 + static_cast<int>(i);
+  }
+  return ref;
+}
+
+}  // namespace
+
+class RmaPipelineAllStacks : public ::testing::TestWithParam<Stack> {};
+INSTANTIATE_TEST_SUITE_P(Stacks, RmaPipelineAllStacks,
+                         ::testing::ValuesIn(caftest::kAllStacks),
+                         [](const auto& info) {
+                           std::string s = caftest::to_string(info.param);
+                           for (auto& c : s) if (c == '-') c = '_';
+                           return s;
+                         });
+
+// Satellite: every plan × pipeline combination writes bit-identical remote
+// memory on every conduit, and the writer's strict-mode readback matches.
+TEST_P(RmaPipelineAllStacks, AllPlansBitIdenticalRemoteMemory) {
+  const Shape shape{20, 16, 6};
+  const Section sec{{1, 19, 2}, {2, 16, 3}, {1, 6, 2}};
+  const auto ref = expected_remote(shape, sec);
+  const SectionDesc d = describe(shape, sec);
+  std::vector<int> packed(static_cast<std::size_t>(d.total));
+  std::iota(packed.begin(), packed.end(), 100);
+  for (const auto& cfg : kPlanConfigs) {
+    const auto run = run_plan(GetParam(), cfg, shape, sec);
+    EXPECT_EQ(run.remote, ref) << cfg.name;
+    EXPECT_EQ(run.readback, packed) << cfg.name;
+  }
+}
+
+// Same property with 1% message loss: the reliable-delivery layer must make
+// the loss invisible to every plan, including the scatter messages the
+// write-combining stage emits.
+TEST_P(RmaPipelineAllStacks, AllPlansBitIdenticalUnderLoss) {
+  const Shape shape{16, 10, 4};
+  const Section sec{{1, 15, 2}, {1, 10, 3}, {1, 4, 1}};
+  const auto ref = expected_remote(shape, sec);
+  for (const auto& cfg : kPlanConfigs) {
+    const auto run = run_plan(GetParam(), cfg, shape, sec, /*loss=*/0.01);
+    EXPECT_EQ(run.remote, ref) << cfg.name << " under 1% loss";
+  }
+}
+
+// A matrix-oriented section whose innermost runs are adjacent in remote
+// memory must collapse to a single message when run coalescing is on, and
+// stay one-message-per-run when it is off.
+TEST(RunCoalescing, MergesAdjacentRunsIntoOneMessage) {
+  const Shape shape{32, 8};
+  const Section sec{{1, 32, 1}, {1, 8, 1}};  // the full array: 8 adjacent runs
+  for (const bool coalesce : {true, false}) {
+    Options opts;
+    opts.strided = StridedAlgo::kNaive;
+    opts.rma.run_coalescing = coalesce;
+    Harness h(Stack::kShmemCray, 4, opts, 8 << 20);
+    StridedStats stats;
+    h.run([&] {
+      auto x = make_coarray<int>(h.rt(), shape);
+      h.rt().sync_all();
+      if (h.rt().this_image() == 1) {
+        std::vector<int> src(32 * 8);
+        std::iota(src.begin(), src.end(), 0);
+        stats = x.put_section(2, sec, src.data());
+        EXPECT_EQ(h.rt().stats().coalesced_runs, coalesce ? 7u : 0u);
+      }
+      h.rt().sync_all();
+    });
+    if (coalesce) {
+      EXPECT_EQ(stats.messages, 1u);
+      EXPECT_EQ(stats.coalesced, 7u);
+    } else {
+      EXPECT_EQ(stats.messages, 8u);
+      EXPECT_EQ(stats.coalesced, 0u);
+    }
+  }
+}
+
+// Deferred pipeline observability: small puts are absorbed by the staging
+// chunk (few scatter flushes), and quiets with a clean tracker are elided.
+TEST(DeferredPipeline, StagingAndQuietElisionTelemetry) {
+  Options opts;
+  opts.rma.completion = CompletionMode::kDeferred;
+  opts.rma.write_combining = true;
+  Harness h(Stack::kShmemCray, 4, opts, 2 << 20);
+  h.run([&] {
+    auto& rt = h.rt();
+    const std::uint64_t off = rt.allocate_coarray_bytes(4096);
+    rt.sync_all();
+    if (rt.this_image() == 1) {
+      for (int i = 0; i < 64; ++i) {
+        const std::int64_t v = i;
+        rt.put_bytes(2, off + static_cast<std::uint64_t>(i) * 8, &v, 8);
+      }
+      EXPECT_TRUE(rt.conduit().pending(1) || rt.stats().agg_staged > 0);
+    }
+    rt.sync_all();
+    if (rt.this_image() == 1) {
+      // 64 × 8B coalesce into one 512B staged range → one scatter flush.
+      EXPECT_EQ(rt.stats().agg_staged, 64u);
+      EXPECT_EQ(rt.stats().agg_flushes, 1u);
+      EXPECT_FALSE(rt.conduit().pending_any());
+    }
+    if (rt.this_image() == 2) {
+      const auto* base =
+          reinterpret_cast<const std::int64_t*>(rt.local_addr(off));
+      for (int i = 0; i < 64; ++i) EXPECT_EQ(base[i], i);
+    }
+    // Quiet traffic drained: further completion points elide the quiet.
+    const std::uint64_t elided_before = rt.conduit().telemetry().quiet_elided;
+    rt.sync_all();
+    rt.sync_all();
+    EXPECT_GT(rt.conduit().telemetry().quiet_elided, elided_before);
+    rt.sync_all();
+  });
+}
+
+// Satellite: get_strided must not pay a quiet when the tracker shows no
+// pending puts toward the source image.
+TEST(DeferredPipeline, GetSkipsQuietWhenTrackerClean) {
+  Harness h(Stack::kShmemCray, 4, {}, 2 << 20);
+  h.run([&] {
+    auto& rt = h.rt();
+    const std::uint64_t off = rt.allocate_coarray_bytes(256);
+    rt.sync_all();
+    if (rt.this_image() == 1) {
+      const auto quiets_before = rt.conduit().telemetry().quiet_calls -
+                                 rt.conduit().telemetry().quiet_elided;
+      std::int64_t v = 0;
+      rt.get_bytes(&v, 2, off, sizeof v);
+      const auto quiets_after = rt.conduit().telemetry().quiet_calls -
+                                rt.conduit().telemetry().quiet_elided;
+      EXPECT_EQ(quiets_after, quiets_before);  // no pending puts → no quiet
+    }
+    rt.sync_all();
+  });
+}
+
+// Regression guard for the MCS enqueue/handoff collapse (nbi issue + single
+// flush). Ceilings are the measured pre-collapse latencies on this exact
+// deterministic scenario (blocking puts + back-to-back quiets):
+//   plain     handoff 2614 ns   10-cycle 8240 ns
+//   resilient handoff 4417 ns   10-cycle 18280 ns
+// The DES is deterministic, so any regression past the old implementation
+// trips the bound exactly.
+TEST(LockHandoffLatency, DoesNotRegressPastBlockingImplementation) {
+  struct Probe {
+    sim::Time handoff = 0;
+    sim::Time cycle10 = 0;
+  };
+  auto run = [](bool resilient) {
+    net::FaultPlan plan;
+    if (resilient) {
+      plan.with_seed(1).kill_pe(5, 100'000'000'000);  // never fires
+    }
+    Harness h(Stack::kShmemCray, 18, {}, 2 << 20, plan);
+    Probe p;
+    sim::Time t_unlock = 0, t_acq = 0;
+    h.run([&] {
+      auto& rt = h.rt();
+      CoLock lck = rt.make_lock();
+      const int me = rt.this_image();
+      if (me == 17) rt.lock(lck, 1);  // cross-node holder
+      rt.sync_all();
+      if (me == 1) {
+        rt.lock(lck, 1);  // queues behind image 17
+        t_acq = h.engine().now();
+        rt.unlock(lck, 1);
+        const sim::Time t0 = h.engine().now();
+        for (int i = 0; i < 10; ++i) {
+          rt.lock(lck, 1);
+          rt.unlock(lck, 1);
+        }
+        p.cycle10 = h.engine().now() - t0;
+      } else if (me == 17) {
+        h.engine().advance(200'000);  // image 1 is queued by now
+        t_unlock = h.engine().now();
+        rt.unlock(lck, 1);
+      }
+      rt.sync_all();
+    });
+    p.handoff = t_acq - t_unlock;
+    return p;
+  };
+  const Probe plain = run(false);
+  EXPECT_LE(plain.handoff, 2614);
+  EXPECT_LE(plain.cycle10, 8240);
+  const Probe res = run(true);
+  EXPECT_LE(res.handoff, 4417);
+  EXPECT_LE(res.cycle10, 18280);
+}
