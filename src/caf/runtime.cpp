@@ -1559,8 +1559,11 @@ void Runtime::coll_broadcast_bytes(void* data, std::size_t nbytes, int root0) {
   for (int m = mask >> 1; m > 0; m >>= 1) {
     if (vrank + m < n) {
       const int child = (vrank + m + root0) % n;
+      // Per-target completion: the transport delivers same-pair puts in
+      // order, so the flag cannot overtake the payload and no quiet is
+      // needed between them. One slow child no longer stalls the fan-out
+      // to the remaining subtrees.
       conduit_.put(child, slot, local_addr(slot), nbytes, /*nbi=*/true);
-      conduit_.quiet();
       conduit_.put(child, flag, &gen, sizeof gen, /*nbi=*/true);
     }
   }
@@ -1588,8 +1591,10 @@ void Runtime::coll_reduce_bytes(
         coll_flags_off_ + static_cast<std::uint64_t>(level) * sizeof(std::int64_t);
     if (me() & mask) {
       const int peer = me() - mask;
+      // In-order same-pair delivery sequences payload before flag; the
+      // sender leaves both puts in flight and lets the tracker retire them
+      // at the next completion point instead of stalling here.
       conduit_.put(peer, slot, data, nbytes, /*nbi=*/true);
-      conduit_.quiet();
       conduit_.put(peer, flag, &gen, sizeof gen, /*nbi=*/true);
       break;
     }

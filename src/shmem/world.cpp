@@ -355,8 +355,10 @@ void World::broadcast(void* buf, std::size_t nbytes, int root) {
   for (int m = mask >> 1; m > 0; m >>= 1) {
     if (vrank + m < n) {
       const int child = (vrank + m + root) % n;
+      // Same-pair deliveries are FIFO, so the flag trips only after the
+      // data landed; skipping the quiet lets the root stream all subtree
+      // sends back-to-back instead of paying a round trip per child.
       putmem_nbi(buf, buf, nbytes, child);
-      quiet();  // data must be visible before the child's flag trips
       putmem_nbi(flag_addr, &gen, sizeof gen, child);
     }
   }
@@ -386,7 +388,7 @@ void World::reduce_bytes(
       auto* slot = domain_->segment(me) + reduce_slots_off_ +
                    static_cast<std::size_t>(level) * kReduceSlotBytes;
       putmem_nbi(slot, dst, bytes, peer);
-      quiet();
+      // FIFO same-pair delivery orders the slot write before the flag.
       auto* flag = reinterpret_cast<std::int64_t*>(
           domain_->segment(me) + reduce_flags_off_) + level;
       putmem_nbi(flag, &gen, sizeof gen, peer);
