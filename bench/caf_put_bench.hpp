@@ -12,8 +12,17 @@
 
 namespace bench {
 
-inline constexpr int kPairNodePes = 16;
-inline constexpr int kPairWorld = 32;
+/// PEs per node for `machine`: the pair benches place senders on node 0 and
+/// each sender's partner on node 1, so the boundary must track the machine
+/// profile's cores_per_node rather than assume 16.
+inline int pair_node_pes(net::Machine machine) {
+  return net::machine_profile(machine).cores_per_node;
+}
+
+/// Two-node world for the pair benches.
+inline int pair_world(net::Machine machine) {
+  return 2 * pair_node_pes(machine);
+}
 
 /// Contiguous CAF put bandwidth (MB/s): `pairs` senders on node 0 each put
 /// `bytes` to their partner on node 1, `reps` statements batched between
@@ -24,15 +33,15 @@ inline double caf_contig_bw(driver::StackKind kind, net::Machine machine,
   caf::Options opts;
   opts.memory_model = caf::MemoryModel::kRelaxed;
   opts.rma = rma;
-  driver::Stack stack(kind, kPairWorld, machine, bytes * 2 + (1 << 20), opts);
-  std::vector<sim::Time> elapsed(kPairWorld, 0);
+  driver::Stack stack(kind, pair_world(machine), machine, bytes * 2 + (1 << 20), opts);
+  std::vector<sim::Time> elapsed(static_cast<std::size_t>(pair_world(machine)), 0);
   const std::vector<char> payload(bytes, 'p');
   stack.run([&](caf::Runtime& rt) {
     const int me0 = rt.this_image() - 1;
     const std::uint64_t off = rt.allocate_coarray_bytes(bytes);
     rt.sync_all();
     if (me0 < pairs) {
-      const int dst = kPairNodePes + me0 + 1;
+      const int dst = pair_node_pes(machine) + me0 + 1;
       const sim::Time t0 = sim::Engine::current()->now();
       for (int r = 0; r < reps; ++r) {
         rt.put_bytes(dst, off, payload.data(), bytes);
@@ -51,16 +60,16 @@ inline double caf_contig_bw(driver::StackKind kind, net::Machine machine,
 inline double craycaf_contig_bw(net::Machine machine, std::size_t bytes,
                                 int pairs, int reps) {
   sim::Engine engine(64 * 1024);
-  net::Fabric fabric(net::machine_profile(machine), kPairWorld);
+  net::Fabric fabric(net::machine_profile(machine), pair_world(machine));
   craycaf::Runtime rt(engine, fabric, bytes * 2 + (1 << 20), machine);
-  std::vector<sim::Time> elapsed(kPairWorld, 0);
+  std::vector<sim::Time> elapsed(static_cast<std::size_t>(pair_world(machine)), 0);
   const std::vector<char> payload(bytes, 'p');
   rt.launch([&] {
     const int me0 = rt.this_image() - 1;
     const std::uint64_t off = rt.allocate(bytes);
     rt.sync_all();
     if (me0 < pairs) {
-      const int dst = kPairNodePes + me0 + 1;
+      const int dst = pair_node_pes(machine) + me0 + 1;
       const sim::Time t0 = engine.now();
       for (int r = 0; r < reps; ++r) {
         rt.put_bytes_nbi(dst, off, payload.data(), bytes);
@@ -89,15 +98,15 @@ inline double caf_strided_bw(driver::StackKind kind, net::Machine machine,
   opts.rma = rma;
   const std::size_t array_bytes =
       static_cast<std::size_t>(stride) * nelems * sizeof(int);
-  driver::Stack stack(kind, kPairWorld, machine, array_bytes + (1 << 20),
+  driver::Stack stack(kind, pair_world(machine), machine, array_bytes + (1 << 20),
                       opts);
-  std::vector<sim::Time> elapsed(kPairWorld, 0);
+  std::vector<sim::Time> elapsed(static_cast<std::size_t>(pair_world(machine)), 0);
   stack.run([&](caf::Runtime& rt) {
     const int me0 = rt.this_image() - 1;
     auto x = caf::make_coarray<int>(rt, caf::Shape{stride, nelems});
     rt.sync_all();
     if (me0 < pairs) {
-      const int dst = kPairNodePes + me0 + 1;
+      const int dst = pair_node_pes(machine) + me0 + 1;
       const caf::Section sec{{1, 1, 1}, {1, nelems, 1}};
       std::vector<int> src(static_cast<std::size_t>(nelems), 3);
       const sim::Time t0 = sim::Engine::current()->now();
@@ -127,17 +136,17 @@ inline double caf_smallrun_bw(driver::StackKind kind, net::Machine machine,
   opts.strided = algo;
   opts.rma = rma;
   const caf::Shape shape{2 * run_elems, nmsgs};
-  driver::Stack stack(kind, kPairWorld, machine,
+  driver::Stack stack(kind, pair_world(machine), machine,
                       static_cast<std::size_t>(shape.size()) * sizeof(int) +
                           (1 << 20),
                       opts);
-  std::vector<sim::Time> elapsed(kPairWorld, 0);
+  std::vector<sim::Time> elapsed(static_cast<std::size_t>(pair_world(machine)), 0);
   stack.run([&](caf::Runtime& rt) {
     const int me0 = rt.this_image() - 1;
     auto x = caf::make_coarray<int>(rt, shape);
     rt.sync_all();
     if (me0 < pairs) {
-      const int dst = kPairNodePes + me0 + 1;
+      const int dst = pair_node_pes(machine) + me0 + 1;
       const caf::Section sec{{1, run_elems, 1}, {1, nmsgs, 1}};
       std::vector<int> src(static_cast<std::size_t>(run_elems * nmsgs), 3);
       const sim::Time t0 = sim::Engine::current()->now();
@@ -156,17 +165,17 @@ inline double caf_smallrun_bw(driver::StackKind kind, net::Machine machine,
 inline double craycaf_strided_bw(net::Machine machine, std::int64_t stride,
                                  std::int64_t nelems, int pairs) {
   sim::Engine engine(64 * 1024);
-  net::Fabric fabric(net::machine_profile(machine), kPairWorld);
+  net::Fabric fabric(net::machine_profile(machine), pair_world(machine));
   const std::size_t array_bytes =
       static_cast<std::size_t>(stride) * nelems * sizeof(int);
   craycaf::Runtime rt(engine, fabric, array_bytes + (1 << 20), machine);
-  std::vector<sim::Time> elapsed(kPairWorld, 0);
+  std::vector<sim::Time> elapsed(static_cast<std::size_t>(pair_world(machine)), 0);
   rt.launch([&] {
     const int me0 = rt.this_image() - 1;
     const std::uint64_t off = rt.allocate(array_bytes);
     rt.sync_all();
     if (me0 < pairs) {
-      const int dst = kPairNodePes + me0 + 1;
+      const int dst = pair_node_pes(machine) + me0 + 1;
       std::vector<int> src(static_cast<std::size_t>(nelems), 3);
       const sim::Time t0 = engine.now();
       rt.put_strided_1d(dst, off, static_cast<std::ptrdiff_t>(stride),

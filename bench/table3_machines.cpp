@@ -16,6 +16,7 @@ int main() {
       {net::Machine::kStampede, "IB Mellanox"},
       {net::Machine::kXC30, "Aries"},
       {net::Machine::kTitan, "Gemini"},
+      {net::Machine::kWhale, "IB DDR"},
   };
   for (const auto& r : rows) {
     const auto p = net::machine_profile(r.m);
@@ -24,6 +25,9 @@ int main() {
                 static_cast<long long>(p.hw_latency), p.link_bytes_per_ns,
                 static_cast<long long>(p.rx_msg_gap));
   }
+  std::printf("\ncores/node feeds the collectives engine's node map: images\n"
+              "i and j share a node iff i/cores == j/cores (see DESIGN.md "
+              "§4c).\n");
   std::printf("\nlibrary software profiles:\n");
   std::printf("%-22s %-10s %-12s %-12s %-10s %-12s %-10s\n", "library",
               "machine", "o_put(ns)", "o_amo(ns)", "bw eff", "hw strided",

@@ -53,6 +53,11 @@ struct SwProfile {
   /// models above the conduit layer (e.g. the §VII adaptive strided planner)
   /// can price wire time without hardcoding a machine.
   double link_bytes_per_ns = 6.0;
+  /// Cores (PEs) per node of the machine this profile was built for, stamped
+  /// from MachineProfile::cores_per_node by sw_profile(). Lets topology-aware
+  /// layers (the hierarchical collectives engine) derive the node map without
+  /// reaching below the conduit.
+  int cores_per_node = 16;
 
   bool hw_strided = false;        ///< 1-D iput/iget offloaded to the NIC?
   sim::Time strided_elem_gap = 25;///< per-element NIC cost when hw_strided

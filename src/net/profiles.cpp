@@ -31,15 +31,29 @@ MachineProfile machine_profile(Machine m) {
       p.local_bytes_per_ns = 10.0;
       return p;
     case Machine::kXC30:
-      // Cray XC30: Intel Xeon E5, 16 cores/node, Aries dragonfly.
+      // Cray XC30 (Edison-class): 2x 12-core Intel Ivy Bridge, so an honest
+      // 24 cores/node — not the 16 the other testbeds share — Aries
+      // dragonfly.
       p.name = "xc30";
-      p.cores_per_node = 16;
+      p.cores_per_node = 24;
       p.hw_latency = 700;
       p.link_bytes_per_ns = 10.0;
       p.rx_msg_gap = 50;
       p.nic_amo_gap = 60;
       p.local_latency = 100;
       p.local_bytes_per_ns = 14.0;
+      return p;
+    case Machine::kWhale:
+      // UH Whale: 2x quad-core Opteron (8 cores/node), DDR InfiniBand.
+      // Older fabric: higher latency, ~2 GB/s per port, slower memory.
+      p.name = "whale";
+      p.cores_per_node = 8;
+      p.hw_latency = 1'900;
+      p.link_bytes_per_ns = 2.0;
+      p.rx_msg_gap = 110;
+      p.nic_amo_gap = 160;
+      p.local_latency = 180;
+      p.local_bytes_per_ns = 6.0;
       return p;
   }
   throw std::invalid_argument("unknown machine");
@@ -197,15 +211,21 @@ SwProfile sw_profile(Library lib, Machine m) {
     default:
       throw std::invalid_argument("unknown library");
   }
-  // Every library profile carries the raw link bandwidth of the machine it
-  // runs on, so layers above the conduit never hardcode a machine constant.
-  s.link_bytes_per_ns = machine_profile(m).link_bytes_per_ns;
+  // Every library profile carries the raw link bandwidth and node width of
+  // the machine it runs on, so layers above the conduit never hardcode a
+  // machine constant.
+  const MachineProfile mp = machine_profile(m);
+  s.link_bytes_per_ns = mp.link_bytes_per_ns;
+  s.cores_per_node = mp.cores_per_node;
   return s;
 }
 
 Library native_shmem(Machine m) {
-  return m == Machine::kStampede ? Library::kShmemMvapich
-                                 : Library::kShmemCray;
+  // InfiniBand clusters (Stampede, Whale) run MVAPICH2-X; the Cray systems
+  // run Cray SHMEM over DMAPP.
+  return (m == Machine::kStampede || m == Machine::kWhale)
+             ? Library::kShmemMvapich
+             : Library::kShmemCray;
 }
 
 std::string to_string(Machine m) { return machine_profile(m).name; }

@@ -10,8 +10,9 @@
 
 namespace net {
 
-/// Which cluster from Table III.
-enum class Machine { kStampede, kTitan, kXC30 };
+/// Which cluster from Table III (plus Whale, the UH development cluster
+/// used by the UHCAF group's earlier studies).
+enum class Machine { kStampede, kTitan, kXC30, kWhale };
 
 /// Which communication library / runtime layer.
 enum class Library {

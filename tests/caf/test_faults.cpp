@@ -28,11 +28,12 @@ struct RunResult {
 // A small ring workload under mixed loss/duplication/delay: every image
 // puts into its right neighbour and reads from its left neighbour for a
 // few synchronized rounds, folding what it read into an accumulator.
-// 18 images span two XC30 nodes (16 cores each), so the ring edges that
+// cores_per_node + 2 images span two XC30 nodes, so the ring edges that
 // cross the node boundary — and the barrier fan-ins — actually traverse
 // the lossy wire; intra-node traffic bypasses the injector by design.
 RunResult run_lossy_ring(std::uint64_t seed) {
-  constexpr int kImages = 18;
+  const int kImages =
+      net::machine_profile(net::Machine::kXC30).cores_per_node + 2;
   net::FaultPlan plan;
   plan.with_seed(seed)
       .with_loss(0.02)

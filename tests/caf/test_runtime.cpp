@@ -351,14 +351,15 @@ TEST(Runtime, RelaxedModelSkipsAutoQuiet) {
 
 TEST(Runtime, StrictPutPaysQuiet) {
   caf::Options opts;  // strict by default
-  // 18 images so image 17 sits on the second node (16 cores/node).
-  Harness h(Stack::kShmemCray, 18, opts);
+  // cores_per_node + 2 images, so the last image sits on the second node.
+  const int cores = net::machine_profile(net::Machine::kXC30).cores_per_node;
+  Harness h(Stack::kShmemCray, cores + 2, opts);
   h.run([&] {
     auto x = make_coarray<int>(h.rt(), {1});
     h.rt().sync_all();
     if (h.rt().this_image() == 1) {
       const sim::Time t0 = h.engine().now();
-      x.put_scalar(17, {1}, 42);
+      x.put_scalar(cores + 1, {1}, 42);
       EXPECT_GE(h.engine().now() - t0, h.fabric().profile().hw_latency);
     }
     h.rt().sync_all();

@@ -80,8 +80,9 @@ TEST(ShmemPtr, DirectPathIsCheaper) {
 }
 
 TEST(ShmemPtr, InterNodeTrafficUnaffected) {
-  auto cost = [](bool direct) {
-    Harness h(Stack::kShmemCray, 18);
+  const int cores = net::machine_profile(net::Machine::kXC30).cores_per_node;
+  auto cost = [cores](bool direct) {
+    Harness h(Stack::kShmemCray, cores + 2);
     sim::Time t = 0;
     h.run([&] {
       conduit_of(h).set_intra_node_direct(direct);
@@ -90,7 +91,7 @@ TEST(ShmemPtr, InterNodeTrafficUnaffected) {
       if (h.rt().this_image() == 1) {
         std::vector<double> buf(256, 1.0);
         const sim::Time t0 = h.engine().now();
-        x.put_contiguous(17, buf.data(), 256);  // other node
+        x.put_contiguous(cores + 1, buf.data(), 256);  // other node
         t = h.engine().now() - t0;
       }
       h.rt().sync_all();
