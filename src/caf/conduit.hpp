@@ -67,6 +67,14 @@ class Conduit {
   /// active-message emulations (GASNet).
   virtual bool native_amo() const = 0;
 
+  /// True when `target`'s segment is directly load/store addressable from
+  /// the calling rank — same node and the conduit has it mapped (e.g.
+  /// shmem_ptr with the intra-node-direct optimization enabled). Layers
+  /// above (the hierarchical collectives engine) use this capability query
+  /// to replace intra-node network messages with host copies; the default
+  /// is conservative.
+  virtual bool direct_reachable(int /*target*/) { return false; }
+
   /// Collective hook invoked once per image by Runtime::init() after the
   /// runtime's internal allocations; conduits needing collective setup
   /// (e.g. ARMCI mutex creation) override it.

@@ -11,12 +11,28 @@
 //   co_broadcast/co_op  → shmem_broadcast / shmem_<op>_to_all
 #pragma once
 
+#include <cstring>
 #include <memory>
+#include <vector>
 
 #include "caf/conduit.hpp"
 #include "shmem/world.hpp"
 
 namespace caf {
+
+/// Per-issuing-rank counters for the shmem_ptr direct load/store path:
+/// how often each operation class short-circuited the library, and how many
+/// network messages that elided (strided ops count per-element messages
+/// unless the conduit is hardware-strided).
+struct DirectTelemetry {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t iputs = 0;
+  std::uint64_t igets = 0;
+  std::uint64_t scatters = 0;
+  std::uint64_t elided_msgs = 0;
+  std::uint64_t elided_bytes = 0;
+};
 
 class ShmemConduit final : public Conduit {
  public:
@@ -29,6 +45,11 @@ class ShmemConduit final : public Conduit {
   /// put/get path.
   void set_intra_node_direct(bool on) { intra_node_direct_ = on; }
   bool intra_node_direct() const { return intra_node_direct_; }
+
+  /// Calling rank's direct-path counters.
+  const DirectTelemetry& direct_telemetry() {
+    return direct_tele(world_.my_pe());
+  }
 
   int rank() const override { return world_.my_pe(); }
   int nranks() const override { return world_.n_pes(); }
@@ -77,6 +98,10 @@ class ShmemConduit final : public Conduit {
   }
   void barrier() override { world_.barrier_all(); }
 
+  bool direct_reachable(int target) override {
+    return intra_node_direct_ && world_.ptr(local_addr(0), target) != nullptr;
+  }
+
   bool has_native_collectives() const override { return true; }
   void native_broadcast(std::uint64_t off, std::size_t nbytes,
                         int root) override {
@@ -111,6 +136,10 @@ class ShmemConduit final : public Conduit {
       if (const void* p = world_.ptr(local_addr(src_off), rank)) {
         world_.engine().advance(direct_copy_cost(n));
         std::memcpy(dst, p, n);
+        DirectTelemetry& t = direct_tele(world_.my_pe());
+        ++t.gets;
+        ++t.elided_msgs;
+        t.elided_bytes += n;
         return;
       }
     }
@@ -119,18 +148,73 @@ class ShmemConduit final : public Conduit {
   void do_iput(int rank, std::uint64_t dst_off, std::ptrdiff_t dst_stride,
                const void* src, std::ptrdiff_t src_stride,
                std::size_t elem_bytes, std::size_t nelems) override {
+    if (intra_node_direct_ && nelems > 0 &&
+        world_.ptr(local_addr(dst_off), rank) != nullptr) {
+      {
+        world_.engine().advance(direct_strided_cost(elem_bytes, nelems));
+        const auto* s = static_cast<const std::byte*>(src);
+        const sim::Time now = world_.engine().now();
+        const std::int64_t eb = static_cast<std::int64_t>(elem_bytes);
+        for (std::size_t i = 0; i < nelems; ++i) {
+          const std::int64_t k = static_cast<std::int64_t>(i);
+          // poke (not a bare store) so wait_until watchers see each element.
+          world_.domain().poke(
+              rank, dst_off + static_cast<std::uint64_t>(dst_stride * eb * k),
+              s + src_stride * eb * k, elem_bytes, now);
+        }
+        DirectTelemetry& t = direct_tele(world_.my_pe());
+        ++t.iputs;
+        t.elided_msgs += hw_strided() ? 1 : nelems;
+        t.elided_bytes += elem_bytes * nelems;
+        return;
+      }
+    }
     world_.iputmem(local_addr(dst_off), src, dst_stride, src_stride,
                    elem_bytes, nelems, rank);
   }
   void do_iget(void* dst, std::ptrdiff_t dst_stride, int rank,
                std::uint64_t src_off, std::ptrdiff_t src_stride,
                std::size_t elem_bytes, std::size_t nelems) override {
+    if (intra_node_direct_ && nelems > 0) {
+      if (const auto* p = static_cast<const std::byte*>(
+              world_.ptr(local_addr(src_off), rank))) {
+        world_.engine().advance(direct_strided_cost(elem_bytes, nelems));
+        auto* d = static_cast<std::byte*>(dst);
+        const std::int64_t eb = static_cast<std::int64_t>(elem_bytes);
+        for (std::size_t i = 0; i < nelems; ++i) {
+          const std::int64_t k = static_cast<std::int64_t>(i);
+          std::memcpy(d + dst_stride * eb * k, p + src_stride * eb * k,
+                      elem_bytes);
+        }
+        DirectTelemetry& t = direct_tele(world_.my_pe());
+        ++t.igets;
+        t.elided_msgs += hw_strided() ? 1 : nelems;
+        t.elided_bytes += elem_bytes * nelems;
+        return;
+      }
+    }
     world_.igetmem(dst, local_addr(src_off), dst_stride, src_stride,
                    elem_bytes, nelems, rank);
   }
   void do_put_scatter(int rank, const fabric::ScatterRec* recs,
                       std::size_t nrecs, const void* payload,
                       std::size_t payload_bytes) override {
+    if (intra_node_direct_ && nrecs > 0 &&
+        world_.ptr(local_addr(0), rank) != nullptr) {
+      world_.engine().advance(direct_copy_cost(payload_bytes) +
+                              static_cast<sim::Time>(nrecs) * kDirectElemGap);
+      const auto* p = static_cast<const std::byte*>(payload);
+      const sim::Time now = world_.engine().now();
+      for (std::size_t i = 0; i < nrecs; ++i) {
+        world_.domain().poke(rank, recs[i].dst_off, p + recs[i].payload_off,
+                             recs[i].len, now);
+      }
+      DirectTelemetry& t = direct_tele(world_.my_pe());
+      ++t.scatters;
+      ++t.elided_msgs;  // the write-combined message itself stays off the wire
+      t.elided_bytes += payload_bytes;
+      return;
+    }
     world_.putmem_scatter_nbi(rank, recs, nrecs, payload, payload_bytes);
   }
   void do_quiet() override { world_.quiet(); }
@@ -143,10 +227,20 @@ class ShmemConduit final : public Conduit {
     return reinterpret_cast<std::int64_t*>(local_addr(off));
   }
 
+  /// Per-element issue cost of a direct strided/scatter store stream (the
+  /// loop-carried address arithmetic; no NIC, no library call).
+  static constexpr sim::Time kDirectElemGap = 2;
+
   sim::Time direct_copy_cost(std::size_t n) const {
     // A cache-coherent store stream: ~20 ns issue plus copy bandwidth.
     return 20 + sim::from_ns(static_cast<double>(n) /
                              world_.domain().fabric().profile().local_bytes_per_ns);
+  }
+
+  sim::Time direct_strided_cost(std::size_t elem_bytes,
+                                std::size_t nelems) const {
+    return direct_copy_cost(elem_bytes * nelems) +
+           static_cast<sim::Time>(nelems) * kDirectElemGap;
   }
 
   /// Same-node put through shmem_ptr: advance the clock by the copy cost,
@@ -156,12 +250,24 @@ class ShmemConduit final : public Conduit {
     if (world_.ptr(local_addr(dst_off), rank) == nullptr) return false;
     world_.engine().advance(direct_copy_cost(n));
     world_.domain().poke(rank, dst_off, src, n, world_.engine().now());
+    DirectTelemetry& t = direct_tele(world_.my_pe());
+    ++t.puts;
+    ++t.elided_msgs;
+    t.elided_bytes += n;
     return true;
+  }
+
+  DirectTelemetry& direct_tele(int rank) {
+    if (direct_tele_.empty()) {
+      direct_tele_.resize(static_cast<std::size_t>(world_.n_pes()));
+    }
+    return direct_tele_[static_cast<std::size_t>(rank)];
   }
 
   shmem::World& world_;
   std::size_t seg_bytes_;
   bool intra_node_direct_ = false;
+  std::vector<DirectTelemetry> direct_tele_;
 };
 
 }  // namespace caf

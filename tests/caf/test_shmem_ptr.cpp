@@ -100,3 +100,71 @@ TEST(ShmemPtr, InterNodeTrafficUnaffected) {
   };
   EXPECT_EQ(cost(true), cost(false));
 }
+
+TEST(ShmemPtr, StridedAndScatterTakeDirectPath) {
+  // Satellite coverage: iput/iget/put_scatter between same-node images go
+  // through the shmem_ptr shortcut, and the telemetry reports how many
+  // network messages that elided.
+  Harness h(Stack::kShmemCray, 2);
+  h.run([&] {
+    auto& cd = conduit_of(h);
+    cd.set_intra_node_direct(true);
+    auto x = make_coarray<int>(h.rt(), {16});
+    for (int i = 1; i <= 16; ++i) x(i) = 0;
+    h.rt().sync_all();
+    if (h.rt().this_image() == 1) {
+      const int peer = 1;  // 0-based rank of image 2, same node
+      const std::vector<int> src = {11, 22, 33, 44};
+      cd.iput(peer, x.offset(), /*dst_stride=*/2, src.data(),
+              /*src_stride=*/1, sizeof(int), src.size());
+      std::vector<int> got(src.size(), 0);
+      cd.iget(got.data(), /*dst_stride=*/1, peer, x.offset(),
+              /*src_stride=*/2, sizeof(int), src.size());
+      EXPECT_EQ(got, src);
+
+      const int pay[2] = {7, 9};
+      const fabric::ScatterRec recs[2] = {
+          {x.offset() + 4, sizeof(int), 0},
+          {x.offset() + 36, sizeof(int), sizeof(int)},
+      };
+      cd.put_scatter(peer, recs, 2, pay, sizeof pay);
+      EXPECT_EQ(x.get_scalar(2, {2}), 7);
+      EXPECT_EQ(x.get_scalar(2, {10}), 9);
+
+      const auto& dt = cd.direct_telemetry();
+      EXPECT_EQ(dt.iputs, 1u);
+      EXPECT_EQ(dt.igets, 1u);
+      EXPECT_EQ(dt.scatters, 1u);
+      // Cray SHMEM is hardware-strided, so each strided op counts as one
+      // elided message; the scatter and the two direct get_scalar loads
+      // count one each.
+      EXPECT_GE(dt.elided_msgs, 5u);
+      EXPECT_GT(dt.elided_bytes, 0u);
+    }
+    h.rt().sync_all();
+  });
+}
+
+TEST(ShmemPtr, InterNodeStridedStaysOnLibraryPath) {
+  const int cores = net::machine_profile(net::Machine::kXC30).cores_per_node;
+  Harness h(Stack::kShmemCray, cores + 2);
+  h.run([&] {
+    auto& cd = conduit_of(h);
+    cd.set_intra_node_direct(true);
+    auto x = make_coarray<int>(h.rt(), {16});
+    h.rt().sync_all();
+    if (h.rt().this_image() == 1) {
+      EXPECT_FALSE(cd.direct_reachable(cores));  // first rank of node 1
+      EXPECT_TRUE(cd.direct_reachable(1));
+      const std::vector<int> src = {1, 2, 3};
+      cd.iput(cores, x.offset(), 2, src.data(), 1, sizeof(int), src.size());
+      cd.quiet();
+      std::vector<int> got(3, 0);
+      cd.iget(got.data(), 1, cores, x.offset(), 2, sizeof(int), got.size());
+      EXPECT_EQ(got, src);
+      EXPECT_EQ(cd.direct_telemetry().iputs, 0u);
+      EXPECT_EQ(cd.direct_telemetry().igets, 0u);
+    }
+    h.rt().sync_all();
+  });
+}
