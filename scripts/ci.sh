@@ -39,4 +39,18 @@ assert ratio >= 2.0, f"aggregation speedup regressed: {ratio:.2f}x < 2x"
 print(f"bench smoke ok: aggregated/blocking geomean = {ratio:.2f}x")
 EOF
 
+# Collectives-engine ablation: the adaptive arm must keep beating the
+# pre-engine baseline (binomial + full-quiet completion) at scale.
+./build-release/bench/ablate_coll --json BENCH_coll.json
+python3 - <<'EOF'
+import json
+with open("BENCH_coll.json") as f:
+    data = json.load(f)
+ar = data["allreduce8_speedup_64"]
+bc = data["bcast_1m_speedup_64"]
+assert ar >= 2.0, f"small-allreduce speedup regressed: {ar:.2f}x < 2x"
+assert bc >= 1.5, f"1MiB-broadcast speedup regressed: {bc:.2f}x < 1.5x"
+print(f"bench smoke ok: allreduce-8B @64 = {ar:.2f}x, bcast-1MiB @64 = {bc:.2f}x")
+EOF
+
 echo "=== CI passed ==="

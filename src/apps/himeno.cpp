@@ -155,16 +155,20 @@ Result Solver::run() {
   rt_.sync_all();
   const sim::Time t0 = sim::Engine::current()->now();
   double gosa = 0.0;
+  sim::Time coll = 0;
   for (int it = 0; it < cfg_.iters; ++it) {
     gosa = jacobi_sweep();
     exchange_halos();
+    const sim::Time c0 = sim::Engine::current()->now();
     rt_.co_sum(&gosa, 1);
+    coll += sim::Engine::current()->now() - c0;
     rt_.sync_all();
   }
   const sim::Time elapsed = sim::Engine::current()->now() - t0;
   Result r;
   r.gosa = gosa;
   r.elapsed = elapsed;
+  r.coll_per_iter = coll / cfg_.iters;
   const double total_flops = static_cast<double>(cfg_.iters) * kFlopsPerCell *
                              (cfg_.gx - 2) * (cfg_.gy - 2) * (cfg_.gz - 2);
   r.mflops = total_flops / (static_cast<double>(elapsed) / 1e9) / 1e6;

@@ -33,6 +33,7 @@ struct Result {
   double mflops = 0;
   double gosa = 0;          ///< final residual (validation)
   sim::Time elapsed = 0;
+  sim::Time coll_per_iter = 0;  ///< this image's residual co_sum cost
 };
 
 /// Picks the most-square (py, pz) decomposition of `images` that divides

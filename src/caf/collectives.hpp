@@ -1,0 +1,305 @@
+// Topology-aware hierarchical collectives engine.
+//
+// The paper builds CAF collectives from one-sided puts + flag waits
+// (footnote 1) or maps them to the conduit's native calls (Table II). This
+// engine replaces the runtime's ad-hoc binomial trees with a family of
+// algorithms that exploit the node map derivable from SwProfile::
+// cores_per_node:
+//
+//   * kFlat              — root-centric reference (linear fan-out / linear
+//                          gather-combine); the conformance baseline.
+//   * kBinomial          — classic binomial tree over all images (the
+//                          pre-engine algorithm, kept as an arm).
+//   * kTwoLevel          — node-leader hierarchy: intra-node stage over
+//                          shmem_ptr-class direct copies when the conduit
+//                          reports direct_reachable(), k-nomial tree across
+//                          node leaders for the inter-node stage.
+//   * kRecursiveDoubling — allreduce without a root for small payloads
+//                          (log2 P rounds instead of reduce + broadcast).
+//   * kPipelined         — segmented streaming through a contiguous binary
+//                          tree with ack-window flow control, for payloads
+//                          larger than one staging slot.
+//
+// kAuto picks per call by pricing the candidate trees off the SwProfile
+// (latency/overhead/bandwidth), the same way the §VII strided planner
+// prices its transfer plans.
+//
+// Correctness notes:
+//   * All arms combine in ascending image order (a binomial receiver merges
+//     the contiguous block [me+mask, me+2*mask); recursive doubling merges
+//     index-order-aware), so non-commutative but associative reductions get
+//     the same rank-order fold from every arm.
+//   * Data-then-flag put pairs rely on the transport's in-order same-pair
+//     delivery; per_target_completion=false restores the pre-engine
+//     quiet-between-puts sequence for A/B measurement.
+//   * Broadcast staging slots form a ring of kBcBanks generation banks.
+//     Successive generations land in distinct cells, and a bank is only
+//     reused W generations later, after an engine barrier has proven every
+//     image consumed it (a producer with no receives — a broadcast root —
+//     can otherwise stream arbitrarily far ahead of a lagging consumer and
+//     overwrite a slot it has not read yet). The window barrier runs at
+//     most once per kBcBanks generations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "caf/conduit.hpp"
+
+namespace caf {
+
+enum class CollAlgo {
+  kAuto,
+  kFlat,
+  kBinomial,
+  kTwoLevel,
+  kRecursiveDoubling,
+  kPipelined,
+};
+
+/// Tuning for the hierarchical collectives engine.
+struct CollOptions {
+  CollAlgo broadcast = CollAlgo::kAuto;  ///< force a broadcast arm
+  CollAlgo reduce = CollAlgo::kAuto;     ///< force a reduction arm
+  int knomial_radix = 4;                 ///< inter-node leader-tree radix
+  std::size_t rd_max_bytes = 2048;       ///< recursive-doubling payload cap
+  std::size_t pipe_chunk = 8192;         ///< pipelined segment size
+  int pipe_depth = 4;                    ///< in-flight segments per tree edge
+  /// Data put followed by flag put with no quiet between them (per-target
+  /// completion via in-order same-pair delivery). False restores the
+  /// pre-engine put+quiet+flag sequence — the ablation baseline.
+  bool per_target_completion = true;
+  /// Use the node map at all; false treats the machine as flat (every image
+  /// its own node), which disables the two-level arms.
+  bool hierarchical = true;
+};
+
+/// Per-image engine counters (tests/benches verify the message-locality and
+/// pipelining claims with these).
+struct CollTelemetry {
+  std::uint64_t broadcasts = 0;
+  std::uint64_t reductions = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t inter_node_msgs = 0;  ///< data/flag puts that crossed nodes
+  std::uint64_t intra_node_msgs = 0;  ///< puts that stayed on the node
+  std::uint64_t direct_intra_msgs = 0;///< intra puts the conduit can ld/st
+  std::uint64_t chunks_pipelined = 0; ///< segments streamed up/down trees
+};
+
+class CollectiveEngine {
+ public:
+  CollectiveEngine(Conduit& conduit, const CollOptions& opts)
+      : conduit_(conduit), opts_(opts) {}
+
+  /// Collective: allocates the engine's symmetric staging areas. Every image
+  /// must call in the same program order relative to other allocations.
+  void init();
+
+  /// Whole-payload broadcast from 0-based `root0`; the engine owns chunking
+  /// and, above pipe_chunk, pipelining.
+  void broadcast(void* data, std::size_t nbytes, int root0);
+
+  /// Whole-payload allreduce; `comb(a, b)` folds one element `b` into `a`
+  /// and every arm applies it in ascending image order.
+  void allreduce(void* data, std::size_t nelems, std::size_t elem,
+                 const std::function<void(void*, const void*)>& comb);
+
+  /// Hierarchical dissemination barrier: intra-node counter gather at the
+  /// leader, dissemination rounds across leaders only, intra-node release.
+  void barrier();
+
+  // ---- node map (ranks are node-contiguous in the fabric) ----
+  int node_of(int rank) const { return rank / node_size_; }
+  int leader_of(int rank) const { return node_of(rank) * node_size_; }
+  int num_nodes() const { return num_nodes_; }
+  int node_size() const { return node_size_; }
+  int node_members(int node) const {
+    const int base = node * node_size_;
+    return std::min(node_size_, n_ - base);
+  }
+
+  // ---- selector (exposed so tests/benches can check the pricing) ----
+  CollAlgo pick_broadcast(std::size_t nbytes) const;
+  CollAlgo pick_reduce(std::size_t nbytes) const;
+
+  const CollOptions& options() const { return opts_; }
+  const CollTelemetry& telemetry() { return state().tele; }
+
+  /// Staging granularity of the non-pipelined arms (one slot bank).
+  static constexpr std::size_t kSlotBytes = 8192;
+  /// Broadcast-slot ring depth == generations allowed between window
+  /// barriers (see next_bc_gen()).
+  static constexpr int kBcBanks = 8;
+
+ private:
+  struct PerRank {
+    std::int64_t gen = 0;       ///< collective generation (flag values)
+    std::int64_t bar_gen = 0;   ///< barrier generation
+    std::int64_t flat_calls = 0;///< flat-reduce gather rounds completed
+    std::int64_t win_base = 0;  ///< gen proven globally complete (barrier)
+    CollTelemetry tele;
+  };
+
+  int me() const { return conduit_.rank(); }
+  PerRank& state() { return per_rank_[static_cast<std::size_t>(me())]; }
+  std::byte* local(std::uint64_t off) {
+    return conduit_.segment(me()) + off;
+  }
+  std::int64_t next_gen() { return ++state().gen; }
+
+  static int ceil_log2(int x);
+
+  // Cost model (selector pricing off the SwProfile).
+  double inter_hop(std::size_t nbytes) const;
+  double intra_hop(std::size_t nbytes) const;
+
+  /// Data put then flag put to `target`; no quiet between them when
+  /// per_target_completion (in-order same-pair delivery sequences them),
+  /// the pre-engine put+quiet+flag otherwise. Counts locality telemetry.
+  void send_payload(int target, std::uint64_t slot_off, const void* src,
+                    std::size_t n, std::uint64_t flag_off, std::int64_t gen);
+  void put_i64(int target, std::uint64_t off, std::int64_t v);
+  void count_msg(int target, std::size_t n);
+  void wait_ge(std::uint64_t off, std::int64_t v) {
+    conduit_.wait_until(off, Cmp::kGe, v);
+  }
+  void combine_buf(void* a, const void* b, std::size_t nelems,
+                   std::size_t elem,
+                   const std::function<void(void*, const void*)>& comb);
+
+  /// Generation for a bcast-slot chunk. Runs the engine barrier first when
+  /// the new generation would reuse a ring bank (gen - win_base reaching
+  /// kBcBanks): the barrier proves every image consumed the old occupant,
+  /// so no producer can overrun a consumer by a full ring. Uniform across
+  /// images (gen counters advance identically), hence collective-safe.
+  std::int64_t next_bc_gen();
+
+  // ---- broadcast arms (payload <= kSlotBytes per call) ----
+  void bcast_flat(void* data, std::size_t nbytes, int root0,
+                  std::int64_t gen);
+  void bcast_binomial(void* data, std::size_t nbytes, int root0,
+                      std::int64_t gen);
+  void bcast_two_level(void* data, std::size_t nbytes, int root0,
+                       std::int64_t gen);
+
+  /// Binomial fan-out within the calling image's node, rooted at
+  /// `local_root` (a member of the same node). The root's payload must
+  /// already be staged in the generation's bcast slot bank; every other
+  /// member waits, forwards, and copies out into `data`.
+  void node_fanout(int local_root, void* data, std::size_t nbytes,
+                   std::int64_t gen);
+
+  // ---- reduction arms ----
+  void reduce_flat(void* data, std::size_t nelems, std::size_t elem,
+                   const std::function<void(void*, const void*)>& comb,
+                   std::int64_t gen);
+  void reduce_binomial(void* data, std::size_t nelems, std::size_t elem,
+                       const std::function<void(void*, const void*)>& comb,
+                       std::int64_t gen);
+  void reduce_two_level(void* data, std::size_t nelems, std::size_t elem,
+                        const std::function<void(void*, const void*)>& comb,
+                        std::int64_t gen);
+  /// Recursive-doubling allreduce over `group` (ascending ranks); `gi` is
+  /// the caller's index. Non-power-of-two sizes pre-fold adjacent pairs so
+  /// every survivor covers a contiguous index block, then send the result
+  /// back at the end. Rank-order-aware: the lower-indexed side always
+  /// contributes the left operand.
+  void rd_allreduce(const std::vector<int>& group, int gi, void* data,
+                    std::size_t nelems, std::size_t elem,
+                    const std::function<void(void*, const void*)>& comb,
+                    std::int64_t gen);
+
+  // ---- pipelined arms (payload > pipe_chunk) ----
+  /// Contiguous-range binary tree: subtree over [lo,hi] is rooted at lo,
+  /// children cover [lo+1,mid] and [mid+1,hi]. Ranges are contiguous, so
+  /// subtrees cluster on nodes (ranks are node-contiguous) and a parent
+  /// combines children in ascending-rank order.
+  struct BinTree {
+    int parent = -1;
+    int child[2] = {-1, -1};
+    int nchild = 0;
+    int my_slot = 0;  ///< which child of the parent this vrank is
+  };
+  static BinTree bin_tree(int vrank, int n);
+  void pipe_bcast(void* data, std::size_t nbytes, int root0,
+                  std::int64_t gen);
+  void pipe_allreduce(void* data, std::size_t nelems, std::size_t elem,
+                      const std::function<void(void*, const void*)>& comb,
+                      std::int64_t gen);
+
+  // k-nomial leader tree helpers (indices into the rotated leader list).
+  std::vector<int> knomial_children(int v, int count) const;
+  int knomial_parent(int v) const;
+
+  std::uint64_t bc_slot(std::int64_t gen) const {
+    return bc_slot_off_ +
+           static_cast<std::uint64_t>(gen % kBcBanks) * kSlotBytes;
+  }
+  std::uint64_t bc_flag(std::int64_t gen) const {
+    return bc_flag_off_ + static_cast<std::uint64_t>(gen % kBcBanks) * 8;
+  }
+  std::uint64_t tree_slot(int level) const {
+    return tree_slot_off_ + static_cast<std::uint64_t>(level) * kSlotBytes;
+  }
+  std::uint64_t tree_flag(int level) const {
+    return tree_flag_off_ + static_cast<std::uint64_t>(level) * 8;
+  }
+  std::uint64_t gather_slot(int idx) const {
+    return gather_slot_off_ +
+           static_cast<std::uint64_t>(idx) * opts_.rd_max_bytes;
+  }
+  std::uint64_t gather_flag(int idx) const {
+    return gather_flag_off_ + static_cast<std::uint64_t>(idx) * 8;
+  }
+  std::uint64_t rd_slot(int r) const {
+    return rd_slot_off_ + static_cast<std::uint64_t>(r) * opts_.rd_max_bytes;
+  }
+  std::uint64_t rd_flag(int r) const {
+    return rd_flag_off_ + static_cast<std::uint64_t>(r) * 8;
+  }
+  std::uint64_t pd_bank(int slot) const {
+    return pd_bank_off_ + static_cast<std::uint64_t>(slot) * opts_.pipe_chunk;
+  }
+  std::uint64_t pu_bank(int child, int slot) const {
+    return pu_bank_off_ +
+           (static_cast<std::uint64_t>(child) *
+                static_cast<std::uint64_t>(opts_.pipe_depth) +
+            static_cast<std::uint64_t>(slot)) *
+               opts_.pipe_chunk;
+  }
+
+  Conduit& conduit_;
+  CollOptions opts_;
+
+  int n_ = 0;
+  int node_size_ = 1;
+  int num_nodes_ = 1;
+  int levels_ = 1;      ///< ceil(log2(num images))
+  int rd_rounds_ = 1;   ///< slots provisioned for recursive doubling
+
+  // Symmetric staging areas (offsets identical on every image).
+  std::uint64_t bc_slot_off_ = 0;    ///< kBcBanks ring of broadcast slots
+  std::uint64_t bc_flag_off_ = 0;    ///< kBcBanks ring of broadcast flags
+  std::uint64_t tree_slot_off_ = 0;  ///< per-level binomial-reduce slots
+  std::uint64_t tree_flag_off_ = 0;
+  std::uint64_t gather_slot_off_ = 0;///< per-member intra-node gather slots
+  std::uint64_t gather_flag_off_ = 0;
+  std::uint64_t rd_slot_off_ = 0;    ///< per-round recursive-doubling slots
+  std::uint64_t rd_flag_off_ = 0;
+  std::uint64_t flat_ctr_off_ = 0;   ///< flat-reduce arrival counter
+  std::uint64_t bar_cells_off_ = 0;  ///< leader dissemination round cells
+  std::uint64_t bar_gather_off_ = 0; ///< intra-node barrier arrival counter
+  std::uint64_t bar_release_off_ = 0;///< intra-node barrier release flag
+  std::uint64_t pd_bank_off_ = 0;    ///< down-stream (broadcast) chunk banks
+  std::uint64_t pd_flag_off_ = 0;    ///< down-stream chunk counter
+  std::uint64_t pd_ack_off_ = 0;     ///< per-child down-stream ack cells (2)
+  std::uint64_t pu_bank_off_ = 0;    ///< up-stream (reduce) per-child banks
+  std::uint64_t pu_flag_off_ = 0;    ///< per-child up-stream chunk counters
+  std::uint64_t pu_ack_off_ = 0;     ///< up-stream ack cell (from parent)
+
+  std::vector<PerRank> per_rank_;
+};
+
+}  // namespace caf

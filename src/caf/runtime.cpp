@@ -57,6 +57,14 @@ void Runtime::init() {
     std::memset(local_addr(team_flag_off_), 0, sizeof(std::int64_t));
     std::memset(local_addr(team_coll_ctr_off_), 0, sizeof(std::int64_t));
   }
+  // Topology-aware collectives engine: its symmetric staging areas are
+  // allocated here, in the same collective order on every image, whether or
+  // not the engine ends up selected — so the heap layout never depends on
+  // which dispatch path later runs.
+  if (!coll_engine_) {
+    coll_engine_ = std::make_unique<CollectiveEngine>(conduit_, opts_.coll);
+  }
+  coll_engine_->init();
   sync_offsets_ready_ = true;
 
   if (!failure_hook_registered_) {
@@ -1373,7 +1381,16 @@ Team Runtime::form_team(int* stat) {
 int Runtime::team_sync(const Team& team) {
   require_init();
   if (!resilient_) {
-    sync_all();
+    ++per_image_[me()].stats.syncs;
+    rma_fence();
+    // Fault-free team sync takes the engine's hierarchical dissemination
+    // barrier: an intra-node counter gather at each leader, log2(nodes)
+    // dissemination rounds across leaders only, then an intra-node release.
+    if (coll_engine_ != nullptr) {
+      coll_engine_->barrier();
+    } else {
+      conduit_.barrier();
+    }
     return kStatOk;
   }
   sim::Engine& eng = conduit_.engine();
@@ -1425,7 +1442,7 @@ int Runtime::team_broadcast_bytes(const Team& team, void* data,
     throw std::invalid_argument("team_broadcast_bytes: root not a member");
   }
   if (!resilient_) {
-    coll_broadcast_bytes(data, nbytes, root_image - 1);
+    broadcast_bytes_any(data, nbytes, root_image - 1);
     return kStatOk;
   }
   sim::Engine& eng = conduit_.engine();
@@ -1468,8 +1485,9 @@ int Runtime::team_coll_bytes(const Team& team, void* data, std::size_t nbytes,
   assert(nbytes <= kTeamChunk);
   if (team.members.empty()) return kStatFailedImage;
   if (!resilient_) {
-    // Full-machine path: one staged chunk through the generic reduce tree.
-    coll_reduce_bytes(data, 1, nbytes, comb);
+    // Full-machine path: the chunk is one opaque element (the combiner works
+    // on the whole staged buffer), dispatched like any other allreduce.
+    allreduce_bytes_any(data, 1, nbytes, comb);
     return kStatOk;
   }
   sim::Engine& eng = conduit_.engine();
@@ -1607,6 +1625,48 @@ void Runtime::coll_reduce_bytes(
     }
   }
   coll_broadcast_bytes(data, nbytes, 0);
+}
+
+void Runtime::broadcast_bytes_any(void* data, std::size_t nbytes, int root0) {
+  if (deferred()) rma_fence();  // collective = completion point for staged RMA
+  if (num_images() == 1 || nbytes == 0) return;
+  const bool native =
+      conduit_.has_native_collectives() && opts_.use_native_collectives;
+  if (!native && coll_engine_ != nullptr && !resilient_) {
+    coll_engine_->broadcast(data, nbytes, root0);
+    return;
+  }
+  // Native (Table II) mapping, or the resilient-mode fallback: chunk through
+  // the legacy staging slot.
+  auto* bytes = static_cast<std::byte*>(data);
+  std::size_t remaining = nbytes;
+  while (remaining > 0) {
+    const std::size_t chunk = std::min(remaining, kSlotBytes);
+    coll_broadcast_bytes(bytes, chunk, root0);
+    bytes += chunk;
+    remaining -= chunk;
+  }
+}
+
+void Runtime::allreduce_bytes_any(
+    void* data, std::size_t nelems, std::size_t elem,
+    const std::function<void(void*, const void*)>& comb) {
+  if (deferred()) rma_fence();  // collective = completion point for staged RMA
+  if (num_images() == 1 || nelems == 0) return;
+  const bool native =
+      conduit_.has_native_collectives() && opts_.use_native_collectives;
+  if (!native && coll_engine_ != nullptr && !resilient_) {
+    coll_engine_->allreduce(data, nelems, elem, comb);
+    return;
+  }
+  auto* bytes = static_cast<std::byte*>(data);
+  std::size_t done = 0;
+  const std::size_t per_chunk = std::max<std::size_t>(1, kSlotBytes / elem);
+  while (done < nelems) {
+    const std::size_t n = std::min(nelems - done, per_chunk);
+    coll_reduce_bytes(bytes + done * elem, n, elem, comb);
+    done += n;
+  }
 }
 
 }  // namespace caf

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "caf/collectives.hpp"
 #include "caf/conduit.hpp"
 #include "caf/remote_ptr.hpp"
 #include "caf/section.hpp"
@@ -80,9 +81,16 @@ inline constexpr sim::Time kAggStageCpuNs = 15;
 struct Options {
   StridedAlgo strided = StridedAlgo::kTwoDim;
   MemoryModel memory_model = MemoryModel::kStrict;
-  bool use_native_collectives = true;   ///< Table II co_* mappings when available
+  /// Dispatch co_broadcast/co_* to the conduit's Table II native mappings
+  /// (shmem_broadcast / <op>_to_all) instead of the topology-aware engine.
+  /// Off by default: the engine's node-leader trees beat the flat native
+  /// models at scale on every conduit (see bench/ablate_coll and the fig10
+  /// Himeno series); the native path stays available for comparison and is
+  /// still what resilient-mode collectives fall back to.
+  bool use_native_collectives = false;
   std::size_t nonsym_slab_bytes = 256 * 1024;
   RmaOptions rma;
+  CollOptions coll;  ///< hierarchical collectives engine tuning
 };
 
 /// Statistics returned by the strided engine (used by tests/benches to
@@ -170,6 +178,8 @@ class Runtime {
   Conduit& conduit() { return conduit_; }
   const Options& options() const { return opts_; }
   void set_strided_algo(StridedAlgo a) { opts_.strided = a; }
+  /// The topology-aware collectives engine (valid after init(); null before).
+  CollectiveEngine* coll_engine() { return coll_engine_.get(); }
 
   // ---- image control & synchronization ----
   void sync_all();                                  // sync all
@@ -439,12 +449,19 @@ class Runtime {
   void coll_broadcast_bytes(void* data, std::size_t nbytes, int root0);
   void coll_reduce_bytes(void* data, std::size_t nelems, std::size_t elem,
                          const std::function<void(void*, const void*)>& comb);
+  /// Whole-payload broadcast/allreduce dispatch: the conduit's native
+  /// collective (Table II) when enabled, else the hierarchical engine, else
+  /// the legacy chunked binomial path.
+  void broadcast_bytes_any(void* data, std::size_t nbytes, int root0);
+  void allreduce_bytes_any(void* data, std::size_t nelems, std::size_t elem,
+                           const std::function<void(void*, const void*)>& comb);
   template <typename T>
   void co_reduce_impl(T* data, std::size_t nelems, ReduceOp op);
 
   Conduit& conduit_;
   Options opts_;
   bool inited_ = false;
+  std::unique_ptr<CollectiveEngine> coll_engine_;
 
   // Internal symmetric offsets (identical across images).
   std::uint64_t slab_off_ = 0;       // non-symmetric managed buffer
@@ -516,15 +533,9 @@ template <typename T>
 void Runtime::co_broadcast(T* data, std::size_t nelems, int source_image) {
   static_assert(std::is_trivially_copyable_v<T>);
   require_init();
-  auto* bytes = reinterpret_cast<std::byte*>(data);
-  std::size_t remaining = nelems * sizeof(T);
-  // Chunk through the staging slot so arbitrarily large payloads work.
-  while (remaining > 0) {
-    const std::size_t chunk = std::min(remaining, kSlotBytes);
-    coll_broadcast_bytes(bytes, chunk, source_image - 1);
-    bytes += chunk;
-    remaining -= chunk;
-  }
+  // Whole-payload dispatch: chunking (and pipelining above one slot) is the
+  // engine's job, not the template's.
+  broadcast_bytes_any(data, nelems * sizeof(T), source_image - 1);
 }
 
 template <typename T>
@@ -572,13 +583,7 @@ void Runtime::co_reduce_impl(T* data, std::size_t nelems, ReduceOp op) {
     }
     std::memcpy(a, &x, sizeof(T));
   };
-  std::size_t done = 0;
-  const std::size_t per_chunk = kSlotBytes / sizeof(T);
-  while (done < nelems) {
-    const std::size_t n = std::min(nelems - done, per_chunk);
-    coll_reduce_bytes(data + done, n, sizeof(T), combine);
-    done += n;
-  }
+  allreduce_bytes_any(data, nelems, sizeof(T), combine);
 }
 
 }  // namespace caf

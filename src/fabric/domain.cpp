@@ -74,11 +74,12 @@ sim::Time Domain::in_order_delivery(int src_pe, int dst_pe, sim::Time delivered)
   auto& row = fifo_[static_cast<std::size_t>(src_pe)];
   if (row.empty()) row.assign(static_cast<std::size_t>(npes()), 0);
   sim::Time& last = row[static_cast<std::size_t>(dst_pe)];
-  // Clamping only ever delays a message up to the latest delivery already
-  // scheduled on this pair, so the per-PE outstanding maximum (and hence
-  // quiet() timing) is unchanged — reordered deliveries are serialized,
-  // nothing else moves.
-  last = std::max(last, delivered);
+  // Clamping only ever delays a message to strictly after the latest
+  // delivery already scheduled on this pair. Strictly: a timestamp tie
+  // would let a later message's memcpy run in the same event batch as the
+  // earlier one's wake, and a waiter woken by a data+flag pair must get to
+  // consume the slot before the pair's next generation lands on it.
+  last = delivered > last ? delivered : last + 1;
   return last;
 }
 

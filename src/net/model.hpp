@@ -58,6 +58,12 @@ struct SwProfile {
   /// layers (the hierarchical collectives engine) derive the node map without
   /// reaching below the conduit.
   int cores_per_node = 16;
+  /// One-way wire and intra-node latencies of the underlying machine, also
+  /// stamped by sw_profile(). The collectives selector prices tree depths
+  /// (inter-node hops vs intra-node hops) from these without hardcoding a
+  /// machine, the same way the strided planner prices wire time.
+  sim::Time hw_latency = 1'000;
+  sim::Time local_latency = 120;
 
   bool hw_strided = false;        ///< 1-D iput/iget offloaded to the NIC?
   sim::Time strided_elem_gap = 25;///< per-element NIC cost when hw_strided

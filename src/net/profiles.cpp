@@ -217,6 +217,8 @@ SwProfile sw_profile(Library lib, Machine m) {
   const MachineProfile mp = machine_profile(m);
   s.link_bytes_per_ns = mp.link_bytes_per_ns;
   s.cores_per_node = mp.cores_per_node;
+  s.hw_latency = mp.hw_latency;
+  s.local_latency = mp.local_latency;
   return s;
 }
 

@@ -1,0 +1,152 @@
+// Mid-collective image kills under background loss: a kill landing inside a
+// team broadcast, team allreduce, or team sync must surface as
+// kStatFailedImage on every live member — never a hang — and the survivor
+// team formed afterwards must run clean collectives again. The resilient
+// team paths stay pull-based (staged slots + pairwise counters) precisely
+// so a dead image can vanish at any protocol step.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "caf_test_util.hpp"
+#include "net/fault.hpp"
+
+using caftest::Harness;
+using caftest::Stack;
+
+namespace {
+
+// Two XC30 nodes so the 1% loss actually judges wire traffic (the injector
+// skips intra-node messages by design).
+int two_node_images() {
+  return net::machine_profile(net::Machine::kXC30).cores_per_node + 2;
+}
+
+caf::Team full_team(int images) {
+  caf::Team t;
+  for (int i = 1; i <= images; ++i) t.members.push_back(i);
+  return t;
+}
+
+}  // namespace
+
+TEST(CollFaults, MidBroadcastKillReportsOnAllLiveMembers) {
+  const int images = two_node_images();
+  const int victim = 4;  // 1-based, node 0
+  net::FaultPlan plan;
+  plan.with_seed(0xB1).with_loss(0.01);
+  plan.kill_pe(victim - 1, 1'500'000);
+  Harness h(Stack::kShmemCray, images, {}, 2 << 20, plan);
+  h.run([&] {
+    auto& rt = h.rt();
+    const int me = rt.this_image();
+    const caf::Team all = full_team(images);
+    if (me == victim) {
+      // Dies mid-collective: keeps participating until the kill lands.
+      for (;;) {
+        h.engine().advance(100'000);
+        int payload = 0;
+        (void)rt.team_broadcast_bytes(all, &payload, sizeof payload, 1);
+      }
+    }
+    bool saw_failure = false;
+    for (int k = 0; k < 25; ++k) {
+      h.engine().advance(100'000);
+      int payload = me == 1 ? 1'000 + k : -1;
+      const int st =
+          rt.team_broadcast_bytes(all, &payload, sizeof payload, 1);
+      if (st == caf::kStatFailedImage) {
+        saw_failure = true;
+      } else {
+        ASSERT_EQ(st, caf::kStatOk);
+        EXPECT_EQ(payload, 1'000 + k);  // clean rounds deliver root's data
+      }
+    }
+    EXPECT_TRUE(saw_failure);  // the kill landed mid-run on every survivor
+    // Survivor team: collectives come back clean.
+    int st = -1;
+    const caf::Team team = rt.form_team(&st);
+    EXPECT_EQ(st, caf::kStatFailedImage);
+    EXPECT_FALSE(team.contains(victim));
+    int payload = me == 1 ? 77 : 0;
+    EXPECT_EQ(rt.team_broadcast_bytes(team, &payload, sizeof payload, 1),
+              caf::kStatOk);
+    EXPECT_EQ(payload, 77);
+  });
+}
+
+TEST(CollFaults, MidAllreduceKillReportsOnAllLiveMembers) {
+  const int images = two_node_images();
+  const int victim = images - 1;  // node 1: its gather pulls cross the wire
+  net::FaultPlan plan;
+  plan.with_seed(0xB2).with_loss(0.01);
+  plan.kill_pe(victim - 1, 1'200'000);
+  Harness h(Stack::kShmemCray, images, {}, 2 << 20, plan);
+  h.run([&] {
+    auto& rt = h.rt();
+    const int me = rt.this_image();
+    const caf::Team all = full_team(images);
+    if (me == victim) {
+      for (;;) {
+        h.engine().advance(80'000);
+        std::int64_t v = me;
+        (void)rt.co_sum_team(all, &v, 1);
+      }
+    }
+    const std::int64_t full_sum =
+        static_cast<std::int64_t>(images) * (images + 1) / 2;
+    bool saw_failure = false;
+    for (int k = 0; k < 25; ++k) {
+      h.engine().advance(80'000);
+      std::int64_t v = me;
+      const int st = rt.co_sum_team(all, &v, 1);
+      if (st == caf::kStatFailedImage) {
+        saw_failure = true;  // value may or may not include the victim
+      } else {
+        ASSERT_EQ(st, caf::kStatOk);
+        EXPECT_EQ(v, full_sum);
+      }
+    }
+    EXPECT_TRUE(saw_failure);
+    int st = -1;
+    const caf::Team team = rt.form_team(&st);
+    EXPECT_EQ(st, caf::kStatFailedImage);
+    std::int64_t v = me;
+    EXPECT_EQ(rt.co_sum_team(team, &v, 1), caf::kStatOk);
+    EXPECT_EQ(v, full_sum - victim);
+  });
+}
+
+TEST(CollFaults, MidTeamSyncKillReportsOnAllLiveMembers) {
+  const int images = two_node_images();
+  const int victim = 2;
+  net::FaultPlan plan;
+  plan.with_seed(0xB3).with_loss(0.01);
+  plan.kill_pe(victim - 1, 1'000'000);
+  Harness h(Stack::kShmemCray, images, {}, 2 << 20, plan);
+  h.run([&] {
+    auto& rt = h.rt();
+    const int me = rt.this_image();
+    const caf::Team all = full_team(images);
+    if (me == victim) {
+      for (;;) {
+        h.engine().advance(60'000);
+        (void)rt.team_sync(all);
+      }
+    }
+    bool saw_failure = false;
+    for (int k = 0; k < 30; ++k) {
+      h.engine().advance(60'000);
+      const int st = rt.team_sync(all);
+      if (st == caf::kStatFailedImage) saw_failure = true;
+    }
+    EXPECT_TRUE(saw_failure);
+    EXPECT_EQ(rt.image_status(victim), caf::kStatFailedImage);
+    int st = -1;
+    const caf::Team team = rt.form_team(&st);
+    EXPECT_EQ(st, caf::kStatFailedImage);
+    EXPECT_EQ(team.num_images(), images - 1);
+    EXPECT_EQ(rt.team_sync(team), caf::kStatOk);
+  });
+}
