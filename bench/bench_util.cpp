@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/analyzer.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+
 namespace bench {
 
 namespace {
@@ -251,6 +255,17 @@ double geomean_ratio(const std::vector<double>& a,
   double acc = 0;
   for (std::size_t i = 0; i < a.size(); ++i) acc += std::log(a[i] / b[i]);
   return std::exp(acc / static_cast<double>(a.size()));
+}
+
+void obs_report(const char* label) {
+  if (!obs::enabled()) return;
+  const obs::Attribution attr = obs::analyze();
+  std::printf("\n--- wall-time attribution: %s ---\n", label);
+  std::printf("%s", attr.table().c_str());
+  if (!obs::config().trace_path.empty() && obs::write_chrome_trace()) {
+    std::printf("chrome trace written to %s\n",
+                obs::config().trace_path.c_str());
+  }
 }
 
 }  // namespace bench

@@ -75,4 +75,11 @@ inline void print_row(double x, const std::vector<double>& ys,
 /// statistic the paper quotes.
 double geomean_ratio(const std::vector<double>& a, const std::vector<double>& b);
 
+/// Prints the obs critical-path attribution table for the current trace
+/// session under `label`, and writes the Chrome trace when an output path
+/// is configured (CAF_TRACE=<path>). No-op while tracing is disabled.
+/// Call it after the instrumented run, before any new Fabric is
+/// constructed (fabric construction resets the session).
+void obs_report(const char* label);
+
 }  // namespace bench

@@ -24,6 +24,7 @@
 #include "apps/driver.hpp"
 #include "bench_util.hpp"
 #include "net/fault.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -148,28 +149,35 @@ struct DhtTiming {
   sim::Time kill = 0;
 };
 
+// Reads the survivors' "dht.*" ledgers out of the obs registry; the final
+// (measured) pass's fabric reset the registry, so the counters it holds are
+// exactly that pass's.
 DhtOutcome summarize(int images, int victim, const DhtTiming& tm,
-                     const std::vector<apps::dht::DegradedStats>& stats,
                      const std::vector<sim::Time>& update_end) {
+  auto dht = [](int img, const char* name) {
+    return static_cast<std::int64_t>(obs::registry().value(img - 1, name));
+  };
   DhtOutcome out;
   std::int64_t pre = 0, post = 0;
   sim::Time last_end = tm.kill;
   sim::Time first_reclaim = -1;
   for (int img = 1; img <= images; ++img) {
     if (img == victim) continue;
-    const auto& st = stats[static_cast<std::size_t>(img)];
-    check(st.applied + st.skipped == st.attempted,
+    check(dht(img, "dht.applied") + dht(img, "dht.skipped") ==
+              dht(img, "dht.attempted"),
           "phase B: survivor accounting closes", images);
-    out.applied += st.applied;
-    out.redirected += st.redirected;
-    out.skipped += st.skipped;
-    out.reclaimed += st.reclaimed;
-    pre += st.applied_pre;
-    post += st.applied_post;
+    out.applied += dht(img, "dht.applied");
+    out.redirected += dht(img, "dht.redirected");
+    out.skipped += dht(img, "dht.skipped");
+    out.reclaimed += dht(img, "dht.reclaimed");
+    pre += dht(img, "dht.applied_pre");
+    post += dht(img, "dht.applied_post");
     last_end = std::max(last_end, update_end[static_cast<std::size_t>(img)]);
-    if (st.first_reclaim_time >= 0 &&
-        (first_reclaim < 0 || st.first_reclaim_time < first_reclaim)) {
-      first_reclaim = st.first_reclaim_time;
+    const std::int64_t reclaim_plus1 =
+        dht(img, "dht.first_reclaim_ns_plus1");
+    if (reclaim_plus1 > 0 &&
+        (first_reclaim < 0 || reclaim_plus1 - 1 < first_reclaim)) {
+      first_reclaim = reclaim_plus1 - 1;
     }
   }
   out.pre_per_ms =
@@ -193,7 +201,6 @@ DhtOutcome caf_dht(int images) {
   const int victim = images / 2 + 1;
   const apps::dht::Config cfg = dht_config();
   DhtTiming tm;
-  std::vector<apps::dht::DegradedStats> stats;
   std::vector<sim::Time> update_end;
   std::int64_t team_applied = -1;
   for (int pass = 0; pass < 2; ++pass) {
@@ -202,7 +209,6 @@ DhtOutcome caf_dht(int images) {
     plan.kill_pe(victim - 1, calibrate ? kFarFuture : tm.kill);
     driver::Stack stack(driver::StackKind::kShmemCray, images,
                         net::Machine::kXC30, 8 << 20, {}, plan);
-    stats.assign(images + 1, {});
     update_end.assign(images + 1, 0);
     sim::Time setup_end = 0;
     stack.run([&](caf::Runtime& rt) {
@@ -213,13 +219,14 @@ DhtOutcome caf_dht(int images) {
       if (!calibrate && eng.now() < tm.start) {
         eng.advance(tm.start - eng.now());
       }
-      stats[me] = table.run_updates_resilient();
+      (void)table.run_updates_resilient();
       update_end[me] = eng.now();
       if (calibrate) return;
       // Survivors regroup as a team and aggregate their ledgers with the
       // team-scoped collective (the victim is excluded automatically).
       const caf::Team team = rt.form_team();
-      std::int64_t v = stats[me].applied;
+      std::int64_t v = static_cast<std::int64_t>(
+          obs::registry().value(me - 1, "dht.applied"));
       (void)rt.co_sum_team(team, &v, 1);
       if (me == team.members[0]) team_applied = v;
       (void)rt.team_sync(team);
@@ -229,7 +236,7 @@ DhtOutcome caf_dht(int images) {
                        *std::max_element(update_end.begin(), update_end.end()));
     }
   }
-  const DhtOutcome out = summarize(images, victim, tm, stats, update_end);
+  const DhtOutcome out = summarize(images, victim, tm, update_end);
   check(team_applied == out.applied,
         "phase B: team co_sum agrees with host-side ledger sum", images);
   return out;
@@ -239,7 +246,6 @@ DhtOutcome craycaf_dht(int images) {
   const int victim = images / 2 + 1;
   const apps::dht::Config cfg = dht_config();
   DhtTiming tm;
-  std::vector<apps::dht::DegradedStats> stats;
   std::vector<sim::Time> update_end;
   for (int pass = 0; pass < 2; ++pass) {
     const bool calibrate = pass == 0;
@@ -251,7 +257,6 @@ DhtOutcome craycaf_dht(int images) {
     craycaf::Runtime rt(engine, fabric, 8 << 20);
     fabric.set_fault_injector(&injector);
     injector.arm(engine);
-    stats.assign(images + 1, {});
     update_end.assign(images + 1, 0);
     sim::Time setup_end = 0;
     rt.launch([&] {
@@ -264,7 +269,7 @@ DhtOutcome craycaf_dht(int images) {
       if (!calibrate && engine.now() < tm.start) {
         engine.advance(tm.start - engine.now());
       }
-      stats[me] = table.run_updates_resilient();
+      (void)table.run_updates_resilient();
       update_end[me] = engine.now();
       // Manual survivor rendezvous (image 1 is never the victim here).
       (void)rt.dmapp().afadd(0, done_off, 1);
@@ -281,7 +286,7 @@ DhtOutcome craycaf_dht(int images) {
                        *std::max_element(update_end.begin(), update_end.end()));
     }
   }
-  return summarize(images, victim, tm, stats, update_end);
+  return summarize(images, victim, tm, update_end);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "apps/driver.hpp"
 #include "apps/himeno.hpp"
 #include "bench_util.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -80,5 +81,12 @@ int main() {
   std::printf("summary: residual co_sum per iteration @2048 images = %s "
               "(hierarchical engine, worst image)\n",
               sim::format_time(coll_per_iter).c_str());
+  // Traced rerun at the largest size: where does the wall time go? The
+  // solver marks sweep/halo/residual/barrier phases each iteration; the
+  // obs analyzer splits each phase into compute / wire / stall groups.
+  obs::init_from_env();  // CAF_TRACE=<path> → Chrome trace of this rerun
+  if (!obs::enabled()) obs::enable({});
+  run_himeno(driver::StackKind::kShmemMvapich, 2048);
+  bench::obs_report("Himeno @2048 images, UHCAF-MV2X-SHMEM");
   return 0;
 }

@@ -5,11 +5,14 @@
 // Paper shapes to reproduce: UHCAF over Cray SHMEM ~28% faster than
 // Cray-CAF and ~18% faster than UHCAF-GASNet.
 #include <cstdio>
+#include <cstdlib>
+#include <string_view>
 #include <vector>
 
 #include "apps/dht_drivers.hpp"
 #include "apps/driver.hpp"
 #include "bench_util.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -50,9 +53,41 @@ sim::Time run_craycaf(int images) {
   return engine.sim_now();
 }
 
+// --smoke [N]: one traced UHCAF-Cray-SHMEM run at N images (default 8)
+// with obs forced on — the CI observability smoke. With CAF_TRACE=<path>
+// set the Chrome trace lands there; either way the per-phase wall-time
+// attribution table is printed.
+int run_smoke(int images) {
+  obs::init_from_env();          // CAF_TRACE=<path> → trace output
+  if (!obs::enabled()) obs::enable({});
+  caf::Options opts;
+  opts.trace = true;
+  driver::Stack stack(driver::StackKind::kShmemCray, images,
+                      net::Machine::kTitan, 2 << 20, opts);
+  const sim::Time elapsed = stack.run([&](caf::Runtime& rt) {
+    auto table = apps::dht::make_caf_table(rt, dht_config());
+    rt.sync_all();
+    obs::phase("updates");
+    table.run_updates();
+    obs::phase("drain");
+    rt.sync_all();
+  });
+  std::printf("=== fig9_dht smoke: %d images, UHCAF-Cray-SHMEM ===\n", images);
+  std::printf("elapsed: %.3f ms\n", sim::to_ms(elapsed));
+  bench::obs_report("fig9_dht smoke");
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      int images = 8;
+      if (i + 1 < argc) images = std::atoi(argv[i + 1]);
+      return run_smoke(images > 0 ? images : 8);
+    }
+  }
   std::printf("=== Figure 9: distributed hash table on Titan ===\n");
   std::printf("%d random locked updates per image\n\n",
               dht_config().updates_per_image);

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and fail on regressions.
+
+Usage: bench_diff.py BASELINE.json NEW.json [--tolerance 0.10]
+
+Walks every numeric leaf of the baseline (dotted/indexed paths like
+rows[3].agg), finds the same leaf in the new file, and flags any metric
+that moved more than the tolerance in the *worse* direction. The DES
+clock makes bench output deterministic, so the checked-in baselines are
+exact: a >10% shift is a real behavior change, not noise.
+
+Direction (is bigger better?) is resolved per leaf:
+  * path fragments latency/elapsed/time/_ns/_us/_ms  -> lower is better
+  * path fragments speedup/bandwidth/mflops/mbs/ratio/geomean
+                                                     -> higher is better
+  * otherwise the file's top-level "unit" decides: a time unit
+    (ns/us/ms/s) means lower is better, anything else higher.
+
+Axis/config leaves (bytes, images, reps, ...) are compared for identity:
+if the new file benchmarks a different shape, the diff is meaningless and
+that is reported as an error. A leaf present in the baseline but missing
+from the new file is always an error.
+
+Exit status: 0 clean, 1 regression or structural mismatch, 2 usage.
+"""
+
+import argparse
+import json
+import sys
+
+# Workload axes, not metrics: must match exactly between the two files.
+AXIS_KEYS = {"bytes", "images", "nelems", "reps", "pairs", "iters", "seed",
+             "locks", "updates", "buckets"}
+
+LOWER_BETTER_HINTS = ("latency", "elapsed", "time", "_ns", "_us", "_ms")
+HIGHER_BETTER_HINTS = ("speedup", "bandwidth", "mflops", "mbs", "ratio",
+                       "geomean")
+TIME_UNITS = {"ns", "us", "ms", "s", "usec", "nsec", "msec"}
+
+
+def leaves(node, path=""):
+    """Yields (path, value) for every scalar leaf."""
+    if isinstance(node, dict):
+        for k in sorted(node):
+            yield from leaves(node[k], f"{path}.{k}" if path else k)
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            yield from leaves(v, f"{path}[{i}]")
+    else:
+        yield path, node
+
+
+def lower_is_better(path, default_lower):
+    p = path.lower()
+    if any(h in p for h in LOWER_BETTER_HINTS):
+        return True
+    if any(h in p for h in HIGHER_BETTER_HINTS):
+        return False
+    return default_lower
+
+
+def last_key(path):
+    tail = path.rsplit(".", 1)[-1]
+    return tail.split("[", 1)[0]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional worsening (default 0.10)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.new) as f:
+        new = json.load(f)
+
+    default_lower = str(base.get("unit", "")).lower() in TIME_UNITS
+    new_leaves = dict(leaves(new))
+    errors = []
+    regressions = []
+    improvements = 0
+    compared = 0
+
+    for path, bval in leaves(base):
+        if path not in new_leaves:
+            errors.append(f"missing in new file: {path}")
+            continue
+        nval = new_leaves[path]
+        if not isinstance(bval, (int, float)) or isinstance(bval, bool):
+            if bval != nval:
+                errors.append(f"{path}: label changed {bval!r} -> {nval!r}")
+            continue
+        if not isinstance(nval, (int, float)) or isinstance(nval, bool):
+            errors.append(f"{path}: numeric -> non-numeric {nval!r}")
+            continue
+        if last_key(path) in AXIS_KEYS:
+            if bval != nval:
+                errors.append(f"{path}: axis changed {bval} -> {nval}")
+            continue
+        compared += 1
+        if bval == 0:
+            if nval != 0:
+                errors.append(f"{path}: baseline 0, new {nval}")
+            continue
+        change = (nval - bval) / abs(bval)  # >0 = bigger
+        # gain > 0 = moved in the good direction for this metric.
+        gain = -change if lower_is_better(path, default_lower) else change
+        if gain < -args.tolerance:
+            regressions.append(
+                f"{path}: {bval} -> {nval} ({100 * change:+.1f}%)")
+        elif gain > args.tolerance:
+            improvements += 1
+
+    for e in errors:
+        print(f"bench_diff ERROR: {e}", file=sys.stderr)
+    for r in regressions:
+        print(f"bench_diff REGRESSION: {r}", file=sys.stderr)
+    status = 1 if errors or regressions else 0
+    print(f"bench_diff: {compared} metrics compared, "
+          f"{len(regressions)} regressions, {improvements} improvements, "
+          f"{len(errors)} errors "
+          f"({args.baseline} vs {args.new}, tol {args.tolerance:.0%})")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,12 +27,16 @@ echo "=== Bench smoke: RMA pipeline ==="
 # Exercise the put-bandwidth harness (including the CAF aggregation panels)
 # and the pipeline ablation, and publish the ablation series as a CI
 # artifact. The DES clock makes the numbers deterministic, so the JSON
-# doubles as a regression record for the aggregated/blocking ratio.
+# doubles as a regression record; fresh output lands in
+# build-release/artifacts and is diffed against the checked-in
+# bench/baselines/BENCH_*.json by bench_diff.py.
+ART=build-release/artifacts
+mkdir -p "$ART"
 ./build-release/bench/fig3_put_bandwidth > /dev/null
-./build-release/bench/ablate_agg --json BENCH_rma.json
-python3 - <<'EOF'
+./build-release/bench/ablate_agg --json "$ART/BENCH_rma.json"
+python3 - <<EOF
 import json
-with open("BENCH_rma.json") as f:
+with open("$ART/BENCH_rma.json") as f:
     data = json.load(f)
 ratio = data["agg_vs_blocking_geomean"]
 assert ratio >= 2.0, f"aggregation speedup regressed: {ratio:.2f}x < 2x"
@@ -41,10 +45,10 @@ EOF
 
 # Collectives-engine ablation: the adaptive arm must keep beating the
 # pre-engine baseline (binomial + full-quiet completion) at scale.
-./build-release/bench/ablate_coll --json BENCH_coll.json
-python3 - <<'EOF'
+./build-release/bench/ablate_coll --json "$ART/BENCH_coll.json"
+python3 - <<EOF
 import json
-with open("BENCH_coll.json") as f:
+with open("$ART/BENCH_coll.json") as f:
     data = json.load(f)
 ar = data["allreduce8_speedup_64"]
 bc = data["bcast_1m_speedup_64"]
@@ -52,5 +56,16 @@ assert ar >= 2.0, f"small-allreduce speedup regressed: {ar:.2f}x < 2x"
 assert bc >= 1.5, f"1MiB-broadcast speedup regressed: {bc:.2f}x < 1.5x"
 print(f"bench smoke ok: allreduce-8B @64 = {ar:.2f}x, bcast-1MiB @64 = {bc:.2f}x")
 EOF
+
+echo "=== Bench diff vs checked-in baselines (>10% = fail) ==="
+python3 scripts/bench_diff.py bench/baselines/BENCH_rma.json "$ART/BENCH_rma.json"
+python3 scripts/bench_diff.py bench/baselines/BENCH_coll.json "$ART/BENCH_coll.json"
+
+echo "=== Observability smoke: traced fig9_dht ==="
+# One traced DHT run at 8 images; the Chrome trace must be valid JSON and
+# is kept as a CI artifact next to the bench records.
+CAF_TRACE="$ART/fig9_dht_trace.json" ./build-release/bench/fig9_dht --smoke 8
+python3 -m json.tool "$ART/fig9_dht_trace.json" > /dev/null
+echo "trace artifact ok: $ART/fig9_dht_trace.json"
 
 echo "=== CI passed ==="

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 
@@ -39,26 +40,6 @@ struct Config {
 struct Entry {
   std::int64_t key;
   std::int64_t count;
-};
-
-/// Accounting for a degraded-mode run (run_updates_resilient): every
-/// attempted update is classified, so a conservation check can reconcile
-/// survivor table counts against what the survivors claim they applied.
-struct DegradedStats {
-  std::int64_t attempted = 0;
-  std::int64_t applied = 0;     ///< get-modify-put completed on a live image
-  std::int64_t redirected = 0;  ///< owner dead: rerouted to next live image
-  std::int64_t skipped = 0;     ///< no live target, or target died mid-update
-  std::int64_t reclaimed = 0;   ///< acquisitions that reclaimed a dead
-                                ///< holder's lock (stat= STAT_FAILED_IMAGE)
-  std::int64_t applied_pre = 0;   ///< applied while no image had failed yet
-  std::int64_t applied_post = 0;  ///< applied in degraded (post-failure) mode
-  sim::Time first_reclaim_time = -1;  ///< virtual ns; -1 if none happened
-  /// applied_to[i] = updates this image applied whose final target was
-  /// image i (1-based). For every surviving target t, the sum of survivors'
-  /// applied_to[t] is a lower bound on t's local_count_sum() (dead updaters
-  /// may have landed extra updates before dying).
-  std::vector<std::int64_t> applied_to;
 };
 
 /// The benchmark body, generic over the runtime (RT) and its lock handle
@@ -110,19 +91,42 @@ class Table {
   /// anywhere live are skipped, with full accounting. RT must additionally
   /// provide image_status, lock_stat, unlock_stat, get_bytes_stat,
   /// put_bytes_stat with caf::StatCode-aligned return values.
-  DegradedStats run_updates_resilient() {
+  ///
+  /// Classification counters land in the obs registry (keyed by this
+  /// image's 0-based rank): dht.attempted, dht.applied, dht.redirected,
+  /// dht.skipped, dht.reclaimed (lock acquisitions that reclaimed a dead
+  /// holder's lock), dht.applied_pre / dht.applied_post (before/after the
+  /// first observed failure), and dht.first_reclaim_ns_plus1 (virtual time
+  /// of the first reclaim + 1; 0 means none happened).
+  ///
+  /// Returns applied_to: applied_to[i] = updates this image applied whose
+  /// final target was image i (1-based). For every surviving target t, the
+  /// sum of survivors' applied_to[t] is a lower bound on t's
+  /// local_count_sum() (dead updaters may have landed extra updates before
+  /// dying).
+  std::vector<std::int64_t> run_updates_resilient() {
     constexpr int kOk = 0;           // caf::kStatOk == craycaf::kStatOk
     constexpr int kFailedImage = 4;  // STAT_FAILED_IMAGE on both runtimes
-    DegradedStats st;
-    st.applied_to.assign(static_cast<std::size_t>(rt_.num_images()) + 1, 0);
     sim::Engine& eng = *sim::Engine::current();
     const int me = rt_.this_image();
     const int n = rt_.num_images();
+    std::vector<std::int64_t> applied_to(static_cast<std::size_t>(n) + 1, 0);
+    auto& reg = obs::registry();
+    DegradedCounters st{
+        &reg.counter(me - 1, "dht.attempted"),
+        &reg.counter(me - 1, "dht.applied"),
+        &reg.counter(me - 1, "dht.redirected"),
+        &reg.counter(me - 1, "dht.skipped"),
+        &reg.counter(me - 1, "dht.reclaimed"),
+        &reg.counter(me - 1, "dht.applied_pre"),
+        &reg.counter(me - 1, "dht.applied_post"),
+        &reg.counter(me - 1, "dht.first_reclaim_ns_plus1"),
+    };
     sim::Rng rng(cfg_.seed * 1000003u + static_cast<std::uint64_t>(me));
     const std::int64_t global_buckets =
         cfg_.buckets_per_image * static_cast<std::int64_t>(n);
     for (int u = 0; u < cfg_.updates_per_image; ++u) {
-      ++st.attempted;
+      ++*st.attempted;
       const bool hot =
           rng.below(100) < static_cast<std::uint64_t>(cfg_.hot_percent);
       const std::int64_t key = static_cast<std::int64_t>(
@@ -141,10 +145,10 @@ class Table {
         }
       }
       if (target == 0) {  // every image dead but us mid-kill; nothing to do
-        ++st.skipped;
+        ++*st.skipped;
         continue;
       }
-      if (target != owner) ++st.redirected;
+      if (target != owner) ++*st.redirected;
       const LockT lck =
           locks_[static_cast<std::size_t>(bucket % cfg_.locks_per_image)];
       const int lst = rt_.lock_stat(lck, target);
@@ -153,15 +157,18 @@ class Table {
           // The target died under us; the lock cell is gone with it.
           // unlock_stat is a safe no-op whether or not we acquired.
           (void)rt_.unlock_stat(lck, target);
-          ++st.skipped;
+          ++*st.skipped;
           continue;
         }
         // Target is alive, so STAT_FAILED_IMAGE means we hold the lock and
         // the acquisition reclaimed it from a dead holder.
-        ++st.reclaimed;
-        if (st.first_reclaim_time < 0) st.first_reclaim_time = eng.now();
+        ++*st.reclaimed;
+        if (*st.first_reclaim_ns_plus1 == 0) {
+          *st.first_reclaim_ns_plus1 =
+              static_cast<std::uint64_t>(eng.now()) + 1;
+        }
       } else if (lst != kOk) {
-        ++st.skipped;
+        ++*st.skipped;
         continue;
       }
       Entry e{};
@@ -176,15 +183,15 @@ class Table {
       }
       (void)rt_.unlock_stat(lck, target);
       if (ok) {
-        ++st.applied;
-        ++st.applied_to[static_cast<std::size_t>(target)];
-        if (eng.failed_count() > 0) ++st.applied_post;
-        else ++st.applied_pre;
+        ++*st.applied;
+        ++applied_to[static_cast<std::size_t>(target)];
+        if (eng.failed_count() > 0) ++*st.applied_post;
+        else ++*st.applied_pre;
       } else {
-        ++st.skipped;
+        ++*st.skipped;
       }
     }
-    return st;
+    return applied_to;
   }
 
   /// Sums the counts in this image's slice (call after a final sync_all);
@@ -202,6 +209,19 @@ class Table {
   const Config& config() const { return cfg_; }
 
  private:
+  /// Registry handles for the degraded-mode classification ("dht.*",
+  /// keyed by the running image's 0-based rank).
+  struct DegradedCounters {
+    std::uint64_t* attempted;
+    std::uint64_t* applied;
+    std::uint64_t* redirected;
+    std::uint64_t* skipped;
+    std::uint64_t* reclaimed;
+    std::uint64_t* applied_pre;
+    std::uint64_t* applied_post;
+    std::uint64_t* first_reclaim_ns_plus1;
+  };
+
   RT& rt_;
   Config cfg_;
   std::uint64_t data_off_;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace apps::himeno {
 
 namespace {
@@ -157,11 +159,15 @@ Result Solver::run() {
   double gosa = 0.0;
   sim::Time coll = 0;
   for (int it = 0; it < cfg_.iters; ++it) {
+    obs::phase("sweep");
     gosa = jacobi_sweep();
+    obs::phase("halo");
     exchange_halos();
+    obs::phase("residual");
     const sim::Time c0 = sim::Engine::current()->now();
     rt_.co_sum(&gosa, 1);
     coll += sim::Engine::current()->now() - c0;
+    obs::phase("barrier");
     rt_.sync_all();
   }
   const sim::Time elapsed = sim::Engine::current()->now() - t0;

@@ -27,7 +27,7 @@ std::int64_t ArmciConduit::emulated_rmw(
   return old;
 }
 
-std::int64_t ArmciConduit::amo_cswap(int rank, std::uint64_t off,
+std::int64_t ArmciConduit::do_amo_cswap(int rank, std::uint64_t off,
                                      std::int64_t cond, std::int64_t v) {
   return emulated_rmw(rank, off, [cond, v](std::int64_t old) {
     return old == cond ? v : old;

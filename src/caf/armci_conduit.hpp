@@ -58,26 +58,26 @@ class ArmciConduit final : public Conduit {
   // native Rmw is not atomic with respect to a mutex-emulated one — so ALL
   // conduit atomics are serialized through the per-process emulation mutex.
   // This honest cost is part of why the paper prefers OpenSHMEM's AMO set.
-  std::int64_t amo_swap(int rank, std::uint64_t off, std::int64_t v) override {
+  std::int64_t do_amo_swap(int rank, std::uint64_t off, std::int64_t v) override {
     return emulated_rmw(rank, off, [v](std::int64_t) { return v; });
   }
-  std::int64_t amo_fadd(int rank, std::uint64_t off, std::int64_t v) override {
+  std::int64_t do_amo_fadd(int rank, std::uint64_t off, std::int64_t v) override {
     return emulated_rmw(rank, off, [v](std::int64_t old) { return old + v; });
   }
-  std::int64_t amo_cswap(int rank, std::uint64_t off, std::int64_t cond,
+  std::int64_t do_amo_cswap(int rank, std::uint64_t off, std::int64_t cond,
                          std::int64_t v) override;
-  std::int64_t amo_fand(int rank, std::uint64_t off, std::int64_t m) override {
+  std::int64_t do_amo_fand(int rank, std::uint64_t off, std::int64_t m) override {
     return emulated_rmw(rank, off, [m](std::int64_t v) { return v & m; });
   }
-  std::int64_t amo_for(int rank, std::uint64_t off, std::int64_t m) override {
+  std::int64_t do_amo_for(int rank, std::uint64_t off, std::int64_t m) override {
     return emulated_rmw(rank, off, [m](std::int64_t v) { return v | m; });
   }
-  std::int64_t amo_fxor(int rank, std::uint64_t off, std::int64_t m) override {
+  std::int64_t do_amo_fxor(int rank, std::uint64_t off, std::int64_t m) override {
     return emulated_rmw(rank, off, [m](std::int64_t v) { return v ^ m; });
   }
 
   void wait_until(std::uint64_t off, Cmp cmp, std::int64_t value) override;
-  void barrier() override { world_.barrier(); }
+  void do_barrier() override { world_.barrier(); }
 
   armci::World& world() { return world_; }
 

@@ -718,6 +718,7 @@ void CollectiveEngine::pipe_allreduce(
 
 void CollectiveEngine::barrier() {
   if (n_ <= 1) return;
+  obs::Span sp(obs::Cat::kBarrier);
   PerRank& st = state();
   ++st.tele.barriers;
   const std::int64_t bg = ++st.bar_gen;

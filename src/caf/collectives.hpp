@@ -163,6 +163,7 @@ class CollectiveEngine {
   void put_i64(int target, std::uint64_t off, std::int64_t v);
   void count_msg(int target, std::size_t n);
   void wait_ge(std::uint64_t off, std::int64_t v) {
+    obs::Span sp(obs::Cat::kCollStage);
     conduit_.wait_until(off, Cmp::kGe, v);
   }
   void combine_buf(void* a, const void* b, std::size_t nelems,

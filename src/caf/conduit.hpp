@@ -32,20 +32,13 @@
 
 #include "fabric/domain.hpp"  // fabric::ScatterRec
 #include "net/model.hpp"
+#include "obs/obs.hpp"
 #include "shmem/world.hpp"  // for shmem::Cmp / ReduceOp enums reused here
 
 namespace caf {
 
 using Cmp = shmem::Cmp;
 using ReduceOp = shmem::ReduceOp;
-
-/// Per-issuing-rank observability counters for the RMA pipeline.
-struct RmaTelemetry {
-  std::uint64_t tracked_puts = 0;   ///< puts/iputs/scatters issued
-  std::uint64_t scatter_msgs = 0;   ///< write-combined messages issued
-  std::uint64_t quiet_calls = 0;    ///< quiet() front invocations
-  std::uint64_t quiet_elided = 0;   ///< quiets satisfied by the dirty flag
-};
 
 class Conduit {
  public:
@@ -97,9 +90,11 @@ class Conduit {
   void put(int rank, std::uint64_t dst_off, const void* src, std::size_t n,
            bool nbi) {
     note_put(rank);
+    obs::Span sp(obs::Cat::kPut, n, static_cast<std::uint32_t>(rank));
     do_put(rank, dst_off, src, n, nbi);
   }
   void get(void* dst, int rank, std::uint64_t src_off, std::size_t n) {
+    obs::Span sp(obs::Cat::kGet, n, static_cast<std::uint32_t>(rank));
     do_get(dst, rank, src_off, n);
   }
   /// 1-D strided put/get; strides in elements (shmem_iput conventions).
@@ -107,11 +102,15 @@ class Conduit {
             const void* src, std::ptrdiff_t src_stride, std::size_t elem_bytes,
             std::size_t nelems) {
     note_put(rank);
+    obs::Span sp(obs::Cat::kIput, elem_bytes * nelems,
+                 static_cast<std::uint32_t>(rank));
     do_iput(rank, dst_off, dst_stride, src, src_stride, elem_bytes, nelems);
   }
   void iget(void* dst, std::ptrdiff_t dst_stride, int rank,
             std::uint64_t src_off, std::ptrdiff_t src_stride,
             std::size_t elem_bytes, std::size_t nelems) {
+    obs::Span sp(obs::Cat::kIget, elem_bytes * nelems,
+                 static_cast<std::uint32_t>(rank));
     do_iget(dst, dst_stride, rank, src_off, src_stride, elem_bytes, nelems);
   }
   /// Vectored (write-combining) put: packed payload + per-record headers as
@@ -119,7 +118,9 @@ class Conduit {
   void put_scatter(int rank, const fabric::ScatterRec* recs, std::size_t nrecs,
                    const void* payload, std::size_t payload_bytes) {
     Tracker& t = note_put(rank);
-    ++t.tele.scatter_msgs;
+    ++*t.scatter_msgs;
+    obs::Span sp(obs::Cat::kScatter, payload_bytes,
+                 static_cast<std::uint32_t>(rank));
     do_put_scatter(rank, recs, nrecs, payload, payload_bytes);
   }
   /// Remote completion of all outstanding puts from this rank. Elided (no
@@ -127,11 +128,12 @@ class Conduit {
   /// "cheap no-op" half of deferred-quiet.
   void quiet() {
     Tracker& t = tracker();
-    ++t.tele.quiet_calls;
+    ++*t.quiet_calls;
     if (t.dirty_list.empty()) {
-      ++t.tele.quiet_elided;
+      ++*t.quiet_elided;
       return;
     }
+    obs::Span sp(obs::Cat::kQuiet, t.dirty_list.size());
     do_quiet();
     for (int r : t.dirty_list) t.dirty[static_cast<std::size_t>(r)] = 0;
     t.dirty_list.clear();
@@ -145,28 +147,42 @@ class Conduit {
   }
   /// True when any put from this rank is outstanding.
   bool pending_any() { return !tracker().dirty_list.empty(); }
-  /// This rank's pipeline counters.
-  const RmaTelemetry& telemetry() { return tracker().tele; }
 
-  // ---- 64-bit remote atomics ----
-  virtual std::int64_t amo_swap(int rank, std::uint64_t off,
-                                std::int64_t value) = 0;
-  virtual std::int64_t amo_cswap(int rank, std::uint64_t off,
-                                 std::int64_t cond, std::int64_t value) = 0;
-  virtual std::int64_t amo_fadd(int rank, std::uint64_t off,
-                                std::int64_t value) = 0;
-  virtual std::int64_t amo_fand(int rank, std::uint64_t off,
-                                std::int64_t mask) = 0;
-  virtual std::int64_t amo_for(int rank, std::uint64_t off,
-                               std::int64_t mask) = 0;
-  virtual std::int64_t amo_fxor(int rank, std::uint64_t off,
-                                std::int64_t mask) = 0;
+  // ---- 64-bit remote atomics (non-virtual fronts over do_amo_* hooks) ----
+  std::int64_t amo_swap(int rank, std::uint64_t off, std::int64_t value) {
+    obs::Span sp(obs::Cat::kAmo, 8, static_cast<std::uint32_t>(rank));
+    return do_amo_swap(rank, off, value);
+  }
+  std::int64_t amo_cswap(int rank, std::uint64_t off, std::int64_t cond,
+                         std::int64_t value) {
+    obs::Span sp(obs::Cat::kAmo, 8, static_cast<std::uint32_t>(rank));
+    return do_amo_cswap(rank, off, cond, value);
+  }
+  std::int64_t amo_fadd(int rank, std::uint64_t off, std::int64_t value) {
+    obs::Span sp(obs::Cat::kAmo, 8, static_cast<std::uint32_t>(rank));
+    return do_amo_fadd(rank, off, value);
+  }
+  std::int64_t amo_fand(int rank, std::uint64_t off, std::int64_t mask) {
+    obs::Span sp(obs::Cat::kAmo, 8, static_cast<std::uint32_t>(rank));
+    return do_amo_fand(rank, off, mask);
+  }
+  std::int64_t amo_for(int rank, std::uint64_t off, std::int64_t mask) {
+    obs::Span sp(obs::Cat::kAmo, 8, static_cast<std::uint32_t>(rank));
+    return do_amo_for(rank, off, mask);
+  }
+  std::int64_t amo_fxor(int rank, std::uint64_t off, std::int64_t mask) {
+    obs::Span sp(obs::Cat::kAmo, 8, static_cast<std::uint32_t>(rank));
+    return do_amo_fxor(rank, off, mask);
+  }
 
   // ---- synchronization ----
   /// Blocks until the 64-bit word at `off` in the *local* segment satisfies
   /// cmp/value (woken by remote deliveries; no busy polling).
   virtual void wait_until(std::uint64_t off, Cmp cmp, std::int64_t value) = 0;
-  virtual void barrier() = 0;
+  void barrier() {
+    obs::Span sp(obs::Cat::kBarrier);
+    do_barrier();
+  }
 
   // ---- optional native collectives (Table II: co_broadcast →
   //      shmem_broadcast, co_<op> → shmem_<op>_to_all) ----
@@ -206,25 +222,54 @@ class Conduit {
   }
   virtual void do_quiet() = 0;
 
+  // ---- atomic / barrier hooks implemented by each conduit ----
+  virtual std::int64_t do_amo_swap(int rank, std::uint64_t off,
+                                   std::int64_t value) = 0;
+  virtual std::int64_t do_amo_cswap(int rank, std::uint64_t off,
+                                    std::int64_t cond, std::int64_t value) = 0;
+  virtual std::int64_t do_amo_fadd(int rank, std::uint64_t off,
+                                   std::int64_t value) = 0;
+  virtual std::int64_t do_amo_fand(int rank, std::uint64_t off,
+                                   std::int64_t mask) = 0;
+  virtual std::int64_t do_amo_for(int rank, std::uint64_t off,
+                                  std::int64_t mask) = 0;
+  virtual std::int64_t do_amo_fxor(int rank, std::uint64_t off,
+                                   std::int64_t mask) = 0;
+  virtual void do_barrier() = 0;
+
  private:
   /// Per-issuing-rank dirty-target tracking. All images share one Conduit
   /// object per stack, so state is keyed by the calling fiber's rank.
+  /// Pipeline counters live in the obs registry under "rma.*" keyed by this
+  /// rank; the registry zeroes values in place on reset, so the cached
+  /// handles stay valid across back-to-back runs on one stack.
   struct Tracker {
     std::vector<std::uint8_t> dirty;  ///< dirty[target] != 0 → puts in flight
     std::vector<int> dirty_list;      ///< targets with the flag set
-    RmaTelemetry tele;
+    std::uint64_t* tracked_puts = nullptr;
+    std::uint64_t* scatter_msgs = nullptr;
+    std::uint64_t* quiet_calls = nullptr;
+    std::uint64_t* quiet_elided = nullptr;
   };
 
   Tracker& tracker() {
     if (trk_.empty()) trk_.resize(static_cast<std::size_t>(nranks()));
     Tracker& t = trk_[static_cast<std::size_t>(rank())];
-    if (t.dirty.empty()) t.dirty.assign(static_cast<std::size_t>(nranks()), 0);
+    if (t.dirty.empty()) {
+      t.dirty.assign(static_cast<std::size_t>(nranks()), 0);
+      auto& reg = obs::registry();
+      const int r = rank();
+      t.tracked_puts = &reg.counter(r, "rma.tracked_puts");
+      t.scatter_msgs = &reg.counter(r, "rma.scatter_msgs");
+      t.quiet_calls = &reg.counter(r, "rma.quiet_calls");
+      t.quiet_elided = &reg.counter(r, "rma.quiet_elided");
+    }
     return t;
   }
 
   Tracker& note_put(int target) {
     Tracker& t = tracker();
-    ++t.tele.tracked_puts;
+    ++*t.tracked_puts;
     if (!t.dirty[static_cast<std::size_t>(target)]) {
       t.dirty[static_cast<std::size_t>(target)] = 1;
       t.dirty_list.push_back(target);

@@ -42,28 +42,28 @@ class GasnetConduit final : public Conduit {
     world_.domain().poke(rank, off, src, n, t);
   }
 
-  std::int64_t amo_swap(int rank, std::uint64_t off, std::int64_t v) override {
+  std::int64_t do_amo_swap(int rank, std::uint64_t off, std::int64_t v) override {
     return am_amo(kSwap, rank, off, v, 0);
   }
-  std::int64_t amo_cswap(int rank, std::uint64_t off, std::int64_t cond,
+  std::int64_t do_amo_cswap(int rank, std::uint64_t off, std::int64_t cond,
                          std::int64_t v) override {
     return am_amo(kCswap, rank, off, v, cond);
   }
-  std::int64_t amo_fadd(int rank, std::uint64_t off, std::int64_t v) override {
+  std::int64_t do_amo_fadd(int rank, std::uint64_t off, std::int64_t v) override {
     return am_amo(kAdd, rank, off, v, 0);
   }
-  std::int64_t amo_fand(int rank, std::uint64_t off, std::int64_t m) override {
+  std::int64_t do_amo_fand(int rank, std::uint64_t off, std::int64_t m) override {
     return am_amo(kAnd, rank, off, m, 0);
   }
-  std::int64_t amo_for(int rank, std::uint64_t off, std::int64_t m) override {
+  std::int64_t do_amo_for(int rank, std::uint64_t off, std::int64_t m) override {
     return am_amo(kOr, rank, off, m, 0);
   }
-  std::int64_t amo_fxor(int rank, std::uint64_t off, std::int64_t m) override {
+  std::int64_t do_amo_fxor(int rank, std::uint64_t off, std::int64_t m) override {
     return am_amo(kXor, rank, off, m, 0);
   }
 
   void wait_until(std::uint64_t off, Cmp cmp, std::int64_t value) override;
-  void barrier() override { world_.barrier(); }
+  void do_barrier() override { world_.barrier(); }
 
   gasnet::World& world() { return world_; }
 

@@ -45,23 +45,23 @@ class Mpi3Conduit final : public Conduit {
     win_.domain().poke(rank, off, src, n, t);
   }
 
-  std::int64_t amo_swap(int rank, std::uint64_t off, std::int64_t v) override {
+  std::int64_t do_amo_swap(int rank, std::uint64_t off, std::int64_t v) override {
     return win_.fetch_and_op_replace(v, rank, off);
   }
-  std::int64_t amo_cswap(int rank, std::uint64_t off, std::int64_t cond,
+  std::int64_t do_amo_cswap(int rank, std::uint64_t off, std::int64_t cond,
                          std::int64_t v) override {
     return win_.compare_and_swap(cond, v, rank, off);
   }
-  std::int64_t amo_fadd(int rank, std::uint64_t off, std::int64_t v) override {
+  std::int64_t do_amo_fadd(int rank, std::uint64_t off, std::int64_t v) override {
     return win_.fetch_and_op_sum(v, rank, off);
   }
-  std::int64_t amo_fand(int rank, std::uint64_t off, std::int64_t m) override {
+  std::int64_t do_amo_fand(int rank, std::uint64_t off, std::int64_t m) override {
     return win_.fetch_and_op_band(m, rank, off);
   }
-  std::int64_t amo_for(int rank, std::uint64_t off, std::int64_t m) override {
+  std::int64_t do_amo_for(int rank, std::uint64_t off, std::int64_t m) override {
     return win_.fetch_and_op_bor(m, rank, off);
   }
-  std::int64_t amo_fxor(int rank, std::uint64_t off, std::int64_t m) override {
+  std::int64_t do_amo_fxor(int rank, std::uint64_t off, std::int64_t m) override {
     return win_.fetch_and_op_bxor(m, rank, off);
   }
 
@@ -78,7 +78,7 @@ class Mpi3Conduit final : public Conduit {
       return false;
     });
   }
-  void barrier() override { win_.barrier(); }
+  void do_barrier() override { win_.barrier(); }
 
   mpi3::Window& window() { return win_; }
 

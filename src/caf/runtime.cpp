@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "fabric/domain.hpp"
+#include "obs/obs.hpp"
 #include "sim/engine.hpp"
 
 namespace caf {
@@ -21,6 +22,7 @@ void Runtime::require_init() const {
 }
 
 void Runtime::init() {
+  if (opts_.trace && !obs::enabled()) obs::enable({});
   // Failure recovery (robust lock layout, sentinel wake-ups, teams) is only
   // enabled when the run's fault plan schedules kills; fault-free runs keep
   // the original allocations and RMA sequences bit-for-bit.
@@ -159,6 +161,7 @@ bool Runtime::wait_fault(std::uint64_t off, Cmp cmp, std::int64_t value) {
 void Runtime::sync_images(std::span<const int> images) {
   require_init();
   ++per_image_[me()].stats.syncs;
+  obs::Span sp(obs::Cat::kSyncWait, images.size());
   rma_fence();
   auto& st = per_image_[me()];
   for (int image : images) {
@@ -196,6 +199,7 @@ int Runtime::sync_images_stat(std::span<const int> images) {
   require_init();
   auto& st = per_image_[me()];
   ++st.stats.syncs;
+  obs::Span sp(obs::Cat::kSyncWait, images.size());
   sim::Engine& eng = conduit_.engine();
   bool any_failed = false;
   try {
@@ -431,6 +435,7 @@ void Runtime::agg_flush() {
 
 void Runtime::rma_fence() {
   ++per_image_[me()].stats.fences;
+  obs::Span sp(obs::Cat::kFence);
   agg_flush();
   conduit_.quiet();  // tracker-elided when nothing is in flight
 }
@@ -614,6 +619,8 @@ bool Runtime::holds_lock(CoLock lck, int image) const {
 
 void Runtime::lock(CoLock lck, int image) {
   require_init();
+  obs::Span sp(obs::Cat::kLockAcquire, 0,
+               static_cast<std::uint32_t>(image - 1));
   if (deferred()) rma_fence();  // lock is an image-control completion point
   auto& st = per_image_[me()];
   const LockKey key{lck.tail_off, image};
@@ -762,6 +769,8 @@ int Runtime::mcs_lock(CoLock lck, int image, bool* reclaimed) {
 }
 
 int Runtime::lock_stat(CoLock lck, int image) {
+  obs::Span sp(obs::Cat::kLockAcquire, 0,
+               static_cast<std::uint32_t>(image - 1));
   // lock(lck[j], stat=s): STAT_LOCKED when the executing image already
   // holds the lock; no error termination (Fortran 2008 8.5.6). Under
   // failure recovery: STAT_FAILED_IMAGE without acquiring when the lock
@@ -789,6 +798,8 @@ int Runtime::lock_stat(CoLock lck, int image) {
 }
 
 int Runtime::unlock_stat(CoLock lck, int image) {
+  obs::Span sp(obs::Cat::kLockHandoff, 0,
+               static_cast<std::uint32_t>(image - 1));
   auto& st = per_image_[me()];
   if (!st.held.contains(LockKey{lck.tail_off, image})) return kStatUnlocked;
   if (deferred()) {
@@ -805,6 +816,8 @@ int Runtime::unlock_stat(CoLock lck, int image) {
 
 bool Runtime::try_lock(CoLock lck, int image) {
   require_init();
+  obs::Span sp(obs::Cat::kLockAcquire, 0,
+               static_cast<std::uint32_t>(image - 1));
   if (deferred()) rma_fence();
   auto& st = per_image_[me()];
   const LockKey key{lck.tail_off, image};
@@ -1240,6 +1253,8 @@ Runtime::RebuildResult Runtime::mcs_rebuild(CoLock lck, int image) {
 
 void Runtime::unlock(CoLock lck, int image) {
   require_init();
+  obs::Span sp(obs::Cat::kLockHandoff, 0,
+               static_cast<std::uint32_t>(image - 1));
   // Release consistency: work done inside the critical section (staged or
   // in flight) completes before the lock can be handed to the next holder.
   if (deferred()) rma_fence();
@@ -1302,6 +1317,7 @@ void Runtime::event_post(CoEvent ev, int image) {
 
 void Runtime::event_wait(CoEvent ev, std::int64_t until_count) {
   require_init();
+  obs::Span sp(obs::Cat::kSyncWait);
   auto& consumed = per_image_[me()].event_consumed[ev.count_off];
   conduit_.wait_until(ev.count_off, Cmp::kGe, consumed + until_count);
   consumed += until_count;
@@ -1328,6 +1344,7 @@ int Runtime::event_post_stat(CoEvent ev, int image) {
 
 int Runtime::event_wait_stat(CoEvent ev, std::int64_t until_count) {
   require_init();
+  obs::Span sp(obs::Cat::kSyncWait);
   auto& consumed = per_image_[me()].event_consumed[ev.count_off];
   sim::Engine& eng = conduit_.engine();
   for (;;) {
@@ -1628,6 +1645,8 @@ void Runtime::coll_reduce_bytes(
 }
 
 void Runtime::broadcast_bytes_any(void* data, std::size_t nbytes, int root0) {
+  obs::Span sp(obs::Cat::kBroadcast, nbytes,
+               static_cast<std::uint32_t>(root0));
   if (deferred()) rma_fence();  // collective = completion point for staged RMA
   if (num_images() == 1 || nbytes == 0) return;
   const bool native =
@@ -1651,6 +1670,7 @@ void Runtime::broadcast_bytes_any(void* data, std::size_t nbytes, int root0) {
 void Runtime::allreduce_bytes_any(
     void* data, std::size_t nelems, std::size_t elem,
     const std::function<void(void*, const void*)>& comb) {
+  obs::Span sp(obs::Cat::kReduce, nelems * elem);
   if (deferred()) rma_fence();  // collective = completion point for staged RMA
   if (num_images() == 1 || nelems == 0) return;
   const bool native =

@@ -91,6 +91,10 @@ struct Options {
   std::size_t nonsym_slab_bytes = 256 * 1024;
   RmaOptions rma;
   CollOptions coll;  ///< hierarchical collectives engine tuning
+  /// Turn on the observability subsystem (per-PE event rings + latency
+  /// histograms) for this run; equivalent to setting CAF_TRACE, minus the
+  /// trace-file path. Counters are recorded regardless.
+  bool trace = false;
 };
 
 /// Statistics returned by the strided engine (used by tests/benches to

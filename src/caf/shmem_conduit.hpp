@@ -20,20 +20,6 @@
 
 namespace caf {
 
-/// Per-issuing-rank counters for the shmem_ptr direct load/store path:
-/// how often each operation class short-circuited the library, and how many
-/// network messages that elided (strided ops count per-element messages
-/// unless the conduit is hardware-strided).
-struct DirectTelemetry {
-  std::uint64_t puts = 0;
-  std::uint64_t gets = 0;
-  std::uint64_t iputs = 0;
-  std::uint64_t igets = 0;
-  std::uint64_t scatters = 0;
-  std::uint64_t elided_msgs = 0;
-  std::uint64_t elided_bytes = 0;
-};
-
 class ShmemConduit final : public Conduit {
  public:
   explicit ShmemConduit(shmem::World& world)
@@ -45,11 +31,6 @@ class ShmemConduit final : public Conduit {
   /// put/get path.
   void set_intra_node_direct(bool on) { intra_node_direct_ = on; }
   bool intra_node_direct() const { return intra_node_direct_; }
-
-  /// Calling rank's direct-path counters.
-  const DirectTelemetry& direct_telemetry() {
-    return direct_tele(world_.my_pe());
-  }
 
   int rank() const override { return world_.my_pe(); }
   int nranks() const override { return world_.n_pes(); }
@@ -73,30 +54,30 @@ class ShmemConduit final : public Conduit {
     world_.domain().poke(rank, off, src, n, t);
   }
 
-  std::int64_t amo_swap(int rank, std::uint64_t off, std::int64_t v) override {
+  std::int64_t do_amo_swap(int rank, std::uint64_t off, std::int64_t v) override {
     return world_.swap(i64_addr(off), v, rank);
   }
-  std::int64_t amo_cswap(int rank, std::uint64_t off, std::int64_t cond,
+  std::int64_t do_amo_cswap(int rank, std::uint64_t off, std::int64_t cond,
                          std::int64_t v) override {
     return world_.cswap(i64_addr(off), cond, v, rank);
   }
-  std::int64_t amo_fadd(int rank, std::uint64_t off, std::int64_t v) override {
+  std::int64_t do_amo_fadd(int rank, std::uint64_t off, std::int64_t v) override {
     return world_.fadd(i64_addr(off), v, rank);
   }
-  std::int64_t amo_fand(int rank, std::uint64_t off, std::int64_t m) override {
+  std::int64_t do_amo_fand(int rank, std::uint64_t off, std::int64_t m) override {
     return world_.fetch_and(i64_addr(off), m, rank);
   }
-  std::int64_t amo_for(int rank, std::uint64_t off, std::int64_t m) override {
+  std::int64_t do_amo_for(int rank, std::uint64_t off, std::int64_t m) override {
     return world_.fetch_or(i64_addr(off), m, rank);
   }
-  std::int64_t amo_fxor(int rank, std::uint64_t off, std::int64_t m) override {
+  std::int64_t do_amo_fxor(int rank, std::uint64_t off, std::int64_t m) override {
     return world_.fetch_xor(i64_addr(off), m, rank);
   }
 
   void wait_until(std::uint64_t off, Cmp cmp, std::int64_t value) override {
     world_.wait_until(i64_addr(off), cmp, value);
   }
-  void barrier() override { world_.barrier_all(); }
+  void do_barrier() override { world_.barrier_all(); }
 
   bool direct_reachable(int target) override {
     return intra_node_direct_ && world_.ptr(local_addr(0), target) != nullptr;
@@ -136,10 +117,10 @@ class ShmemConduit final : public Conduit {
       if (const void* p = world_.ptr(local_addr(src_off), rank)) {
         world_.engine().advance(direct_copy_cost(n));
         std::memcpy(dst, p, n);
-        DirectTelemetry& t = direct_tele(world_.my_pe());
-        ++t.gets;
-        ++t.elided_msgs;
-        t.elided_bytes += n;
+        DirectCounters& t = direct_tele(world_.my_pe());
+        ++*t.gets;
+        ++*t.elided_msgs;
+        *t.elided_bytes += n;
         return;
       }
     }
@@ -162,10 +143,10 @@ class ShmemConduit final : public Conduit {
               rank, dst_off + static_cast<std::uint64_t>(dst_stride * eb * k),
               s + src_stride * eb * k, elem_bytes, now);
         }
-        DirectTelemetry& t = direct_tele(world_.my_pe());
-        ++t.iputs;
-        t.elided_msgs += hw_strided() ? 1 : nelems;
-        t.elided_bytes += elem_bytes * nelems;
+        DirectCounters& t = direct_tele(world_.my_pe());
+        ++*t.iputs;
+        *t.elided_msgs += hw_strided() ? 1 : nelems;
+        *t.elided_bytes += elem_bytes * nelems;
         return;
       }
     }
@@ -186,10 +167,10 @@ class ShmemConduit final : public Conduit {
           std::memcpy(d + dst_stride * eb * k, p + src_stride * eb * k,
                       elem_bytes);
         }
-        DirectTelemetry& t = direct_tele(world_.my_pe());
-        ++t.igets;
-        t.elided_msgs += hw_strided() ? 1 : nelems;
-        t.elided_bytes += elem_bytes * nelems;
+        DirectCounters& t = direct_tele(world_.my_pe());
+        ++*t.igets;
+        *t.elided_msgs += hw_strided() ? 1 : nelems;
+        *t.elided_bytes += elem_bytes * nelems;
         return;
       }
     }
@@ -209,10 +190,10 @@ class ShmemConduit final : public Conduit {
         world_.domain().poke(rank, recs[i].dst_off, p + recs[i].payload_off,
                              recs[i].len, now);
       }
-      DirectTelemetry& t = direct_tele(world_.my_pe());
-      ++t.scatters;
-      ++t.elided_msgs;  // the write-combined message itself stays off the wire
-      t.elided_bytes += payload_bytes;
+      DirectCounters& t = direct_tele(world_.my_pe());
+      ++*t.scatters;
+      ++*t.elided_msgs;  // the write-combined message itself stays off the wire
+      *t.elided_bytes += payload_bytes;
       return;
     }
     world_.putmem_scatter_nbi(rank, recs, nrecs, payload, payload_bytes);
@@ -250,24 +231,49 @@ class ShmemConduit final : public Conduit {
     if (world_.ptr(local_addr(dst_off), rank) == nullptr) return false;
     world_.engine().advance(direct_copy_cost(n));
     world_.domain().poke(rank, dst_off, src, n, world_.engine().now());
-    DirectTelemetry& t = direct_tele(world_.my_pe());
-    ++t.puts;
-    ++t.elided_msgs;
-    t.elided_bytes += n;
+    DirectCounters& t = direct_tele(world_.my_pe());
+    ++*t.puts;
+    ++*t.elided_msgs;
+    *t.elided_bytes += n;
     return true;
   }
 
-  DirectTelemetry& direct_tele(int rank) {
+  /// Cached registry handles for the shmem_ptr direct load/store path
+  /// ("direct.*" counters, keyed by rank): how often each operation class
+  /// short-circuited the library, and how many network messages that elided
+  /// (strided ops count per-element messages unless hardware-strided).
+  struct DirectCounters {
+    std::uint64_t* puts = nullptr;
+    std::uint64_t* gets = nullptr;
+    std::uint64_t* iputs = nullptr;
+    std::uint64_t* igets = nullptr;
+    std::uint64_t* scatters = nullptr;
+    std::uint64_t* elided_msgs = nullptr;
+    std::uint64_t* elided_bytes = nullptr;
+  };
+
+  DirectCounters& direct_tele(int rank) {
     if (direct_tele_.empty()) {
       direct_tele_.resize(static_cast<std::size_t>(world_.n_pes()));
     }
-    return direct_tele_[static_cast<std::size_t>(rank)];
+    DirectCounters& t = direct_tele_[static_cast<std::size_t>(rank)];
+    if (t.puts == nullptr) {
+      auto& reg = obs::registry();
+      t.puts = &reg.counter(rank, "direct.puts");
+      t.gets = &reg.counter(rank, "direct.gets");
+      t.iputs = &reg.counter(rank, "direct.iputs");
+      t.igets = &reg.counter(rank, "direct.igets");
+      t.scatters = &reg.counter(rank, "direct.scatters");
+      t.elided_msgs = &reg.counter(rank, "direct.elided_msgs");
+      t.elided_bytes = &reg.counter(rank, "direct.elided_bytes");
+    }
+    return t;
   }
 
   shmem::World& world_;
   std::size_t seg_bytes_;
   bool intra_node_direct_ = false;
-  std::vector<DirectTelemetry> direct_tele_;
+  std::vector<DirectCounters> direct_tele_;
 };
 
 }  // namespace caf

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "net/fault.hpp"
+#include "obs/obs.hpp"
 
 namespace net {
 
@@ -14,6 +15,10 @@ Fabric::Fabric(MachineProfile profile, int npes)
   tx_free_.assign(nnodes_, 0);
   rx_free_.assign(nnodes_, 0);
   pe_proc_free_.assign(npes, 0);
+  // A new fabric is a new simulated run: zero the observability session
+  // (registry counters, event rings, phase table) so back-to-back runs in
+  // one process start from identical state.
+  obs::reset();
 }
 
 void Fabric::reset() {
@@ -21,6 +26,7 @@ void Fabric::reset() {
   std::fill(rx_free_.begin(), rx_free_.end(), 0);
   std::fill(pe_proc_free_.begin(), pe_proc_free_.end(), 0);
   if (faults_ != nullptr) faults_->reset();
+  obs::reset();
 }
 
 double Fabric::xfer_ns(std::size_t bytes, const SwProfile& sw,
@@ -148,8 +154,11 @@ PutCompletion Fabric::submit_put(int src_pe, int dst_pe, std::size_t bytes,
   const sim::Time issue_cost = pipelined ? sw.per_msg_gap : sw.put_overhead;
   const sim::Time local_complete = now + issue_cost;
   const bool local = same_node(src_pe, dst_pe);
-  return reliable_oneway(src_pe, dst_pe, xfer_ns(bytes, sw, local),
-                         local_complete);
+  const PutCompletion r = reliable_oneway(src_pe, dst_pe,
+                                          xfer_ns(bytes, sw, local),
+                                          local_complete);
+  if (obs::enabled()) obs::wire_event(src_pe, dst_pe, bytes, now, r.delivered);
+  return r;
 }
 
 PutCompletion Fabric::submit_strided_put(int src_pe, int dst_pe,
@@ -166,7 +175,12 @@ PutCompletion Fabric::submit_strided_put(int src_pe, int dst_pe,
   const double occupancy =
       xfer_ns(elem_bytes * nelems, sw, local) +
       static_cast<double>(sw.strided_elem_gap) * static_cast<double>(nelems);
-  return reliable_oneway(src_pe, dst_pe, occupancy, local_complete);
+  const PutCompletion r =
+      reliable_oneway(src_pe, dst_pe, occupancy, local_complete);
+  if (obs::enabled()) {
+    obs::wire_event(src_pe, dst_pe, elem_bytes * nelems, now, r.delivered);
+  }
+  return r;
 }
 
 RoundTrip Fabric::submit_get(int src_pe, int dst_pe, std::size_t bytes,
@@ -175,8 +189,11 @@ RoundTrip Fabric::submit_get(int src_pe, int dst_pe, std::size_t bytes,
   // Request: a small (16-byte) descriptor to the target NIC; the target NIC
   // services the read directly (one-sided) and the data flows back as a
   // payload message.
-  return reliable_get(src_pe, dst_pe, xfer_ns(16, sw, local),
-                      xfer_ns(bytes, sw, local), now + sw.get_overhead);
+  const RoundTrip r =
+      reliable_get(src_pe, dst_pe, xfer_ns(16, sw, local),
+                   xfer_ns(bytes, sw, local), now + sw.get_overhead);
+  if (obs::enabled()) obs::wire_event(src_pe, dst_pe, bytes, now, r.complete);
+  return r;
 }
 
 RoundTrip Fabric::submit_strided_get(int src_pe, int dst_pe,
@@ -188,8 +205,12 @@ RoundTrip Fabric::submit_strided_get(int src_pe, int dst_pe,
   const double occupancy =
       xfer_ns(elem_bytes * nelems, sw, local) +
       static_cast<double>(sw.strided_elem_gap) * static_cast<double>(nelems);
-  return reliable_get(src_pe, dst_pe, xfer_ns(16, sw, local), occupancy,
-                      now + sw.get_overhead);
+  const RoundTrip r = reliable_get(src_pe, dst_pe, xfer_ns(16, sw, local),
+                                   occupancy, now + sw.get_overhead);
+  if (obs::enabled()) {
+    obs::wire_event(src_pe, dst_pe, elem_bytes * nelems, now, r.complete);
+  }
+  return r;
 }
 
 RoundTrip Fabric::reliable_exec(int src_pe, int dst_pe,
@@ -250,18 +271,24 @@ RoundTrip Fabric::submit_amo(int src_pe, int dst_pe, const SwProfile& sw,
   // Execution at the target serializes per PE: on the NIC's atomic unit for
   // SHMEM/DMAPP/verbs, or on the target CPU for AM-emulated atomics.
   const sim::Time unit_cost = sw.nic_amo ? profile_.nic_amo_gap : sw.handler_cpu;
-  return reliable_exec(src_pe, dst_pe, xfer_ns(16, sw, local),
-                       xfer_ns(8, sw, local), now + sw.amo_overhead, unit_cost,
-                       /*read_at_exec_done=*/true);
+  const RoundTrip r =
+      reliable_exec(src_pe, dst_pe, xfer_ns(16, sw, local),
+                    xfer_ns(8, sw, local), now + sw.amo_overhead, unit_cost,
+                    /*read_at_exec_done=*/true);
+  if (obs::enabled()) obs::wire_event(src_pe, dst_pe, 8, now, r.complete);
+  return r;
 }
 
 RoundTrip Fabric::submit_am(int src_pe, int dst_pe, std::size_t bytes,
                             const SwProfile& sw, sim::Time now) {
   const bool local = same_node(src_pe, dst_pe);
   // The handler needs the target CPU; requests to the same PE serialize.
-  return reliable_exec(src_pe, dst_pe, xfer_ns(bytes + 16, sw, local),
-                       xfer_ns(8, sw, local), now + sw.put_overhead,
-                       sw.handler_cpu, /*read_at_exec_done=*/false);
+  const RoundTrip r =
+      reliable_exec(src_pe, dst_pe, xfer_ns(bytes + 16, sw, local),
+                    xfer_ns(8, sw, local), now + sw.put_overhead,
+                    sw.handler_cpu, /*read_at_exec_done=*/false);
+  if (obs::enabled()) obs::wire_event(src_pe, dst_pe, bytes, now, r.complete);
+  return r;
 }
 
 }  // namespace net

@@ -1,0 +1,203 @@
+#include "obs/analyzer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace obs {
+
+namespace {
+
+constexpr std::size_t kGroups = static_cast<std::size_t>(Group::kCount);
+
+struct PhaseAcc {
+  std::uint64_t pes = 0;
+  double wall = 0;
+  std::array<double, kGroups> by_group{};
+};
+
+/// Per-PE sweep state: one open span and the total duration of its direct
+/// children (for self-time subtraction).
+struct Open {
+  Event e;
+  sim::Time child = 0;
+};
+
+}  // namespace
+
+Attribution analyze() {
+  auto& s = detail::session();
+
+  // Phase names in interning order; index 0 reserved for the implicit
+  // pre-first-marker / marker-free phase.
+  std::vector<std::string> names;
+  names.emplace_back("(run)");
+  for (const auto& n : s.phase_names) names.push_back(n);
+
+  std::map<std::string, PhaseAcc> acc;  // keyed by phase name
+  std::vector<std::string> order;       // first-seen emission order
+
+  auto touch = [&](const std::string& name) -> PhaseAcc& {
+    auto it = acc.find(name);
+    if (it == acc.end()) {
+      it = acc.emplace(name, PhaseAcc{}).first;
+      order.push_back(name);
+    }
+    return it->second;
+  };
+
+  for (std::size_t pe = 0; pe < s.rings.size(); ++pe) {
+    const Ring& ring = s.rings[pe];
+    if (ring.size() == 0) continue;
+
+    std::vector<Event> spans;
+    std::vector<Event> marks;  // kPhase instants
+    spans.reserve(ring.size());
+    sim::Time pe_end = 0;
+    ring.for_each([&](const Event& e) {
+      pe_end = std::max(pe_end, e.t1);
+      if (e.cat == static_cast<std::uint16_t>(Cat::kPhase)) {
+        marks.push_back(e);
+      } else {
+        spans.push_back(e);
+      }
+    });
+
+    // Phase boundaries on this PE: [0, m0), [m0, m1), ..., [mk, pe_end].
+    // bounds[i] is the start of phase segment i; segment 0 is implicit.
+    std::sort(marks.begin(), marks.end(),
+              [](const Event& a, const Event& b) { return a.t0 < b.t0; });
+    std::vector<sim::Time> bounds{0};
+    std::vector<std::uint32_t> seg_name{0};  // index into `names`
+    for (const Event& m : marks) {
+      bounds.push_back(m.t0);
+      seg_name.push_back(static_cast<std::uint32_t>(m.a) + 1);
+    }
+    auto segment_of = [&](sim::Time t) -> std::size_t {
+      // Last segment whose start is <= t.
+      const auto it = std::upper_bound(bounds.begin(), bounds.end(), t);
+      return static_cast<std::size_t>(it - bounds.begin()) - 1;
+    };
+
+    // Per-segment accumulation for this PE.
+    const std::size_t nseg = bounds.size();
+    std::vector<std::array<double, kGroups>> seg_group(nseg);
+    std::vector<double> seg_covered(nseg, 0.0);  // top-level span time
+
+    // Re-nest: sort by start, longest-first on ties, and sweep a stack.
+    std::sort(spans.begin(), spans.end(), [](const Event& a, const Event& b) {
+      if (a.t0 != b.t0) return a.t0 < b.t0;
+      return a.t1 > b.t1;
+    });
+    std::vector<Open> stack;
+    auto close = [&](const Open& o) {
+      const sim::Time dur = o.e.t1 - o.e.t0;
+      const sim::Time self = std::max<sim::Time>(0, dur - o.child);
+      const std::size_t seg = segment_of(o.e.t0);
+      const auto g = static_cast<std::size_t>(
+          group_of(static_cast<Cat>(o.e.cat)));
+      seg_group[seg][g] += static_cast<double>(self);
+      if (stack.empty()) {
+        seg_covered[seg] += static_cast<double>(dur);
+      } else {
+        stack.back().child += dur;
+      }
+    };
+    for (const Event& e : spans) {
+      while (!stack.empty() && stack.back().e.t1 <= e.t0) {
+        const Open top = stack.back();
+        stack.pop_back();
+        close(top);
+      }
+      stack.push_back({e, 0});
+    }
+    while (!stack.empty()) {
+      const Open top = stack.back();
+      stack.pop_back();
+      close(top);
+    }
+
+    // Fold this PE's segments into the global per-phase accumulators;
+    // compute = segment wall minus top-level covered time.
+    std::vector<bool> seen(names.size(), false);
+    for (std::size_t i = 0; i < nseg; ++i) {
+      const sim::Time seg_end = i + 1 < nseg ? bounds[i + 1] : pe_end;
+      const double wall = static_cast<double>(
+          std::max<sim::Time>(0, seg_end - bounds[i]));
+      bool any = wall > 0;
+      for (const double v : seg_group[i]) any = any || v > 0;
+      if (!any) continue;
+      PhaseAcc& pa = touch(names[seg_name[i]]);
+      pa.wall += wall;
+      for (std::size_t g = 0; g < kGroups; ++g) {
+        pa.by_group[g] += seg_group[i][g];
+      }
+      pa.by_group[static_cast<std::size_t>(Group::kCompute)] +=
+          std::max(0.0, wall - seg_covered[i]);
+      if (!seen[seg_name[i]]) {
+        seen[seg_name[i]] = true;
+        ++pa.pes;
+      }
+    }
+  }
+
+  Attribution out;
+  out.total.phase = "(total)";
+  for (const auto& name : order) {
+    const PhaseAcc& pa = acc[name];
+    AttributionRow row;
+    row.phase = name;
+    row.pes = pa.pes;
+    row.wall_ns = pa.wall;
+    row.by_group = pa.by_group;
+    out.total.wall_ns += pa.wall;
+    out.total.pes = std::max(out.total.pes, pa.pes);
+    for (std::size_t g = 0; g < kGroups; ++g) {
+      out.total.by_group[g] += pa.by_group[g];
+    }
+    out.phases.push_back(std::move(row));
+  }
+  return out;
+}
+
+double Attribution::coverage() const {
+  if (total.wall_ns <= 0) return 1.0;
+  double attributed = 0;
+  for (const double v : total.by_group) attributed += v;
+  return attributed / total.wall_ns;
+}
+
+std::string Attribution::table() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-12s %4s %12s", "phase", "PEs",
+                "wall (us)");
+  out += line;
+  for (std::size_t g = 0; g < kGroups; ++g) {
+    std::snprintf(line, sizeof line, " %12s",
+                  group_name(static_cast<Group>(g)));
+    out += line;
+  }
+  out += '\n';
+  auto emit = [&](const AttributionRow& r) {
+    std::snprintf(line, sizeof line, "%-12s %4llu %12.1f", r.phase.c_str(),
+                  static_cast<unsigned long long>(r.pes), r.wall_ns / 1e3);
+    out += line;
+    for (std::size_t g = 0; g < kGroups; ++g) {
+      const double pct = r.wall_ns > 0 ? 100.0 * r.by_group[g] / r.wall_ns : 0;
+      std::snprintf(line, sizeof line, " %11.1f%%", pct);
+      out += line;
+    }
+    out += '\n';
+  };
+  for (const auto& r : phases) emit(r);
+  emit(total);
+  char cov[128];
+  std::snprintf(cov, sizeof cov,
+                "attribution coverage: %.1f%% of wall time\n",
+                100.0 * coverage());
+  out += cov;
+  return out;
+}
+
+}  // namespace obs

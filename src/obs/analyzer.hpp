@@ -1,0 +1,46 @@
+// Critical-path / wait-time analyzer over the session's per-PE rings.
+//
+// For every PE the span records are re-nested by (t0, t1) and each span's
+// SELF time (duration minus enclosed children) is attributed to its
+// category group — wire, quiet-stall, lock-wait, sync-stall, coll-stall.
+// Whatever a PE's top-level spans do not cover is compute (local work /
+// idle). Phase markers partition each PE's timeline; a span belongs to the
+// phase containing its start. The result is the per-phase
+// compute/wire/quiet/lock/sync/collective split the figure harnesses print.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace obs {
+
+/// One row of the attribution table: a phase's wall time summed over PEs
+/// and its split across groups (Group::kCompute..kCollStall), in ns.
+struct AttributionRow {
+  std::string phase;
+  std::uint64_t pes = 0;  ///< PEs that spent time in this phase
+  double wall_ns = 0;
+  std::array<double, static_cast<std::size_t>(Group::kCount)> by_group{};
+};
+
+struct Attribution {
+  std::vector<AttributionRow> phases;  ///< first-marker order; "(run)" when
+                                       ///< a PE has no markers
+  AttributionRow total;                ///< sums over all phases
+
+  /// Fraction of wall time attributed to a named group (compute included);
+  /// < 1 only where clamping discarded malformed nesting.
+  double coverage() const;
+
+  /// Formatted per-phase table (percentages of each phase's wall).
+  std::string table() const;
+};
+
+/// Analyzes the current session. Deterministic for a deterministic run.
+Attribution analyze();
+
+}  // namespace obs

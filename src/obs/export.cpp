@@ -1,0 +1,197 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/analyzer.hpp"
+#include "obs/obs.hpp"
+
+namespace obs {
+
+namespace {
+
+void append(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+/// Minimal JSON string escaping (names here are ASCII identifiers, but a
+/// user-supplied phase name could contain anything).
+std::string jstr(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Microsecond rendering of a ns timestamp with ns precision kept.
+void append_us(std::string& out, sim::Time ns) {
+  append(out, "%" PRId64 ".%03d", ns / 1000,
+         static_cast<int>(ns % 1000));
+}
+
+void emit_span(std::string& out, bool& first, int pid, int tid,
+               const Event& e, const std::vector<std::string>& phase_names) {
+  if (!first) out += ",\n";
+  first = false;
+  const auto cat = static_cast<Cat>(e.cat);
+  if (cat == Cat::kPhase) {
+    const std::size_t id = e.a;
+    const std::string& name =
+        id < phase_names.size() ? phase_names[id] : "?";
+    append(out, "{\"name\":%s,\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,"
+                "\"tid\":%d,\"ts\":",
+           jstr(name).c_str(), pid, tid);
+    append_us(out, e.t0);
+    out += "}";
+    return;
+  }
+  append(out, "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":%d,"
+              "\"tid\":%d,\"ts\":",
+         cat_name(cat), group_name(group_of(cat)), pid, tid);
+  append_us(out, e.t0);
+  out += ",\"dur\":";
+  append_us(out, e.t1 - e.t0);
+  append(out, ",\"args\":{\"bytes\":%" PRIu64 ",\"peer\":%u}}",
+         e.a, e.b);
+}
+
+}  // namespace
+
+std::string chrome_trace_json() {
+  auto& s = detail::session();
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  // Track-name metadata so chrome://tracing labels the rows.
+  for (std::size_t pe = 0; pe < s.rings.size(); ++pe) {
+    if (s.rings[pe].size() == 0) continue;
+    if (!first) out += ",\n";
+    first = false;
+    append(out, "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                "\"tid\":%zu,\"args\":{\"name\":\"PE %zu\"}}",
+           pe, pe);
+  }
+  for (std::size_t pe = 0; pe < s.wire_rings.size(); ++pe) {
+    if (s.wire_rings[pe].size() == 0) continue;
+    if (!first) out += ",\n";
+    first = false;
+    append(out, "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                "\"tid\":%zu,\"args\":{\"name\":\"fabric from PE %zu\"}}",
+           pe, pe);
+  }
+  for (std::size_t pe = 0; pe < s.rings.size(); ++pe) {
+    s.rings[pe].for_each([&](const Event& e) {
+      emit_span(out, first, 0, static_cast<int>(pe), e, s.phase_names);
+    });
+  }
+  for (std::size_t pe = 0; pe < s.wire_rings.size(); ++pe) {
+    s.wire_rings[pe].for_each([&](const Event& e) {
+      emit_span(out, first, 1, static_cast<int>(pe), e, s.phase_names);
+    });
+  }
+  out += "\n],\"displayTimeUnit\":\"ns\"}\n";
+  return out;
+}
+
+std::string stats_json() {
+  auto& s = detail::session();
+  std::string out = "{\n\"counters\":{";
+  // Counters grouped by name: "name": {"pe": value, ...}.
+  bool first_name = true;
+  std::string cur;
+  s.registry.for_each_counter(
+      [&](const std::string& name, int pe, std::uint64_t v) {
+        if (name != cur) {
+          if (!cur.empty()) out += "},\n";
+          else out += "\n";
+          append(out, "%s:{", jstr(name).c_str());
+          cur = name;
+          first_name = false;
+        } else {
+          out += ",";
+        }
+        append(out, "\"%d\":%" PRIu64, pe, v);
+      });
+  if (!cur.empty()) out += "}";
+  (void)first_name;
+  out += "\n},\n\"histograms\":{";
+  cur.clear();
+  s.registry.for_each_hist(
+      [&](const std::string& name, int pe, const Hist& h) {
+        if (name != cur) {
+          if (!cur.empty()) out += "},\n";
+          else out += "\n";
+          append(out, "%s:{", jstr(name).c_str());
+          cur = name;
+        } else {
+          out += ",";
+        }
+        append(out, "\"%d\":{\"count\":%" PRIu64 ",\"sum_ns\":%" PRIu64
+                    ",\"buckets\":{",
+               pe, h.count(), h.sum_ns());
+        bool fb = true;
+        for (int b = 0; b < Hist::kBuckets; ++b) {
+          if (h.bucket(b) == 0) continue;
+          if (!fb) out += ",";
+          fb = false;
+          append(out, "\"%" PRIu64 "\":%" PRIu64, Hist::bucket_lo(b),
+                 h.bucket(b));
+        }
+        out += "}}";
+      });
+  if (!cur.empty()) out += "}";
+  out += "\n},\n\"attribution\":[";
+  const Attribution at = analyze();
+  bool fr = true;
+  auto emit_row = [&](const AttributionRow& r) {
+    if (!fr) out += ",";
+    fr = false;
+    append(out, "\n{\"phase\":%s,\"pes\":%" PRIu64 ",\"wall_ns\":%.0f",
+           jstr(r.phase).c_str(), r.pes, r.wall_ns);
+    for (std::size_t g = 0; g < r.by_group.size(); ++g) {
+      append(out, ",\"%s_ns\":%.0f", group_name(static_cast<Group>(g)),
+             r.by_group[g]);
+    }
+    out += "}";
+  };
+  for (const auto& r : at.phases) emit_row(r);
+  emit_row(at.total);
+  append(out, "\n],\n\"coverage\":%.6f\n}\n", at.coverage());
+  return out;
+}
+
+bool write_chrome_trace(const char* path) {
+  std::string p = path != nullptr ? path : config().trace_path;
+  if (p.empty()) return false;
+  std::FILE* f = std::fopen(p.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chrome_trace_json();
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return n == json.size();
+}
+
+}  // namespace obs

@@ -1,0 +1,25 @@
+// Exporters over the obs session: Chrome-trace JSON (chrome://tracing /
+// Perfetto "traceEvents" format, one track per PE, spans nested by layer)
+// and a machine-readable stats JSON for the bench harnesses.
+#pragma once
+
+#include <string>
+
+namespace obs {
+
+/// Chrome-trace JSON of the current session: pid 0 = PE timelines (one tid
+/// per PE, "X" complete events, phase markers as "i" instants), pid 1 =
+/// fabric wire messages per source PE. ts/dur are microseconds of sim
+/// time. Output is deterministic: same session state → same bytes.
+std::string chrome_trace_json();
+
+/// Machine-readable stats: registry counters, histogram summaries, and the
+/// analyzer's per-phase attribution rows.
+std::string stats_json();
+
+/// Writes chrome_trace_json() to `path`, or to config().trace_path when
+/// `path` is null. Returns false (writing nothing) when no path is
+/// configured or the file cannot be opened.
+bool write_chrome_trace(const char* path = nullptr);
+
+}  // namespace obs

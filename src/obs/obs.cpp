@@ -1,0 +1,275 @@
+#include "obs/obs.hpp"
+
+#include <cstdlib>
+
+namespace obs {
+
+const char* cat_name(Cat c) {
+  switch (c) {
+    case Cat::kPut: return "put";
+    case Cat::kGet: return "get";
+    case Cat::kIput: return "iput";
+    case Cat::kIget: return "iget";
+    case Cat::kScatter: return "put_scatter";
+    case Cat::kAmo: return "amo";
+    case Cat::kQuiet: return "quiet";
+    case Cat::kFence: return "fence";
+    case Cat::kLockAcquire: return "lock_acquire";
+    case Cat::kLockHandoff: return "lock_handoff";
+    case Cat::kSyncWait: return "sync_wait";
+    case Cat::kBarrier: return "barrier";
+    case Cat::kBroadcast: return "broadcast";
+    case Cat::kReduce: return "reduce";
+    case Cat::kCollStage: return "coll_stage";
+    case Cat::kMsgWire: return "msg_wire";
+    case Cat::kPhase: return "phase";
+    case Cat::kCount: break;
+  }
+  return "?";
+}
+
+const char* group_name(Group g) {
+  switch (g) {
+    case Group::kCompute: return "compute";
+    case Group::kWire: return "wire";
+    case Group::kQuietStall: return "quiet-stall";
+    case Group::kLockWait: return "lock-wait";
+    case Group::kSyncStall: return "sync-stall";
+    case Group::kCollStall: return "coll-stall";
+    case Group::kCount: break;
+  }
+  return "?";
+}
+
+Group group_of(Cat c) {
+  switch (c) {
+    case Cat::kPut:
+    case Cat::kGet:
+    case Cat::kIput:
+    case Cat::kIget:
+    case Cat::kScatter:
+    case Cat::kAmo:
+    case Cat::kMsgWire:
+      return Group::kWire;
+    case Cat::kQuiet:
+    case Cat::kFence:
+      return Group::kQuietStall;
+    case Cat::kLockAcquire:
+    case Cat::kLockHandoff:
+      return Group::kLockWait;
+    case Cat::kSyncWait:
+      return Group::kSyncStall;
+    case Cat::kBarrier:
+    case Cat::kBroadcast:
+    case Cat::kReduce:
+    case Cat::kCollStage:
+      return Group::kCollStall;
+    case Cat::kPhase:
+    case Cat::kCount:
+      break;
+  }
+  return Group::kCompute;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+std::uint64_t& Registry::counter(int pe, std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::deque<std::uint64_t>())
+             .first;
+  }
+  auto& slots = it->second;
+  // deque growth at the end never moves existing elements, so previously
+  // handed-out &slots[i] stay valid.
+  while (slots.size() <= static_cast<std::size_t>(pe)) slots.push_back(0);
+  return slots[static_cast<std::size_t>(pe)];
+}
+
+Hist& Registry::hist(int pe, std::string_view name) {
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_.emplace(std::string(name), std::deque<Hist>()).first;
+  }
+  auto& slots = it->second;
+  while (slots.size() <= static_cast<std::size_t>(pe)) slots.emplace_back();
+  return slots[static_cast<std::size_t>(pe)];
+}
+
+std::uint64_t Registry::value(int pe, std::string_view name) const {
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) return 0;
+  const auto& slots = it->second;
+  if (static_cast<std::size_t>(pe) >= slots.size()) return 0;
+  return slots[static_cast<std::size_t>(pe)];
+}
+
+void Registry::clear() {
+  for (auto& [name, slots] : counters_) {
+    for (auto& v : slots) v = 0;
+  }
+  for (auto& [name, slots] : hists_) {
+    for (auto& h : slots) h.clear();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+bool g_tracing = false;
+
+Session& session() {
+  static Session s;
+  return s;
+}
+
+Ring& Session::ring(int pe) {
+  if (rings.size() <= static_cast<std::size_t>(pe)) {
+    rings.resize(static_cast<std::size_t>(pe) + 1, Ring(cfg.ring_events));
+  }
+  return rings[static_cast<std::size_t>(pe)];
+}
+
+Ring& Session::wire_ring(int pe) {
+  if (wire_rings.size() <= static_cast<std::size_t>(pe)) {
+    wire_rings.resize(static_cast<std::size_t>(pe) + 1, Ring(cfg.ring_events));
+  }
+  return wire_rings[static_cast<std::size_t>(pe)];
+}
+
+}  // namespace detail
+
+void enable(Config cfg) {
+  auto& s = detail::session();
+  s.cfg = std::move(cfg);
+  s.rings.clear();
+  s.wire_rings.clear();
+  s.depth.clear();
+  detail::g_tracing = true;
+}
+
+void disable() { detail::g_tracing = false; }
+
+void init_from_env() {
+  const char* path = std::getenv("CAF_TRACE");
+  if (path == nullptr || path[0] == '\0') return;
+  Config cfg;
+  cfg.trace_path = path;
+  enable(std::move(cfg));
+}
+
+const Config& config() { return detail::session().cfg; }
+
+Registry& registry() { return detail::session().registry; }
+
+void reset() {
+  auto& s = detail::session();
+  s.registry.clear();
+  for (auto& r : s.rings) r.clear();
+  for (auto& r : s.wire_rings) r.clear();
+  for (auto& d : s.depth) d = 0;
+  s.phase_names.clear();
+  s.phase_ids.clear();
+}
+
+namespace {
+
+/// PE of the currently running fiber, or -1 on the scheduler context (or
+/// outside any engine) — events there have no attributable timeline.
+int fiber_pe() {
+  sim::Engine* eng = sim::Engine::current();
+  if (eng == nullptr) return -1;
+  sim::Fiber* f = eng->current_fiber();
+  return f == nullptr ? -1 : f->pe();
+}
+
+}  // namespace
+
+void phase(const char* name) {
+  if (!enabled()) return;
+  const int pe = fiber_pe();
+  if (pe < 0) return;
+  auto& s = detail::session();
+  std::uint32_t id = 0;
+  const auto it = s.phase_ids.find(name);
+  if (it != s.phase_ids.end()) {
+    id = it->second;
+  } else {
+    id = static_cast<std::uint32_t>(s.phase_names.size());
+    s.phase_names.emplace_back(name);
+    s.phase_ids.emplace(name, id);
+  }
+  Event e;
+  e.t0 = e.t1 = sim::Engine::current()->now();
+  e.a = id;
+  e.cat = static_cast<std::uint16_t>(Cat::kPhase);
+  s.ring(pe).push(e);
+}
+
+void wire_event(int src_pe, int dst_pe, std::uint64_t bytes, sim::Time t0,
+                sim::Time t1) {
+  if (!enabled()) return;
+  Event e;
+  e.t0 = t0;
+  e.t1 = t1;
+  e.a = bytes;
+  e.b = static_cast<std::uint32_t>(dst_pe);
+  e.cat = static_cast<std::uint16_t>(Cat::kMsgWire);
+  detail::session().wire_ring(src_pe).push(e);
+}
+
+void Span::begin(Cat cat, std::uint64_t a, std::uint32_t b) {
+  const int pe = fiber_pe();
+  if (pe < 0) return;
+  pe_ = pe;
+  cat_ = cat;
+  a_ = a;
+  b_ = b;
+  t0_ = sim::Engine::current()->now();
+  auto& s = detail::session();
+  if (s.depth.size() <= static_cast<std::size_t>(pe)) {
+    s.depth.resize(static_cast<std::size_t>(pe) + 1, 0);
+  }
+  ++s.depth[static_cast<std::size_t>(pe)];
+}
+
+void Span::end() {
+  auto& s = detail::session();
+  const auto pe = static_cast<std::size_t>(pe_);
+  std::uint32_t depth = 0;
+  if (pe < s.depth.size() && s.depth[pe] > 0) {
+    depth = --s.depth[pe];
+  }
+  // The fiber is still current in the destructor's scope, so now() is the
+  // span's end on this PE's clock. Guard anyway: a span unwound by a PE
+  // kill may run its destructor after the fiber was torn down.
+  sim::Engine* eng = sim::Engine::current();
+  if (eng == nullptr || eng->current_fiber() == nullptr) return;
+  Event e;
+  e.t0 = t0_;
+  e.t1 = eng->now();
+  e.a = a_;
+  e.b = b_;
+  e.cat = static_cast<std::uint16_t>(cat_);
+  e.depth = static_cast<std::uint16_t>(depth);
+  s.ring(pe_).push(e);
+  if (enabled()) {
+    // Per-category latency histogram, named "lat.<cat>".
+    static const std::array<const char*, static_cast<std::size_t>(Cat::kCount)>
+        kLatNames = {"lat.put",          "lat.get",       "lat.iput",
+                     "lat.iget",         "lat.put_scatter", "lat.amo",
+                     "lat.quiet",        "lat.fence",     "lat.lock_acquire",
+                     "lat.lock_handoff", "lat.sync_wait", "lat.barrier",
+                     "lat.broadcast",    "lat.reduce",    "lat.coll_stage",
+                     "lat.msg_wire",     "lat.phase"};
+    s.registry.hist(pe_, kLatNames[static_cast<std::size_t>(cat_)])
+        .record(e.t1 - e.t0);
+  }
+}
+
+}  // namespace obs

@@ -1,0 +1,302 @@
+// obs — the runtime's unified observability substrate.
+//
+// One global Session serves every layer of a simulated stack:
+//
+//   * a per-PE event Ring of fixed-size binary records stamped with the
+//     sim clock — RAII Spans (RMA ops, quiet/fence, lock acquire/handoff,
+//     collective stages) land in the issuing PE's ring, fabric-level
+//     message send→deliver records in a separate per-PE wire ring (wire
+//     events overlap arbitrarily and must not disturb span nesting);
+//   * a Registry of named counters and log2-bucketed latency histograms —
+//     the single home for what used to be ad-hoc telemetry structs
+//     (RmaTelemetry, DirectTelemetry, the DHT degraded-mode ledgers).
+//     Counters are always on: callers cache a stable `std::uint64_t*`
+//     handle once and bump it at plain-field-increment cost;
+//   * exporters (export.hpp) and a critical-path analyzer (analyzer.hpp)
+//     that run over the merged rings after a sim run.
+//
+// Tracing (spans, wire events, histograms) is off by default and compiles
+// to a single extern-bool test per instrumentation point; it is enabled
+// with CAF_TRACE=<path> (init_from_env), caf::Options::trace, or enable().
+// Fabric construction/reset clears the whole session state so back-to-back
+// sim runs start from zero and same-seed reruns trace byte-identically.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace obs {
+
+/// Span / event taxonomy. Values are stable binary record tags.
+enum class Cat : std::uint16_t {
+  kPut = 0,
+  kGet,
+  kIput,
+  kIget,
+  kScatter,
+  kAmo,
+  kQuiet,        ///< a real (non-elided) transport fence
+  kFence,        ///< runtime completion point (agg flush + quiet)
+  kLockAcquire,
+  kLockHandoff,
+  kSyncWait,     ///< sync_images / event wait
+  kBarrier,
+  kBroadcast,
+  kReduce,
+  kCollStage,    ///< one wait inside a collective arm (tree/ring stage)
+  kMsgWire,      ///< fabric message send→deliver (wire ring only)
+  kPhase,        ///< instant phase marker; `a` = interned name id
+  kCount
+};
+
+const char* cat_name(Cat c);
+
+/// Wall-time attribution buckets used by the analyzer.
+enum class Group : std::uint8_t {
+  kCompute = 0,  ///< no span open (local work, idle)
+  kWire,         ///< RMA issue/transfer (put/get/strided/scatter/amo)
+  kQuietStall,   ///< quiet / fence completion waits
+  kLockWait,     ///< lock acquire + handoff
+  kSyncStall,    ///< sync_images / event waits
+  kCollStall,    ///< barrier / broadcast / reduction stages
+  kCount
+};
+
+const char* group_name(Group g);
+Group group_of(Cat c);
+
+/// One binary trace record (32 bytes). For spans, [t0,t1] brackets the
+/// operation on the issuing PE's clock; `a` carries the payload bytes (or
+/// the phase-name id), `b` the peer rank, `depth` the span nesting level.
+struct Event {
+  sim::Time t0 = 0;
+  sim::Time t1 = 0;
+  std::uint64_t a = 0;
+  std::uint32_t b = 0;
+  std::uint16_t cat = 0;
+  std::uint16_t depth = 0;
+};
+
+/// Fixed-capacity event buffer: grows lazily up to `capacity` records,
+/// then wraps, dropping the oldest. Spans are recorded at span END, so on
+/// wraparound children drop before their parents — the analyzer tolerates
+/// missing children (their time re-appears as parent self-time).
+class Ring {
+ public:
+  explicit Ring(std::size_t capacity = 0) : cap_(capacity) {}
+
+  void set_capacity(std::size_t cap) { cap_ = cap; }
+  std::size_t capacity() const { return cap_; }
+
+  void push(const Event& e) {
+    if (cap_ == 0) return;
+    if (buf_.size() < cap_) {
+      buf_.push_back(e);
+    } else {
+      buf_[head_] = e;
+      head_ = (head_ + 1) % cap_;
+    }
+    ++total_;
+  }
+
+  /// Records currently retained (≤ capacity).
+  std::size_t size() const { return buf_.size(); }
+  /// Records pushed over the ring's lifetime.
+  std::uint64_t total() const { return total_; }
+  bool wrapped() const { return total_ > buf_.size(); }
+
+  /// Visits retained records oldest-first.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::size_t n = buf_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(buf_[(head_ + i) % n]);
+    }
+  }
+
+  void clear() {
+    buf_.clear();
+    head_ = 0;
+    total_ = 0;
+  }
+
+ private:
+  std::vector<Event> buf_;
+  std::size_t cap_;
+  std::size_t head_ = 0;  ///< oldest record once wrapped
+  std::uint64_t total_ = 0;
+};
+
+/// Log2-bucketed latency histogram: bucket i counts durations whose
+/// nanosecond value has bit-width i, i.e. d in [2^(i-1), 2^i). Bucket 0
+/// counts non-positive durations.
+class Hist {
+ public:
+  static constexpr int kBuckets = 65;
+
+  static int bucket_of(sim::Time d) {
+    if (d <= 0) return 0;
+    return std::bit_width(static_cast<std::uint64_t>(d));
+  }
+  /// Inclusive lower edge of bucket `b` (0 for the degenerate bucket).
+  static std::uint64_t bucket_lo(int b) {
+    return b <= 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+
+  void record(sim::Time d) {
+    ++buckets_[static_cast<std::size_t>(bucket_of(d))];
+    ++count_;
+    if (d > 0) sum_ += static_cast<std::uint64_t>(d);
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum_ns() const { return sum_; }
+  std::uint64_t bucket(int b) const {
+    return buckets_[static_cast<std::size_t>(b)];
+  }
+
+  void clear() {
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// Named (counter | histogram) store, keyed by (name, pe). Handles returned
+/// by counter()/hist() stay valid for the process lifetime: per-name slots
+/// live in deques (growth never moves existing elements) and clear() zeroes
+/// in place instead of deallocating — callers cache the pointer once and
+/// increment at plain-field cost.
+class Registry {
+ public:
+  std::uint64_t& counter(int pe, std::string_view name);
+  Hist& hist(int pe, std::string_view name);
+
+  /// Counter value, 0 when the (name, pe) cell was never touched.
+  std::uint64_t value(int pe, std::string_view name) const;
+
+  /// Zeroes every counter and histogram in place (handles stay valid).
+  void clear();
+
+  /// Visits counters as fn(name, pe, value), names in lexical order,
+  /// zero-valued cells skipped.
+  template <typename Fn>
+  void for_each_counter(Fn&& fn) const {
+    for (const auto& [name, slots] : counters_) {
+      for (std::size_t pe = 0; pe < slots.size(); ++pe) {
+        if (slots[pe] != 0) fn(name, static_cast<int>(pe), slots[pe]);
+      }
+    }
+  }
+
+  /// Visits histograms as fn(name, pe, hist), empty ones skipped.
+  template <typename Fn>
+  void for_each_hist(Fn&& fn) const {
+    for (const auto& [name, slots] : hists_) {
+      for (std::size_t pe = 0; pe < slots.size(); ++pe) {
+        if (slots[pe].count() != 0) fn(name, static_cast<int>(pe), slots[pe]);
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::deque<std::uint64_t>, std::less<>> counters_;
+  std::map<std::string, std::deque<Hist>, std::less<>> hists_;
+};
+
+/// Tracing configuration.
+struct Config {
+  std::string trace_path;           ///< Chrome-trace output ("" = don't write)
+  std::size_t ring_events = 65536;  ///< per-PE ring capacity (records)
+};
+
+namespace detail {
+extern bool g_tracing;
+
+struct Session {
+  Config cfg;
+  Registry registry;
+  std::vector<Ring> rings;       ///< per PE: spans + phase markers
+  std::vector<Ring> wire_rings;  ///< per source PE: fabric kMsgWire records
+  std::vector<std::uint32_t> depth;  ///< per PE: open-span count
+  std::vector<std::string> phase_names;
+  std::map<std::string, std::uint32_t, std::less<>> phase_ids;
+
+  Ring& ring(int pe);
+  Ring& wire_ring(int pe);
+};
+
+Session& session();
+}  // namespace detail
+
+/// True while tracing is enabled — the single guard every instrumentation
+/// point tests before doing any work.
+inline bool enabled() { return detail::g_tracing; }
+
+/// Turns tracing on with `cfg` (rings allocate lazily per PE).
+void enable(Config cfg = {});
+void disable();
+
+/// Reads CAF_TRACE; when set (non-empty), enables tracing with the value
+/// as the Chrome-trace output path.
+void init_from_env();
+
+const Config& config();
+Registry& registry();
+
+/// Clears all session state — rings, registry values, phase table — while
+/// keeping the enabled flag and configuration. Invoked by Fabric
+/// construction/reset so every sim run starts from zero.
+void reset();
+
+/// Instant phase marker on the calling PE (no-op unless tracing and on a
+/// fiber). Phases partition each PE's timeline for the analyzer.
+void phase(const char* name);
+
+/// Fabric-level message record: `bytes` from src_pe to dst_pe, sent at t0,
+/// delivered at t1. Lands in src_pe's wire ring.
+void wire_event(int src_pe, int dst_pe, std::uint64_t bytes, sim::Time t0,
+                sim::Time t1);
+
+/// RAII span: brackets one operation on the calling PE's clock. Inactive
+/// (zero work beyond the enabled() test) when tracing is off or the caller
+/// is not on a fiber (scheduler-context handlers are not attributable to a
+/// PE timeline).
+class Span {
+ public:
+  explicit Span(Cat cat, std::uint64_t a = 0, std::uint32_t b = 0) {
+    if (enabled()) begin(cat, a, b);
+  }
+  ~Span() {
+    if (pe_ >= 0) end();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(Cat cat, std::uint64_t a, std::uint32_t b);
+  void end();
+
+  sim::Time t0_ = 0;
+  std::uint64_t a_ = 0;
+  std::uint32_t b_ = 0;
+  std::int32_t pe_ = -1;  ///< -1 = inactive
+  Cat cat_ = Cat::kPut;
+};
+
+}  // namespace obs

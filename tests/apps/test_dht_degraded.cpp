@@ -2,8 +2,8 @@
 // updates — dead-owner traffic is redirected to the next live image in the
 // ring (or skipped, with accounting), locks held by the corpse are
 // reclaimed, and the survivor table contents reconcile with the per-image
-// DegradedStats ledgers. Covered on both runtimes (UHCAF-over-SHMEM and the
-// Cray-CAF baseline), mirroring the bench/fault_recovery harness.
+// "dht.*" registry ledgers. Covered on both runtimes (UHCAF-over-SHMEM and
+// the Cray-CAF baseline), mirroring the bench/fault_recovery harness.
 #include "apps/dht_drivers.hpp"
 
 #include <gtest/gtest.h>
@@ -13,6 +13,7 @@
 
 #include "caf_test_util.hpp"
 #include "net/fault.hpp"
+#include "obs/obs.hpp"
 
 using namespace apps::dht;
 using caftest::Harness;
@@ -30,24 +31,34 @@ Config degraded_cfg() {
   return cfg;
 }
 
-// Reconciles survivor ledgers against survivor table contents.
+// Reconciles survivor ledgers (the "dht.*" registry counters plus the
+// per-target applied_to vectors run_updates_resilient returns) against
+// survivor table contents.
 void check_conservation(int images, int victim,
-                        const std::vector<DegradedStats>& stats,
+                        const std::vector<std::vector<std::int64_t>>& applied,
                         const std::vector<std::int64_t>& counts,
                         const Config& cfg) {
+  auto dht = [](int img, const char* name) {
+    return static_cast<std::int64_t>(obs::registry().value(img - 1, name));
+  };
   std::int64_t total_counts = 0;
   std::int64_t total_applied = 0;
   std::int64_t applied_to_victim = 0;
   std::int64_t total_redirected = 0;
   for (int img = 1; img <= images; ++img) {
     if (img == victim) continue;
-    const DegradedStats& st = stats[static_cast<std::size_t>(img)];
-    EXPECT_EQ(st.attempted, cfg.updates_per_image) << "image " << img;
-    EXPECT_EQ(st.applied + st.skipped, st.attempted) << "image " << img;
-    EXPECT_EQ(st.applied_pre + st.applied_post, st.applied) << "image " << img;
-    total_applied += st.applied;
-    applied_to_victim += st.applied_to[static_cast<std::size_t>(victim)];
-    total_redirected += st.redirected;
+    EXPECT_EQ(dht(img, "dht.attempted"), cfg.updates_per_image)
+        << "image " << img;
+    EXPECT_EQ(dht(img, "dht.applied") + dht(img, "dht.skipped"),
+              dht(img, "dht.attempted"))
+        << "image " << img;
+    EXPECT_EQ(dht(img, "dht.applied_pre") + dht(img, "dht.applied_post"),
+              dht(img, "dht.applied"))
+        << "image " << img;
+    total_applied += dht(img, "dht.applied");
+    applied_to_victim += applied[static_cast<std::size_t>(img)]
+                                [static_cast<std::size_t>(victim)];
+    total_redirected += dht(img, "dht.redirected");
     total_counts += counts[static_cast<std::size_t>(img)];
     // Per-target lower bound: everything a survivor claims it applied to a
     // surviving target must be in that target's slice (the victim may have
@@ -58,8 +69,8 @@ void check_conservation(int images, int victim,
     std::int64_t claimed = 0;
     for (int u = 1; u <= images; ++u) {
       if (u == victim) continue;
-      claimed += stats[static_cast<std::size_t>(u)]
-                     .applied_to[static_cast<std::size_t>(t)];
+      claimed += applied[static_cast<std::size_t>(u)]
+                        [static_cast<std::size_t>(t)];
     }
     EXPECT_GE(counts[static_cast<std::size_t>(t)], claimed) << "target " << t;
   }
@@ -86,17 +97,17 @@ TEST(DhtDegraded, CafSurvivorsRedirectReclaimAndConserve) {
   // loops run to ~60 us, so the kill lands with most updates still pending.
   plan.kill_pe(kVictim - 1, 25'000);
   Harness h(Stack::kShmemCray, kImages, {}, 4 << 20, plan);
-  std::vector<DegradedStats> stats(kImages + 1);
+  std::vector<std::vector<std::int64_t>> applied(kImages + 1);
   std::vector<std::int64_t> counts(kImages + 1, 0);
   h.run([&] {
     auto& rt = h.rt();
     const int me = rt.this_image();
     auto table = make_caf_table(rt, cfg);
-    stats[static_cast<std::size_t>(me)] = table.run_updates_resilient();
+    applied[static_cast<std::size_t>(me)] = table.run_updates_resilient();
     EXPECT_EQ(rt.sync_all_stat(), caf::kStatFailedImage);
     counts[static_cast<std::size_t>(me)] = table.local_count_sum();
   });
-  check_conservation(kImages, kVictim, stats, counts, cfg);
+  check_conservation(kImages, kVictim, applied, counts, cfg);
 }
 
 TEST(DhtDegraded, CrayCafSurvivorsRedirectReclaimAndConserve) {
@@ -111,7 +122,7 @@ TEST(DhtDegraded, CrayCafSurvivorsRedirectReclaimAndConserve) {
   craycaf::Runtime rt(engine, fabric, 4 << 20);
   fabric.set_fault_injector(&injector);
   injector.arm(engine);
-  std::vector<DegradedStats> stats(kImages + 1);
+  std::vector<std::vector<std::int64_t>> applied(kImages + 1);
   std::vector<std::int64_t> counts(kImages + 1, 0);
   rt.launch([&] {
     const int me = rt.this_image();
@@ -119,7 +130,7 @@ TEST(DhtDegraded, CrayCafSurvivorsRedirectReclaimAndConserve) {
     const std::uint64_t done_off = rt.allocate(8);
     if (me == 1) std::memset(rt.local_addr(done_off), 0, 8);
     rt.sync_all();  // last vendor barrier before the kill can land
-    stats[static_cast<std::size_t>(me)] = table.run_updates_resilient();
+    applied[static_cast<std::size_t>(me)] = table.run_updates_resilient();
     // The vendor sync_all hangs once an image is dead, so survivors
     // rendezvous manually: bump an arrival counter on image 1 and poll it
     // until every live image has checked in.
@@ -133,5 +144,5 @@ TEST(DhtDegraded, CrayCafSurvivorsRedirectReclaimAndConserve) {
     counts[static_cast<std::size_t>(me)] = table.local_count_sum();
   });
   engine.run();
-  check_conservation(kImages, kVictim, stats, counts, cfg);
+  check_conservation(kImages, kVictim, applied, counts, cfg);
 }

@@ -13,6 +13,7 @@
 #include <tuple>
 
 #include "caf_test_util.hpp"
+#include "obs/obs.hpp"
 
 using namespace caf;
 using caftest::Harness;
@@ -343,16 +344,17 @@ TEST_P(ConduitConformance, QuietIsElidedWhenNoOpsAreInFlight) {
     const std::uint64_t off = c.allocate(64);
     c.barrier();
     if (c.rank() == 0) {
-      const std::uint64_t elided0 = c.telemetry().quiet_elided;
+      const std::uint64_t elided0 =
+          obs::registry().value(0, "rma.quiet_elided");
       c.quiet();
       c.quiet();
-      EXPECT_EQ(c.telemetry().quiet_elided, elided0 + 2);
+      EXPECT_EQ(obs::registry().value(0, "rma.quiet_elided"), elided0 + 2);
       std::int64_t v = 5;
       c.put(2, off, &v, sizeof v, /*nbi=*/true);
       EXPECT_TRUE(c.pending(2));
       EXPECT_FALSE(c.pending(1));
       c.quiet();  // real fence: tracker dirty
-      EXPECT_EQ(c.telemetry().quiet_elided, elided0 + 2);
+      EXPECT_EQ(obs::registry().value(0, "rma.quiet_elided"), elided0 + 2);
       EXPECT_FALSE(c.pending_any());
     }
     c.barrier();

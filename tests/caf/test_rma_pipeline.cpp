@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "caf_test_util.hpp"
+#include "obs/obs.hpp"
 
 using namespace caf;
 using caftest::Harness;
@@ -193,10 +194,12 @@ TEST(DeferredPipeline, StagingAndQuietElisionTelemetry) {
       for (int i = 0; i < 64; ++i) EXPECT_EQ(base[i], i);
     }
     // Quiet traffic drained: further completion points elide the quiet.
-    const std::uint64_t elided_before = rt.conduit().telemetry().quiet_elided;
+    const int me = rt.this_image() - 1;
+    const std::uint64_t elided_before =
+        obs::registry().value(me, "rma.quiet_elided");
     rt.sync_all();
     rt.sync_all();
-    EXPECT_GT(rt.conduit().telemetry().quiet_elided, elided_before);
+    EXPECT_GT(obs::registry().value(me, "rma.quiet_elided"), elided_before);
     rt.sync_all();
   });
 }
@@ -210,13 +213,14 @@ TEST(DeferredPipeline, GetSkipsQuietWhenTrackerClean) {
     const std::uint64_t off = rt.allocate_coarray_bytes(256);
     rt.sync_all();
     if (rt.this_image() == 1) {
-      const auto quiets_before = rt.conduit().telemetry().quiet_calls -
-                                 rt.conduit().telemetry().quiet_elided;
+      auto real_quiets = [] {
+        return obs::registry().value(0, "rma.quiet_calls") -
+               obs::registry().value(0, "rma.quiet_elided");
+      };
+      const auto quiets_before = real_quiets();
       std::int64_t v = 0;
       rt.get_bytes(&v, 2, off, sizeof v);
-      const auto quiets_after = rt.conduit().telemetry().quiet_calls -
-                                rt.conduit().telemetry().quiet_elided;
-      EXPECT_EQ(quiets_after, quiets_before);  // no pending puts → no quiet
+      EXPECT_EQ(real_quiets(), quiets_before);  // no pending puts → no quiet
     }
     rt.sync_all();
   });

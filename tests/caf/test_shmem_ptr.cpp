@@ -4,6 +4,7 @@
 
 #include "caf/shmem_conduit.hpp"
 #include "caf_test_util.hpp"
+#include "obs/obs.hpp"
 
 using namespace caf;
 using caftest::Harness;
@@ -131,15 +132,15 @@ TEST(ShmemPtr, StridedAndScatterTakeDirectPath) {
       EXPECT_EQ(x.get_scalar(2, {2}), 7);
       EXPECT_EQ(x.get_scalar(2, {10}), 9);
 
-      const auto& dt = cd.direct_telemetry();
-      EXPECT_EQ(dt.iputs, 1u);
-      EXPECT_EQ(dt.igets, 1u);
-      EXPECT_EQ(dt.scatters, 1u);
+      auto& reg = obs::registry();
+      EXPECT_EQ(reg.value(0, "direct.iputs"), 1u);
+      EXPECT_EQ(reg.value(0, "direct.igets"), 1u);
+      EXPECT_EQ(reg.value(0, "direct.scatters"), 1u);
       // Cray SHMEM is hardware-strided, so each strided op counts as one
       // elided message; the scatter and the two direct get_scalar loads
       // count one each.
-      EXPECT_GE(dt.elided_msgs, 5u);
-      EXPECT_GT(dt.elided_bytes, 0u);
+      EXPECT_GE(reg.value(0, "direct.elided_msgs"), 5u);
+      EXPECT_GT(reg.value(0, "direct.elided_bytes"), 0u);
     }
     h.rt().sync_all();
   });
@@ -162,8 +163,8 @@ TEST(ShmemPtr, InterNodeStridedStaysOnLibraryPath) {
       std::vector<int> got(3, 0);
       cd.iget(got.data(), 1, cores, x.offset(), 2, sizeof(int), got.size());
       EXPECT_EQ(got, src);
-      EXPECT_EQ(cd.direct_telemetry().iputs, 0u);
-      EXPECT_EQ(cd.direct_telemetry().igets, 0u);
+      EXPECT_EQ(obs::registry().value(0, "direct.iputs"), 0u);
+      EXPECT_EQ(obs::registry().value(0, "direct.igets"), 0u);
     }
     h.rt().sync_all();
   });
