@@ -57,9 +57,27 @@ assert bc >= 1.5, f"1MiB-broadcast speedup regressed: {bc:.2f}x < 1.5x"
 print(f"bench smoke ok: allreduce-8B @64 = {ar:.2f}x, bcast-1MiB @64 = {bc:.2f}x")
 EOF
 
+echo "=== Chaos-soak smoke: grey-failure invariants ==="
+# Bounded leg of the randomized grey-failure soak (8 seeded scripts, each
+# run twice for the determinism invariant). The full 24-script soak is the
+# `soak` ctest configuration: ctest --test-dir build-release -C soak.
+# A nonzero exit means an invariant (hang, false positive, missed
+# detection, nondeterminism, memory divergence) was violated.
+./build-release/bench/chaos_soak --smoke --json "$ART/BENCH_chaos.json"
+python3 - <<EOF
+import json
+with open("$ART/BENCH_chaos.json") as f:
+    data = json.load(f)
+assert data["false_positives"] == 0, "grey-failure soak declared a live PE"
+lat = data["detect_latency_avg_ns"]
+assert 0 < lat < 2_000_000, f"detection latency implausible: {lat}ns"
+print(f"chaos smoke ok: fp=0, mean detection latency = {lat/1000:.0f}us")
+EOF
+
 echo "=== Bench diff vs checked-in baselines (>10% = fail) ==="
 python3 scripts/bench_diff.py bench/baselines/BENCH_rma.json "$ART/BENCH_rma.json"
 python3 scripts/bench_diff.py bench/baselines/BENCH_coll.json "$ART/BENCH_coll.json"
+python3 scripts/bench_diff.py bench/baselines/BENCH_chaos.json "$ART/BENCH_chaos.json"
 
 echo "=== Observability smoke: traced fig9_dht ==="
 # One traced DHT run at 8 images; the Chrome trace must be valid JSON and

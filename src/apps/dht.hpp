@@ -185,7 +185,7 @@ class Table {
       if (ok) {
         ++*st.applied;
         ++applied_to[static_cast<std::size_t>(target)];
-        if (eng.failed_count() > 0) ++*st.applied_post;
+        if (eng.declared_count() > 0) ++*st.applied_post;
         else ++*st.applied_pre;
       } else {
         ++*st.skipped;

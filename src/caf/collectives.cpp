@@ -1,5 +1,6 @@
 #include "caf/collectives.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -253,6 +254,59 @@ int CollectiveEngine::knomial_parent(int v) const {
   long long p = 1;
   while ((v / p) % k == 0) p *= k;
   return static_cast<int>(v - ((v / p) % k) * p);
+}
+
+// ---------------------------------------------------------------------------
+// Failure-aware team tree (membership-epoch cached)
+// ---------------------------------------------------------------------------
+
+const TreePlan& CollectiveEngine::plan_for(const std::vector<int>& members,
+                                           int root0, std::uint64_t epoch) {
+  TreePlan& plan = state().team_plan;
+  if (plan.epoch == epoch && plan.root == root0 && plan.members == members) {
+    return plan;
+  }
+  ++state().tele.team_plan_rebuilds;
+  plan.epoch = epoch;
+  plan.root = root0;
+  plan.members = members;
+  plan.parent.assign(static_cast<std::size_t>(n_), -1);
+  plan.children.assign(static_cast<std::size_t>(n_), {});
+  const bool root_live =
+      std::find(members.begin(), members.end(), root0) != members.end();
+  if (!root_live) return plan;  // edge-free: callers use the flat fallback
+  // Node leaders: the root for its own node, the lowest live rank elsewhere
+  // (members are ascending, so the first member seen per node wins).
+  std::vector<int> leader_of_node(static_cast<std::size_t>(num_nodes_), -1);
+  leader_of_node[static_cast<std::size_t>(node_of(root0))] = root0;
+  for (const int m : members) {
+    int& ldr = leader_of_node[static_cast<std::size_t>(node_of(m))];
+    if (ldr < 0) ldr = m;
+  }
+  // Leader list rotated so the root's leader sits at index 0, remaining
+  // leaders in ascending node order; a radix-R tree over the indices gives
+  // the inter-node stage.
+  std::vector<int> leaders{root0};
+  for (int node = 0; node < num_nodes_; ++node) {
+    const int ldr = leader_of_node[static_cast<std::size_t>(node)];
+    if (ldr >= 0 && ldr != root0) leaders.push_back(ldr);
+  }
+  const int nl = static_cast<int>(leaders.size());
+  for (int v = 1; v < nl; ++v) {
+    const int p = knomial_parent(v);
+    const int child = leaders[static_cast<std::size_t>(v)];
+    const int par = leaders[static_cast<std::size_t>(p)];
+    plan.parent[static_cast<std::size_t>(child)] = par;
+    plan.children[static_cast<std::size_t>(par)].push_back(child);
+  }
+  // Intra-node stage: every non-leader member hangs off its node's leader.
+  for (const int m : members) {
+    const int ldr = leader_of_node[static_cast<std::size_t>(node_of(m))];
+    if (m == ldr) continue;
+    plan.parent[static_cast<std::size_t>(m)] = ldr;
+    plan.children[static_cast<std::size_t>(ldr)].push_back(m);
+  }
+  return plan;
 }
 
 // ---------------------------------------------------------------------------

@@ -50,6 +50,24 @@
 
 namespace caf {
 
+/// Failure-aware distribution tree over an arbitrary live-member set,
+/// rebuilt whenever the engine's cached membership epoch moves. Node
+/// leaders (the first live member on each node) form a radix-R tree rooted
+/// at the broadcast root's leader; the remaining members on a node hang off
+/// their leader. Edges are indexed by absolute 0-based rank so a dead
+/// member simply has no edges.
+struct TreePlan {
+  std::uint64_t epoch = ~std::uint64_t{0};  ///< membership epoch built for
+  int root = -1;                            ///< 0-based root rank
+  std::vector<int> members;                 ///< live ranks, ascending
+  std::vector<int> parent;                  ///< by rank; -1 = root/non-member
+  std::vector<std::vector<int>> children;   ///< by rank
+  bool contains(int rank) const {
+    return rank >= 0 && rank < static_cast<int>(parent.size()) &&
+           (parent[static_cast<std::size_t>(rank)] >= 0 || rank == root);
+  }
+};
+
 enum class CollAlgo {
   kAuto,
   kFlat,
@@ -86,6 +104,8 @@ struct CollTelemetry {
   std::uint64_t intra_node_msgs = 0;  ///< puts that stayed on the node
   std::uint64_t direct_intra_msgs = 0;///< intra puts the conduit can ld/st
   std::uint64_t chunks_pipelined = 0; ///< segments streamed up/down trees
+  std::uint64_t team_plan_rebuilds = 0;///< tree plans rebuilt (epoch moved /
+                                       ///< membership changed)
 };
 
 class CollectiveEngine {
@@ -124,6 +144,16 @@ class CollectiveEngine {
   CollAlgo pick_broadcast(std::size_t nbytes) const;
   CollAlgo pick_reduce(std::size_t nbytes) const;
 
+  /// Tree plan over `members` (live 0-based ranks, ascending) rooted at
+  /// `root0`, for membership epoch `epoch`. Cached per calling rank and
+  /// rebuilt only when the epoch, root, or member set changes — so a
+  /// post-kill collective re-forms the node map and leader tree once, and a
+  /// healed partition (whose far-side ranks were declared) keeps the
+  /// re-formed survivor tree. A root absent from `members` yields an
+  /// edge-free plan (callers fall back to their flat path).
+  const TreePlan& plan_for(const std::vector<int>& members, int root0,
+                           std::uint64_t epoch);
+
   const CollOptions& options() const { return opts_; }
   const CollTelemetry& telemetry() { return state().tele; }
 
@@ -139,6 +169,7 @@ class CollectiveEngine {
     std::int64_t bar_gen = 0;   ///< barrier generation
     std::int64_t flat_calls = 0;///< flat-reduce gather rounds completed
     std::int64_t win_base = 0;  ///< gen proven globally complete (barrier)
+    TreePlan team_plan;         ///< cached failure-aware tree (plan_for)
     CollTelemetry tele;
   };
 

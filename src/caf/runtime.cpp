@@ -54,10 +54,16 @@ void Runtime::init() {
     team_coll_ctr_off_ = conduit_.allocate(sizeof(std::int64_t));
     team_slots_off_ =
         conduit_.allocate(static_cast<std::size_t>(num_images()) * kTeamChunk);
+    tree_slots_off_ =
+        conduit_.allocate(static_cast<std::size_t>(num_images()) * kTeamChunk);
+    tree_marks_off_ = conduit_.allocate(static_cast<std::size_t>(num_images()) *
+                                        sizeof(std::int64_t));
     std::memset(local_addr(team_ctrs_off_), 0,
                 static_cast<std::size_t>(num_images()) * sizeof(std::int64_t));
     std::memset(local_addr(team_flag_off_), 0, sizeof(std::int64_t));
     std::memset(local_addr(team_coll_ctr_off_), 0, sizeof(std::int64_t));
+    std::memset(local_addr(tree_marks_off_), 0,
+                static_cast<std::size_t>(num_images()) * sizeof(std::int64_t));
   }
   // Topology-aware collectives engine: its symmetric staging areas are
   // allocated here, in the same collective order on every image, whether or
@@ -210,7 +216,7 @@ int Runtime::sync_images_stat(std::span<const int> images) {
   for (int image : images) {
     const int partner = image - 1;
     ++st.sync_sent[partner];
-    if (eng.pe_failed(partner)) {
+    if (eng.pe_declared(partner)) {
       any_failed = true;
       continue;
     }
@@ -241,10 +247,10 @@ int Runtime::sync_images_stat(std::span<const int> images) {
         break;
       }
       if (count >= need) {
-        if (eng.pe_failed(partner)) any_failed = true;
+        if (eng.pe_declared(partner)) any_failed = true;
         break;
       }
-      if (eng.pe_failed(partner)) {
+      if (eng.pe_declared(partner)) {
         any_failed = true;
         break;
       }
@@ -271,7 +277,7 @@ void Runtime::handle_image_failure(int failed_pe, sim::Time at) {
   const std::int64_t sentinel = kFailedSentinel;
   const int n = num_images();
   for (int r = 0; r < n; ++r) {
-    if (r == failed_pe || eng.pe_failed(r)) continue;
+    if (r == failed_pe || eng.pe_declared(r)) continue;
     conduit_.poke(r,
                   syncall_ctrs_off_ + static_cast<std::uint64_t>(failed_pe) *
                                           sizeof(std::int64_t),
@@ -291,7 +297,7 @@ void Runtime::handle_image_failure(int failed_pe, sim::Time at) {
     conduit_.poke(r, off, &v, sizeof v, at);
   };
   for (int r = 0; r < n; ++r) {
-    if (r == failed_pe || eng.pe_failed(r)) continue;
+    if (r == failed_pe || eng.pe_declared(r)) continue;
     bump(r, sync_ctrs_off_ +
                 static_cast<std::uint64_t>(failed_pe) * sizeof(std::int64_t));
     for (const std::uint64_t off : per_image_[r].fault_waits) bump(r, off);
@@ -299,12 +305,12 @@ void Runtime::handle_image_failure(int failed_pe, sim::Time at) {
 }
 
 int Runtime::image_status(int image) {
-  return conduit_.engine().pe_failed(image - 1) ? kStatFailedImage : kStatOk;
+  return conduit_.engine().pe_declared(image - 1) ? kStatFailedImage : kStatOk;
 }
 
 std::vector<int> Runtime::failed_images() {
   std::vector<int> out;
-  for (const auto& f : conduit_.engine().failures()) out.push_back(f.pe + 1);
+  for (const auto& f : conduit_.engine().declared_failures()) out.push_back(f.pe + 1);
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -327,7 +333,7 @@ int Runtime::sync_all_stat() {
   const int n = num_images();
   const int self = me();
   for (int r = 0; r < n; ++r) {
-    if (r == self || eng.pe_failed(r)) continue;
+    if (r == self || eng.pe_declared(r)) continue;
     try {
       (void)conduit_.amo_fadd(r,
                               syncall_ctrs_off_ +
@@ -339,12 +345,12 @@ int Runtime::sync_all_stat() {
     }
   }
   for (int r = 0; r < n; ++r) {
-    if (r == self || eng.pe_failed(r)) continue;
+    if (r == self || eng.pe_declared(r)) continue;
     conduit_.wait_until(syncall_ctrs_off_ + static_cast<std::uint64_t>(r) *
                                                 sizeof(std::int64_t),
                         Cmp::kGe, round);
   }
-  return (fence_failed || eng.failed_count() > 0) ? kStatFailedImage
+  return (fence_failed || eng.declared_count() > 0) ? kStatFailedImage
                                                   : kStatOk;
 }
 
@@ -362,7 +368,7 @@ std::uint64_t Runtime::allocate_coarray_bytes(std::size_t bytes) {
 std::uint64_t Runtime::allocate_coarray_bytes(std::size_t bytes, int* stat) {
   require_init();
   assert(stat != nullptr);
-  if (conduit_.engine().failed_count() > 0) {
+  if (conduit_.engine().declared_count() > 0) {
     // The allocation is collective; with a dead image it can never complete.
     *stat = kStatFailedImage;
     return 0;
@@ -516,7 +522,7 @@ void Runtime::get_bytes(void* dst, int image, std::uint64_t src_off,
 int Runtime::put_bytes_stat(int image, std::uint64_t dst_off, const void* src,
                             std::size_t n) {
   require_init();
-  if (conduit_.engine().pe_failed(image - 1)) return kStatFailedImage;
+  if (conduit_.engine().pe_declared(image - 1)) return kStatFailedImage;
   try {
     put_bytes(image, dst_off, src, n);
     // stat= demands synchronous failure reporting: in deferred mode the
@@ -533,7 +539,7 @@ int Runtime::put_bytes_stat(int image, std::uint64_t dst_off, const void* src,
 int Runtime::get_bytes_stat(void* dst, int image, std::uint64_t src_off,
                             std::size_t n) {
   require_init();
-  if (conduit_.engine().pe_failed(image - 1)) return kStatFailedImage;
+  if (conduit_.engine().pe_declared(image - 1)) return kStatFailedImage;
   try {
     get_bytes(dst, image, src_off, n);
   } catch (const fabric::PeerFailedError&) {
@@ -667,7 +673,7 @@ int Runtime::mcs_lock(CoLock lck, int image, bool* reclaimed) {
   sim::Engine& eng = conduit_.engine();
   auto& st = per_image_[me()];
   const int home = image - 1;
-  if (eng.pe_failed(home)) return kStatFailedImage;
+  if (eng.pe_declared(home)) return kStatFailedImage;
   const std::uint64_t L = lck.tail_off;
   const std::uint64_t my_rec =
       L + kRecordsBase + static_cast<std::uint64_t>(me()) * kRecordBytes;
@@ -715,7 +721,7 @@ int Runtime::mcs_lock(CoLock lck, int image, bool* reclaimed) {
   }
   // Link into the predecessor's next field. A dead predecessor (or one
   // that dies mid-put) is fine: the repair path below splices me in.
-  if (!eng.pe_failed(pred.image())) {
+  if (!eng.pe_declared(pred.image())) {
     try {
       conduit_.put(pred.image(), pred.offset() + kNextField, &packed,
                    sizeof packed, /*nbi=*/true);
@@ -736,7 +742,7 @@ int Runtime::mcs_lock(CoLock lck, int image, bool* reclaimed) {
       ++st.stats.locks_acquired;
       return kStatOk;
     }
-    if (eng.pe_failed(home)) {
+    if (eng.pe_declared(home)) {
       quarantine_qnode(qn);
       return kStatFailedImage;
     }
@@ -752,7 +758,7 @@ int Runtime::mcs_lock(CoLock lck, int image, bool* reclaimed) {
     }
     const RemotePtr p =
         RemotePtr::from_bits(static_cast<std::uint64_t>(cur_pred));
-    if (cur_pred != kPendingPred && p && eng.pe_failed(p.image())) {
+    if (cur_pred != kPendingPred && p && eng.pe_declared(p.image())) {
       // Dead predecessor: repair the queue (this may grant me the lock).
       if (repair_mutex_acquire(home, lck) != kStatOk) {
         quarantine_qnode(qn);
@@ -845,7 +851,7 @@ bool Runtime::mcs_try_lock(CoLock lck, int image) {
   auto& st = per_image_[me()];
   const int home = image - 1;
   // Dead lock image: fail fast instead of burning RMA timeouts.
-  if (eng.pe_failed(home)) return false;
+  if (eng.pe_declared(home)) return false;
   const std::uint64_t L = lck.tail_off;
   const RemotePtr slot = nonsym_alloc(kQnodeBytes);
   const RemotePtr qn = RemotePtr::with_epoch(me(), slot.offset(), next_epoch());
@@ -885,7 +891,7 @@ int Runtime::mcs_unlock(CoLock lck, int image) {
   st.held.erase(key);
   const int home = image - 1;
   const std::uint64_t L = lck.tail_off;
-  if (eng.pe_failed(home)) {
+  if (eng.pe_declared(home)) {
     // The whole lock cell died with its image; nothing left to release.
     quarantine_qnode(qn);
     return kStatFailedImage;
@@ -917,14 +923,14 @@ int Runtime::mcs_unlock(CoLock lck, int image) {
       next_bits -= kFailedSentinel;
       write_local_i64(qn.offset() + kNextField, next_bits);
     }
-    if (eng.pe_failed(home)) {
+    if (eng.pe_declared(home)) {
       quarantine_qnode(qn);
       return kStatFailedImage;
     }
     if (next_bits != 0) {
       const RemotePtr succ =
           RemotePtr::from_bits(static_cast<std::uint64_t>(next_bits));
-      if (!eng.pe_failed(succ.image())) {
+      if (!eng.pe_declared(succ.image())) {
         try {
           // Holder word first, then the grant: a successor that dies
           // between the two leaves the holder word naming a corpse, which
@@ -972,9 +978,9 @@ int Runtime::mcs_unlock(CoLock lck, int image) {
       const std::int64_t pb = snap[static_cast<std::size_t>(3 + 2 * r + 1)];
       if (qb == 0) continue;
       if (pb == packed) succ_rank = r;
-      if (pb == kPendingPred && !eng.pe_failed(r)) any_live_pending = true;
+      if (pb == kPendingPred && !eng.pe_declared(r)) any_live_pending = true;
     }
-    if (succ_rank >= 0 && !eng.pe_failed(succ_rank)) {
+    if (succ_rank >= 0 && !eng.pe_declared(succ_rank)) {
       // Live direct successor: its link put is in flight; wait for it
       // (a failure bump re-opens the scan).
       (void)wait_fault(qn.offset() + kNextField, Cmp::kNe, 0);
@@ -982,7 +988,7 @@ int Runtime::mcs_unlock(CoLock lck, int image) {
     }
     const RemotePtr tail = RemotePtr::from_bits(
         static_cast<std::uint64_t>(snap[0]));
-    if (succ_rank >= 0 || (tail && eng.pe_failed(tail.image()))) {
+    if (succ_rank >= 0 || (tail && eng.pe_declared(tail.image()))) {
       // My successor died (directly visible, or only as a dead tail whose
       // pred-publication never landed): repair. Re-check my next under the
       // mutex first — the link may have raced in.
@@ -1028,7 +1034,7 @@ int Runtime::repair_mutex_acquire(int home, CoLock lck) {
   const std::uint64_t mtx = lck.tail_off + kRepairWord;
   const std::int64_t mine = me() + 1;
   for (;;) {
-    if (eng.pe_failed(home)) return kStatFailedImage;
+    if (eng.pe_declared(home)) return kStatFailedImage;
     std::int64_t cur = 0;
     try {
       cur = conduit_.amo_cswap(home, mtx, 0, mine);
@@ -1036,7 +1042,7 @@ int Runtime::repair_mutex_acquire(int home, CoLock lck) {
       return kStatFailedImage;
     }
     if (cur == 0) return kStatOk;
-    if (eng.pe_failed(static_cast<int>(cur) - 1)) {
+    if (eng.pe_declared(static_cast<int>(cur) - 1)) {
       // The previous repairer died holding the mutex: steal it. The CAS
       // makes the steal race-free among surviving contenders.
       try {
@@ -1089,7 +1095,7 @@ Runtime::RebuildResult Runtime::mcs_rebuild(CoLock lck, int image) {
       const std::int64_t qb = snap[static_cast<std::size_t>(3 + 2 * r)];
       if (qb == 0) continue;
       const std::int64_t pb = snap[static_cast<std::size_t>(3 + 2 * r + 1)];
-      const bool alive = !eng.pe_failed(r);
+      const bool alive = !eng.pe_declared(r);
       const bool pending = pb == kPendingPred;
       if (!alive && pending) {
         // Died mid-enqueue with its predecessor unknown: drop the record
@@ -1230,7 +1236,7 @@ Runtime::RebuildResult Runtime::mcs_rebuild(CoLock lck, int image) {
     // member's own repair pass.
     const RemotePtr tp =
         RemotePtr::from_bits(static_cast<std::uint64_t>(tail_bits));
-    if (tp && eng.pe_failed(tp.image())) {
+    if (tp && eng.pe_declared(tp.image())) {
       if (!order.empty() && !live_pending) {
         // Same caution as above: with a live enqueue in flight the relinked
         // order may be a strict prefix of the real queue, and swinging the
@@ -1333,7 +1339,7 @@ std::int64_t Runtime::event_query(CoEvent ev) {
 
 int Runtime::event_post_stat(CoEvent ev, int image) {
   require_init();
-  if (conduit_.engine().pe_failed(image - 1)) return kStatFailedImage;
+  if (conduit_.engine().pe_declared(image - 1)) return kStatFailedImage;
   try {
     event_post(ev, image);
   } catch (const fabric::PeerFailedError&) {
@@ -1360,7 +1366,7 @@ int Runtime::event_wait_stat(CoEvent ev, std::int64_t until_count) {
       consumed += until_count;
       return kStatOk;
     }
-    if (eng.failed_count() > 0) return kStatFailedImage;
+    if (eng.declared_count() > 0) return kStatFailedImage;
     (void)wait_fault(ev.count_off, Cmp::kGe, consumed + until_count);
   }
 }
@@ -1383,14 +1389,14 @@ Team Runtime::form_team(int* stat) {
   // — which every team operation skips anyway, so the teams interoperate.
   Team all;
   for (int i = 1; i <= num_images(); ++i) {
-    if (!eng.pe_failed(i - 1)) all.members.push_back(i);
+    if (!eng.pe_declared(i - 1)) all.members.push_back(i);
   }
   (void)team_sync(all);
   for (int i = 1; i <= num_images(); ++i) {
-    if (!eng.pe_failed(i - 1)) t.members.push_back(i);
+    if (!eng.pe_declared(i - 1)) t.members.push_back(i);
   }
   if (stat != nullptr) {
-    *stat = eng.failed_count() > 0 ? kStatFailedImage : kStatOk;
+    *stat = eng.declared_count() > 0 ? kStatFailedImage : kStatOk;
   }
   return t;
 }
@@ -1420,7 +1426,7 @@ int Runtime::team_sync(const Team& team) {
     const int p = image - 1;
     if (p == me()) continue;
     ++st.team_sent[p];
-    if (eng.pe_failed(p)) {
+    if (eng.pe_declared(p)) {
       any_failed = true;
       continue;
     }
@@ -1441,7 +1447,7 @@ int Runtime::team_sync(const Team& team) {
     const std::int64_t need = st.team_sent[p];
     for (;;) {
       if (read_local_i64(cell) >= need) break;
-      if (eng.pe_failed(p)) {
+      if (eng.pe_declared(p)) {
         any_failed = true;
         break;
       }
@@ -1449,6 +1455,101 @@ int Runtime::team_sync(const Team& team) {
     }
   }
   return any_failed ? kStatFailedImage : kStatOk;
+}
+
+// ---------------------------------------------------------------------------
+// Membership-epoch tree distribution (tentpole part 3)
+//
+// Team broadcasts and reductions distribute their payload along a node-
+// leader tree that the collectives engine re-forms from the engine's
+// *declared* membership view whenever the epoch moves: after a kill the
+// next collective runs on a tree without the corpse; after a partition
+// heals the far-side ranks stay declared, so the survivor tree keeps its
+// re-formed shape. The tree path is push-based with bounded-poll receives
+// and an unconditional fall back to the original root-slot pull — so a
+// stale plan, a mid-collective kill, or a racing epoch bump can cost
+// latency but never correctness, and no new hang state exists.
+// ---------------------------------------------------------------------------
+
+namespace {
+/// One bounded-poll step (virtual ns) and the per-edge patience budget.
+/// 256 * 2 us ~ 0.5 ms of virtual patience, far above one tree hop but
+/// bounded: an edge that never delivers degrades to the pull path.
+constexpr sim::Time kTreePollNs = 2'000;
+constexpr int kTreePollSpins = 256;
+}  // namespace
+
+const TreePlan& Runtime::team_tree_plan(const Team& team, int root0) {
+  sim::Engine& eng = conduit_.engine();
+  std::vector<int> live;
+  live.reserve(team.members.size());
+  for (const int image : team.members) {
+    if (!eng.pe_declared(image - 1)) live.push_back(image - 1);
+  }
+  return coll_engine_->plan_for(live, root0, eng.membership_epoch());
+}
+
+void Runtime::tree_mark_snapshot(std::vector<std::int64_t>& out) {
+  const std::size_t n = static_cast<std::size_t>(num_images());
+  out.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    out[s] = read_local_i64(tree_marks_off_ + s * sizeof(std::int64_t));
+  }
+}
+
+bool Runtime::team_tree_receive(const TreePlan& plan, void* data,
+                                std::size_t nbytes,
+                                const std::vector<std::int64_t>& base) {
+  const int self = me();
+  if (!plan.contains(self)) return false;
+  const int parent = plan.parent[static_cast<std::size_t>(self)];
+  if (parent < 0) return false;  // I am the root
+  sim::Engine& eng = conduit_.engine();
+  const std::uint64_t cell =
+      tree_marks_off_ + static_cast<std::uint64_t>(parent) * sizeof(std::int64_t);
+  for (int spin = 0; spin < kTreePollSpins; ++spin) {
+    if (read_local_i64(cell) > base[static_cast<std::size_t>(parent)]) {
+      std::memcpy(data,
+                  local_addr(tree_slots_off_ +
+                             static_cast<std::uint64_t>(parent) * kTeamChunk),
+                  nbytes);
+      ++obs::registry().counter(self, "coll.tree_recv");
+      return true;
+    }
+    // A parent that died (or was partitioned away) before pushing will
+    // never push; a moved epoch means the plan this edge came from is
+    // stale. Either way the pull path finishes the collective.
+    if (eng.pe_declared(parent) || eng.membership_epoch() != plan.epoch) break;
+    eng.advance(kTreePollNs);
+  }
+  ++obs::registry().counter(self, "coll.tree_fallback");
+  return false;
+}
+
+void Runtime::team_tree_forward(const TreePlan& plan, const void* data,
+                                std::size_t nbytes) {
+  const int self = me();
+  if (!plan.contains(self)) return;
+  sim::Engine& eng = conduit_.engine();
+  auto& st = per_image_[self];
+  for (const int child : plan.children[static_cast<std::size_t>(self)]) {
+    if (eng.pe_declared(child)) continue;
+    const std::int64_t mark = ++st.tree_sent[child];
+    try {
+      // Payload then mark on the same pair: in-order delivery sequences
+      // them, and the closing team_sync's quiet retires both.
+      conduit_.put(child,
+                   tree_slots_off_ + static_cast<std::uint64_t>(self) * kTeamChunk,
+                   data, nbytes, /*nbi=*/true);
+      conduit_.put(child,
+                   tree_marks_off_ +
+                       static_cast<std::uint64_t>(self) * sizeof(std::int64_t),
+                   &mark, sizeof mark, /*nbi=*/true);
+      ++obs::registry().counter(self, "coll.tree_push");
+    } catch (const fabric::PeerFailedError&) {
+      // The child died mid-push; its own receive path has already given up.
+    }
+  }
 }
 
 int Runtime::team_broadcast_bytes(const Team& team, void* data,
@@ -1470,19 +1571,27 @@ int Runtime::team_broadcast_bytes(const Team& team, void* data,
                            static_cast<std::uint64_t>(me()) * kTeamChunk),
                 data, nbytes);
   }
+  // Mark baseline before the entry sync: any strictly newer mark observed
+  // after it was pushed for *this* collective (see tree_mark_snapshot).
+  auto& base = per_image_[me()].tree_base;
+  tree_mark_snapshot(base);
   if (team_sync(team) != kStatOk) stat = kStatFailedImage;
+  const TreePlan& plan = team_tree_plan(team, root0);
   if (me() != root0) {
-    if (eng.pe_failed(root0)) return kStatFailedImage;
-    try {
-      conduit_.get(data, root0,
-                   team_slots_off_ +
-                       static_cast<std::uint64_t>(root0) * kTeamChunk,
-                   nbytes);
-    } catch (const fabric::PeerFailedError&) {
-      return kStatFailedImage;
+    if (eng.pe_declared(root0)) return kStatFailedImage;
+    if (!team_tree_receive(plan, data, nbytes, base)) {
+      try {
+        conduit_.get(data, root0,
+                     team_slots_off_ +
+                         static_cast<std::uint64_t>(root0) * kTeamChunk,
+                     nbytes);
+      } catch (const fabric::PeerFailedError&) {
+        return kStatFailedImage;
+      }
     }
   }
-  // Hold the root until every live member pulled its copy, so a follow-up
+  team_tree_forward(plan, data, nbytes);
+  // Hold the root until every live member got its copy, so a follow-up
   // collective cannot overwrite the staged slot early.
   if (team_sync(team) != kStatOk) stat = kStatFailedImage;
   return stat;
@@ -1515,7 +1624,7 @@ int Runtime::team_coll_bytes(const Team& team, void* data, std::size_t nbytes,
                          static_cast<std::uint64_t>(me()) * kTeamChunk),
               data, nbytes);
   if (team_sync(team) != kStatOk) stat = kStatFailedImage;
-  if (eng.pe_failed(root0)) return kStatFailedImage;
+  if (eng.pe_declared(root0)) return kStatFailedImage;
   if (me() == root0) {
     // Root-side gather-combine over the live members. A member that dies
     // before its slot is read drops out of the sum (reported via stat).
@@ -1523,7 +1632,7 @@ int Runtime::team_coll_bytes(const Team& team, void* data, std::size_t nbytes,
     for (int image : team.members) {
       const int p = image - 1;
       if (p == root0) continue;
-      if (eng.pe_failed(p)) {
+      if (eng.pe_declared(p)) {
         stat = kStatFailedImage;
         continue;
       }
@@ -1541,18 +1650,27 @@ int Runtime::team_coll_bytes(const Team& team, void* data, std::size_t nbytes,
                            static_cast<std::uint64_t>(root0) * kTeamChunk),
                 data, nbytes);
   }
+  // Result distribution: same membership-epoch tree as team_broadcast_bytes
+  // (baseline before the sync that releases the root's pushes; pull from
+  // the root slot whenever the tree edge does not deliver).
+  auto& base = per_image_[me()].tree_base;
+  tree_mark_snapshot(base);
   if (team_sync(team) != kStatOk) stat = kStatFailedImage;
+  const TreePlan& plan = team_tree_plan(team, root0);
   if (me() != root0) {
-    if (eng.pe_failed(root0)) return kStatFailedImage;
-    try {
-      conduit_.get(data, root0,
-                   team_slots_off_ +
-                       static_cast<std::uint64_t>(root0) * kTeamChunk,
-                   nbytes);
-    } catch (const fabric::PeerFailedError&) {
-      return kStatFailedImage;
+    if (eng.pe_declared(root0)) return kStatFailedImage;
+    if (!team_tree_receive(plan, data, nbytes, base)) {
+      try {
+        conduit_.get(data, root0,
+                     team_slots_off_ +
+                         static_cast<std::uint64_t>(root0) * kTeamChunk,
+                     nbytes);
+      } catch (const fabric::PeerFailedError&) {
+        return kStatFailedImage;
+      }
     }
   }
+  team_tree_forward(plan, data, nbytes);
   if (team_sync(team) != kStatOk) stat = kStatFailedImage;
   return stat;
 }

@@ -21,6 +21,7 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <type_traits>
 #include <unordered_map>
@@ -30,6 +31,7 @@
 #include "caf/conduit.hpp"
 #include "caf/remote_ptr.hpp"
 #include "caf/section.hpp"
+#include "net/fault.hpp"
 #include "shmem/heap.hpp"
 
 namespace caf {
@@ -91,6 +93,13 @@ struct Options {
   std::size_t nonsym_slab_bytes = 256 * 1024;
   RmaOptions rma;
   CollOptions coll;  ///< hierarchical collectives engine tuning
+  /// Failure-detector and retransmit tunables for this run. When set, the
+  /// harness copies them into the run's FaultPlan before arming the
+  /// injector (the runtime itself never talks to the injector directly —
+  /// it only consumes the engine's declared membership view). The CAF_FD_*
+  /// environment family (see DetectorTunables::apply_env and
+  /// RetryPolicy::apply_env) overrides these when present.
+  std::optional<net::DetectorTunables> fd;
   /// Turn on the observability subsystem (per-PE event rings + latency
   /// histograms) for this run; equivalent to setting CAF_TRACE, minus the
   /// trace-file path. Counters are recorded regardless.
@@ -449,6 +458,28 @@ class Runtime {
                       const std::function<void(void*, const void*)>& comb,
                       int root_image);
 
+  // ---- membership-epoch tree distribution for team collectives ----
+  /// The tree plan for the team's live members under the current membership
+  /// epoch (rebuilt by the collectives engine whenever the epoch moves).
+  const TreePlan& team_tree_plan(const Team& team, int root0);
+  /// Local snapshot of all per-sender tree mark cells. Taken *before* the
+  /// team_sync that precedes a distribution phase: any strictly newer mark
+  /// then provably belongs to the current collective (a sender flushes its
+  /// pushes inside the previous collective's closing sync, and cannot push
+  /// for this one until the receiver's own sync bump — which happens after
+  /// this snapshot — lets it through the barrier).
+  void tree_mark_snapshot(std::vector<std::int64_t>& out);
+  /// Bounded-poll receive along my tree edge. True when the parent's push
+  /// for this collective landed (payload copied into `data`); false after
+  /// the poll budget, a stale plan, or a declared parent — the caller then
+  /// falls back to the always-correct pull from the root's staging slot.
+  bool team_tree_receive(const TreePlan& plan, void* data, std::size_t nbytes,
+                         const std::vector<std::int64_t>& base);
+  /// Push payload + mark to my live tree children (nbi; the closing
+  /// team_sync's quiet retires the puts).
+  void team_tree_forward(const TreePlan& plan, const void* data,
+                         std::size_t nbytes);
+
   // Generic one-sided collective machinery (staged through internal slots).
   void coll_broadcast_bytes(void* data, std::size_t nbytes, int root0);
   void coll_reduce_bytes(void* data, std::size_t nelems, std::size_t elem,
@@ -487,6 +518,11 @@ class Runtime {
   std::uint64_t team_flag_off_ = 0;      // collective result-ready flag
   std::uint64_t team_coll_ctr_off_ = 0;  // root-side contribution counter
   std::uint64_t team_slots_off_ = 0;     // num_images * kTeamChunk gather area
+  // Tree-distribution staging: one payload slot and one mark cell per
+  // *sender*, so concurrent pushes from different tree levels never collide
+  // and a mark is only ever written by its one sender (monotonic counts).
+  std::uint64_t tree_slots_off_ = 0;     // num_images * kTeamChunk
+  std::uint64_t tree_marks_off_ = 0;     // num_images int64 mark cells
 
   static constexpr int kMaxRounds = 16;
   static constexpr std::size_t kSlotBytes = 8192;
@@ -512,6 +548,12 @@ class Runtime {
     ImageStats stats;
     // --- resilient-mode state ---
     std::unordered_map<int, std::int64_t> team_sent;  // pairwise team syncs
+    /// Cumulative tree pushes per child rank (the mark values; strictly
+    /// monotonic per edge, so a receiver's pre-sync snapshot always reads
+    /// below the current collective's mark).
+    std::unordered_map<int, std::int64_t> tree_sent;
+    /// Scratch for tree_mark_snapshot (avoids per-collective allocation).
+    std::vector<std::int64_t> tree_base;
     std::uint8_t qnode_epoch = 0;  // per-acquisition epoch stamp (wraps)
     /// Local cells currently blocked on through wait_fault(); the failure
     /// hook sentinel-bumps these so the waiters wake.

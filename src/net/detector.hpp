@@ -1,0 +1,124 @@
+// In-band failure detection: heartbeat/suspicion membership.
+//
+// Real OpenSHMEM layers have no oracle telling them which PEs died — they
+// infer it from silence. This detector models that inference inside the
+// simulation: every PE emits a liveness beacon each heartbeat_period (dilated
+// for stragglers), delivered messages count as passive liveness evidence, and
+// a periodic sweep runs the classic alive -> suspect -> failed state machine
+// against the evidence. A suspect that beacons again (late heartbeat,
+// partition heal) recovers to alive; a suspect that stays silent past
+// suspicion_grace is *declared* failed via Engine::declare_pe_failure, which
+// is the only way the runtime's membership view (image_status,
+// failed_images, team formation, DHT degraded mode) learns of a death.
+//
+// Beacons are modeled, not simulated as fabric messages: the sweep derives
+// from the fault plan's ground truth whether the observer would have heard
+// PE p by time t (corpses stop beaconing at their kill time, partitions
+// block cross-side beacons until they heal, flaky links drop beacons with
+// their extra-loss probability from a detector-private rng stream, and
+// stragglers beacon at dilation x period). The observer is the partition
+// side containing node 0, so the detector maintains one converged global
+// view — split-brain on the far side of a permanent partition is collapsed
+// into that side being declared failed, which is exactly how the surviving
+// side experiences it.
+//
+// A second, faster evidence path bypasses suspicion entirely: when the
+// fabric's retransmit state machine exhausts its attempts against a peer
+// (report_exhaustion), that peer is declared immediately — silence at the
+// transport level is stronger evidence than a missed beacon.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace sim {
+class Engine;
+}
+
+namespace net {
+
+class FaultInjector;
+struct DetectorTunables;
+
+class FailureDetector {
+ public:
+  enum class State : std::uint8_t { kAlive = 0, kSuspect, kFailed };
+
+  /// `injector` supplies the ground truth the beacon model derives from and
+  /// must outlive the detector (the injector owns it).
+  FailureDetector(FaultInjector& injector, int npes);
+
+  /// Binds the detector to `engine`: switches the engine to deferred
+  /// failure declaration, registers the suspicion-state snapshot as the
+  /// engine's deadlock diagnostic hook, and schedules the first sweep.
+  void arm(sim::Engine& engine);
+
+  /// Passive liveness evidence: a message from `pe` was delivered at `t`.
+  /// Ignored while `pe`'s node is partitioned from the observer (the
+  /// observer cannot see traffic on the far side).
+  void heard(int pe, sim::Time t);
+
+  /// Transport-level evidence: retransmits from `src` to `dst` exhausted at
+  /// `give_up`. Declares `dst` failed immediately (idempotent).
+  void report_exhaustion(int src, int dst, sim::Time give_up);
+
+  State state_of(int pe) const {
+    return pes_[static_cast<std::size_t>(pe)].state;
+  }
+
+  /// Effective alive -> suspect threshold: miss_threshold x heartbeat
+  /// period, auto-raised above the slowest straggler's beacon interval so a
+  /// merely-slow PE never turns suspect.
+  sim::Time suspect_after() const { return suspect_after_; }
+  sim::Time heartbeat_period() const { return period_; }
+  sim::Time suspicion_grace() const { return grace_; }
+
+  /// One-line-per-PE suspicion-state dump appended to watchdog reports.
+  std::string snapshot() const;
+
+  /// Clears all observations and per-PE state back to alive (the engine
+  /// binding stays). Fabric::reset -> FaultInjector::reset calls this.
+  void reset();
+
+ private:
+  struct PeState {
+    State state = State::kAlive;
+    sim::Time last_evidence = 0;   ///< latest beacon or traffic heard
+    sim::Time suspect_since = 0;
+    sim::Time declared_at = 0;
+    std::uint64_t next_beacon = 1;  ///< index of the next beacon to model
+  };
+
+  void sweep(sim::Time t);
+  void schedule_sweep(sim::Time t);
+  /// Advances `pe`'s modeled beacon stream up to time `t`, updating
+  /// last_evidence with every beacon the observer hears.
+  void model_beacons(int pe, sim::Time t);
+  bool quiescent(sim::Time t) const;
+  void declare(int pe, sim::Time t, bool via_exhaustion);
+
+  FaultInjector& inj_;
+  sim::Engine* engine_ = nullptr;
+  sim::Time period_;
+  sim::Time grace_;
+  sim::Time suspect_after_;
+  std::vector<PeState> pes_;
+  sim::Rng rng_;  ///< beacon-loss draws only; never touches the verdict stream
+  bool sweeping_ = false;  ///< a sweep event is pending on the engine
+
+  // fd.* observability counters (registry handles are process-stable).
+  std::uint64_t* c_suspects_;
+  std::uint64_t* c_recoveries_;
+  std::uint64_t* c_declared_;
+  std::uint64_t* c_evidence_declared_;
+  std::uint64_t* c_false_positives_;
+  std::uint64_t* c_detect_latency_ns_;
+  std::uint64_t* c_detect_count_;
+  std::uint64_t* c_heartbeats_heard_;
+};
+
+}  // namespace net

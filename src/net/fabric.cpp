@@ -71,23 +71,32 @@ Fabric::WireTry Fabric::wire_faulty(int src_pe, int dst_pe,
     // Intra-node "wire" is a shared-memory copy; loss does not apply.
     return {wire(src_pe, dst_pe, occupancy_ns, start), false};
   }
+  // Flaky-link bandwidth degradation inflates occupancy (factor 1.0 when
+  // the link is clean, so fault-free plans stay bit-identical).
+  const double occ = occupancy_ns * faults_->bw_penalty(src_pe, dst_pe, start);
   // The transmit leg is always paid: the bytes leave the source NIC whether
   // or not they survive the fabric.
-  const sim::Time arrival = wire_tx(node_of(src_pe), occupancy_ns, start);
+  const sim::Time arrival = wire_tx(node_of(src_pe), occ, start);
   if (faults_->pe_dead(dst_pe, arrival)) {
     // Dead receivers neither retire the message nor ack it.
     return {arrival, true};
   }
+  // Partitions drop deterministically, before the verdict and with no rng
+  // draws, so runs differing only in partitions keep aligned judge streams.
+  if (faults_->partition_drop(src_pe, dst_pe, start)) return {arrival, true};
   const FaultInjector::Verdict v = faults_->judge(src_pe, dst_pe, start);
   if (v.drop) return {arrival, true};
+  if (faults_->flaky_drop(src_pe, dst_pe, start)) return {arrival, true};
   sim::Time delivered = wire_rx(node_of(dst_pe), arrival) + v.extra_delay;
   if (v.duplicate) {
     // A duplicate consumes a second full wire trip; the receiver dedups by
     // sequence number so only the timing cost is observable.
-    const sim::Time dup_arrival =
-        wire_tx(node_of(src_pe), occupancy_ns, arrival);
+    const sim::Time dup_arrival = wire_tx(node_of(src_pe), occ, arrival);
     (void)wire_rx(node_of(dst_pe), dup_arrival);
   }
+  // A delivered message doubles as liveness evidence for its sender
+  // (heartbeat piggybacking; no-op without an armed detector).
+  faults_->note_delivery(src_pe, dst_pe, delivered);
   return {delivered, false};
 }
 
@@ -104,9 +113,15 @@ PutCompletion Fabric::reliable_oneway(int src_pe, int dst_pe,
   sim::Time send = local_complete;
   for (int a = 0; a < max_attempts; ++a) {
     const WireTry t = wire_faulty(src_pe, dst_pe, occupancy_ns, send);
-    if (!t.dropped) return {local_complete, t.delivered, true, a + 1};
-    send += faults_->backoff_delay(a, expected_oneway);
+    if (!t.dropped) {
+      // Ack round trip approximates delivery + the return-leg latency.
+      faults_->record_rtt(src_pe, dst_pe,
+                          t.delivered - send + profile_.hw_latency, a + 1);
+      return {local_complete, t.delivered, true, a + 1};
+    }
+    send += faults_->retrans_timeout(src_pe, dst_pe, a, expected_oneway);
   }
+  faults_->note_exhaustion(src_pe, dst_pe, send);
   return {local_complete, send, false, max_attempts};
 }
 
@@ -132,10 +147,14 @@ RoundTrip Fabric::reliable_get(int src_pe, int dst_pe,
       // the caller observes.
       const WireTry rep =
           wire_faulty(dst_pe, src_pe, reply_occupancy_ns, req.delivered);
-      if (!rep.dropped) return {req.delivered, rep.delivered, true, a + 1};
+      if (!rep.dropped) {
+        faults_->record_rtt(src_pe, dst_pe, rep.delivered - send, a + 1);
+        return {req.delivered, rep.delivered, true, a + 1};
+      }
     }
-    send += faults_->backoff_delay(a, expected_rtt);
+    send += faults_->retrans_timeout(src_pe, dst_pe, a, expected_rtt);
   }
+  faults_->note_exhaustion(src_pe, dst_pe, send);
   return {send, send, false, max_attempts};
 }
 
@@ -151,7 +170,8 @@ sim::Time Fabric::wire_control(int src_pe, int dst_pe, double occupancy_ns,
 PutCompletion Fabric::submit_put(int src_pe, int dst_pe, std::size_t bytes,
                                  const SwProfile& sw, sim::Time now,
                                  bool pipelined) {
-  const sim::Time issue_cost = pipelined ? sw.per_msg_gap : sw.put_overhead;
+  sim::Time issue_cost = pipelined ? sw.per_msg_gap : sw.put_overhead;
+  if (faults_ != nullptr) issue_cost = faults_->dilate(src_pe, issue_cost);
   const sim::Time local_complete = now + issue_cost;
   const bool local = same_node(src_pe, dst_pe);
   const PutCompletion r = reliable_oneway(src_pe, dst_pe,
@@ -168,7 +188,8 @@ PutCompletion Fabric::submit_strided_put(int src_pe, int dst_pe,
                                          bool pipelined) {
   assert(sw.hw_strided &&
          "software iput must be looped by the caller, not the fabric");
-  const sim::Time issue_cost = pipelined ? sw.per_msg_gap : sw.put_overhead;
+  sim::Time issue_cost = pipelined ? sw.per_msg_gap : sw.put_overhead;
+  if (faults_ != nullptr) issue_cost = faults_->dilate(src_pe, issue_cost);
   const sim::Time local_complete = now + issue_cost;
   const bool local = same_node(src_pe, dst_pe);
   // The NIC gathers nelems descriptors: per-element gap plus byte cost.
@@ -189,9 +210,11 @@ RoundTrip Fabric::submit_get(int src_pe, int dst_pe, std::size_t bytes,
   // Request: a small (16-byte) descriptor to the target NIC; the target NIC
   // services the read directly (one-sided) and the data flows back as a
   // payload message.
+  sim::Time issue_cost = sw.get_overhead;
+  if (faults_ != nullptr) issue_cost = faults_->dilate(src_pe, issue_cost);
   const RoundTrip r =
       reliable_get(src_pe, dst_pe, xfer_ns(16, sw, local),
-                   xfer_ns(bytes, sw, local), now + sw.get_overhead);
+                   xfer_ns(bytes, sw, local), now + issue_cost);
   if (obs::enabled()) obs::wire_event(src_pe, dst_pe, bytes, now, r.complete);
   return r;
 }
@@ -205,8 +228,10 @@ RoundTrip Fabric::submit_strided_get(int src_pe, int dst_pe,
   const double occupancy =
       xfer_ns(elem_bytes * nelems, sw, local) +
       static_cast<double>(sw.strided_elem_gap) * static_cast<double>(nelems);
+  sim::Time issue_cost = sw.get_overhead;
+  if (faults_ != nullptr) issue_cost = faults_->dilate(src_pe, issue_cost);
   const RoundTrip r = reliable_get(src_pe, dst_pe, xfer_ns(16, sw, local),
-                                   occupancy, now + sw.get_overhead);
+                                   occupancy, now + issue_cost);
   if (obs::enabled()) {
     obs::wire_event(src_pe, dst_pe, elem_bytes * nelems, now, r.complete);
   }
@@ -256,12 +281,14 @@ RoundTrip Fabric::reliable_exec(int src_pe, int dst_pe,
         const sim::Time reply =
             wire_control(dst_pe, src_pe, reply_occupancy_ns, reply_start) +
             v.extra_delay;
+        faults_->record_rtt(src_pe, dst_pe, reply - send, a + 1);
         return {read_at_exec_done ? exec_done : exec_start, reply, true,
                 a + 1};
       }
     }
-    send += faults_->backoff_delay(a, expected_rtt);
+    send += faults_->retrans_timeout(src_pe, dst_pe, a, expected_rtt);
   }
+  faults_->note_exhaustion(src_pe, dst_pe, send);
   return {send, send, false, max_attempts};
 }
 
@@ -270,10 +297,16 @@ RoundTrip Fabric::submit_amo(int src_pe, int dst_pe, const SwProfile& sw,
   const bool local = same_node(src_pe, dst_pe);
   // Execution at the target serializes per PE: on the NIC's atomic unit for
   // SHMEM/DMAPP/verbs, or on the target CPU for AM-emulated atomics.
-  const sim::Time unit_cost = sw.nic_amo ? profile_.nic_amo_gap : sw.handler_cpu;
+  sim::Time unit_cost = sw.nic_amo ? profile_.nic_amo_gap : sw.handler_cpu;
+  sim::Time issue_cost = sw.amo_overhead;
+  if (faults_ != nullptr) {
+    // Stragglers issue slowly and (for CPU-handled atomics) execute slowly.
+    issue_cost = faults_->dilate(src_pe, issue_cost);
+    if (!sw.nic_amo) unit_cost = faults_->dilate(dst_pe, unit_cost);
+  }
   const RoundTrip r =
       reliable_exec(src_pe, dst_pe, xfer_ns(16, sw, local),
-                    xfer_ns(8, sw, local), now + sw.amo_overhead, unit_cost,
+                    xfer_ns(8, sw, local), now + issue_cost, unit_cost,
                     /*read_at_exec_done=*/true);
   if (obs::enabled()) obs::wire_event(src_pe, dst_pe, 8, now, r.complete);
   return r;
@@ -283,10 +316,16 @@ RoundTrip Fabric::submit_am(int src_pe, int dst_pe, std::size_t bytes,
                             const SwProfile& sw, sim::Time now) {
   const bool local = same_node(src_pe, dst_pe);
   // The handler needs the target CPU; requests to the same PE serialize.
+  sim::Time issue_cost = sw.put_overhead;
+  sim::Time unit_cost = sw.handler_cpu;
+  if (faults_ != nullptr) {
+    issue_cost = faults_->dilate(src_pe, issue_cost);
+    unit_cost = faults_->dilate(dst_pe, unit_cost);
+  }
   const RoundTrip r =
       reliable_exec(src_pe, dst_pe, xfer_ns(bytes + 16, sw, local),
-                    xfer_ns(8, sw, local), now + sw.put_overhead,
-                    sw.handler_cpu, /*read_at_exec_done=*/false);
+                    xfer_ns(8, sw, local), now + issue_cost,
+                    unit_cost, /*read_at_exec_done=*/false);
   if (obs::enabled()) obs::wire_event(src_pe, dst_pe, bytes, now, r.complete);
   return r;
 }

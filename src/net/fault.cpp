@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
+#include "net/detector.hpp"
 #include "sim/engine.hpp"
 
 namespace net {
@@ -19,16 +21,68 @@ std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
   return h ^ (h >> 31);
 }
 
+bool env_time(const char* name, sim::Time* out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || parsed < 0) return false;
+  *out = static_cast<sim::Time>(parsed);
+  return true;
+}
+
+bool env_int(const char* name, int* out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || parsed < 0) return false;
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+bool env_bool(const char* name, bool* out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  *out = !(v[0] == '0' || v[0] == 'n' || v[0] == 'N' || v[0] == 'f' ||
+           v[0] == 'F');
+  return true;
+}
+
+bool in_nodes(const std::vector<int>& nodes, int node) {
+  for (int n : nodes) {
+    if (n == node) return true;
+  }
+  return false;
+}
+
 }  // namespace
+
+void RetryPolicy::apply_env() {
+  env_time("CAF_FD_RTO_MIN_NS", &rto_min);
+  env_time("CAF_FD_RTO_MAX_NS", &rto_max);
+  env_bool("CAF_FD_ADAPTIVE", &adaptive);
+  env_int("CAF_FD_MAX_RETRANS", &max_retransmits);
+}
+
+void DetectorTunables::apply_env() {
+  env_time("CAF_FD_PERIOD_NS", &heartbeat_period);
+  env_int("CAF_FD_MISS", &miss_threshold);
+  env_time("CAF_FD_GRACE_NS", &suspicion_grace);
+}
 
 FaultInjector::FaultInjector(FaultPlan plan, int npes, int cores_per_node)
     : plan_(std::move(plan)),
+      cores_per_node_(cores_per_node),
       kill_at_(static_cast<std::size_t>(npes), kNever),
-      rng_(plan_.seed) {
+      dilation_(static_cast<std::size_t>(npes), 1.0),
+      rng_(plan_.seed),
+      flaky_rng_(plan_.seed ^ 0xf1a4f1a4ULL) {
   if (npes <= 0) throw std::invalid_argument("FaultInjector: npes <= 0");
   if (cores_per_node <= 0) {
     throw std::invalid_argument("FaultInjector: cores_per_node <= 0");
   }
+  nnodes_ = (npes + cores_per_node - 1) / cores_per_node;
   for (const PeKill& k : plan_.pe_kills) {
     if (k.pe < 0 || k.pe >= npes) {
       throw std::out_of_range("FaultPlan: pe kill out of range");
@@ -47,7 +101,43 @@ FaultInjector::FaultInjector(FaultPlan plan, int npes, int cores_per_node)
       at = std::min(at, k.at);
     }
   }
+  for (const Partition& p : plan_.partitions) {
+    if (p.nodes.empty()) {
+      throw std::invalid_argument("FaultPlan: partition with no nodes");
+    }
+    for (int n : p.nodes) {
+      if (n < 0 || n >= nnodes_) {
+        throw std::out_of_range("FaultPlan: partition node out of range");
+      }
+    }
+    if (p.until <= p.from) {
+      throw std::invalid_argument("FaultPlan: partition heals before it forms");
+    }
+  }
+  for (const FlakyLink& f : plan_.flaky_links) {
+    if (f.node_a < 0 || f.node_a >= nnodes_ || f.node_b < 0 ||
+        f.node_b >= nnodes_ || f.node_a == f.node_b) {
+      throw std::out_of_range("FaultPlan: flaky link nodes out of range");
+    }
+    if (f.extra_loss < 0.0 || f.extra_loss > 1.0 || f.bw_factor <= 0.0 ||
+        f.bw_factor > 1.0) {
+      throw std::invalid_argument("FaultPlan: flaky link rates out of range");
+    }
+  }
+  for (const Straggler& s : plan_.stragglers) {
+    if (s.pe < 0 || s.pe >= npes) {
+      throw std::out_of_range("FaultPlan: straggler pe out of range");
+    }
+    if (s.dilation < 1.0) {
+      throw std::invalid_argument("FaultPlan: straggler dilation < 1");
+    }
+    auto& d = dilation_[static_cast<std::size_t>(s.pe)];
+    d = std::max(d, s.dilation);
+  }
+  rtt_.assign(static_cast<std::size_t>(nnodes_) * nnodes_, RttEstimate{});
 }
+
+FaultInjector::~FaultInjector() = default;
 
 FaultInjector::Verdict FaultInjector::judge(int src_pe, int dst_pe,
                                             sim::Time t) {
@@ -83,6 +173,75 @@ FaultInjector::Verdict FaultInjector::judge(int src_pe, int dst_pe,
   return v;
 }
 
+bool FaultInjector::nodes_partitioned(int node_a, int node_b,
+                                      sim::Time t) const {
+  if (node_a == node_b) return false;
+  for (const Partition& p : plan_.partitions) {
+    if (t < p.from || t >= p.until) continue;
+    if (in_nodes(p.nodes, node_a) != in_nodes(p.nodes, node_b)) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::partitioned(int src_pe, int dst_pe, sim::Time t) const {
+  if (plan_.partitions.empty()) return false;
+  return nodes_partitioned(node_of(src_pe), node_of(dst_pe), t);
+}
+
+sim::Time FaultInjector::partition_heal_time(int node_a, int node_b,
+                                             sim::Time t) const {
+  sim::Time heal = t;
+  // A later partition window can re-cut the pair the moment an earlier one
+  // heals; iterate to the fixed point (windows are finite, so this
+  // terminates unless a permanent partition separates the pair).
+  for (;;) {
+    bool advanced = false;
+    for (const Partition& p : plan_.partitions) {
+      if (heal < p.from || heal >= p.until) continue;
+      if (in_nodes(p.nodes, node_a) == in_nodes(p.nodes, node_b)) continue;
+      if (p.until == kTimeNever) return kTimeNever;
+      heal = p.until;
+      advanced = true;
+    }
+    if (!advanced) return heal;
+  }
+}
+
+bool FaultInjector::partition_drop(int src_pe, int dst_pe, sim::Time t) {
+  if (!partitioned(src_pe, dst_pe, t)) return false;
+  ++counters_.partition_drops;
+  return true;
+}
+
+const FlakyLink* FaultInjector::flaky(int src_pe, int dst_pe,
+                                      sim::Time t) const {
+  if (plan_.flaky_links.empty()) return nullptr;
+  const int a = node_of(src_pe);
+  const int b = node_of(dst_pe);
+  for (const FlakyLink& f : plan_.flaky_links) {
+    if (t < f.from || t >= f.until) continue;
+    if ((f.node_a == a && f.node_b == b) || (f.node_a == b && f.node_b == a)) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+bool FaultInjector::flaky_drop(int src_pe, int dst_pe, sim::Time t) {
+  const FlakyLink* f = flaky(src_pe, dst_pe, t);
+  if (f == nullptr) return false;
+  // One draw per attempt on an active flaky link, from the dedicated stream
+  // so the main verdict stream stays aligned across plans.
+  if (flaky_rng_.uniform() >= f->extra_loss) return false;
+  ++counters_.flaky_drops;
+  return true;
+}
+
+double FaultInjector::bw_penalty(int src_pe, int dst_pe, sim::Time t) const {
+  const FlakyLink* f = flaky(src_pe, dst_pe, t);
+  return f == nullptr ? 1.0 : 1.0 / f->bw_factor;
+}
+
 sim::Time FaultInjector::backoff_delay(int attempt, double expected_oneway_ns) {
   const RetryPolicy& r = plan_.retry;
   const double base = static_cast<double>(r.rto) + 2.0 * expected_oneway_ns;
@@ -90,6 +249,66 @@ sim::Time FaultInjector::backoff_delay(int attempt, double expected_oneway_ns) {
   const double mult = std::pow(r.backoff, static_cast<double>(exp));
   const double jit = 1.0 + r.jitter * rng_.uniform();
   return sim::from_ns(base * mult * jit);
+}
+
+sim::Time FaultInjector::retrans_timeout(int src_pe, int dst_pe, int attempt,
+                                         double expected_oneway_ns) {
+  const RetryPolicy& r = plan_.retry;
+  const RttEstimate& e = rtt_slot(src_pe, dst_pe);
+  if (!r.adaptive || e.srtt == 0) {
+    // No clean sample yet: identical math (and the same single draw) as the
+    // static policy.
+    return backoff_delay(attempt, expected_oneway_ns);
+  }
+  const double rto = std::clamp(
+      static_cast<double>(e.srtt) + 4.0 * static_cast<double>(e.rttvar),
+      static_cast<double>(r.rto_min), static_cast<double>(r.rto_max));
+  const int exp = std::min(attempt, r.max_backoff_exp);
+  const double mult = std::pow(r.backoff, static_cast<double>(exp));
+  const double jit = 1.0 + r.jitter * rng_.uniform();
+  return sim::from_ns(rto * mult * jit);
+}
+
+FaultInjector::RttEstimate& FaultInjector::rtt_slot(int src_pe, int dst_pe) {
+  return rtt_[static_cast<std::size_t>(node_of(src_pe)) * nnodes_ +
+              node_of(dst_pe)];
+}
+
+const FaultInjector::RttEstimate& FaultInjector::rtt_slot(
+    int src_pe, int dst_pe) const {
+  return rtt_[static_cast<std::size_t>(node_of(src_pe)) * nnodes_ +
+              node_of(dst_pe)];
+}
+
+void FaultInjector::record_rtt(int src_pe, int dst_pe, sim::Time rtt,
+                               int attempts) {
+  // Karn's rule: a retransmitted exchange is ambiguous (the ack may answer
+  // any copy), so only first-attempt successes feed the estimator.
+  if (attempts != 1 || rtt <= 0) return;
+  RttEstimate& e = rtt_slot(src_pe, dst_pe);
+  if (e.srtt == 0) {
+    e.srtt = rtt;
+    e.rttvar = rtt / 2;
+    return;
+  }
+  const sim::Time err = rtt > e.srtt ? rtt - e.srtt : e.srtt - rtt;
+  e.rttvar = (3 * e.rttvar + err) / 4;
+  e.srtt = (7 * e.srtt + rtt) / 8;
+}
+
+sim::Time FaultInjector::srtt(int src_pe, int dst_pe) const {
+  return rtt_slot(src_pe, dst_pe).srtt;
+}
+
+void FaultInjector::note_delivery(int src_pe, int /*dst_pe*/, sim::Time t) {
+  if (detector_ != nullptr) detector_->heard(src_pe, t);
+}
+
+void FaultInjector::note_exhaustion(int src_pe, int dst_pe,
+                                    sim::Time give_up) {
+  if (detector_ != nullptr) {
+    detector_->report_exhaustion(src_pe, dst_pe, give_up);
+  }
 }
 
 void FaultInjector::arm(sim::Engine& engine) {
@@ -100,13 +319,22 @@ void FaultInjector::arm(sim::Engine& engine) {
     any = true;
     engine.schedule(at, [&engine, pe] { engine.kill_pe(pe); });
   }
-  if (any) engine.arm_kills();
+  // Partitions can strand an op permanently (retransmit exhaustion), so
+  // partition-only plans also need the runtime's recovery protocols armed.
+  if (any || !plan_.partitions.empty()) engine.arm_kills();
+  if (plan_.needs_detector()) {
+    detector_ = std::make_unique<FailureDetector>(*this, npes());
+    detector_->arm(engine);
+  }
 }
 
 void FaultInjector::reset() {
   rng_ = sim::Rng(plan_.seed);
+  flaky_rng_ = sim::Rng(plan_.seed ^ 0xf1a4f1a4ULL);
+  std::fill(rtt_.begin(), rtt_.end(), RttEstimate{});
   counters_ = Counters{};
   trace_hash_ = 0;
+  if (detector_ != nullptr) detector_->reset();
 }
 
 }  // namespace net

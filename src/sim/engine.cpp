@@ -116,7 +116,25 @@ void Engine::kill_pe(int pe) {
         break;
     }
   }
-  for (const auto& hook : failure_hooks_) hook(failures_.back());
+  // Without a detector the kill is also the declaration (legacy behavior:
+  // hooks run immediately, the declared view tracks ground truth). With
+  // deferred declaration the runtime stays oblivious until the detector
+  // calls declare_pe_failure.
+  if (!deferred_declaration_) declare_pe_failure(pe, sim_now_);
+}
+
+void Engine::declare_pe_failure(int pe, Time at) {
+  if (pe_declared(pe)) return;
+  declared_.push_back(PeFailure{pe, std::max(at, sim_now_)});
+  ++membership_epoch_;
+  for (const auto& hook : failure_hooks_) hook(declared_.back());
+}
+
+bool Engine::pe_declared(int pe) const {
+  for (const PeFailure& f : declared_) {
+    if (f.pe == pe) return true;
+  }
+  return false;
 }
 
 bool Engine::pe_failed(int pe) const {
@@ -197,8 +215,12 @@ void Engine::report_deadlock() const {
     for (const PeFailure& f : failures_) {
       os << " pe " << f.pe << " (killed at " << format_time(f.at) << ')';
     }
-    throw FailedImageError(os.str());
   }
+  if (diagnostic_hook_) {
+    const std::string extra = diagnostic_hook_();
+    if (!extra.empty()) os << '\n' << extra;
+  }
+  if (!failures_.empty()) throw FailedImageError(os.str());
   throw DeadlockError(os.str());
 }
 

@@ -123,6 +123,48 @@ class Engine {
   int failed_count() const { return static_cast<int>(failures_.size()); }
   const std::vector<PeFailure>& failures() const { return failures_; }
 
+  // ---- declared (in-band) membership view ----
+  //
+  // kill_pe records ground truth — what the fault injector did. The
+  // *declared* view is what the simulated software stack is allowed to act
+  // on: a PE enters it only when a failure detector (or transport-level
+  // retransmit exhaustion) declares it, via declare_pe_failure(). Without a
+  // detector armed, kill_pe declares immediately, so the two views coincide
+  // and legacy direct-kill callers see no change.
+
+  /// Declares PE `pe` failed as observed in-band: records it, bumps the
+  /// membership epoch, and runs the registered failure hooks (which kill_pe
+  /// no longer runs directly when declaration is deferred). Idempotent.
+  /// Callable from fiber or scheduler context; `at` stamps the declaration
+  /// (clamped up to the current virtual time if earlier).
+  void declare_pe_failure(int pe, Time at);
+
+  /// True once declare_pe_failure(pe) has run. This — not pe_failed() — is
+  /// what image_status / failed_images / team formation consume.
+  bool pe_declared(int pe) const;
+
+  int declared_count() const { return static_cast<int>(declared_.size()); }
+  const std::vector<PeFailure>& declared_failures() const { return declared_; }
+
+  /// Monotone counter bumped on every declaration; collective layers cache
+  /// per-epoch topology (node maps, leader trees) keyed on it.
+  std::uint64_t membership_epoch() const { return membership_epoch_; }
+
+  /// Defers failure-hook execution from kill_pe to declare_pe_failure. Set
+  /// by the failure detector when it arms; kill_pe then only unwinds the
+  /// victim's fibers and the runtime learns of the death when the detector
+  /// declares it.
+  void set_deferred_failure_declaration(bool on) {
+    deferred_declaration_ = on;
+  }
+  bool deferred_failure_declaration() const { return deferred_declaration_; }
+
+  /// Diagnostic hook appended to deadlock/stall reports (the failure
+  /// detector registers its suspicion-state snapshot here).
+  void set_diagnostic_hook(std::function<std::string()> hook) {
+    diagnostic_hook_ = std::move(hook);
+  }
+
   /// Registers a hook invoked (on the scheduler context) after each PE
   /// kill; runtimes use this to poke failure sentinels into sync state.
   void on_pe_failure(std::function<void(const PeFailure&)> hook) {
@@ -162,6 +204,10 @@ class Engine {
 
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::vector<PeFailure> failures_;
+  std::vector<PeFailure> declared_;
+  std::uint64_t membership_epoch_ = 0;
+  bool deferred_declaration_ = false;
+  std::function<std::string()> diagnostic_hook_;
   std::vector<std::function<void(const PeFailure&)>> failure_hooks_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::uint64_t next_seq_ = 0;

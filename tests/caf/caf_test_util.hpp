@@ -36,6 +36,10 @@ class Harness {
       : stack_(stack),
         fabric_(net::machine_profile(machine(stack)), images) {
     if (plan.active()) {
+      // Detector/retransmit tunables flow Options -> plan -> injector; the
+      // CAF_FD_* environment family then overrides either source.
+      if (opts.fd) plan.fd = *opts.fd;
+      plan.apply_env();
       injector_ = std::make_unique<net::FaultInjector>(
           plan, images, fabric_.profile().cores_per_node);
       fabric_.set_fault_injector(injector_.get());
