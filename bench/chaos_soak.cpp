@@ -113,7 +113,7 @@ struct RunRecord {
   std::uint64_t mem_hash = 0;
   std::vector<sim::PeFailure> declared;
   std::uint64_t fp = 0, declared_c = 0, evidence = 0, suspects = 0,
-                recoveries = 0, lat_total = 0, lat_count = 0;
+                recoveries = 0, flaps = 0, lat_total = 0, lat_count = 0;
   std::vector<std::vector<std::int64_t>> mem;  // per image, captured slots
   int coll_payload_errors = 0;
 };
@@ -200,6 +200,7 @@ RunRecord run_script(const Script& s, const Profile& prof, int images,
   rec.evidence = reg.counter(0, "fd.evidence_declared");
   rec.suspects = reg.counter(0, "fd.suspects");
   rec.recoveries = reg.counter(0, "fd.recoveries");
+  rec.flaps = reg.counter(0, "fd.flaps");
   rec.lat_total = reg.counter(0, "fd.detect_latency_ns_total");
   rec.lat_count = reg.counter(0, "fd.detect_count");
   // Hash the surviving images' captured memory (the doomed image never
@@ -280,8 +281,8 @@ int main(int argc, char** argv) {
   }
 
   std::uint64_t tot_declared = 0, tot_fp = 0, tot_evidence = 0,
-                tot_suspects = 0, tot_recoveries = 0, tot_lat = 0,
-                tot_lat_count = 0;
+                tot_suspects = 0, tot_recoveries = 0, tot_flaps = 0,
+                tot_lat = 0, tot_lat_count = 0;
   std::string rows_json;
 
   for (int i = 0; i < scripts; ++i) {
@@ -307,6 +308,14 @@ int main(int argc, char** argv) {
                 return false;
               }()),
             seed, "I2: straggler never declared");
+    }
+
+    // I2b: a straggler/flaky-only script (no kill, no partition) must not
+    // even *suspect* anybody — suspicion driven purely by slowness or link
+    // loss means the miss threshold is too tight for the retry budget, and
+    // every flap back to alive is that tuning bug caught in the act.
+    if (s.killed_pe < 0 && !s.has_partition) {
+      check(a.flaps == 0, seed, "I2b: straggler/flaky-only script never flaps");
     }
 
     // I3: a planned kill is detected, strictly after the kill.
@@ -336,7 +345,7 @@ int main(int argc, char** argv) {
             seed, "I4: declared entries identical");
     }
     check(a.fp == b.fp && a.declared_c == b.declared_c &&
-              a.lat_total == b.lat_total,
+              a.flaps == b.flaps && a.lat_total == b.lat_total,
           seed, "I4: fd.* counters identical");
 
     // I5: surviving ring slots match the fault-free expectation.
@@ -356,6 +365,7 @@ int main(int argc, char** argv) {
     tot_evidence += a.evidence;
     tot_suspects += a.suspects;
     tot_recoveries += a.recoveries;
+    tot_flaps += a.flaps;
     tot_lat += a.lat_total;
     tot_lat_count += a.lat_count;
 
@@ -378,9 +388,9 @@ int main(int argc, char** argv) {
       tot_lat_count > 0 ? tot_lat / tot_lat_count : 0;
   std::printf("chaos totals: declared=%" PRIu64 " false_positives=%" PRIu64
               " evidence=%" PRIu64 " suspects=%" PRIu64 " recoveries=%" PRIu64
-              " detect_avg=%" PRIu64 "ns\n",
+              " flaps=%" PRIu64 " detect_avg=%" PRIu64 "ns\n",
               tot_declared, tot_fp, tot_evidence, tot_suspects,
-              tot_recoveries, avg_lat);
+              tot_recoveries, tot_flaps, avg_lat);
 
   if (json_path != nullptr) {
     FILE* f = std::fopen(json_path, "w");
@@ -395,11 +405,13 @@ int main(int argc, char** argv) {
                  ",\n  \"false_positives\": %" PRIu64
                  ",\n  \"declared_total\": %" PRIu64
                  ",\n  \"evidence_declared_total\": %" PRIu64
+                 ",\n  \"flaps_total\": %" PRIu64
                  ",\n  \"detect_count\": %" PRIu64
                  ",\n  \"detect_latency_avg_ns\": %" PRIu64
                  ",\n  \"rows\": [\n%s\n  ]\n}\n",
                  prof->name, images, scripts, kBaseSeed, tot_fp, tot_declared,
-                 tot_evidence, tot_lat_count, avg_lat, rows_json.c_str());
+                 tot_evidence, tot_flaps, tot_lat_count, avg_lat,
+                 rows_json.c_str());
     std::fclose(f);
     std::printf("wrote %s\n", json_path);
   }

@@ -18,8 +18,11 @@ Direction (is bigger better?) is resolved per leaf:
 
 Axis/config leaves (bytes, images, reps, ...) are compared for identity:
 if the new file benchmarks a different shape, the diff is meaningless and
-that is reported as an error. A leaf present in the baseline but missing
-from the new file is always an error.
+that is reported as an error. Missing keys are errors in BOTH directions,
+each naming the metric and the file it is absent from: a leaf present in
+the baseline but not in the new file means the bench dropped a metric; a
+leaf present only in the new file means the bench grew one and the
+checked-in baseline must be regenerated.
 
 Exit status: 0 clean, 1 regression or structural mismatch, 2 usage.
 """
@@ -84,9 +87,18 @@ def main():
     improvements = 0
     compared = 0
 
+    base_leaves = dict(leaves(base))
+    for path in new_leaves:
+        if path not in base_leaves:
+            errors.append(
+                f"metric {path} present in {args.new} but missing from "
+                f"baseline {args.baseline} (regenerate the baseline)")
+
     for path, bval in leaves(base):
         if path not in new_leaves:
-            errors.append(f"missing in new file: {path}")
+            errors.append(
+                f"metric {path} present in baseline {args.baseline} but "
+                f"missing from {args.new}")
             continue
         nval = new_leaves[path]
         if not isinstance(bval, (int, float)) or isinstance(bval, bool):

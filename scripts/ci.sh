@@ -74,10 +74,35 @@ assert 0 < lat < 2_000_000, f"detection latency implausible: {lat}ns"
 print(f"chaos smoke ok: fp=0, mean detection latency = {lat/1000:.0f}us")
 EOF
 
+echo "=== Replicated-DHT serving smoke: kill the hot primary ==="
+# Open-loop Zipf get/put streams with a scripted mid-run kill of the hot
+# shard's primary on both machine profiles. The harness is self-checking
+# (nonzero exit on any violation); the assertions below restate the
+# availability contract so a regression names the broken invariant.
+./build-release/bench/dht_serve --smoke --json "$ART/BENCH_dht_serve.json"
+python3 - <<EOF
+import json
+with open("$ART/BENCH_dht_serve.json") as f:
+    data = json.load(f)
+for row in data["machines"]:
+    m = row["machine"]
+    assert row["lost_acked"] == 0, f"{m}: acknowledged writes were lost"
+    assert row["determinism_mismatch"] == 0, f"{m}: rerun diverged"
+    assert row["under_replicated_final"] == 0, \
+        f"{m}: anti-entropy left replication debt"
+    assert row["recovery_p99_ns"] <= 400_000, \
+        f"{m}: p99 recovery {row['recovery_p99_ns']}ns exceeds budget"
+    assert row["promotions"] >= 1, f"{m}: kill never promoted a replica"
+    print(f"dht_serve smoke ok [{m}]: lost=0, recovery "
+          f"{row['recovery_p99_ns']/1000:.0f}us, put p99 "
+          f"{row['put_p99_ns']/1000:.1f}us")
+EOF
+
 echo "=== Bench diff vs checked-in baselines (>10% = fail) ==="
 python3 scripts/bench_diff.py bench/baselines/BENCH_rma.json "$ART/BENCH_rma.json"
 python3 scripts/bench_diff.py bench/baselines/BENCH_coll.json "$ART/BENCH_coll.json"
 python3 scripts/bench_diff.py bench/baselines/BENCH_chaos.json "$ART/BENCH_chaos.json"
+python3 scripts/bench_diff.py bench/baselines/BENCH_dht_serve.json "$ART/BENCH_dht_serve.json"
 
 echo "=== Observability smoke: traced fig9_dht ==="
 # One traced DHT run at 8 images; the Chrome trace must be valid JSON and

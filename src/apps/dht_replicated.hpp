@@ -1,0 +1,106 @@
+// Replicated DHT: the Figure-9 table's data plane moved onto the
+// caf::repl::ShardStore so entries survive image kills (DESIGN.md §4d).
+//
+// Sharding mirrors the plain table exactly — shard = key's home image
+// (key / buckets_per_image), slot = key % buckets_per_image — so shard S's
+// primary starts as image S+1, the same placement Figure 9 measures. The
+// difference is that every entry now lives on R owner images, writes chain
+// through the ShardStore's lock + sequence + fence protocol, and the table
+// keeps an *acked ledger*: per key, how many increments this image was
+// told are durable. After a run quiesces, sum the survivors' ledgers per
+// key and compare with a replica-fallback read — acknowledged increments
+// must never exceed the stored count, kills or not (the count may exceed
+// the acks: a retried update whose first attempt partially landed
+// re-applies, the documented at-least-once window).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+
+#include "apps/dht.hpp"
+#include "caf/replica.hpp"
+#include "sim/engine.hpp"
+
+namespace apps::dhtr {
+
+struct Config {
+  std::int64_t buckets_per_image = 64;
+  int replication = 2;
+  int locks_per_image = 8;
+  std::uint64_t seed = 1234;
+  sim::Time compute_ns = 300;  ///< local work per update (hash, compare)
+  /// Same skew knobs as the plain table: hot_percent of operations hit one
+  /// of hot_keys popular entries.
+  int hot_percent = 0;
+  std::int64_t hot_keys = 4;
+};
+
+class ReplicatedTable {
+ public:
+  using Entry = dht::Entry;
+
+  /// Collective: every image constructs one after rt.init() (the ShardStore
+  /// ctor allocates the symmetric state and ends with a sync_all).
+  ReplicatedTable(caf::Runtime& rt, Config cfg)
+      : rt_(rt),
+        cfg_(cfg),
+        store_(rt, caf::repl::Options{
+                       .replication = cfg.replication,
+                       .num_shards = static_cast<std::int64_t>(rt.num_images()),
+                       .slots_per_shard = cfg.buckets_per_image,
+                       .slot_bytes = sizeof(Entry),
+                       .num_locks = cfg.locks_per_image,
+                   }) {}
+
+  std::int64_t shard_of(std::int64_t key) const {
+    return key / cfg_.buckets_per_image;
+  }
+  std::int64_t slot_of(std::int64_t key) const {
+    return key % cfg_.buckets_per_image;
+  }
+  std::int64_t global_buckets() const {
+    return cfg_.buckets_per_image * static_cast<std::int64_t>(rt_.num_images());
+  }
+
+  /// One replicated increment of `key`. True = acknowledged (durable on
+  /// every surviving owner); the acked ledger records it.
+  bool put_inc(std::int64_t key) {
+    sim::Engine& eng = *sim::Engine::current();
+    const bool ok = store_.update(
+        shard_of(key), slot_of(key), [&](void* p) {
+          Entry e{};
+          std::memcpy(&e, p, sizeof(e));
+          eng.advance(cfg_.compute_ns);  // hash/compare work
+          e.key = key;
+          e.count += 1;
+          std::memcpy(p, &e, sizeof(e));
+        });
+    if (ok) ++acked_[key];
+    return ok;
+  }
+
+  /// Replica-fallback read of `key`'s count (0 for a never-written entry).
+  bool get_count(std::int64_t key, std::int64_t* count) {
+    Entry e{};
+    if (!store_.read(&e, shard_of(key), slot_of(key))) return false;
+    *count = e.count;
+    return true;
+  }
+
+  /// Per-key acknowledged increments issued by *this image*.
+  const std::unordered_map<std::int64_t, std::int64_t>& acked() const {
+    return acked_;
+  }
+
+  caf::repl::ShardStore& store() { return store_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  caf::Runtime& rt_;
+  Config cfg_;
+  caf::repl::ShardStore store_;
+  std::unordered_map<std::int64_t, std::int64_t> acked_;
+};
+
+}  // namespace apps::dhtr

@@ -1,0 +1,184 @@
+// caf::repl — shard replication over one-sided RMA (the DHT's data plane
+// made redundant; DESIGN.md §4d).
+//
+// Two pieces:
+//
+//   * ReplicaMap: an epoch-versioned ownership map. Each shard gets a
+//     primary plus R-1 replicas chosen by a deterministic greedy walk from
+//     the shard's home image, preferring distinct *nodes* so a node kill
+//     cannot take every copy. The map is a pure function of the engine's
+//     ordered declared-failure list, so every surviving image computes the
+//     identical owner set at every membership epoch with no coordinator:
+//     when a primary is declared failed, erasing it promotes the next
+//     surviving replica (list order is preserved across replays) and a
+//     live non-owner is appended as the re-replication target.
+//
+//   * ShardStore: the replicated data plane on top of a caf::Runtime.
+//     Writes lock the shard's stripe lock *at the primary*, advance the
+//     shard's sequence number there (AMO), read-modify locally, then chain
+//     the new slot bytes to every owner over the nonblocking-RMA path —
+//     one sync_memory_stat() fence retires the whole chain before the
+//     unlock, so a write is acknowledged only once every surviving owner
+//     has the bytes. Reads prefer the primary but fall back to a synced
+//     replica while the primary is suspect or declared. A background
+//     anti-entropy pass pulls whole shards (under the same stripe lock)
+//     into owners whose local copy is unsynced, restoring the replication
+//     factor after a failover.
+//
+// Consistency contract (see DESIGN.md §4d for the full argument):
+//   * acknowledged writes survive any failure the ownership map can absorb
+//     (fewer than R owner deaths per shard between anti-entropy passes);
+//   * updates are at-least-once across a primary failover — a retried
+//     update whose first attempt partially landed can re-apply, so
+//     monotone merge functions (counters, max-registers) are exact lower
+//     bounds and arbitrary blind writes are last-writer-wins;
+//   * reads are dirty (no read lock) and may trail an in-flight chain by
+//     one update.
+//
+// Everything emits repl.* counters (keyed by the calling image's 0-based
+// rank) and kReplPull spans through src/obs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "caf/runtime.hpp"
+
+namespace caf::repl {
+
+struct Options {
+  /// Copies per shard (primary + replication-1 replicas). 1 = no
+  /// redundancy (degenerates to the plain DHT placement).
+  int replication = 2;
+  std::int64_t num_shards = 0;      ///< required: > 0
+  std::int64_t slots_per_shard = 0; ///< required: > 0
+  std::size_t slot_bytes = 16;     ///< bytes per slot (one table entry)
+  /// Stripe locks (shard % num_locks), each taken at the shard's primary.
+  int num_locks = 16;
+};
+
+class ReplicaMap {
+ public:
+  ReplicaMap(int nimages, int cores_per_node, int replication,
+             std::int64_t num_shards);
+
+  /// The deterministic core, unit-testable without a runtime: the owner
+  /// list (0-based PEs, owners[0] = primary) for `shard` after applying
+  /// `declared` — the engine's declared-failure PE list *in declaration
+  /// order*. Initial selection walks the ring from home = shard % nimages
+  /// picking live images, first preferring nodes not yet represented; each
+  /// declared owner is then erased (preserving order, so the next
+  /// surviving replica is promoted) and a live non-owner appended by the
+  /// same preference walk.
+  static std::vector<int> compute_owners(std::int64_t shard, int nimages,
+                                         int cores_per_node, int replication,
+                                         const std::vector<int>& declared);
+
+  /// Cached owner list for `shard` at the engine's current membership
+  /// epoch. Replays any declarations that landed since the last call (all
+  /// shards at once, so one epoch bump costs one sweep).
+  const std::vector<int>& owners(std::int64_t shard, sim::Engine& eng);
+
+  /// 1-based primary image for `shard` (0 when every candidate is dead).
+  int primary_image(std::int64_t shard, sim::Engine& eng) {
+    const auto& ow = owners(shard, eng);
+    return ow.empty() ? 0 : ow[0] + 1;
+  }
+
+  /// Primary changes observed by this map instance across replays.
+  std::uint64_t promotions() const { return promotions_; }
+
+ private:
+  void fill(std::vector<int>& owners, std::int64_t shard,
+            const std::vector<char>& dead) const;
+  static void fill_impl(std::vector<int>& owners, std::int64_t shard, int n,
+                        int cpn, int r, const std::vector<char>& dead);
+
+  int n_;
+  int cpn_;
+  int r_;
+  std::vector<std::vector<int>> owners_;  ///< per shard, replayed view
+  std::vector<char> dead_;                ///< replayed declared set
+  std::size_t consumed_declared_ = 0;     ///< engine declarations applied
+  std::uint64_t promotions_ = 0;
+};
+
+class ShardStore {
+ public:
+  /// Collective: every image constructs its own ShardStore (same Options)
+  /// after rt.init(), exactly like the DHT table builders. Allocates the
+  /// symmetric shard data, per-shard sequence and synced cells, and the
+  /// stripe locks, and ends with a sync_all.
+  ShardStore(Runtime& rt, Options opts);
+
+  const Options& options() const { return o_; }
+  ReplicaMap& map() { return map_; }
+  std::size_t shard_bytes() const {
+    return static_cast<std::size_t>(o_.slots_per_shard) * o_.slot_bytes;
+  }
+
+  /// Replicated read-modify-write of one slot: lock at the primary,
+  /// sequence + read there, apply `modify` to the slot bytes, chain the
+  /// result to every owner, fence, unlock. Returns true when the write is
+  /// *acknowledged* — every owner surviving at fence time has the bytes.
+  /// Retries through primary failovers (at-least-once; see header).
+  bool update(std::int64_t shard, std::int64_t slot,
+              const std::function<void(void*)>& modify);
+
+  /// Reads one slot into `out`. Primary read unless the primary is
+  /// declared failed or currently suspect — then the first live *synced*
+  /// replica serves (repl.read_fallbacks). Returns false only when no
+  /// owner is reachable.
+  bool read(void* out, std::int64_t shard, std::int64_t slot);
+
+  /// One anti-entropy pass: for up to `max_pulls` shards this image owns
+  /// whose local copy is unsynced, pull the whole shard from a synced
+  /// owner under the stripe lock and mark it synced. Returns the number
+  /// of shards pulled. Call repeatedly (it is incremental and idempotent)
+  /// until under_replicated_local() reaches 0.
+  int anti_entropy(int max_pulls = 1 << 30);
+
+  /// Shards this image owns at the current epoch whose local copy is not
+  /// synced — the image's own re-replication debt.
+  int under_replicated_local();
+
+  // ---- introspection (tests) ----
+  std::uint64_t data_off() const { return data_off_; }
+  std::int64_t local_seq(std::int64_t shard);
+  std::int64_t local_synced(std::int64_t shard);
+
+ private:
+  bool chain_and_fence(const std::vector<int>& owners, int primary_image,
+                       std::uint64_t entry_off, std::uint64_t seq_cell,
+                       const void* slot_bytes_buf, std::int64_t seq);
+  bool pull_shard(std::int64_t shard, int lock_image, int src_image);
+
+  Runtime& rt_;
+  Options o_;
+  ReplicaMap map_;
+  std::uint64_t data_off_ = 0;    ///< num_shards * shard_bytes
+  std::uint64_t seq_off_ = 0;     ///< num_shards int64 sequence cells
+  std::uint64_t synced_off_ = 0;  ///< num_shards int64 synced flags
+  std::vector<CoLock> locks_;
+  std::vector<std::byte> scratch_;
+
+  // repl.* registry handles (this image's rank; process-stable).
+  std::uint64_t* c_writes_;
+  std::uint64_t* c_writes_acked_;
+  std::uint64_t* c_write_retries_;
+  std::uint64_t* c_write_failures_;
+  std::uint64_t* c_chain_puts_;
+  std::uint64_t* c_chain_refences_;
+  std::uint64_t* c_lock_reclaims_;
+  std::uint64_t* c_reads_;
+  std::uint64_t* c_read_primary_;
+  std::uint64_t* c_read_fallbacks_;
+  std::uint64_t* c_read_stale_skips_;
+  std::uint64_t* c_read_failures_;
+  std::uint64_t* c_ae_pulls_;
+  std::uint64_t* c_ae_bytes_;
+  std::uint64_t* c_promotions_;
+};
+
+}  // namespace caf::repl

@@ -446,6 +446,27 @@ void Runtime::rma_fence() {
   conduit_.quiet();  // tracker-elided when nothing is in flight
 }
 
+int Runtime::sync_memory_stat() {
+  require_init();
+  ++per_image_[me()].stats.fences;
+  obs::Span sp(obs::Cat::kFence);
+  int stat = kStatOk;
+  // Flush and complete independently: a dead staged-chunk target must not
+  // keep in-flight nbi puts to live targets from being retired — the
+  // replication chain acks on "every *surviving* owner has the bytes".
+  try {
+    agg_flush();
+  } catch (const fabric::PeerFailedError&) {
+    stat = kStatFailedImage;
+  }
+  try {
+    conduit_.quiet();
+  } catch (const fabric::PeerFailedError&) {
+    stat = kStatFailedImage;
+  }
+  return stat;
+}
+
 bool Runtime::stage_put(int rank0, std::uint64_t dst_off, const void* src,
                         std::size_t n) {
   if (!opts_.rma.write_combining || !per_image_[me()].agg_chunk) return false;
@@ -769,7 +790,15 @@ int Runtime::mcs_lock(CoLock lck, int image, bool* reclaimed) {
       continue;
     }
     // Predecessor looks alive: block until the grant lands or a failure
-    // bump pokes my locked word (wait_fault registered the cell).
+    // bump pokes my locked word (wait_fault registered the cell). Re-check
+    // the home first: the cur_pred get above yields, a declaration landing
+    // in that window already ran the failure hook, and the hook only pokes
+    // cells that were registered when it fired — blocking now would sleep
+    // through a grant that can never come.
+    if (eng.pe_declared(home)) {
+      quarantine_qnode(qn);
+      return kStatFailedImage;
+    }
     (void)wait_fault(qn.offset() + kLockedField, Cmp::kNe, 1);
   }
 }

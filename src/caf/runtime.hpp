@@ -198,6 +198,12 @@ class Runtime {
   void sync_all();                                  // sync all
   void sync_images(std::span<const int> images);    // sync images(list)
   void sync_memory() { rma_fence(); }               // sync memory
+  /// `sync memory (stat=s)`: completion point that survives peer failure.
+  /// Returns kStatFailedImage instead of throwing when an outstanding
+  /// (staged or in-flight) put's target died — puts to *live* targets are
+  /// still completed before it returns, so a replication chain can fence
+  /// once, inspect the stat, and know every surviving replica has the data.
+  int sync_memory_stat();
 
   // ---- failed-image semantics (Fortran 2018) ----
   /// IMAGE_STATUS(image): kStatFailedImage if the image has failed, else
@@ -214,6 +220,20 @@ class Runtime {
   /// failure. Returns kStatFailedImage when any listed partner has failed
   /// (still synchronizing with the live ones); kStatOk otherwise.
   int sync_images_stat(std::span<const int> images);
+  /// True while the in-band failure detector holds `image` in the suspect
+  /// state (missed heartbeats, not yet declared). Advisory only — suspicion
+  /// never changes membership; the replica layer uses it to steer reads
+  /// away from a probably-dead primary before the declaration commits.
+  /// Always false without an armed detector.
+  bool image_suspect(int image) {
+    return conduit_.engine().pe_suspected(image - 1);
+  }
+  /// The engine's monotone membership epoch (bumped per declared failure).
+  /// Epoch-keyed layers (collective trees, replica ownership maps) cache
+  /// derived state against this value.
+  std::uint64_t membership_epoch() {
+    return conduit_.engine().membership_epoch();
+  }
 
   // ---- survivor teams (minimal FORM TEAM, Fortran 2018) ----
   /// Collective over the *live* images: barriers with every live peer and

@@ -43,6 +43,7 @@ FailureDetector::FailureDetector(FaultInjector& injector, int npes)
   auto& reg = obs::registry();
   c_suspects_ = &reg.counter(0, "fd.suspects");
   c_recoveries_ = &reg.counter(0, "fd.recoveries");
+  c_flaps_ = &reg.counter(0, "fd.flaps");
   c_declared_ = &reg.counter(0, "fd.declared");
   c_evidence_declared_ = &reg.counter(0, "fd.evidence_declared");
   c_false_positives_ = &reg.counter(0, "fd.false_positives");
@@ -57,6 +58,10 @@ void FailureDetector::arm(sim::Engine& engine) {
   // membership view moves when *we* declare.
   engine.set_deferred_failure_declaration(true);
   engine.set_diagnostic_hook([this] { return snapshot(); });
+  // Advisory suspicion for the runtime (replica read fallback steers away
+  // from suspects before the declaration commits). Never membership.
+  engine.set_suspicion_query(
+      [this](int pe) { return state_of(pe) == State::kSuspect; });
   schedule_sweep(period_);
 }
 
@@ -142,8 +147,14 @@ void FailureDetector::sweep(sim::Time t) {
     model_beacons(pe, t);
     if (t - s.last_evidence <= suspect_after_) {
       if (s.state == State::kSuspect) {
+        // A suspect that produced fresh evidence flaps back to alive. The
+        // chaos-soak invariants pin fd.flaps to 0 for straggler/flaky-only
+        // scripts: a merely-slow or lossy-linked PE must never even enter
+        // suspicion, so any flap there is a tuning bug (threshold too tight),
+        // not a save.
         s.state = State::kAlive;
         ++*c_recoveries_;
+        ++*c_flaps_;
       }
     } else if (s.state == State::kAlive) {
       s.state = State::kSuspect;

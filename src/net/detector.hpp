@@ -113,6 +113,7 @@ class FailureDetector {
   // fd.* observability counters (registry handles are process-stable).
   std::uint64_t* c_suspects_;
   std::uint64_t* c_recoveries_;
+  std::uint64_t* c_flaps_;
   std::uint64_t* c_declared_;
   std::uint64_t* c_evidence_declared_;
   std::uint64_t* c_false_positives_;

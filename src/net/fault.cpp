@@ -1,9 +1,14 @@
 #include "net/fault.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 
 #include "net/detector.hpp"
 #include "sim/engine.hpp"
@@ -21,22 +26,48 @@ std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
   return h ^ (h >> 31);
 }
 
-bool env_time(const char* name, sim::Time* out) {
+// CAF_FD_* parsing. A malformed or out-of-range value is a configuration
+// error, not a hint: silently falling back to a default turns a typo
+// ("CAF_FD_PERIOD_NS=50us") into a run with tunables the operator never
+// chose. Each helper prints a one-line diagnostic naming the variable and
+// throws std::invalid_argument with the same text.
+[[noreturn]] void env_reject(const char* name, const char* value,
+                             const char* why) {
+  std::string msg = std::string(name) + "=\"" + value + "\": " + why;
+  std::fprintf(stderr, "caf: invalid environment override %s\n", msg.c_str());
+  throw std::invalid_argument(msg);
+}
+
+bool env_time(const char* name, sim::Time* out, sim::Time min_value) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return false;
   char* end = nullptr;
+  errno = 0;
   const long long parsed = std::strtoll(v, &end, 10);
-  if (end == v || parsed < 0) return false;
+  if (end == v || *end != '\0') {
+    env_reject(name, v, "not an integer nanosecond count");
+  }
+  if (errno == ERANGE || parsed < min_value) {
+    env_reject(name, v, min_value > 0 ? "must be a positive ns count"
+                                      : "must be a non-negative ns count");
+  }
   *out = static_cast<sim::Time>(parsed);
   return true;
 }
 
-bool env_int(const char* name, int* out) {
+bool env_int(const char* name, int* out, int min_value) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return false;
   char* end = nullptr;
+  errno = 0;
   const long parsed = std::strtol(v, &end, 10);
-  if (end == v || parsed < 0) return false;
+  if (end == v || *end != '\0') env_reject(name, v, "not an integer");
+  if (errno == ERANGE || parsed < min_value ||
+      parsed > std::numeric_limits<int>::max()) {
+    env_reject(name, v,
+               min_value > 0 ? "must be a positive integer"
+                             : "must be a non-negative integer");
+  }
   *out = static_cast<int>(parsed);
   return true;
 }
@@ -44,9 +75,18 @@ bool env_int(const char* name, int* out) {
 bool env_bool(const char* name, bool* out) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return false;
-  *out = !(v[0] == '0' || v[0] == 'n' || v[0] == 'N' || v[0] == 'f' ||
-           v[0] == 'F');
-  return true;
+  const std::string_view s(v);
+  if (s == "1" || s == "y" || s == "Y" || s == "t" || s == "T" ||
+      s == "true" || s == "yes" || s == "on") {
+    *out = true;
+    return true;
+  }
+  if (s == "0" || s == "n" || s == "N" || s == "f" || s == "F" ||
+      s == "false" || s == "no" || s == "off") {
+    *out = false;
+    return true;
+  }
+  env_reject(name, v, "not a boolean (use 0/1/true/false/yes/no/on/off)");
 }
 
 bool in_nodes(const std::vector<int>& nodes, int node) {
@@ -59,16 +99,21 @@ bool in_nodes(const std::vector<int>& nodes, int node) {
 }  // namespace
 
 void RetryPolicy::apply_env() {
-  env_time("CAF_FD_RTO_MIN_NS", &rto_min);
-  env_time("CAF_FD_RTO_MAX_NS", &rto_max);
+  env_time("CAF_FD_RTO_MIN_NS", &rto_min, 1);
+  env_time("CAF_FD_RTO_MAX_NS", &rto_max, 1);
   env_bool("CAF_FD_ADAPTIVE", &adaptive);
-  env_int("CAF_FD_MAX_RETRANS", &max_retransmits);
+  env_int("CAF_FD_MAX_RETRANS", &max_retransmits, 0);
+  if (rto_min > rto_max) {
+    env_reject("CAF_FD_RTO_MIN_NS/CAF_FD_RTO_MAX_NS",
+               std::to_string(rto_min).c_str(),
+               "rto_min exceeds rto_max — the adaptive clamp is empty");
+  }
 }
 
 void DetectorTunables::apply_env() {
-  env_time("CAF_FD_PERIOD_NS", &heartbeat_period);
-  env_int("CAF_FD_MISS", &miss_threshold);
-  env_time("CAF_FD_GRACE_NS", &suspicion_grace);
+  env_time("CAF_FD_PERIOD_NS", &heartbeat_period, 1);
+  env_int("CAF_FD_MISS", &miss_threshold, 1);
+  env_time("CAF_FD_GRACE_NS", &suspicion_grace, 0);
 }
 
 FaultInjector::FaultInjector(FaultPlan plan, int npes, int cores_per_node)

@@ -64,7 +64,9 @@ struct RetryPolicy {
 
   /// Applies CAF_FD_RTO_MIN_NS / CAF_FD_RTO_MAX_NS / CAF_FD_ADAPTIVE /
   /// CAF_FD_MAX_RETRANS overrides from the environment (unset vars leave
-  /// the current values untouched).
+  /// the current values untouched). A malformed or out-of-range value
+  /// throws std::invalid_argument after printing a one-line diagnostic
+  /// naming the offending variable — never a silent fallback.
   void apply_env();
 };
 
@@ -126,6 +128,8 @@ struct DetectorTunables {
 
   /// Applies CAF_FD_PERIOD_NS / CAF_FD_MISS / CAF_FD_GRACE_NS overrides
   /// from the environment (unset vars leave the current values untouched).
+  /// Malformed/out-of-range values throw std::invalid_argument with a
+  /// diagnostic naming the variable (see RetryPolicy::apply_env).
   void apply_env();
 };
 

@@ -23,6 +23,7 @@ const char* cat_name(Cat c) {
     case Cat::kCollStage: return "coll_stage";
     case Cat::kMsgWire: return "msg_wire";
     case Cat::kPhase: return "phase";
+    case Cat::kReplPull: return "repl_pull";
     case Cat::kCount: break;
   }
   return "?";
@@ -50,6 +51,7 @@ Group group_of(Cat c) {
     case Cat::kScatter:
     case Cat::kAmo:
     case Cat::kMsgWire:
+    case Cat::kReplPull:  ///< an AE pull is wire work end to end
       return Group::kWire;
     case Cat::kQuiet:
     case Cat::kFence:
@@ -266,7 +268,7 @@ void Span::end() {
                      "lat.quiet",        "lat.fence",     "lat.lock_acquire",
                      "lat.lock_handoff", "lat.sync_wait", "lat.barrier",
                      "lat.broadcast",    "lat.reduce",    "lat.coll_stage",
-                     "lat.msg_wire",     "lat.phase"};
+                     "lat.msg_wire",     "lat.phase",     "lat.repl_pull"};
     s.registry.hist(pe_, kLatNames[static_cast<std::size_t>(cat_)])
         .record(e.t1 - e.t0);
   }

@@ -55,6 +55,7 @@ enum class Cat : std::uint16_t {
   kCollStage,    ///< one wait inside a collective arm (tree/ring stage)
   kMsgWire,      ///< fabric message send→deliver (wire ring only)
   kPhase,        ///< instant phase marker; `a` = interned name id
+  kReplPull,     ///< replica anti-entropy pull (lock + snapshot + install)
   kCount
 };
 
@@ -162,6 +163,32 @@ class Hist {
   std::uint64_t sum_ns() const { return sum_; }
   std::uint64_t bucket(int b) const {
     return buckets_[static_cast<std::size_t>(b)];
+  }
+
+  /// Quantile estimate from the log2 buckets: finds the bucket holding the
+  /// q-th sample and interpolates linearly inside it (buckets are factor-2
+  /// wide, so the estimate is within 2x of the true order statistic — the
+  /// standard accuracy/size trade of log-bucketed serving histograms).
+  /// Returns 0 for an empty histogram; q is clamped to [0, 1].
+  std::uint64_t quantile(double q) const {
+    if (count_ == 0) return 0;
+    q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+    const double target = q * static_cast<double>(count_);
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      const std::uint64_t n = buckets_[static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      if (static_cast<double>(seen + n) >= target) {
+        const std::uint64_t lo = bucket_lo(b);
+        const std::uint64_t hi = b == 0 ? 0 : lo * 2 - 1;
+        const double frac =
+            (target - static_cast<double>(seen)) / static_cast<double>(n);
+        return lo + static_cast<std::uint64_t>(
+                        frac * static_cast<double>(hi - lo));
+      }
+      seen += n;
+    }
+    return bucket_lo(kBuckets - 1);
   }
 
   void clear() {

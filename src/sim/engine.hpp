@@ -165,6 +165,21 @@ class Engine {
     diagnostic_hook_ = std::move(hook);
   }
 
+  /// Suspicion oracle: the failure detector registers its alive→suspect
+  /// state here so runtimes can steer *advisory* decisions (e.g. replica
+  /// read fallback) by suspicion before a declaration commits. Suspicion is
+  /// never membership — only declare_pe_failure moves the declared view.
+  void set_suspicion_query(std::function<bool(int)> query) {
+    suspicion_query_ = std::move(query);
+  }
+
+  /// True while the armed detector holds `pe` in the suspect state (always
+  /// false without a detector). Declared PEs report false — they are past
+  /// suspicion, and pe_declared() is the authoritative signal.
+  bool pe_suspected(int pe) const {
+    return suspicion_query_ && suspicion_query_(pe);
+  }
+
   /// Registers a hook invoked (on the scheduler context) after each PE
   /// kill; runtimes use this to poke failure sentinels into sync state.
   void on_pe_failure(std::function<void(const PeFailure&)> hook) {
@@ -208,6 +223,7 @@ class Engine {
   std::uint64_t membership_epoch_ = 0;
   bool deferred_declaration_ = false;
   std::function<std::string()> diagnostic_hook_;
+  std::function<bool(int)> suspicion_query_;
   std::vector<std::function<void(const PeFailure&)>> failure_hooks_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::uint64_t next_seq_ = 0;

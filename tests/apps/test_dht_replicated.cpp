@@ -1,0 +1,181 @@
+// Replicated-DHT regressions: acknowledged increments must reconcile with
+// table state after (1) a primary-image kill and (2) a *healable* network
+// partition that lasts long enough for exhaustion evidence to declare the
+// far side — writes redirect to the promoted primaries during the blackout
+// and the post-heal reads (served by the survivors' replica chain, never
+// the stale healed copies) must cover every acked increment. See
+// DESIGN.md §4d and ISSUE satellite (d).
+#include "apps/dht_replicated.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "caf_test_util.hpp"
+#include "net/fault.hpp"
+#include "obs/obs.hpp"
+
+using apps::dhtr::Config;
+using apps::dhtr::ReplicatedTable;
+using caftest::Harness;
+using caftest::Stack;
+
+namespace {
+
+std::uint64_t repl_sum(int images, const char* name) {
+  std::uint64_t s = 0;
+  for (int pe = 0; pe < images; ++pe) s += obs::registry().value(pe, name);
+  return s;
+}
+
+net::FaultPlan bounded_plan() {
+  net::FaultPlan plan;
+  plan.retry.max_retransmits = 5;
+  plan.retry.rto_min = 2'000;
+  plan.retry.rto_max = 20'000;
+  // Fast detector: declaration lands while the update stream is still
+  // running, so failover happens mid-workload, not after it.
+  plan.fd.heartbeat_period = 10'000;
+  plan.fd.miss_threshold = 3;
+  plan.fd.suspicion_grace = 50'000;
+  return plan;
+}
+
+Config table_cfg() {
+  Config cfg;
+  cfg.buckets_per_image = 8;
+  cfg.replication = 2;
+  cfg.locks_per_image = 4;
+  cfg.compute_ns = 200;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(DhtReplicated, AckedIncrementsSurviveAPrimaryKill) {
+  constexpr int kImages = 8;
+  constexpr int kVictim0 = 4;  // primary of shard 4
+  net::FaultPlan plan = bounded_plan();
+  plan.kill_pe(kVictim0, 70'000);
+  Harness h(Stack::kShmemCray, kImages, {}, 4 << 20, plan);
+  obs::registry().clear();
+  const Config cfg = table_cfg();
+  std::vector<std::int64_t> acked(kImages + 1, 0);
+  std::vector<std::int64_t> seen(kImages + 1, -1);
+  const std::int64_t key = kVictim0 * cfg.buckets_per_image + 3;
+  h.run([&] {
+    auto& rt = h.rt();
+    sim::Engine& eng = *sim::Engine::current();
+    const int me = rt.this_image();
+    ReplicatedTable table(rt, cfg);
+    if (me == kVictim0 + 1) {
+      eng.advance(2'000'000);
+      return;
+    }
+    for (int u = 0; u < 20; ++u) {
+      if (table.put_inc(key)) ++acked[static_cast<std::size_t>(me)];
+      eng.advance(6'000);
+    }
+    // Barrier fixes the global acked total before anyone reads; then make
+    // sure the declaration has landed so reads resolve the promoted chain.
+    (void)rt.sync_all_stat();
+    for (int i = 0; i < 500 && !eng.pe_declared(kVictim0); ++i) {
+      eng.advance(10'000);
+    }
+    for (int round = 0; round < 64; ++round) {
+      table.store().anti_entropy();
+      if (table.store().under_replicated_local() == 0) break;
+      eng.advance(20'000);
+    }
+    EXPECT_EQ(table.store().under_replicated_local(), 0) << "image " << me;
+    std::int64_t v = -1;
+    EXPECT_TRUE(table.get_count(key, &v));
+    seen[static_cast<std::size_t>(me)] = v;
+  });
+  ASSERT_TRUE(h.engine().pe_declared(kVictim0));
+  std::int64_t total_acked = 0;
+  for (int img = 1; img <= kImages; ++img) {
+    if (img == kVictim0 + 1) continue;
+    total_acked += acked[static_cast<std::size_t>(img)];
+  }
+  EXPECT_GT(total_acked, 0);
+  for (int img = 1; img <= kImages; ++img) {
+    if (img == kVictim0 + 1) continue;
+    EXPECT_GE(seen[static_cast<std::size_t>(img)], total_acked)
+        << "image " << img;
+  }
+  EXPECT_GE(repl_sum(kImages, "repl.promotions"), 1u);
+}
+
+TEST(DhtReplicated, HealablePartitionRedirectsAndReconciles) {
+  // Stampede, 18 images = node 0 (PEs 0-15) + node 1 (PEs 16, 17). The
+  // partition isolates node 1 for 500 us — long enough that survivors'
+  // retransmit exhaustion declares its images — then heals. The healed
+  // images stay declared (no resurrection), so their table copies are
+  // permanently stale; reads must be served by the promoted node-0 chain.
+  constexpr int kImages = 18;
+  net::FaultPlan plan = bounded_plan();
+  plan.partition_nodes({1}, 100'000, 600'000);
+  Harness h(Stack::kShmemMvapich, kImages, {}, 4 << 20, plan);
+  obs::registry().clear();
+  const Config cfg = table_cfg();
+  std::vector<std::int64_t> acked16(kImages + 1, 0);
+  std::vector<std::int64_t> acked17(kImages + 1, 0);
+  std::vector<std::int64_t> seen16(kImages + 1, -1);
+  std::vector<std::int64_t> seen17(kImages + 1, -1);
+  const std::int64_t key16 = 16 * cfg.buckets_per_image + 1;  // home image 17
+  const std::int64_t key17 = 17 * cfg.buckets_per_image + 5;  // home image 18
+  h.run([&] {
+    auto& rt = h.rt();
+    sim::Engine& eng = *sim::Engine::current();
+    const int me = rt.this_image();
+    ReplicatedTable table(rt, cfg);
+    if (me >= 17) {
+      // Far side: passive through partition + heal. Its images get
+      // declared via exhaustion evidence and must not write afterwards.
+      eng.advance(2'500'000);
+      return;
+    }
+    // Near side: everyone updates both far-homed keys across the whole
+    // window — pre-partition acks land on the node-1 primaries, blackout
+    // acks on the promoted node-0 primaries.
+    for (int u = 0; u < 16; ++u) {
+      if (table.put_inc(key16)) ++acked16[static_cast<std::size_t>(me)];
+      if (table.put_inc(key17)) ++acked17[static_cast<std::size_t>(me)];
+      eng.advance(40'000);
+    }
+    // Near-side barrier: acked totals are final before any verification
+    // read (the declared far side is not waited on).
+    (void)rt.sync_all_stat();
+    for (int round = 0; round < 64; ++round) {
+      table.store().anti_entropy();
+      if (table.store().under_replicated_local() == 0) break;
+      eng.advance(20'000);
+    }
+    EXPECT_EQ(table.store().under_replicated_local(), 0) << "image " << me;
+    std::int64_t v = -1;
+    EXPECT_TRUE(table.get_count(key16, &v));
+    seen16[static_cast<std::size_t>(me)] = v;
+    EXPECT_TRUE(table.get_count(key17, &v));
+    seen17[static_cast<std::size_t>(me)] = v;
+  });
+  // The partition outlived the exhaustion budget: the far side is declared
+  // even though its processes never died.
+  EXPECT_TRUE(h.engine().pe_declared(16));
+  EXPECT_TRUE(h.engine().pe_declared(17));
+  std::int64_t total16 = 0, total17 = 0;
+  for (int img = 1; img <= 16; ++img) {
+    total16 += acked16[static_cast<std::size_t>(img)];
+    total17 += acked17[static_cast<std::size_t>(img)];
+  }
+  EXPECT_GT(total16, 0);
+  EXPECT_GT(total17, 0);
+  for (int img = 1; img <= 16; ++img) {
+    EXPECT_GE(seen16[static_cast<std::size_t>(img)], total16)
+        << "image " << img;
+    EXPECT_GE(seen17[static_cast<std::size_t>(img)], total17)
+        << "image " << img;
+  }
+  EXPECT_GE(repl_sum(kImages, "repl.promotions"), 2u);
+}

@@ -1,0 +1,290 @@
+// Replica-layer tests: deterministic ownership/promotion (the pure
+// ReplicaMap replay), chained-write durability across a primary kill,
+// suspicion-steered read fallback, and anti-entropy convergence back to
+// the full replication factor. See DESIGN.md §4d.
+#include "caf/replica.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "caf_test_util.hpp"
+#include "net/fault.hpp"
+#include "obs/obs.hpp"
+
+using caf::repl::Options;
+using caf::repl::ReplicaMap;
+using caf::repl::ShardStore;
+using caftest::Harness;
+using caftest::Stack;
+
+namespace {
+
+std::uint64_t repl(int pe, const char* name) {
+  return obs::registry().value(pe, name);
+}
+
+std::uint64_t repl_sum(int images, const char* name) {
+  std::uint64_t s = 0;
+  for (int pe = 0; pe < images; ++pe) s += repl(pe, name);
+  return s;
+}
+
+/// A bounded retry policy and a fast detector, so exhaustion verdicts (and
+/// the stalls ops to a dead-but-undeclared peer pay) stay in the tens of
+/// microseconds and declaration lands while the workload is still running.
+net::FaultPlan bounded_plan() {
+  net::FaultPlan plan;
+  plan.retry.max_retransmits = 5;
+  plan.retry.rto_min = 2'000;
+  plan.retry.rto_max = 20'000;
+  plan.fd.heartbeat_period = 10'000;
+  plan.fd.miss_threshold = 3;
+  plan.fd.suspicion_grace = 50'000;
+  return plan;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ReplicaMap: pure placement/promotion replay
+// ---------------------------------------------------------------------------
+
+TEST(ReplicaMap, InitialPlacementIsHomePrimaryOnDistinctNodes) {
+  constexpr int kImages = 32, kCpn = 16, kR = 3;
+  for (std::int64_t shard = 0; shard < kImages; ++shard) {
+    const auto ow = ReplicaMap::compute_owners(shard, kImages, kCpn, kR, {});
+    ASSERT_EQ(ow.size(), static_cast<std::size_t>(kR)) << "shard " << shard;
+    EXPECT_EQ(ow[0], static_cast<int>(shard % kImages));  // home = primary
+    // 32 images / 16 per node = 2 nodes; R=3 > nodes, so the first two
+    // owners land on distinct nodes and only the third may repeat one.
+    EXPECT_NE(ow[0] / kCpn, ow[1] / kCpn) << "shard " << shard;
+    EXPECT_EQ(std::set<int>(ow.begin(), ow.end()).size(), ow.size());
+  }
+}
+
+TEST(ReplicaMap, PrimaryDeathPromotesTheFirstSurvivingReplica) {
+  constexpr int kImages = 32, kCpn = 16, kR = 2;
+  const std::int64_t shard = 5;
+  const auto before = ReplicaMap::compute_owners(shard, kImages, kCpn, kR, {});
+  ASSERT_EQ(before.size(), 2u);
+  const auto after =
+      ReplicaMap::compute_owners(shard, kImages, kCpn, kR, {before[0]});
+  ASSERT_EQ(after.size(), 2u);
+  // The old replica is promoted (order preserved), a live non-owner joins.
+  EXPECT_EQ(after[0], before[1]);
+  EXPECT_NE(after[1], before[0]);
+  EXPECT_NE(after[1], before[1]);
+}
+
+TEST(ReplicaMap, ReplayIsDeterministicAndOrderSensitiveOnlyThroughState) {
+  constexpr int kImages = 24, kCpn = 8, kR = 3;
+  // Same declared multiset, same order => identical maps on every caller,
+  // regardless of when each caller consumed the declarations. Replaying
+  // one-at-a-time must match replaying the batch.
+  const std::vector<int> declared = {7, 3, 15, 9};
+  for (std::int64_t shard = 0; shard < kImages; ++shard) {
+    const auto batch =
+        ReplicaMap::compute_owners(shard, kImages, kCpn, kR, declared);
+    auto incremental = ReplicaMap::compute_owners(shard, kImages, kCpn, kR, {});
+    for (std::size_t k = 1; k <= declared.size(); ++k) {
+      incremental = ReplicaMap::compute_owners(
+          shard, kImages, kCpn, kR,
+          std::vector<int>(declared.begin(), declared.begin() + k));
+    }
+    EXPECT_EQ(batch, incremental) << "shard " << shard;
+    for (const int pe : declared) {
+      EXPECT_EQ(std::find(batch.begin(), batch.end(), pe), batch.end());
+    }
+  }
+}
+
+TEST(ReplicaMap, ShrinksBelowRWhenSurvivorsRunOut) {
+  constexpr int kImages = 4, kCpn = 2, kR = 3;
+  std::vector<int> declared;
+  for (int pe = 1; pe < kImages; ++pe) declared.push_back(pe);
+  const auto ow = ReplicaMap::compute_owners(0, kImages, kCpn, kR, declared);
+  ASSERT_EQ(ow.size(), 1u);  // one survivor left; no invented owners
+  EXPECT_EQ(ow[0], 0);
+}
+
+// ---------------------------------------------------------------------------
+// ShardStore: fault-free protocol
+// ---------------------------------------------------------------------------
+
+TEST(ShardStore, FaultFreeUpdateReadRoundtripAndFullReplication) {
+  constexpr int kImages = 8;
+  Harness h(Stack::kShmemCray, kImages);
+  obs::registry().clear();
+  std::vector<int> debts(kImages + 1, -1);
+  h.run([&] {
+    auto& rt = h.rt();
+    const int me = rt.this_image();
+    ShardStore store(rt, Options{.replication = 2,
+                                 .num_shards = kImages,
+                                 .slots_per_shard = 8,
+                                 .slot_bytes = 8,
+                                 .num_locks = 4});
+    // Every image increments every shard's slot (me % 8) once.
+    const std::int64_t slot = me % 8;
+    for (std::int64_t s = 0; s < kImages; ++s) {
+      EXPECT_TRUE(store.update(s, slot, [](void* p) {
+        std::int64_t v = 0;
+        std::memcpy(&v, p, sizeof(v));
+        ++v;
+        std::memcpy(p, &v, sizeof(v));
+      }));
+    }
+    rt.sync_all();
+    std::int64_t v = 0;
+    ASSERT_TRUE(store.read(&v, me % kImages, slot));
+    EXPECT_EQ(v, 1);
+    debts[static_cast<std::size_t>(me)] = store.under_replicated_local();
+  });
+  for (int img = 1; img <= kImages; ++img) {
+    EXPECT_EQ(debts[static_cast<std::size_t>(img)], 0) << "image " << img;
+  }
+  // Every write acked, nobody fell back off the primary, no retries.
+  EXPECT_EQ(repl_sum(kImages, "repl.writes_acked"),
+            repl_sum(kImages, "repl.writes"));
+  EXPECT_EQ(repl_sum(kImages, "repl.write_retries"), 0u);
+  EXPECT_EQ(repl_sum(kImages, "repl.read_fallbacks"), 0u);
+  EXPECT_EQ(repl_sum(kImages, "repl.promotions"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ShardStore: primary kill — durability, promotion, anti-entropy
+// ---------------------------------------------------------------------------
+
+TEST(ShardStore, AckedWritesSurvivePrimaryKillAndAntiEntropyRestoresR) {
+  constexpr int kImages = 8;
+  constexpr int kVictim0 = 2;  // 0-based PE; primary of shard 2
+  constexpr std::int64_t kShard = kVictim0;
+  net::FaultPlan plan = bounded_plan();
+  plan.kill_pe(kVictim0, 60'000);  // mid-stream (setup ends ~10 us)
+  Harness h(Stack::kShmemCray, kImages, {}, 4 << 20, plan);
+  obs::registry().clear();
+  std::vector<std::int64_t> acked(kImages + 1, 0);
+  std::vector<std::int64_t> final_count(kImages + 1, -1);
+  std::vector<int> debts(kImages + 1, 0);
+  h.run([&] {
+    auto& rt = h.rt();
+    sim::Engine& eng = *sim::Engine::current();
+    const int me = rt.this_image();
+    ShardStore store(rt, Options{.replication = 2,
+                                 .num_shards = kImages,
+                                 .slots_per_shard = 4,
+                                 .slot_bytes = 8,
+                                 .num_locks = 4});
+    if (me == kVictim0 + 1) {
+      // The victim idles so its death never strands a held lock here (lock
+      // reclamation has its own suite); it still heartbeats until killed.
+      eng.advance(2'000'000);
+      return;
+    }
+    // Survivors hammer the victim's shard across the kill window.
+    for (int u = 0; u < 24; ++u) {
+      if (store.update(kShard, 0, [](void* p) {
+            std::int64_t v = 0;
+            std::memcpy(&v, p, sizeof(v));
+            ++v;
+            std::memcpy(p, &v, sizeof(v));
+          })) {
+        ++acked[static_cast<std::size_t>(me)];
+      }
+      eng.advance(5'000);
+    }
+    // All writers done (the barrier fixes the global acked total) and the
+    // kill declared before the verification reads.
+    (void)rt.sync_all_stat();
+    for (int i = 0; i < 500 && !eng.pe_declared(kVictim0); ++i) {
+      eng.advance(10'000);
+    }
+    ASSERT_TRUE(eng.pe_declared(kVictim0));
+    // Drain re-replication debt, then verify.
+    for (int round = 0; round < 64; ++round) {
+      store.anti_entropy();
+      if (store.under_replicated_local() == 0) break;
+      eng.advance(20'000);
+    }
+    debts[static_cast<std::size_t>(me)] = store.under_replicated_local();
+    std::int64_t v = -1;
+    EXPECT_TRUE(store.read(&v, kShard, 0));
+    final_count[static_cast<std::size_t>(me)] = v;
+  });
+  std::int64_t total_acked = 0;
+  for (int img = 1; img <= kImages; ++img) {
+    if (img == kVictim0 + 1) continue;
+    total_acked += acked[static_cast<std::size_t>(img)];
+    EXPECT_EQ(debts[static_cast<std::size_t>(img)], 0) << "image " << img;
+  }
+  EXPECT_GT(total_acked, 0);
+  // Zero lost acknowledged writes: every survivor's final read covers the
+  // global acked total (at-least-once may push the count above it, never
+  // below).
+  for (int img = 1; img <= kImages; ++img) {
+    if (img == kVictim0 + 1) continue;
+    EXPECT_GE(final_count[static_cast<std::size_t>(img)], total_acked)
+        << "image " << img;
+  }
+  EXPECT_TRUE(h.engine().pe_declared(kVictim0));
+  EXPECT_GE(repl_sum(kImages, "repl.promotions"), 1u);
+  EXPECT_GE(repl_sum(kImages, "repl.ae_pulls"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ShardStore: suspicion steers reads off the (probably dead) primary
+// ---------------------------------------------------------------------------
+
+TEST(ShardStore, SuspectPrimaryServesReadsFromSyncedReplica) {
+  constexpr int kImages = 8;
+  constexpr int kVictim0 = 3;
+  constexpr std::int64_t kShard = kVictim0;
+  net::FaultPlan plan = bounded_plan();
+  plan.kill_pe(kVictim0, 80'000);
+  // Stretch the suspect->failed dwell so the suspicion window is wide and
+  // the read below provably lands inside it.
+  plan.fd.suspicion_grace = 2'000'000;
+  Harness h(Stack::kShmemCray, kImages, {}, 4 << 20, plan);
+  obs::registry().clear();
+  h.run([&] {
+    auto& rt = h.rt();
+    sim::Engine& eng = *sim::Engine::current();
+    const int me = rt.this_image();
+    ShardStore store(rt, Options{.replication = 2,
+                                 .num_shards = kImages,
+                                 .slots_per_shard = 4,
+                                 .slot_bytes = 8,
+                                 .num_locks = 4});
+    // Seed the shard while its primary is alive so the replica is synced
+    // with real data; everyone (victim included) joins the barrier before
+    // the kill lands, then survivors wait for suspicion (not declaration).
+    if (me == 1) {
+      EXPECT_TRUE(store.update(kShard, 0, [](void* p) {
+        const std::int64_t v = 41;
+        std::memcpy(p, &v, sizeof(v));
+      }));
+    }
+    rt.sync_all();
+    if (me == kVictim0 + 1) {
+      eng.advance(3'000'000);
+      return;
+    }
+    while (!rt.image_suspect(kVictim0 + 1) &&
+           !eng.pe_declared(kVictim0)) {
+      eng.advance(10'000);
+    }
+    ASSERT_TRUE(rt.image_suspect(kVictim0 + 1));
+    ASSERT_FALSE(eng.pe_declared(kVictim0));
+    std::int64_t v = 0;
+    ASSERT_TRUE(store.read(&v, kShard, 0));
+    EXPECT_EQ(v, 41);
+  });
+  // Every survivor's read was steered off the suspect primary.
+  EXPECT_GE(repl_sum(kImages, "repl.read_fallbacks"),
+            static_cast<std::uint64_t>(kImages - 1));
+  EXPECT_EQ(repl_sum(kImages, "repl.promotions"), 0u);
+}

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 #include "net/fabric.hpp"
@@ -248,4 +250,111 @@ TEST(FaultyFabric, DuplicatesChargeExtraLinkOccupancy) {
     last_duped = duped.submit_put(0, fp.remote, 8'192, fp.sw, 0).delivered;
   }
   EXPECT_GT(last_duped, last_clean);
+}
+
+// ---------------------------------------------------------------------------
+// CAF_FD_* environment validation: a malformed override is a configuration
+// error (std::invalid_argument naming the variable), never a silent default.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Sets one environment variable for the duration of a scope and always
+/// restores the previous state, so a throwing apply_env() cannot leak a
+/// poisoned value into later tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+}  // namespace
+
+TEST(FaultEnv, WellFormedOverridesAreApplied) {
+  ScopedEnv period("CAF_FD_PERIOD_NS", "25000");
+  ScopedEnv miss("CAF_FD_MISS", "7");
+  ScopedEnv grace("CAF_FD_GRACE_NS", "0");
+  ScopedEnv adaptive("CAF_FD_ADAPTIVE", "no");
+  net::FaultPlan plan;
+  plan.apply_env();
+  EXPECT_EQ(plan.fd.heartbeat_period, 25'000);
+  EXPECT_EQ(plan.fd.miss_threshold, 7);
+  EXPECT_EQ(plan.fd.suspicion_grace, 0);
+  EXPECT_FALSE(plan.retry.adaptive);
+}
+
+TEST(FaultEnv, UnitSuffixIsRejectedNotTruncated) {
+  // strtoll would happily parse the "50" prefix of "50us"; the validator
+  // must refuse the trailing garbage instead of installing 50ns.
+  ScopedEnv period("CAF_FD_PERIOD_NS", "50us");
+  net::FaultPlan plan;
+  EXPECT_THROW(plan.apply_env(), std::invalid_argument);
+}
+
+TEST(FaultEnv, NonNumericValueIsRejected) {
+  ScopedEnv miss("CAF_FD_MISS", "three");
+  net::FaultPlan plan;
+  EXPECT_THROW(plan.apply_env(), std::invalid_argument);
+}
+
+TEST(FaultEnv, OutOfRangeValuesAreRejected) {
+  {
+    ScopedEnv period("CAF_FD_PERIOD_NS", "0");  // must be positive
+    net::FaultPlan plan;
+    EXPECT_THROW(plan.apply_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv miss("CAF_FD_MISS", "-2");
+    net::FaultPlan plan;
+    EXPECT_THROW(plan.apply_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv grace("CAF_FD_GRACE_NS", "-1");  // grace may be 0, not < 0
+    net::FaultPlan plan;
+    EXPECT_THROW(plan.apply_env(), std::invalid_argument);
+  }
+}
+
+TEST(FaultEnv, MalformedBooleanIsRejected) {
+  ScopedEnv adaptive("CAF_FD_ADAPTIVE", "maybe");
+  net::FaultPlan plan;
+  EXPECT_THROW(plan.apply_env(), std::invalid_argument);
+}
+
+TEST(FaultEnv, InvertedRtoClampIsRejected) {
+  ScopedEnv lo("CAF_FD_RTO_MIN_NS", "500000");
+  ScopedEnv hi("CAF_FD_RTO_MAX_NS", "10000");
+  net::FaultPlan plan;
+  EXPECT_THROW(plan.apply_env(), std::invalid_argument);
+}
+
+TEST(FaultEnv, DiagnosticNamesTheVariableAndValue) {
+  ScopedEnv period("CAF_FD_PERIOD_NS", "50us");
+  net::FaultPlan plan;
+  try {
+    plan.apply_env();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("CAF_FD_PERIOD_NS"), std::string::npos) << what;
+    EXPECT_NE(what.find("50us"), std::string::npos) << what;
+  }
 }
