@@ -6,6 +6,7 @@
 #include "obs/analyzer.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
+#include "sim/engine.hpp"
 
 namespace bench {
 
@@ -259,9 +260,21 @@ double geomean_ratio(const std::vector<double>& a,
 
 void obs_report(const char* label) {
   if (!obs::enabled()) return;
+  obs::sync_engine_counters();
   const obs::Attribution attr = obs::analyze();
   std::printf("\n--- wall-time attribution: %s ---\n", label);
   std::printf("%s", attr.table().c_str());
+  const sim::EngineStats es = sim::last_engine_stats();
+  if (es.events > 0) {
+    std::printf(
+        "engine: %llu events, %llu switches, %.4f heap-slabs/kevent, "
+        "%.1f MiB peak stacks\n",
+        static_cast<unsigned long long>(es.events),
+        static_cast<unsigned long long>(es.switches),
+        1000.0 * static_cast<double>(es.event_slab_allocs) /
+            static_cast<double>(es.events),
+        static_cast<double>(es.stack_bytes_peak) / (1024.0 * 1024.0));
+  }
   if (!obs::config().trace_path.empty() && obs::write_chrome_trace()) {
     std::printf("chrome trace written to %s\n",
                 obs::config().trace_path.c_str());

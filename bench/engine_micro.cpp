@@ -2,8 +2,22 @@
 // event-queue throughput, fiber context-switch cost, allocator hot paths,
 // and end-to-end simulated-barrier cost. These are *host* performance
 // numbers (how fast the simulator runs), not simulated results.
+//
+// `--json PATH` switches to the CI gate mode: fixed-shape measurements of
+// the engine core (queue events/sec, fiber switches/sec, steady-state heap
+// traffic) plus the two 16k-image at-scale smokes (barrier storm, Himeno),
+// written as BENCH_engine.json and compared against the checked-in baseline
+// by scripts/bench_diff.py. The simulated metrics (event counts, MFLOPS)
+// double as determinism checks; the wall times gate host throughput.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "apps/driver.hpp"
+#include "apps/himeno.hpp"
 #include "net/profiles.hpp"
 #include "shmem/heap.hpp"
 #include "shmem/world.hpp"
@@ -79,6 +93,156 @@ void BM_SimulatedBarrier(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedBarrier)->Arg(16)->Arg(256);
 
+// ---- --json gate mode ----
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+struct QueueResult {
+  double events_per_sec = 0;
+  std::uint64_t steady_heap_slabs = 0;  ///< slab mallocs after warm-up
+};
+
+QueueResult measure_queue(int n, int reps) {
+  QueueResult out;
+  double best_ms = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    sim::Engine eng;
+    for (int i = 0; i < n; ++i) eng.schedule(i, [] {});
+    eng.run();
+    best_ms = std::min(best_ms, ms_since(t0));
+    // Once the thread-local slab cache is warm (first rep), a run must not
+    // touch the heap for event storage at all. bench_diff enforces the
+    // baseline's 0 exactly.
+    if (r > 0) out.steady_heap_slabs += eng.stats().event_slab_allocs;
+  }
+  out.events_per_sec = 1000.0 * n / best_ms;
+  return out;
+}
+
+double measure_switches(int n, int reps) {
+  double best_ms = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    sim::Engine eng(16 * 1024);
+    eng.spawn(0, [n] {
+      for (int i = 0; i < n; ++i) sim::this_pe::advance(1);
+    });
+    eng.run();
+    best_ms = std::min(best_ms, ms_since(t0));
+  }
+  return 1000.0 * (2.0 * n) / best_ms;  // out + in
+}
+
+struct StormResult {
+  double wall_ms = 0;
+  std::uint64_t events = 0;
+};
+
+StormResult barrier_storm(int pes, int reps) {
+  const auto t0 = Clock::now();
+  sim::Engine eng(16 * 1024);
+  net::Fabric fabric(net::machine_profile(net::Machine::kXC30), pes);
+  shmem::World world(eng, fabric,
+                     net::sw_profile(net::Library::kShmemCray,
+                                     net::Machine::kXC30),
+                     160 << 10);
+  world.launch([&] {
+    for (int i = 0; i < reps; ++i) world.barrier_all();
+  });
+  eng.run();
+  return {ms_since(t0), eng.events_processed()};
+}
+
+struct HimenoResult {
+  double wall_ms = 0;
+  std::uint64_t events = 0;
+  double mflops = 0;
+};
+
+HimenoResult himeno_smoke(int images) {
+  const auto t0 = Clock::now();
+  apps::himeno::Config base;
+  base.gx = 32;
+  base.gy = 128;
+  base.gz = 128;
+  base.iters = 1;
+  const auto cfg = apps::himeno::decompose(base, images);
+  caf::Options opts;
+  opts.strided = caf::StridedAlgo::kNaive;
+  opts.nonsym_slab_bytes = 64 << 10;
+  const std::size_t p_bytes = static_cast<std::size_t>(cfg.gx) *
+                              (cfg.gy / cfg.py + 2) * (cfg.gz / cfg.pz + 2) *
+                              sizeof(double);
+  driver::Stack stack(driver::StackKind::kShmemMvapich, images,
+                      net::Machine::kStampede, p_bytes + (1 << 20), opts);
+  apps::himeno::Result result{};
+  stack.run([&](caf::Runtime& rt) {
+    apps::himeno::Solver solver(rt, cfg);
+    result = solver.run();
+    rt.sync_all();
+  });
+  return {ms_since(t0), stack.engine().events_processed(), result.mflops};
+}
+
+int run_json(const char* path) {
+  constexpr int kScale = 16 * 1024;
+  const QueueResult q = measure_queue(100'000, 3);
+  const double sw = measure_switches(100'000, 3);
+  std::printf("queue: %.2fM events/s, %llu steady heap slabs\n",
+              q.events_per_sec / 1e6,
+              static_cast<unsigned long long>(q.steady_heap_slabs));
+  std::printf("fiber: %.2fM switches/s\n", sw / 1e6);
+  const StormResult storm = barrier_storm(kScale, 4);
+  std::printf("barrier_storm @%d: %.1f ms, %llu events\n", kScale,
+              storm.wall_ms, static_cast<unsigned long long>(storm.events));
+  const HimenoResult him = himeno_smoke(kScale);
+  std::printf("himeno_smoke @%d: %.1f ms, %llu events, %.1f mflops\n", kScale,
+              him.wall_ms, static_cast<unsigned long long>(him.events),
+              him.mflops);
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "\"bench\": \"engine_micro\",\n"
+      "\"unit\": \"mixed\",\n"
+      "\"higher_is_better\": [\"events_per_sec\", \"switches_per_sec\"],\n"
+      "\"queue\": {\"nevents\": 100000, \"events_per_sec\": %.0f, "
+      "\"steady_heap_slabs\": %llu},\n"
+      "\"fiber\": {\"switches_per_sec\": %.0f},\n"
+      "\"barrier_storm\": {\"images\": %d, \"reps\": 4, \"wall_ms\": %.1f, "
+      "\"events\": %llu},\n"
+      "\"himeno_smoke\": {\"images\": %d, \"wall_ms\": %.1f, "
+      "\"events\": %llu, \"mflops\": %.1f}\n"
+      "}\n",
+      q.events_per_sec, static_cast<unsigned long long>(q.steady_heap_slabs),
+      sw, kScale, storm.wall_ms,
+      static_cast<unsigned long long>(storm.events), kScale, him.wall_ms,
+      static_cast<unsigned long long>(him.events), him.mflops);
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      return run_json(argv[i + 1]);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,11 +10,17 @@ clock makes bench output deterministic, so the checked-in baselines are
 exact: a >10% shift is a real behavior change, not noise.
 
 Direction (is bigger better?) is resolved per leaf:
-  * path fragments latency/elapsed/time/_ns/_us/_ms  -> lower is better
-  * path fragments speedup/bandwidth/mflops/mbs/ratio/geomean
+  * a leaf key listed in the baseline's top-level "higher_is_better"
+    array is higher-is-better, no matter what the heuristics say
+    (e.g. "events_per_sec", where the _s suffix would misread as a time);
+  * else path fragments latency/elapsed/time/_ns/_us/_ms -> lower is better
+  * else path fragments speedup/bandwidth/mflops/mbs/ratio/geomean
                                                      -> higher is better
   * otherwise the file's top-level "unit" decides: a time unit
     (ns/us/ms/s) means lower is better, anything else higher.
+
+The "higher_is_better" array itself is bench metadata, not a metric; it
+is excluded from the leaf walk on both sides.
 
 Axis/config leaves (bytes, images, reps, ...) are compared for identity:
 if the new file benchmarks a different shape, the diff is meaningless and
@@ -53,7 +59,9 @@ def leaves(node, path=""):
         yield path, node
 
 
-def lower_is_better(path, default_lower):
+def lower_is_better(path, default_lower, higher_keys):
+    if last_key(path) in higher_keys:
+        return False
     p = path.lower()
     if any(h in p for h in LOWER_BETTER_HINTS):
         return True
@@ -81,6 +89,13 @@ def main():
         new = json.load(f)
 
     default_lower = str(base.get("unit", "")).lower() in TIME_UNITS
+    higher_keys = frozenset(base.get("higher_is_better", []))
+    if not isinstance(base.get("higher_is_better", []), list):
+        print("bench_diff ERROR: top-level higher_is_better must be a list",
+              file=sys.stderr)
+        return 1
+    base.pop("higher_is_better", None)
+    new.pop("higher_is_better", None)
     new_leaves = dict(leaves(new))
     errors = []
     regressions = []
@@ -119,7 +134,9 @@ def main():
             continue
         change = (nval - bval) / abs(bval)  # >0 = bigger
         # gain > 0 = moved in the good direction for this metric.
-        gain = -change if lower_is_better(path, default_lower) else change
+        gain = (-change
+                if lower_is_better(path, default_lower, higher_keys)
+                else change)
         if gain < -args.tolerance:
             regressions.append(
                 f"{path}: {bval} -> {nval} ({100 * change:+.1f}%)")

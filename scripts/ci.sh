@@ -16,12 +16,16 @@ cmake -B build-release -S . "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "$JOBS"
 ctest --test-dir build-release --output-on-failure -j "$JOBS"
 
-echo "=== Sanitize build (ASan/UBSan) + fault-label tests ==="
+echo "=== Sanitize build (ASan/UBSan) + fault/sim-label tests ==="
+# The `sim` label carries the engine-scale tests (16k lazily-stacked fibers,
+# pool recycling, kill-during-lazy-stack); under ASan the fiber layer falls
+# back to the instrumented swapcontext path, so this leg checks both context
+# implementations stay in lockstep.
 cmake -B build-sanitize -S . "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=Sanitize
-cmake --build build-sanitize -j "$JOBS" --target test_faults
+cmake --build build-sanitize -j "$JOBS" --target test_faults test_sim test_sim_scale
 ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1} \
 UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1} \
-  ctest --test-dir build-sanitize -L faults --output-on-failure -j "$JOBS"
+  ctest --test-dir build-sanitize -L "faults|sim" --output-on-failure -j "$JOBS"
 
 echo "=== Bench smoke: RMA pipeline ==="
 # Exercise the put-bandwidth harness (including the CAF aggregation panels)
@@ -98,11 +102,21 @@ for row in data["machines"]:
           f"{row['put_p99_ns']/1000:.1f}us")
 EOF
 
+echo "=== Engine-core smoke: event/fiber throughput + 16k-image gates ==="
+# Host-side engine health: queue events/sec, fiber switches/sec, zero
+# steady-state heap slabs (exact-match gate), and the two at-scale smokes
+# (16k-image barrier storm and Himeno). Simulated event counts and MFLOPS
+# in the JSON double as byte-identity checks; wall times get a loose
+# tolerance below because they are host measurements, not DES output.
+./build-release/bench/engine_micro --json "$ART/BENCH_engine.json"
+
 echo "=== Bench diff vs checked-in baselines (>10% = fail) ==="
 python3 scripts/bench_diff.py bench/baselines/BENCH_rma.json "$ART/BENCH_rma.json"
 python3 scripts/bench_diff.py bench/baselines/BENCH_coll.json "$ART/BENCH_coll.json"
 python3 scripts/bench_diff.py bench/baselines/BENCH_chaos.json "$ART/BENCH_chaos.json"
 python3 scripts/bench_diff.py bench/baselines/BENCH_dht_serve.json "$ART/BENCH_dht_serve.json"
+python3 scripts/bench_diff.py --tolerance 0.5 \
+  bench/baselines/BENCH_engine.json "$ART/BENCH_engine.json"
 
 echo "=== Observability smoke: traced fig9_dht ==="
 # One traced DHT run at 8 images; the Chrome trace must be valid JSON and

@@ -1,6 +1,7 @@
 #include "fabric/domain.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
 #include <cassert>
 #include <cstring>
@@ -69,28 +70,154 @@ void Domain::note_outstanding(int src_pe, sim::Time t) {
   outstanding_[src_pe] = std::max(outstanding_[src_pe], t);
 }
 
-sim::Time Domain::in_order_delivery(int src_pe, int dst_pe, sim::Time delivered) {
-  if (fifo_.empty()) fifo_.resize(static_cast<std::size_t>(npes()));
-  auto& row = fifo_[static_cast<std::size_t>(src_pe)];
-  if (row.empty()) row.assign(static_cast<std::size_t>(npes()), 0);
-  sim::Time& last = row[static_cast<std::size_t>(dst_pe)];
-  // Clamping only ever delays a message to strictly after the latest
-  // delivery already scheduled on this pair. Strictly: a timestamp tie
-  // would let a later message's memcpy run in the same event batch as the
-  // earlier one's wake, and a waiter woken by a data+flag pair must get to
-  // consume the slot before the pair's next generation lands on it.
-  last = delivered > last ? delivered : last + 1;
-  return last;
+Domain::PendingMsg* Domain::MsgPool::acquire() {
+  if (free_ != nullptr) {
+    PendingMsg* m = free_;
+    free_ = m->next;
+    return m;
+  }
+  if (bump_left_ == 0) {
+    // for_overwrite: every field is written by the issue site.
+    slabs_.push_back(std::make_unique_for_overwrite<Slab>());
+    bump_ = slabs_.back()->msgs;
+    bump_left_ = kSlabMsgs;
+  }
+  --bump_left_;
+  return bump_++;
 }
 
-void Domain::deliver(int dst_pe, std::uint64_t dst_off,
-                     std::vector<std::byte> data, sim::Time t) {
-  engine_.schedule(t, [this, dst_pe, dst_off, payload = std::move(data), t] {
-    assert(dst_off + payload.size() <= segment_bytes_);
-    std::memcpy(segments_[dst_pe].data() + dst_off, payload.data(),
-                payload.size());
-    if (write_hook_) write_hook_({dst_pe, dst_off, payload.size(), t});
-  });
+std::byte* Domain::BufPool::acquire(std::size_t n, std::uint8_t* cls_out) {
+  // Pow2 size classes, 16-byte minimum (the free-list link lives in the
+  // buffer's first bytes, and scatter records need 8-byte alignment, which
+  // malloc already guarantees per class).
+  const auto cls = static_cast<std::uint8_t>(
+      std::bit_width(std::max<std::size_t>(n, 16) - 1));
+  assert(cls < sizeof(free_) / sizeof(free_[0]));
+  *cls_out = cls;
+  std::byte*& fl = free_[cls];
+  if (fl != nullptr) {
+    std::byte* p = fl;
+    std::memcpy(&fl, p, sizeof fl);
+    return p;
+  }
+  auto* p = static_cast<std::byte*>(std::malloc(std::size_t{1} << cls));
+  if (p == nullptr) throw std::bad_alloc();
+  all_.push_back(p);
+  return p;
+}
+
+void Domain::BufPool::release(std::byte* p, std::uint8_t cls) {
+  std::memcpy(p, &free_[cls], sizeof(std::byte*));
+  free_[cls] = p;
+}
+
+Domain::BufPool::~BufPool() {
+  for (std::byte* p : all_) std::free(p);
+}
+
+namespace {
+std::size_t hash_dst(int dst) {
+  return static_cast<std::size_t>(
+      static_cast<std::uint64_t>(dst) * 0x9E3779B97F4A7C15ull >> 32);
+}
+}  // namespace
+
+std::uint32_t Domain::pair_id(int src_pe, int dst_pe) {
+  if (pair_map_.empty()) pair_map_.resize(static_cast<std::size_t>(npes()));
+  PairTable& tbl = pair_map_[static_cast<std::size_t>(src_pe)];
+  if (tbl.slots.empty()) tbl.slots.assign(8, PairSlot{-1, 0});
+  std::size_t mask = tbl.slots.size() - 1;
+  std::size_t i = hash_dst(dst_pe) & mask;
+  while (tbl.slots[i].dst >= 0) {
+    if (tbl.slots[i].dst == dst_pe) return tbl.slots[i].id;
+    i = (i + 1) & mask;
+  }
+  // First put on this pair: mint a dense id (first-touch order, which is
+  // deterministic) and grow its SoA stream state.
+  const auto id = static_cast<std::uint32_t>(fifo_last_.size());
+  fifo_last_.push_back(0);
+  head_.push_back(nullptr);
+  tail_.push_back(nullptr);
+  if ((tbl.count + 1) * 2 > tbl.slots.size()) {
+    std::vector<PairSlot> old = std::move(tbl.slots);
+    tbl.slots.assign(old.size() * 2, PairSlot{-1, 0});
+    mask = tbl.slots.size() - 1;
+    for (const PairSlot& s : old) {
+      if (s.dst < 0) continue;
+      std::size_t j = hash_dst(s.dst) & mask;
+      while (tbl.slots[j].dst >= 0) j = (j + 1) & mask;
+      tbl.slots[j] = s;
+    }
+    i = hash_dst(dst_pe) & mask;
+    while (tbl.slots[i].dst >= 0) i = (i + 1) & mask;
+  }
+  tbl.slots[i] = PairSlot{dst_pe, id};
+  ++tbl.count;
+  return id;
+}
+
+void Domain::stream_fire_tramp(void* ctx, std::uint64_t pair, std::uint64_t) {
+  static_cast<Domain*>(ctx)->stream_fire(static_cast<std::uint32_t>(pair));
+}
+
+void Domain::stream_append(std::uint32_t pair, PendingMsg* m) {
+  m->next = nullptr;
+  if (tail_[pair] != nullptr) {
+    // Stream busy: the armed event for the current head will re-arm for us.
+    tail_[pair]->next = m;
+    tail_[pair] = m;
+    return;
+  }
+  head_[pair] = tail_[pair] = m;
+  engine_.schedule_raw_reserved(m->t, m->seq, &stream_fire_tramp, this, pair);
+}
+
+void Domain::stream_fire(std::uint32_t pair) {
+  PendingMsg* m = head_[pair];
+  head_[pair] = m->next;
+  if (head_[pair] == nullptr) {
+    tail_[pair] = nullptr;
+  } else {
+    // Successors have strictly later clamped times and their own reserved
+    // seqs, so re-arming now reproduces the exact (t, seq) pop position a
+    // dedicated event would have had.
+    engine_.schedule_raw_reserved(head_[pair]->t, head_[pair]->seq,
+                                  &stream_fire_tramp, this, pair);
+  }
+  apply(*m);
+  buf_pool_.release(m->buf, m->buf_cls);
+  msg_pool_.release(m);
+}
+
+void Domain::apply(const PendingMsg& m) {
+  std::byte* seg = segments_[m.dst_pe].data();
+  switch (m.op) {
+    case PendingMsg::Op::kContig:
+      assert(m.dst_off + m.payload_bytes <= segment_bytes_);
+      std::memcpy(seg + m.dst_off, m.buf, m.payload_bytes);
+      if (write_hook_) write_hook_({m.dst_pe, m.dst_off, m.payload_bytes, m.t});
+      break;
+    case PendingMsg::Op::kScatter: {
+      const auto* recs = reinterpret_cast<const ScatterRec*>(m.buf);
+      const std::byte* payload = m.buf + m.payload_off;
+      for (std::uint32_t i = 0; i < m.nelems; ++i) {
+        const ScatterRec& r = recs[i];
+        std::memcpy(seg + r.dst_off, payload + r.payload_off, r.len);
+        if (write_hook_) write_hook_({m.dst_pe, r.dst_off, r.len, m.t});
+      }
+      break;
+    }
+    case PendingMsg::Op::kStrided:
+      for (std::uint32_t i = 0; i < m.nelems; ++i) {
+        const std::uint64_t off =
+            m.dst_off +
+            i * static_cast<std::uint64_t>(m.dst_stride) * m.elem_bytes;
+        std::memcpy(seg + off, m.buf + std::size_t{i} * m.elem_bytes,
+                    m.elem_bytes);
+        if (write_hook_) write_hook_({m.dst_pe, off, m.elem_bytes, m.t});
+      }
+      break;
+  }
 }
 
 void Domain::poke(int dst_pe, std::uint64_t dst_off, const void* src,
@@ -114,13 +241,21 @@ net::PutCompletion Domain::put(int dst_pe, std::uint64_t dst_off,
     engine_.advance_to(c.local_complete);
     throw PeerFailedError("put", me, dst_pe, c.attempts, c.delivered);
   }
-  c.delivered = in_order_delivery(me, dst_pe, c.delivered);
+  const std::uint32_t pair = pair_id(me, dst_pe);
+  c.delivered = clamp_in_order(pair, c.delivered);
   note_outstanding(me, c.delivered);
   // Capture the payload now: OpenSHMEM putmem guarantees the source buffer
   // is reusable on return.
-  std::vector<std::byte> data(n);
-  std::memcpy(data.data(), src, n);
-  deliver(dst_pe, dst_off, std::move(data), c.delivered);
+  PendingMsg* m = msg_pool_.acquire();
+  m->t = c.delivered;
+  m->dst_pe = dst_pe;
+  m->op = PendingMsg::Op::kContig;
+  m->dst_off = dst_off;
+  m->payload_bytes = static_cast<std::uint32_t>(n);
+  m->buf = buf_pool_.acquire(n, &m->buf_cls);
+  std::memcpy(m->buf, src, n);
+  m->seq = engine_.reserve_seq();
+  stream_append(pair, m);
   engine_.advance_to(c.local_complete);
   return c;
 }
@@ -146,19 +281,23 @@ net::PutCompletion Domain::put_scatter(int dst_pe, const ScatterRec* recs,
     engine_.advance_to(c.local_complete);
     throw PeerFailedError("put_scatter", me, dst_pe, c.attempts, c.delivered);
   }
-  c.delivered = in_order_delivery(me, dst_pe, c.delivered);
+  const std::uint32_t pair = pair_id(me, dst_pe);
+  c.delivered = clamp_in_order(pair, c.delivered);
   note_outstanding(me, c.delivered);
-  std::vector<std::byte> data(payload_bytes);
-  std::memcpy(data.data(), payload, payload_bytes);
-  std::vector<ScatterRec> rv(recs, recs + nrecs);
-  engine_.schedule(c.delivered, [this, dst_pe, rv = std::move(rv),
-                                 data = std::move(data), t = c.delivered] {
-    for (const ScatterRec& r : rv) {
-      std::memcpy(segments_[dst_pe].data() + r.dst_off,
-                  data.data() + r.payload_off, r.len);
-      if (write_hook_) write_hook_({dst_pe, r.dst_off, r.len, t});
-    }
-  });
+  // Pack records then payload into one pooled buffer.
+  const std::size_t hdr = nrecs * sizeof(ScatterRec);
+  PendingMsg* m = msg_pool_.acquire();
+  m->t = c.delivered;
+  m->dst_pe = dst_pe;
+  m->op = PendingMsg::Op::kScatter;
+  m->nelems = static_cast<std::uint32_t>(nrecs);
+  m->payload_bytes = static_cast<std::uint32_t>(payload_bytes);
+  m->payload_off = static_cast<std::uint32_t>(hdr);
+  m->buf = buf_pool_.acquire(hdr + payload_bytes, &m->buf_cls);
+  std::memcpy(m->buf, recs, hdr);
+  std::memcpy(m->buf + hdr, payload, payload_bytes);
+  m->seq = engine_.reserve_seq();
+  stream_append(pair, m);
   engine_.advance_to(c.local_complete);
   return c;
 }
@@ -207,29 +346,29 @@ void Domain::iput_hw(int dst_pe, std::uint64_t dst_off,
     engine_.advance_to(c.local_complete);
     throw PeerFailedError("iput", me, dst_pe, c.attempts, c.delivered);
   }
-  c.delivered = in_order_delivery(me, dst_pe, c.delivered);
+  const std::uint32_t pair = pair_id(me, dst_pe);
+  c.delivered = clamp_in_order(pair, c.delivered);
   note_outstanding(me, c.delivered);
-  // Gather the source elements at issue time.
-  std::vector<std::byte> data(elem_bytes * nelems);
+  // Gather the source elements at issue time; scatter happens at delivery.
+  PendingMsg* m = msg_pool_.acquire();
+  m->t = c.delivered;
+  m->dst_pe = dst_pe;
+  m->op = PendingMsg::Op::kStrided;
+  m->dst_off = dst_off;
+  m->dst_stride = dst_stride;
+  m->elem_bytes = static_cast<std::uint32_t>(elem_bytes);
+  m->nelems = static_cast<std::uint32_t>(nelems);
+  m->payload_bytes = static_cast<std::uint32_t>(elem_bytes * nelems);
+  m->buf = buf_pool_.acquire(elem_bytes * nelems, &m->buf_cls);
   const auto* s = static_cast<const std::byte*>(src);
   for (std::size_t i = 0; i < nelems; ++i) {
-    std::memcpy(data.data() + i * elem_bytes,
+    std::memcpy(m->buf + i * elem_bytes,
                 s + static_cast<std::ptrdiff_t>(i) * src_stride *
                         static_cast<std::ptrdiff_t>(elem_bytes),
                 elem_bytes);
   }
-  // Scatter at the target at delivery time.
-  engine_.schedule(c.delivered, [this, dst_pe, dst_off, dst_stride, elem_bytes,
-                                 nelems, payload = std::move(data),
-                                 t = c.delivered] {
-    for (std::size_t i = 0; i < nelems; ++i) {
-      const std::uint64_t off =
-          dst_off + i * static_cast<std::uint64_t>(dst_stride) * elem_bytes;
-      std::memcpy(segments_[dst_pe].data() + off,
-                  payload.data() + i * elem_bytes, elem_bytes);
-      if (write_hook_) write_hook_({dst_pe, off, elem_bytes, t});
-    }
-  });
+  m->seq = engine_.reserve_seq();
+  stream_append(pair, m);
   engine_.advance_to(c.local_complete);
 }
 

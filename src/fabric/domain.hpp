@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -180,17 +181,101 @@ class Domain {
 
  private:
   int current_pe() const;
-  void deliver(int dst_pe, std::uint64_t dst_off, std::vector<std::byte> data,
-               sim::Time t);
   void note_outstanding(int src_pe, sim::Time t);
 
-  /// In-order (RC-style) delivery clamp for one (src, dst) pair: a message
-  /// never lands before an earlier message on the same pair, even when the
-  /// timing oracle produced an inversion (size inversion on the intra-node
-  /// path, loss retransmits). Returns the clamped delivery time. This is the
+  // ---- pair streams ----
+  //
+  // All puts (contiguous, scatter, strided) ride per-(src, dst) in-order
+  // delivery streams. A pair gets a dense pair id on first use (per-src
+  // open-addressed map, SoA state arrays indexed by pair id — no nested
+  // npes-sized rows, which at 16k PEs used to cost gigabytes). Each queued
+  // message is a pooled PendingMsg with a pooled payload buffer; exactly
+  // one engine event per stream is armed at a time, carrying the head
+  // message's *reserved* sequence number so the global (time, seq) pop
+  // order — and therefore every simulated result — is byte-identical to
+  // scheduling one closure event per message.
+
+  struct PendingMsg {
+    enum class Op : std::uint8_t { kContig, kScatter, kStrided };
+
+    PendingMsg* next;       ///< FIFO link within the pair stream
+    sim::Time t;            ///< clamped delivery time
+    std::uint64_t seq;      ///< engine seq reserved at the issue site
+    int dst_pe;
+    Op op;
+    std::uint8_t buf_cls;   ///< payload buffer size class (log2 capacity)
+    std::uint32_t elem_bytes;    // kStrided
+    std::uint32_t nelems;        // kStrided: elements; kScatter: records
+    std::uint64_t dst_off;       // kContig / kStrided base offset
+    std::ptrdiff_t dst_stride;   // kStrided, in elements
+    std::uint32_t payload_bytes; // payload length within buf
+    std::uint32_t payload_off;   // kScatter: payload start (after records)
+    std::byte* buf;              ///< pooled; records (scatter) + payload
+  };
+
+  /// Slab pool of PendingMsg nodes (free list; no per-message heap traffic
+  /// in steady state).
+  class MsgPool {
+   public:
+    PendingMsg* acquire();
+    void release(PendingMsg* m) {
+      m->next = free_;
+      free_ = m;
+    }
+
+   private:
+    static constexpr std::size_t kSlabMsgs = 256;
+    struct Slab {
+      PendingMsg msgs[kSlabMsgs];
+    };
+    std::vector<std::unique_ptr<Slab>> slabs_;
+    PendingMsg* free_ = nullptr;
+    PendingMsg* bump_ = nullptr;
+    std::size_t bump_left_ = 0;
+  };
+
+  /// Power-of-two size-class pool for payload buffers. Buffers are recycled
+  /// through per-class free lists (the next pointer lives in the buffer's
+  /// first bytes while free); everything is freed at Domain teardown.
+  class BufPool {
+   public:
+    std::byte* acquire(std::size_t n, std::uint8_t* cls_out);
+    void release(std::byte* p, std::uint8_t cls);
+    ~BufPool();
+
+   private:
+    std::byte* free_[48] = {};
+    std::vector<std::byte*> all_;
+  };
+
+  /// Dense pair ids: per-src open-addressed map dst -> id (linear probing,
+  /// power-of-two capacity). Communication degree per PE is small in every
+  /// workload (tree fan-ins, halo neighbors), so tables stay tiny.
+  std::uint32_t pair_id(int src_pe, int dst_pe);
+
+  /// In-order (RC-style) delivery clamp for one pair: a message never lands
+  /// before an earlier message on the same pair, even when the timing
+  /// oracle produced an inversion (size inversion on the intra-node path,
+  /// loss retransmits). Strictly increasing: a timestamp tie would let a
+  /// later message's memcpy run in the same event batch as the earlier
+  /// one's wake, and a waiter woken by a data+flag pair must get to consume
+  /// the slot before the pair's next generation lands on it. This is the
   /// same-pair point-to-point ordering real RDMA transports give, and the
   /// property the CAF deferred-quiet pipeline relies on for WAW safety.
-  sim::Time in_order_delivery(int src_pe, int dst_pe, sim::Time delivered);
+  sim::Time clamp_in_order(std::uint32_t pair, sim::Time delivered) {
+    sim::Time& last = fifo_last_[pair];
+    last = delivered > last ? delivered : last + 1;
+    return last;
+  }
+
+  /// Queues `m` on its pair stream; arms the stream's delivery event if the
+  /// stream was idle. `m->t`/`m->seq` must already be set.
+  void stream_append(std::uint32_t pair, PendingMsg* m);
+  /// Delivery event body: applies the head message of `pair`, recycles it,
+  /// and re-arms the stream for the next message (at its own reserved seq).
+  void stream_fire(std::uint32_t pair);
+  static void stream_fire_tramp(void* ctx, std::uint64_t pair, std::uint64_t);
+  void apply(const PendingMsg& m);
 
   /// Zero-initialized segment storage backed by calloc so large segments
   /// get lazily-zeroed pages from the OS (simulations with thousands of
@@ -220,9 +305,23 @@ class Domain {
   std::size_t segment_bytes_;
   std::vector<ZeroedBuffer> segments_;
   std::vector<sim::Time> outstanding_;
-  /// fifo_[src][dst]: latest delivery time scheduled on the (src, dst) pair;
-  /// rows are allocated lazily on a pair's first put.
-  std::vector<std::vector<sim::Time>> fifo_;
+
+  MsgPool msg_pool_;
+  BufPool buf_pool_;
+  struct PairSlot {
+    int dst;           ///< -1 marks an empty slot
+    std::uint32_t id;
+  };
+  struct PairTable {
+    std::vector<PairSlot> slots;  ///< power-of-two, linear probing
+    std::uint32_t count = 0;
+  };
+  std::vector<PairTable> pair_map_;   ///< per-src dst -> dense pair id
+  // SoA per-pair stream state, indexed by pair id.
+  std::vector<sim::Time> fifo_last_;  ///< latest delivery scheduled on pair
+  std::vector<PendingMsg*> head_;     ///< oldest queued message (FIFO)
+  std::vector<PendingMsg*> tail_;
+
   std::function<void(const WriteEvent&)> write_hook_;
 };
 

@@ -68,7 +68,14 @@ void FailureDetector::arm(sim::Engine& engine) {
 void FailureDetector::schedule_sweep(sim::Time t) {
   if (sweeping_ || engine_ == nullptr) return;
   sweeping_ = true;
-  engine_->schedule(t, [this, t] { sweep(t); });
+  // Raw event: sweeps recur every period_ for the whole run, so keep them
+  // off the closure slow path.
+  engine_->schedule_raw(
+      t,
+      [](void* ctx, std::uint64_t a, std::uint64_t) {
+        static_cast<FailureDetector*>(ctx)->sweep(static_cast<sim::Time>(a));
+      },
+      this, static_cast<std::uint64_t>(t));
 }
 
 void FailureDetector::model_beacons(int pe, sim::Time t) {
@@ -114,9 +121,15 @@ void FailureDetector::report_exhaustion(int /*src*/, int dst,
   // the suspicion sweeps — which may observe the silence much earlier in
   // sim time — win the race they would win in a real system.
   if (engine_ == nullptr) return;
-  engine_->schedule(give_up, [this, dst, give_up] {
-    declare(dst, give_up, /*via_exhaustion=*/true);
-  });
+  engine_->schedule_raw(
+      give_up,
+      [](void* ctx, std::uint64_t a, std::uint64_t b) {
+        static_cast<FailureDetector*>(ctx)->declare(
+            static_cast<int>(a), static_cast<sim::Time>(b),
+            /*via_exhaustion=*/true);
+      },
+      this, static_cast<std::uint64_t>(dst),
+      static_cast<std::uint64_t>(give_up));
 }
 
 void FailureDetector::declare(int pe, sim::Time t, bool via_exhaustion) {

@@ -1,5 +1,5 @@
 // Named machine and library profiles reproducing the paper's testbeds
-// (Table III) and communication stacks. See DESIGN.md §6 for calibration
+// (Table III) and communication stacks. See DESIGN.md §8 for calibration
 // methodology: parameters are chosen so the *ratios* reported in the paper's
 // figures hold; absolute values are representative only.
 #pragma once

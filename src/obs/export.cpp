@@ -6,6 +6,7 @@
 
 #include "obs/analyzer.hpp"
 #include "obs/obs.hpp"
+#include "sim/engine.hpp"
 
 namespace obs {
 
@@ -116,7 +117,17 @@ std::string chrome_trace_json() {
   return out;
 }
 
+void sync_engine_counters() {
+  const sim::EngineStats st = sim::last_engine_stats();
+  Registry& reg = registry();
+  reg.counter(0, "engine.events") = st.events;
+  reg.counter(0, "engine.switches") = st.switches;
+  reg.counter(0, "engine.event_pool_hits") = st.event_pool_hits;
+  reg.counter(0, "engine.stack_bytes_peak") = st.stack_bytes_peak;
+}
+
 std::string stats_json() {
+  sync_engine_counters();
   auto& s = detail::session();
   std::string out = "{\n\"counters\":{";
   // Counters grouped by name: "name": {"pe": value, ...}.

@@ -14,8 +14,16 @@ namespace obs {
 std::string chrome_trace_json();
 
 /// Machine-readable stats: registry counters, histogram summaries, and the
-/// analyzer's per-phase attribution rows.
+/// analyzer's per-phase attribution rows. Engine-core counters are synced
+/// into the registry first (see sync_engine_counters).
 std::string stats_json();
+
+/// Copies the DES engine core's health counters — events processed, fiber
+/// context switches, event-pool hits, peak pooled stack bytes — into the
+/// registry as "engine.*" counters at pe 0 (the engine is a host-side
+/// singleton, not a per-PE resource). Values come from the running engine,
+/// or from the last engine that finished run() on this thread.
+void sync_engine_counters();
 
 /// Writes chrome_trace_json() to `path`, or to config().trace_path when
 /// `path` is null. Returns false (writing nothing) when no path is

@@ -2,20 +2,47 @@
 
 #include <algorithm>
 #include <cassert>
+#include <new>
 #include <sstream>
 
 namespace sim {
 
 namespace {
 thread_local Engine* g_current_engine = nullptr;
+thread_local EngineStats g_last_stats{};
 }  // namespace
 
 Engine::Engine(std::size_t default_stack_bytes)
     : default_stack_bytes_(default_stack_bytes) {}
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  // Pending closure events own a live std::function; destroy those before
+  // the pool reclaims the slabs. Typed events hold nothing.
+  queue_.drain_dispose([](EventNode* n) {
+    if (n->kind == EventNode::Kind::kClosure) n->u.fn.~function();
+  });
+}
 
 Engine* Engine::current() { return g_current_engine; }
+
+EngineStats Engine::stats() const {
+  EngineStats s;
+  s.events = events_processed_;
+  s.switches = switches_;
+  s.event_pool_hits = pool_.hits();
+  s.event_pool_misses = pool_.misses();
+  s.event_slab_allocs = pool_.slab_allocs();
+  s.stack_bytes_peak = stack_pool_.peak_in_use_bytes();
+  s.stack_bytes_mapped = stack_pool_.mapped_bytes();
+  s.stack_acquires = stack_pool_.acquires();
+  s.stack_reuses = stack_pool_.reuses();
+  return s;
+}
+
+EngineStats last_engine_stats() {
+  if (g_current_engine != nullptr) return g_current_engine->stats();
+  return g_last_stats;
+}
 
 Fiber& Engine::spawn(int pe, std::function<void()> body) {
   return spawn(pe, std::move(body), default_stack_bytes_);
@@ -27,7 +54,8 @@ Fiber& Engine::spawn(int pe, std::function<void()> body,
       std::make_unique<Fiber>(*this, pe, std::move(body), stack_bytes));
   Fiber* f = fibers_.back().get();
   f->set_clock(sim_now_);
-  schedule(sim_now_, [this, f] { run_fiber(*f, f->clock()); });
+  ++unfinished_;
+  schedule_resume(*f);
   return *f;
 }
 
@@ -38,7 +66,31 @@ void Engine::spawn_pes(int n, const std::function<void(int)>& body) {
 }
 
 void Engine::schedule(Time t, std::function<void()> fn) {
-  queue_.push(Event{std::max(t, sim_now_), next_seq_++, std::move(fn)});
+  EventNode* n = pool_.acquire();
+  n->t = std::max(t, sim_now_);
+  n->seq = next_seq_++;
+  n->kind = EventNode::Kind::kClosure;
+  new (&n->u.fn) std::function<void()>(std::move(fn));
+  queue_.push(n);
+}
+
+void Engine::push_raw(Time t, std::uint64_t seq, RawFn fn, void* ctx,
+                      std::uint64_t a, std::uint64_t b) {
+  EventNode* n = pool_.acquire();
+  n->t = std::max(t, sim_now_);
+  n->seq = seq;
+  n->kind = EventNode::Kind::kRawCall;
+  n->u.raw = EventNode::Payload::Raw{fn, ctx, a, b};
+  queue_.push(n);
+}
+
+void Engine::schedule_resume(Fiber& f) {
+  EventNode* n = pool_.acquire();
+  n->t = std::max(f.clock(), sim_now_);
+  n->seq = next_seq_++;
+  n->kind = EventNode::Kind::kFiberResume;
+  n->u.fiber = &f;
+  queue_.push(n);
 }
 
 Time Engine::now() const {
@@ -59,7 +111,7 @@ void Engine::advance_to(Time t) {
   // deliveries with timestamps in (now, t] land in memory first.
   f->set_clock(t);
   f->state_ = Fiber::State::kRunnable;
-  schedule(t, [this, f] { run_fiber(*f, f->clock()); });
+  schedule_resume(*f);
   f->switch_out();
   if (f->kill_pending_) throw FiberKilled{};
 }
@@ -89,7 +141,7 @@ void Engine::resume(Fiber& f, Time t) {
          "resume() target must be blocked");
   f.set_clock(std::max(f.clock(), t));
   f.state_ = Fiber::State::kRunnable;
-  schedule(f.clock(), [this, pf = &f] { run_fiber(*pf, pf->clock()); });
+  schedule_resume(f);
 }
 
 void Engine::kill_pe(int pe) {
@@ -100,8 +152,9 @@ void Engine::kill_pe(int pe) {
     if (f->pe() != pe) continue;
     switch (f->state()) {
       case Fiber::State::kCreated:
-        // Never entered; nothing on its stack to unwind.
+        // Never entered; no stack was ever acquired, nothing to unwind.
         f->state_ = Fiber::State::kFinished;
+        retire_fiber(*f);
         break;
       case Fiber::State::kBlocked:
         f->kill_pending_ = true;
@@ -150,11 +203,28 @@ void Engine::run_fiber(Fiber& f, Time t) {
          f.state() == Fiber::State::kRunnable);
   f.set_clock(std::max(f.clock(), t));
   current_ = &f;
-  f.switch_in(&scheduler_ctx_);
+  ++switches_;
+  f.switch_in();
   current_ = nullptr;
+  if (f.state() == Fiber::State::kFinished) retire_fiber(f);
+  if (f.pending_exception_) {
+    auto ex = f.pending_exception_;
+    f.pending_exception_ = nullptr;
+    std::rethrow_exception(ex);
+  }
 }
 
-int Engine::fibers_unfinished() const {
+void Engine::retire_fiber(Fiber& f) {
+  assert(f.state() == Fiber::State::kFinished);
+  --unfinished_;
+  if (f.stack_.base != nullptr) {
+    stack_pool_.release(f.stack_);
+    f.stack_ = StackPool::Stack{};
+  }
+  f.body_ = nullptr;  // drop captured workload state with the stack
+}
+
+int Engine::fibers_unfinished_scan() const {
   int n = 0;
   for (const auto& f : fibers_) {
     if (f->state() != Fiber::State::kFinished) ++n;
@@ -168,20 +238,41 @@ void Engine::run() {
   Engine* prev = g_current_engine;
   g_current_engine = this;
   try {
-    while (!queue_.empty()) {
-      Event ev = queue_.top();
-      queue_.pop();
-      sim_now_ = ev.t;
+    EventNode* n;
+    while ((n = queue_.pop()) != nullptr) {
+      sim_now_ = n->t;
       ++events_processed_;
-      ev.fn();
+      switch (n->kind) {
+        case EventNode::Kind::kFiberResume: {
+          Fiber* f = n->u.fiber;
+          pool_.release(n);
+          run_fiber(*f, f->clock());
+          break;
+        }
+        case EventNode::Kind::kRawCall: {
+          const auto raw = n->u.raw;
+          pool_.release(n);
+          raw.fn(raw.ctx, raw.a, raw.b);
+          break;
+        }
+        case EventNode::Kind::kClosure: {
+          auto fn = std::move(n->u.fn);
+          n->u.fn.~function();
+          pool_.release(n);
+          fn();
+          break;
+        }
+      }
     }
   } catch (...) {
     g_current_engine = prev;
     running_ = false;
+    g_last_stats = stats();
     throw;
   }
   g_current_engine = prev;
   running_ = false;
+  g_last_stats = stats();
   if (fibers_unfinished() > 0) report_deadlock();
 }
 

@@ -7,6 +7,13 @@
 // are broken by insertion sequence, so a given program + seed always executes
 // identically.
 //
+// The hot path is allocation-free: events are typed nodes recycled through a
+// slab pool and ordered by a calendar queue (see sim/event_queue.hpp), and
+// fiber stacks come from a lazy mmap pool (see sim/stack_pool.hpp). Layers
+// with per-message delivery streams schedule through schedule_raw /
+// reserve_seq; the closure-taking schedule() remains as the generic slow
+// path.
+//
 // Threading model: everything runs on the calling OS thread. Exactly one
 // engine can be running on a thread at a time; Engine::current() returns it
 // for code (like the OpenSHMEM C-style shim) that cannot carry a handle.
@@ -15,12 +22,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/fiber.hpp"
+#include "sim/stack_pool.hpp"
 #include "sim/time.hpp"
 
 namespace sim {
@@ -46,6 +54,20 @@ class FailedImageError : public DeadlockError {
 struct PeFailure {
   int pe;
   Time at;  ///< virtual time at which the PE was killed
+};
+
+/// Host-side health counters for one engine, exported through the obs
+/// registry as engine.* counters (see obs::sync_engine_counters).
+struct EngineStats {
+  std::uint64_t events = 0;            ///< events dispatched by run()
+  std::uint64_t switches = 0;          ///< fiber context switches
+  std::uint64_t event_pool_hits = 0;   ///< events served from the free list
+  std::uint64_t event_pool_misses = 0; ///< events served from a fresh slab
+  std::uint64_t event_slab_allocs = 0; ///< heap allocations for event slabs
+  std::uint64_t stack_bytes_peak = 0;  ///< peak concurrently-live stack bytes
+  std::uint64_t stack_bytes_mapped = 0;
+  std::uint64_t stack_acquires = 0;
+  std::uint64_t stack_reuses = 0;
 };
 
 class Engine {
@@ -74,8 +96,30 @@ class Engine {
   // ---- event scheduling (any context) ----
 
   /// Schedules `fn` to run on the scheduler context at absolute time `t`
-  /// (clamped to the current virtual time if in the past).
+  /// (clamped to the current virtual time if in the past). Generic slow
+  /// path: the closure lives in a pooled event node but std::function may
+  /// allocate for large captures. Hot layers use schedule_raw.
   void schedule(Time t, std::function<void()> fn);
+
+  /// Allocation-free scheduling: `fn(ctx, a, b)` runs on the scheduler
+  /// context at time `t` (clamped as schedule()).
+  void schedule_raw(Time t, RawFn fn, void* ctx, std::uint64_t a = 0,
+                    std::uint64_t b = 0) {
+    push_raw(t, next_seq_++, fn, ctx, a, b);
+  }
+
+  /// Claims the next event sequence number without scheduling anything.
+  /// Delivery streams that batch several logical messages behind one live
+  /// event node reserve a seq per message at the original schedule site and
+  /// replay it via schedule_raw_reserved, keeping the global (time, seq)
+  /// pop order byte-identical to one-event-per-message scheduling.
+  std::uint64_t reserve_seq() { return next_seq_++; }
+
+  /// Schedules with a sequence number previously taken from reserve_seq().
+  void schedule_raw_reserved(Time t, std::uint64_t seq, RawFn fn, void* ctx,
+                             std::uint64_t a = 0, std::uint64_t b = 0) {
+    push_raw(t, seq, fn, ctx, a, b);
+  }
 
   /// Absolute virtual time of the event currently being processed.
   Time sim_now() const { return sim_now_; }
@@ -196,25 +240,32 @@ class Engine {
   // ---- introspection ----
 
   std::size_t events_processed() const { return events_processed_; }
-  int fibers_unfinished() const;
+
+  /// Live count of not-yet-finished fibers. O(1): maintained at spawn and
+  /// retirement (run() consults it for every drain, and deadlock checks
+  /// used to pay an O(n) scan here).
+  int fibers_unfinished() const { return unfinished_; }
+
+  /// The O(n) recount of fibers_unfinished(), kept as a cross-check for
+  /// tests and assertions.
+  int fibers_unfinished_scan() const;
+
+  /// Host-side health counters (event pool, switches, stack pool).
+  EngineStats stats() const;
 
   /// Engine bound to this thread while run() is active (else nullptr).
   static Engine* current();
 
  private:
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
+  friend class Fiber;
 
+  void schedule_resume(Fiber& f);
+  void push_raw(Time t, std::uint64_t seq, RawFn fn, void* ctx,
+                std::uint64_t a, std::uint64_t b);
   void run_fiber(Fiber& f, Time t);
+  /// Accounting when a fiber reaches kFinished: releases its pooled stack,
+  /// drops the captured body, and decrements the live counter.
+  void retire_fiber(Fiber& f);
   [[noreturn]] void report_deadlock() const;
 
   std::vector<std::unique_ptr<Fiber>> fibers_;
@@ -225,17 +276,30 @@ class Engine {
   std::function<std::string()> diagnostic_hook_;
   std::function<bool(int)> suspicion_query_;
   std::vector<std::function<void(const PeFailure&)>> failure_hooks_;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  EventPool pool_;
+  CalendarQueue queue_;
+  StackPool stack_pool_;
   std::uint64_t next_seq_ = 0;
   Time sim_now_ = 0;
   std::size_t events_processed_ = 0;
+  std::uint64_t switches_ = 0;
+  int unfinished_ = 0;
   bool kills_armed_ = false;
   std::size_t default_stack_bytes_;
 
   Fiber* current_ = nullptr;
+#if SIM_FIBER_UCONTEXT
   ucontext_t scheduler_ctx_{};
+#else
+  jmp_buf sched_jb_{};
+#endif
   bool running_ = false;
 };
+
+/// Stats of the engine currently running on this thread, or (between runs)
+/// a snapshot taken when the last run() on this thread returned. Lets the
+/// obs export layer report engine health without holding an Engine handle.
+EngineStats last_engine_stats();
 
 /// Convenience wrappers used throughout the communication layers; they all
 /// operate on Engine::current() and the currently running fiber.

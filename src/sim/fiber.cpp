@@ -9,12 +9,8 @@ namespace sim {
 
 Fiber::Fiber(Engine& engine, int pe, std::function<void()> body,
              std::size_t stack_bytes)
-    : engine_(engine),
-      pe_(pe),
-      body_(std::move(body)),
-      stack_bytes_((stack_bytes + 15) & ~std::size_t{15}) {
-  stack_ = std::make_unique<char[]>(stack_bytes_);
-}
+    : engine_(engine), pe_(pe), body_(std::move(body)),
+      stack_bytes_(stack_bytes) {}
 
 Fiber::~Fiber() = default;
 
@@ -22,11 +18,14 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
   auto* self = reinterpret_cast<Fiber*>(
       (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
   self->run_body();
-  // Returning from a makecontext function whose uc_link is set resumes the
-  // linked context; we instead switch out explicitly so the engine can
-  // observe the kFinished state first.
+  // Leave the fiber explicitly (not via uc_link) so the engine observes the
+  // kFinished state first and can retire the stack before anything else.
   self->state_ = State::kFinished;
+#if SIM_FIBER_UCONTEXT
   swapcontext(&self->ctx_, self->return_ctx_);
+#else
+  _longjmp(self->engine_.sched_jb_, 1);
+#endif
   // Unreachable: a finished fiber is never resumed.
   assert(false && "finished fiber resumed");
 }
@@ -43,33 +42,55 @@ void Fiber::run_body() {
   }
 }
 
-void Fiber::switch_in(ucontext_t* scheduler_ctx) {
+void Fiber::switch_in() {
   assert(state_ == State::kCreated || state_ == State::kRunnable);
-  return_ctx_ = scheduler_ctx;
-  if (state_ == State::kCreated) {
+  const bool first = state_ == State::kCreated;
+  if (first) stack_ = engine_.stack_pool_.acquire(stack_bytes_);
+  state_ = State::kRunning;
+  const auto ptr = reinterpret_cast<std::uintptr_t>(this);
+#if SIM_FIBER_UCONTEXT
+  return_ctx_ = &engine_.scheduler_ctx_;
+  if (first) {
     getcontext(&ctx_);
-    ctx_.uc_stack.ss_sp = stack_.get();
-    ctx_.uc_stack.ss_size = stack_bytes_;
-    ctx_.uc_link = scheduler_ctx;
-    const auto ptr = reinterpret_cast<std::uintptr_t>(this);
+    ctx_.uc_stack.ss_sp = stack_.base;
+    ctx_.uc_stack.ss_size = stack_.bytes;
+    ctx_.uc_link = return_ctx_;
     makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
                 static_cast<unsigned>(ptr >> 32),
                 static_cast<unsigned>(ptr & 0xffffffffu));
   }
-  state_ = State::kRunning;
-  swapcontext(scheduler_ctx, &ctx_);
-  // Back on the scheduler. Propagate any exception raised in the fiber.
-  if (pending_exception_) {
-    auto ex = pending_exception_;
-    pending_exception_ = nullptr;
-    state_ = State::kFinished;
-    std::rethrow_exception(ex);
+  swapcontext(&engine_.scheduler_ctx_, &ctx_);
+#else
+  if (_setjmp(engine_.sched_jb_) == 0) {
+    if (first) {
+      // One-time ucontext bootstrap onto the fiber's stack. `boot` lives in
+      // this frame only until setcontext fires; the fiber never returns
+      // through it (finish and yield both _longjmp to sched_jb_).
+      ucontext_t boot;
+      getcontext(&boot);
+      boot.uc_stack.ss_sp = stack_.base;
+      boot.uc_stack.ss_size = stack_.bytes;
+      boot.uc_link = nullptr;
+      makecontext(&boot, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                  static_cast<unsigned>(ptr >> 32),
+                  static_cast<unsigned>(ptr & 0xffffffffu));
+      setcontext(&boot);
+      assert(false && "setcontext returned");
+    } else {
+      _longjmp(jb_, 1);
+    }
   }
+#endif
+  // Back on the scheduler. The engine inspects state_ / pending_exception_.
 }
 
 void Fiber::switch_out() {
-  assert(state_ != State::kRunning || return_ctx_ != nullptr);
+#if SIM_FIBER_UCONTEXT
+  assert(return_ctx_ != nullptr);
   swapcontext(&ctx_, return_ctx_);
+#else
+  if (_setjmp(jb_) == 0) _longjmp(engine_.sched_jb_, 1);
+#endif
 }
 
 }  // namespace sim

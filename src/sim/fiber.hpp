@@ -5,15 +5,42 @@
 // back to the loop whenever they advance their clock or block on a
 // communication event. All fibers run on the host's single OS thread, so no
 // locking is required anywhere in the simulation.
+//
+// Two implementation choices keep 16k-fiber runs fast:
+//
+//   * Stacks are pooled and lazy: a fiber owns no stack until its first
+//     switch-in (Engine hands one out of its StackPool) and gives it back
+//     the moment it finishes or is killed. Spawning 16k PEs costs no stack
+//     memory for PEs that idle in a barrier.
+//   * Steady-state switches use `_setjmp`/`_longjmp`, which stay entirely
+//     in user space; `swapcontext` makes a sigprocmask syscall per switch
+//     (two syscalls per simulated event in fiber-heavy phases). ucontext is
+//     still used once per fiber to bootstrap onto its stack. Sanitizer
+//     builds force the pure-ucontext path (SIM_FIBER_UCONTEXT) because ASan
+//     tracks fiber stacks through the swapcontext interceptor.
 #pragma once
 
+#include <setjmp.h>
 #include <ucontext.h>
 
 #include <cstddef>
+#include <exception>
 #include <functional>
-#include <memory>
 
+#include "sim/stack_pool.hpp"
 #include "sim/time.hpp"
+
+#ifndef __has_feature
+#define __has_feature(x) 0
+#endif
+#ifndef SIM_FIBER_UCONTEXT
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__) || \
+    __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define SIM_FIBER_UCONTEXT 1
+#else
+#define SIM_FIBER_UCONTEXT 0
+#endif
+#endif
 
 namespace sim {
 
@@ -35,8 +62,9 @@ class Fiber {
     kFinished,  // body returned
   };
 
-  /// Creates a fiber that will execute `body` when first resumed.
-  /// `stack_bytes` is rounded up to a multiple of 16.
+  /// Creates a fiber that will execute `body` when first resumed. The stack
+  /// is not allocated here: it is acquired from the engine's pool at first
+  /// switch-in and recycled when the fiber finishes.
   Fiber(Engine& engine, int pe, std::function<void()> body,
         std::size_t stack_bytes);
   ~Fiber();
@@ -64,12 +92,18 @@ class Fiber {
   /// takes effect (FiberKilled is thrown) at its next scheduler interaction.
   bool kill_pending() const { return kill_pending_; }
 
+  /// True while the fiber holds a pooled stack (first switch-in has
+  /// happened and the fiber has not finished).
+  bool has_stack() const { return stack_.base != nullptr; }
+
  private:
   friend class Engine;
 
-  // Transfers control from the scheduler into this fiber. Must only be
-  // called by Engine on the scheduler context.
-  void switch_in(ucontext_t* scheduler_ctx);
+  // Transfers control from the scheduler into this fiber; acquires the
+  // stack on first entry. Must only be called by Engine on the scheduler
+  // context. Any exception the body raised is stashed in
+  // pending_exception_ for the engine to rethrow after accounting.
+  void switch_in();
   // Transfers control from this fiber back to the scheduler.
   void switch_out();
 
@@ -85,10 +119,16 @@ class Fiber {
   const char* block_op_ = nullptr;
   int block_peer_ = -1;
 
-  std::unique_ptr<char[]> stack_;
-  std::size_t stack_bytes_;
+  std::size_t stack_bytes_;   // requested; page-rounded by the pool
+  StackPool::Stack stack_{};  // empty until first switch-in
+
+#if SIM_FIBER_UCONTEXT
   ucontext_t ctx_{};
   ucontext_t* return_ctx_ = nullptr;  // where to go on yield/finish
+#else
+  jmp_buf jb_{};  // resume point inside the fiber; engine holds the
+                  // scheduler-side jmp_buf
+#endif
 
   // If an exception escapes the fiber body it is stashed here and rethrown
   // by the engine on the scheduler context.

@@ -151,6 +151,27 @@ TEST(Engine, SpawnManyFibers) {
   EXPECT_EQ(eng.fibers_unfinished(), 0);
 }
 
+TEST(Engine, UnfinishedCounterMatchesScan) {
+  // The live counter must track the O(n) recount through spawns, staggered
+  // finishes, and a mid-run kill.
+  Engine eng;
+  std::vector<std::pair<int, int>> probes;
+  eng.spawn_pes(8, [&](int pe) { this_pe::advance(Time{10} * (pe + 1)); });
+  for (Time t = 0; t <= 100; t += 25) {
+    eng.schedule(t, [&] {
+      probes.emplace_back(eng.fibers_unfinished(), eng.fibers_unfinished_scan());
+    });
+  }
+  // pe 7 is mid-advance (finishes at t=80) when the kill lands at t=35: it
+  // stays counted until its pending resume unwinds it via FiberKilled.
+  eng.schedule(35_ns, [&] { eng.kill_pe(7); });
+  EXPECT_EQ(eng.fibers_unfinished(), eng.fibers_unfinished_scan());
+  eng.run();  // every fiber retires (7 normally, one unwound), so no error
+  ASSERT_EQ(probes.size(), 5u);
+  for (const auto& [live, scan] : probes) EXPECT_EQ(live, scan);
+  EXPECT_EQ(eng.fibers_unfinished(), eng.fibers_unfinished_scan());
+}
+
 TEST(Engine, NestedSchedulingFromFibers) {
   Engine eng;
   int hits = 0;
