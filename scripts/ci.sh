@@ -22,10 +22,10 @@ echo "=== Sanitize build (ASan/UBSan) + fault/sim-label tests ==="
 # back to the instrumented swapcontext path, so this leg checks both context
 # implementations stay in lockstep.
 cmake -B build-sanitize -S . "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=Sanitize
-cmake --build build-sanitize -j "$JOBS" --target test_faults test_sim test_sim_scale
+cmake --build build-sanitize -j "$JOBS" --target test_faults test_sim test_sim_scale test_intranode
 ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1} \
 UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1} \
-  ctest --test-dir build-sanitize -L "faults|sim" --output-on-failure -j "$JOBS"
+  ctest --test-dir build-sanitize -L "faults|sim|intranode" --output-on-failure -j "$JOBS"
 
 echo "=== Bench smoke: RMA pipeline ==="
 # Exercise the put-bandwidth harness (including the CAF aggregation panels)
@@ -59,6 +59,26 @@ bc = data["bcast_1m_speedup_64"]
 assert ar >= 2.0, f"small-allreduce speedup regressed: {ar:.2f}x < 2x"
 assert bc >= 1.5, f"1MiB-broadcast speedup regressed: {bc:.2f}x < 1.5x"
 print(f"bench smoke ok: allreduce-8B @64 = {ar:.2f}x, bcast-1MiB @64 = {bc:.2f}x")
+EOF
+
+echo "=== Intranode-transport smoke: node-local vs fabric ablation ==="
+# Node-local shared-segment transport: same-node RMA, collectives, and lock
+# traffic over the per-node shared symmetric heap + SPSC rings instead of
+# NIC loopback. The acceptance gate: a one-node 8-byte allreduce must stay
+# >= 2x faster than the fabric path on both machine profiles.
+./build-release/bench/ablate_intranode --json "$ART/BENCH_intranode.json"
+python3 - <<EOF
+import json
+with open("$ART/BENCH_intranode.json") as f:
+    data = json.load(f)
+ar = data["allreduce8_speedup_min"]
+lk = data["lock_handoff_speedup_min"]
+hg = data["hot_get_p99_speedup_min"]
+assert ar >= 2.0, f"node-local 8B-allreduce speedup regressed: {ar:.2f}x < 2x"
+assert lk >= 1.5, f"lock-handoff speedup regressed: {lk:.2f}x < 1.5x"
+assert hg >= 1.5, f"hot-shard get p99 speedup regressed: {hg:.2f}x < 1.5x"
+print(f"intranode smoke ok: allreduce-8B {ar:.2f}x, lock handoff {lk:.2f}x, "
+      f"hot-get p99 {hg:.2f}x")
 EOF
 
 echo "=== Chaos-soak smoke: grey-failure invariants ==="
@@ -113,6 +133,7 @@ echo "=== Engine-core smoke: event/fiber throughput + 16k-image gates ==="
 echo "=== Bench diff vs checked-in baselines (>10% = fail) ==="
 python3 scripts/bench_diff.py bench/baselines/BENCH_rma.json "$ART/BENCH_rma.json"
 python3 scripts/bench_diff.py bench/baselines/BENCH_coll.json "$ART/BENCH_coll.json"
+python3 scripts/bench_diff.py bench/baselines/BENCH_intranode.json "$ART/BENCH_intranode.json"
 python3 scripts/bench_diff.py bench/baselines/BENCH_chaos.json "$ART/BENCH_chaos.json"
 python3 scripts/bench_diff.py bench/baselines/BENCH_dht_serve.json "$ART/BENCH_dht_serve.json"
 python3 scripts/bench_diff.py --tolerance 0.5 \

@@ -171,6 +171,18 @@ double CollectiveEngine::inter_hop(std::size_t nbytes) const {
 
 double CollectiveEngine::intra_hop(std::size_t nbytes) const {
   const net::SwProfile& sw = conduit_.sw();
+  fabric::Domain* d = conduit_.rma_domain();
+  if (d != nullptr && d->node_transport() != nullptr) {
+    // Node-local shared-segment transport: an intra-node stage is a ring
+    // handoff plus a NUMA-local copy, not a library put through the NIC
+    // loopback. Priced optimistically at the local-domain rates — the
+    // selector only needs the order of magnitude to prefer node-leader
+    // trees, and the actual stage cost comes from the NodeChannel anyway.
+    return static_cast<double>(net::NodeChannel::kSlotWrite +
+                               net::NodeChannel::kRingPop +
+                               sw.numa_local_latency) +
+           static_cast<double>(nbytes) / sw.numa_local_bytes_per_ns;
+  }
   return static_cast<double>(sw.put_overhead + sw.local_latency) +
          static_cast<double>(nbytes) /
              (sw.link_bytes_per_ns * sw.bw_efficiency);

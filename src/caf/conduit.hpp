@@ -68,6 +68,22 @@ class Conduit {
   /// is conservative.
   virtual bool direct_reachable(int /*target*/) { return false; }
 
+  /// The fabric::Domain this conduit's RMA rides on, or nullptr for
+  /// conduits without one. Lets the runtime enable Domain-level features
+  /// (the node-local shared-segment transport) and lets pricing layers
+  /// (the collectives selector, caf::NodeHeap) query its state without
+  /// knowing the concrete conduit type.
+  virtual fabric::Domain* rma_domain() { return nullptr; }
+
+  /// True when the node-local shared-segment transport is active and
+  /// `target` shares the calling rank's node: same-node RMA to it completes
+  /// via memcpy/SPSC rings with zero fabric messages.
+  bool node_transport_reachable(int target) {
+    fabric::Domain* d = rma_domain();
+    return d != nullptr && d->node_transport() != nullptr &&
+           d->fabric().same_node(rank(), target);
+  }
+
   /// Collective hook invoked once per image by Runtime::init() after the
   /// runtime's internal allocations; conduits needing collective setup
   /// (e.g. ARMCI mutex creation) override it.

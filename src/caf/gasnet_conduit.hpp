@@ -65,6 +65,12 @@ class GasnetConduit final : public Conduit {
   void wait_until(std::uint64_t off, Cmp cmp, std::int64_t value) override;
   void do_barrier() override { world_.barrier(); }
 
+  bool direct_reachable(int target) override {
+    return node_transport_reachable(target);
+  }
+
+  fabric::Domain* rma_domain() override { return &world_.domain(); }
+
   gasnet::World& world() { return world_; }
 
  protected:

@@ -45,6 +45,12 @@ class Mpi3Conduit final : public Conduit {
     win_.domain().poke(rank, off, src, n, t);
   }
 
+  bool direct_reachable(int target) override {
+    return node_transport_reachable(target);
+  }
+
+  fabric::Domain* rma_domain() override { return &win_.domain(); }
+
   std::int64_t do_amo_swap(int rank, std::uint64_t off, std::int64_t v) override {
     return win_.fetch_and_op_replace(v, rank, off);
   }

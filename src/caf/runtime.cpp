@@ -13,6 +13,14 @@ namespace caf {
 Runtime::Runtime(Conduit& conduit, Options opts)
     : conduit_(conduit), opts_(opts) {
   per_image_.resize(conduit_.nranks());
+  if (opts_.node.enabled) {
+    // Enable the node-local shared-segment transport on the conduit's RMA
+    // domain (idempotent; conduits without a Domain simply keep the fabric
+    // path). Done here — not per-fiber — so it is set before any image runs.
+    if (fabric::Domain* d = conduit_.rma_domain()) {
+      d->enable_node_transport(opts_.node);
+    }
+  }
 }
 
 void Runtime::require_init() const {

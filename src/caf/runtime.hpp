@@ -29,9 +29,11 @@
 
 #include "caf/collectives.hpp"
 #include "caf/conduit.hpp"
+#include "caf/node_heap.hpp"
 #include "caf/remote_ptr.hpp"
 #include "caf/section.hpp"
 #include "net/fault.hpp"
+#include "net/node_channel.hpp"
 #include "shmem/heap.hpp"
 
 namespace caf {
@@ -100,6 +102,13 @@ struct Options {
   /// environment family (see DetectorTunables::apply_env and
   /// RetryPolicy::apply_env) overrides these when present.
   std::optional<net::DetectorTunables> fd;
+  /// Node-local shared-segment transport (net::NodeChannel): when enabled,
+  /// same-node RMA completes via direct memory operations on a per-node
+  /// shared symmetric heap — SPSC rings for small messages, NUMA-aware
+  /// memcpy for bulk — with zero fabric messages. The Runtime constructor
+  /// enables it on the conduit's fabric::Domain (conduits without a Domain
+  /// ignore it). Off by default: existing runs stay byte-identical.
+  net::NodeTransportOptions node;
   /// Turn on the observability subsystem (per-PE event rings + latency
   /// histograms) for this run; equivalent to setting CAF_TRACE, minus the
   /// trace-file path. Counters are recorded regardless.
@@ -189,6 +198,10 @@ class Runtime {
   int num_images() const { return conduit_.nranks(); }
 
   Conduit& conduit() { return conduit_; }
+  /// CAF-layer view of the per-node shared symmetric heap (direct-pointer
+  /// resolution, NUMA topology queries). Cheap to construct; valid whether
+  /// or not the node transport is enabled — check NodeHeap::enabled().
+  NodeHeap node_heap() { return NodeHeap(conduit_); }
   const Options& options() const { return opts_; }
   void set_strided_algo(StridedAlgo a) { opts_.strided = a; }
   /// The topology-aware collectives engine (valid after init(); null before).

@@ -80,8 +80,11 @@ class ShmemConduit final : public Conduit {
   void do_barrier() override { world_.barrier_all(); }
 
   bool direct_reachable(int target) override {
-    return intra_node_direct_ && world_.ptr(local_addr(0), target) != nullptr;
+    return (intra_node_direct_ && world_.ptr(local_addr(0), target) != nullptr) ||
+           node_transport_reachable(target);
   }
+
+  fabric::Domain* rma_domain() override { return &world_.domain(); }
 
   bool has_native_collectives() const override { return true; }
   void native_broadcast(std::uint64_t off, std::size_t nbytes,

@@ -8,6 +8,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "net/fault.hpp"
+#include "obs/obs.hpp"
+
 namespace fabric {
 
 namespace {
@@ -68,6 +71,75 @@ int Domain::current_pe() const {
 
 void Domain::note_outstanding(int src_pe, sim::Time t) {
   outstanding_[src_pe] = std::max(outstanding_[src_pe], t);
+}
+
+void Domain::enable_node_transport(const net::NodeTransportOptions& opts) {
+  if (!opts.enabled || node_ != nullptr) return;
+  node_ = std::make_unique<net::NodeChannel>(fabric_.profile(), fabric_.npes(),
+                                             opts);
+}
+
+Domain::NodeTele& Domain::node_tele(int pe) {
+  if (node_tele_.empty()) node_tele_.resize(static_cast<std::size_t>(npes()));
+  NodeTele& t = node_tele_[static_cast<std::size_t>(pe)];
+  if (t.puts == nullptr) {
+    auto& reg = obs::registry();
+    t.puts = &reg.counter(pe, "node.puts");
+    t.gets = &reg.counter(pe, "node.gets");
+    t.amos = &reg.counter(pe, "node.amos");
+    t.scatters = &reg.counter(pe, "node.scatters");
+    t.strided = &reg.counter(pe, "node.strided");
+    t.ring_msgs = &reg.counter(pe, "node.ring_msgs");
+    t.ring_stalls = &reg.counter(pe, "node.ring_stalls");
+    t.bulk_msgs = &reg.counter(pe, "node.bulk_msgs");
+    t.numa_remote = &reg.counter(pe, "node.numa_remote");
+    t.elided_msgs = &reg.counter(pe, "node.elided_msgs");
+    t.elided_bytes = &reg.counter(pe, "node.elided_bytes");
+  }
+  return t;
+}
+
+net::PutCompletion Domain::node_oneway(const char* op, int me, int dst_pe,
+                                       std::size_t wire_bytes,
+                                       sim::Time extra_copy, NodeTele& t) {
+  net::NodeChannel& ch = *node_;
+  net::FaultInjector* fi = fabric_.fault_injector();
+  const sim::Time now = engine_.now();
+  sim::Time local_complete;
+  sim::Time delivered;
+  if (extra_copy == 0 && ch.ring_eligible(wire_bytes)) {
+    sim::Time wc = ch.ring_write_cost(wire_bytes);
+    sim::Time pc = net::NodeChannel::kRingPop;
+    if (fi != nullptr) {
+      wc = fi->dilate(me, wc);       // producer stores the slots
+      pc = fi->dilate(dst_pe, pc);   // consumer pops them
+    }
+    const net::RingPush p = ch.push(me, dst_pe, wire_bytes, now, wc, pc);
+    local_complete = p.producer_done;
+    delivered = p.delivered;
+    ++*t.ring_msgs;
+    if (p.stalled) ++*t.ring_stalls;
+  } else {
+    sim::Time copy = ch.copy_cost(me, dst_pe, wire_bytes) + extra_copy;
+    if (fi != nullptr) copy = fi->dilate(me, copy);
+    local_complete = now + copy;
+    delivered = local_complete + ch.visibility(me, dst_pe);
+    ++*t.bulk_msgs;
+  }
+  if (!ch.numa_local(me, dst_pe)) ++*t.numa_remote;
+  if (fi != nullptr) {
+    if (fi->pe_dead(dst_pe, delivered)) {
+      // The peer's shared segment is detached before the bytes land; a
+      // shared-memory store cannot be retransmitted.
+      fi->note_exhaustion(me, dst_pe, delivered);
+      engine_.advance_to(local_complete);
+      throw PeerFailedError(op, me, dst_pe, 1, delivered);
+    }
+    fi->note_delivery(me, dst_pe, delivered);
+  }
+  ++*t.elided_msgs;
+  *t.elided_bytes += wire_bytes;
+  return {local_complete, delivered, true, 1};
 }
 
 Domain::PendingMsg* Domain::MsgPool::acquire() {
@@ -234,6 +306,28 @@ net::PutCompletion Domain::put(int dst_pe, std::uint64_t dst_off,
   if (dst_off + n > segment_bytes_) {
     throw std::out_of_range("fabric::Domain::put beyond segment");
   }
+  if (node_routed(me, dst_pe)) {
+    // Node-local path: ring or NUMA memcpy, no fabric message. The producer
+    // pays the copy either way, so nbi and blocking puts price identically.
+    NodeTele& nt = node_tele(me);
+    const net::PutCompletion c = node_oneway("put", me, dst_pe, n, 0, nt);
+    ++*nt.puts;
+    const std::uint32_t pair = pair_id(me, dst_pe);
+    const sim::Time d = clamp_in_order(pair, c.delivered);
+    note_outstanding(me, d);
+    PendingMsg* m = msg_pool_.acquire();
+    m->t = d;
+    m->dst_pe = dst_pe;
+    m->op = PendingMsg::Op::kContig;
+    m->dst_off = dst_off;
+    m->payload_bytes = static_cast<std::uint32_t>(n);
+    m->buf = buf_pool_.acquire(n, &m->buf_cls);
+    std::memcpy(m->buf, src, n);
+    m->seq = engine_.reserve_seq();
+    stream_append(pair, m);
+    engine_.advance_to(c.local_complete);
+    return {c.local_complete, d, true, 1};
+  }
   auto c = fabric_.submit_put(me, dst_pe, n, sw_, engine_.now(), pipelined);
   if (!c.ok) {
     // Don't record the give-up time as outstanding: the bytes never landed,
@@ -272,6 +366,34 @@ net::PutCompletion Domain::put_scatter(int dst_pe, const ScatterRec* recs,
       throw std::out_of_range("fabric::Domain::put_scatter beyond segment");
     }
   }
+  if (node_routed(me, dst_pe)) {
+    // Node-local vectored put: one copy of the packed payload plus
+    // per-record pointer math; the (offset, length) headers never exist —
+    // there is no wire message to carry them.
+    NodeTele& nt = node_tele(me);
+    const net::PutCompletion c = node_oneway(
+        "put_scatter", me, dst_pe, payload_bytes,
+        static_cast<sim::Time>(nrecs) * net::NodeChannel::kElemGap, nt);
+    ++*nt.scatters;
+    const std::uint32_t pair = pair_id(me, dst_pe);
+    const sim::Time d = clamp_in_order(pair, c.delivered);
+    note_outstanding(me, d);
+    const std::size_t hdr = nrecs * sizeof(ScatterRec);
+    PendingMsg* m = msg_pool_.acquire();
+    m->t = d;
+    m->dst_pe = dst_pe;
+    m->op = PendingMsg::Op::kScatter;
+    m->nelems = static_cast<std::uint32_t>(nrecs);
+    m->payload_bytes = static_cast<std::uint32_t>(payload_bytes);
+    m->payload_off = static_cast<std::uint32_t>(hdr);
+    m->buf = buf_pool_.acquire(hdr + payload_bytes, &m->buf_cls);
+    std::memcpy(m->buf, recs, hdr);
+    std::memcpy(m->buf + hdr, payload, payload_bytes);
+    m->seq = engine_.reserve_seq();
+    stream_append(pair, m);
+    engine_.advance_to(c.local_complete);
+    return {c.local_complete, d, true, 1};
+  }
   // One wire message: packed payload plus an (offset, length) header per
   // record. The whole vector shares a single injection cost — that is the
   // entire point of write combining.
@@ -307,6 +429,38 @@ void Domain::get(void* dst, int src_pe, std::uint64_t src_off, std::size_t n) {
   if (src_off + n > segment_bytes_) {
     throw std::out_of_range("fabric::Domain::get beyond segment");
   }
+  if (node_routed(me, src_pe)) {
+    // Node-local read: the caller's own core streams the bytes out of the
+    // peer's shared segment — no request message, no NIC.
+    net::NodeChannel& ch = *node_;
+    net::FaultInjector* fi = fabric_.fault_injector();
+    NodeTele& nt = node_tele(me);
+    sim::Time issue = net::NodeChannel::kBulkIssue;
+    if (fi != nullptr) issue = fi->dilate(me, issue);
+    const net::NodeRoundTrip rt = ch.get(me, src_pe, n, engine_.now(), issue);
+    if (fi != nullptr && fi->pe_dead(src_pe, rt.exec)) {
+      // Loading from a detached segment faults; no retry can help.
+      fi->note_exhaustion(me, src_pe, rt.exec);
+      engine_.advance_to(rt.exec);
+      throw PeerFailedError("get", me, src_pe, 1, rt.exec);
+    }
+    ++*nt.gets;
+    ++*nt.elided_msgs;
+    *nt.elided_bytes += n;
+    if (!ch.numa_local(me, src_pe)) ++*nt.numa_remote;
+    sim::Fiber* f = engine_.current_fiber();
+    f->set_block_op("get", src_pe);
+    engine_.schedule(rt.exec, [this, f, dst, src_pe, src_off, n, rt] {
+      auto snapshot = std::make_shared<std::vector<std::byte>>(n);
+      std::memcpy(snapshot->data(), segments_[src_pe].data() + src_off, n);
+      engine_.schedule(rt.complete, [this, f, dst, snapshot, rt] {
+        std::memcpy(dst, snapshot->data(), snapshot->size());
+        engine_.resume(*f, rt.complete);
+      });
+    });
+    engine_.block();
+    return;
+  }
   const auto rt = fabric_.submit_get(me, src_pe, n, sw_, engine_.now());
   if (!rt.ok) {
     engine_.advance_to(rt.complete);
@@ -339,6 +493,39 @@ void Domain::iput_hw(int dst_pe, std::uint64_t dst_off,
       elem_bytes;
   if (span > segment_bytes_) {
     throw std::out_of_range("fabric::Domain::iput_hw beyond segment");
+  }
+  if (node_routed(me, dst_pe)) {
+    // Node-local strided put: the producer core walks both strides itself;
+    // the NIC's scatter engine is not involved.
+    NodeTele& nt = node_tele(me);
+    const net::PutCompletion c = node_oneway(
+        "iput", me, dst_pe, elem_bytes * nelems,
+        static_cast<sim::Time>(nelems) * net::NodeChannel::kElemGap, nt);
+    ++*nt.strided;
+    const std::uint32_t pair = pair_id(me, dst_pe);
+    const sim::Time d = clamp_in_order(pair, c.delivered);
+    note_outstanding(me, d);
+    PendingMsg* m = msg_pool_.acquire();
+    m->t = d;
+    m->dst_pe = dst_pe;
+    m->op = PendingMsg::Op::kStrided;
+    m->dst_off = dst_off;
+    m->dst_stride = dst_stride;
+    m->elem_bytes = static_cast<std::uint32_t>(elem_bytes);
+    m->nelems = static_cast<std::uint32_t>(nelems);
+    m->payload_bytes = static_cast<std::uint32_t>(elem_bytes * nelems);
+    m->buf = buf_pool_.acquire(elem_bytes * nelems, &m->buf_cls);
+    const auto* sp = static_cast<const std::byte*>(src);
+    for (std::size_t i = 0; i < nelems; ++i) {
+      std::memcpy(m->buf + i * elem_bytes,
+                  sp + static_cast<std::ptrdiff_t>(i) * src_stride *
+                          static_cast<std::ptrdiff_t>(elem_bytes),
+                  elem_bytes);
+    }
+    m->seq = engine_.reserve_seq();
+    stream_append(pair, m);
+    engine_.advance_to(c.local_complete);
+    return;
   }
   auto c = fabric_.submit_strided_put(me, dst_pe, elem_bytes, nelems,
                                       sw_, engine_.now(), pipelined);
@@ -378,6 +565,55 @@ void Domain::iget_hw(void* dst, std::ptrdiff_t dst_stride, int src_pe,
   assert(sw_.hw_strided && "iget_hw requires a hardware-strided profile");
   const int me = current_pe();
   if (nelems == 0) return;
+  if (node_routed(me, src_pe)) {
+    net::NodeChannel& ch = *node_;
+    net::FaultInjector* fi = fabric_.fault_injector();
+    NodeTele& nt = node_tele(me);
+    sim::Time issue = net::NodeChannel::kBulkIssue;
+    sim::Time gaps =
+        static_cast<sim::Time>(nelems) * net::NodeChannel::kElemGap;
+    if (fi != nullptr) {
+      issue = fi->dilate(me, issue);
+      gaps = fi->dilate(me, gaps);
+    }
+    const net::NodeRoundTrip rt =
+        ch.get(me, src_pe, elem_bytes * nelems, engine_.now(), issue, gaps);
+    if (fi != nullptr && fi->pe_dead(src_pe, rt.exec)) {
+      fi->note_exhaustion(me, src_pe, rt.exec);
+      engine_.advance_to(rt.exec);
+      throw PeerFailedError("iget", me, src_pe, 1, rt.exec);
+    }
+    ++*nt.gets;
+    ++*nt.strided;
+    ++*nt.elided_msgs;
+    *nt.elided_bytes += elem_bytes * nelems;
+    if (!ch.numa_local(me, src_pe)) ++*nt.numa_remote;
+    sim::Fiber* f = engine_.current_fiber();
+    f->set_block_op("iget", src_pe);
+    engine_.schedule(rt.exec, [this, f, dst, dst_stride, src_pe, src_off,
+                               src_stride, elem_bytes, nelems, rt] {
+      auto snapshot =
+          std::make_shared<std::vector<std::byte>>(elem_bytes * nelems);
+      for (std::size_t i = 0; i < nelems; ++i) {
+        const std::uint64_t off =
+            src_off + i * static_cast<std::uint64_t>(src_stride) * elem_bytes;
+        std::memcpy(snapshot->data() + i * elem_bytes,
+                    segments_[src_pe].data() + off, elem_bytes);
+      }
+      engine_.schedule(rt.complete, [this, f, dst, dst_stride, elem_bytes,
+                                     nelems, snapshot, rt] {
+        auto* d = static_cast<std::byte*>(dst);
+        for (std::size_t i = 0; i < nelems; ++i) {
+          std::memcpy(d + static_cast<std::ptrdiff_t>(i) * dst_stride *
+                              static_cast<std::ptrdiff_t>(elem_bytes),
+                      snapshot->data() + i * elem_bytes, elem_bytes);
+        }
+        engine_.resume(*f, rt.complete);
+      });
+    });
+    engine_.block();
+    return;
+  }
   const auto rt = fabric_.submit_strided_get(me, src_pe, elem_bytes, nelems,
                                              sw_, engine_.now());
   if (!rt.ok) {
@@ -415,17 +651,51 @@ std::uint64_t Domain::amo(AmoOp op, int dst_pe, std::uint64_t dst_off,
   if (dst_off + sizeof(std::uint64_t) > segment_bytes_) {
     throw std::out_of_range("fabric::Domain::amo beyond segment");
   }
-  const auto rt = fabric_.submit_amo(me, dst_pe, sw_, engine_.now());
-  if (!rt.ok) {
-    engine_.advance_to(rt.complete);
-    throw PeerFailedError("amo", me, dst_pe, rt.attempts, rt.complete);
+  sim::Time exec_at;
+  sim::Time complete_at;
+  if (node_routed(me, dst_pe)) {
+    // Node-local atomic: a CPU lock-prefixed RMW on the owner's cache line,
+    // serialized per target PE inside the channel. The NIC atomic unit (or
+    // AM handler) is never involved.
+    net::NodeChannel& ch = *node_;
+    net::FaultInjector* fi = fabric_.fault_injector();
+    NodeTele& nt = node_tele(me);
+    sim::Time issue = net::NodeChannel::kAmoIssue;
+    sim::Time rmw = net::NodeChannel::kAmoRmw;
+    if (fi != nullptr) {
+      issue = fi->dilate(me, issue);
+      rmw = fi->dilate(me, rmw);
+    }
+    const net::NodeRoundTrip rt = ch.amo(me, dst_pe, engine_.now(), issue, rmw);
+    if (fi != nullptr) {
+      if (fi->pe_dead(dst_pe, rt.exec)) {
+        fi->note_exhaustion(me, dst_pe, rt.exec);
+        engine_.advance_to(rt.exec);
+        throw PeerFailedError("amo", me, dst_pe, 1, rt.exec);
+      }
+      fi->note_delivery(me, dst_pe, rt.exec);
+    }
+    ++*nt.amos;
+    ++*nt.elided_msgs;
+    *nt.elided_bytes += sizeof(std::uint64_t);
+    if (!ch.numa_local(me, dst_pe)) ++*nt.numa_remote;
+    exec_at = rt.exec;
+    complete_at = rt.complete;
+  } else {
+    const auto rt = fabric_.submit_amo(me, dst_pe, sw_, engine_.now());
+    if (!rt.ok) {
+      engine_.advance_to(rt.complete);
+      throw PeerFailedError("amo", me, dst_pe, rt.attempts, rt.complete);
+    }
+    exec_at = rt.target_read;
+    complete_at = rt.complete;
   }
-  note_outstanding(me, rt.target_read);
+  note_outstanding(me, exec_at);
   sim::Fiber* f = engine_.current_fiber();
   f->set_block_op("amo", dst_pe);
   auto fetched = std::make_shared<std::uint64_t>(0);
-  engine_.schedule(rt.target_read, [this, op, dst_pe, dst_off, operand, cond,
-                                    fetched, t = rt.target_read] {
+  engine_.schedule(exec_at, [this, op, dst_pe, dst_off, operand, cond,
+                             fetched, t = exec_at] {
     std::uint64_t old = 0;
     std::byte* addr = segments_[dst_pe].data() + dst_off;
     std::memcpy(&old, addr, sizeof old);
@@ -447,7 +717,8 @@ std::uint64_t Domain::amo(AmoOp op, int dst_pe, std::uint64_t dst_off,
       if (write_hook_) write_hook_({dst_pe, dst_off, sizeof neu, t});
     }
   });
-  engine_.schedule(rt.complete, [this, f, rt] { engine_.resume(*f, rt.complete); });
+  engine_.schedule(complete_at,
+                   [this, f, complete_at] { engine_.resume(*f, complete_at); });
   engine_.block();
   return *fetched;
 }

@@ -35,6 +35,7 @@
 
 #include "net/fabric.hpp"
 #include "net/model.hpp"
+#include "net/node_channel.hpp"
 #include "sim/engine.hpp"
 
 namespace fabric {
@@ -121,6 +122,19 @@ class Domain {
     write_hook_ = std::move(hook);
   }
 
+  /// Enables the node-local shared-segment transport: same-node puts, gets,
+  /// strided/scatter transfers, and AMOs complete via direct memory
+  /// operations priced by a net::NodeChannel (SPSC rings for small
+  /// messages, NUMA-aware memcpy for bulk) and produce zero fabric
+  /// messages. Byte movement still rides the per-pair in-order streams, so
+  /// delivery ordering — and with it same-seed reproducibility — is
+  /// unchanged. Elided fabric traffic is counted under the obs `node.*`
+  /// family. No-op when `opts.enabled` is false; idempotent.
+  void enable_node_transport(const net::NodeTransportOptions& opts);
+  /// The active node transport, or nullptr when disabled.
+  net::NodeChannel* node_transport() { return node_.get(); }
+  const net::NodeChannel* node_transport() const { return node_.get(); }
+
   // ---- one-sided operations; must be called from the issuing PE's fiber ----
 
   /// Contiguous put. Returns after local completion (source reusable);
@@ -182,6 +196,42 @@ class Domain {
  private:
   int current_pe() const;
   void note_outstanding(int src_pe, sim::Time t);
+
+  // ---- node-local transport ----
+  //
+  // When node_ is set and the destination shares the issuing PE's node, the
+  // one-sided ops below route through it: the NodeChannel supplies
+  // (local_complete, delivered) times — ring push or NUMA memcpy — and the
+  // message then joins the same pair stream/clamp machinery as fabric
+  // traffic. Faults are always honored on this path (the shared segment of
+  // a killed peer is detached; stragglers copy slowly).
+
+  bool node_routed(int src_pe, int dst_pe) const {
+    return node_ != nullptr && fabric_.same_node(src_pe, dst_pe);
+  }
+  /// Cached per-PE obs counter handles for the node.* family.
+  struct NodeTele {
+    std::uint64_t* puts = nullptr;
+    std::uint64_t* gets = nullptr;
+    std::uint64_t* amos = nullptr;
+    std::uint64_t* scatters = nullptr;
+    std::uint64_t* strided = nullptr;
+    std::uint64_t* ring_msgs = nullptr;
+    std::uint64_t* ring_stalls = nullptr;
+    std::uint64_t* bulk_msgs = nullptr;
+    std::uint64_t* numa_remote = nullptr;
+    std::uint64_t* elided_msgs = nullptr;
+    std::uint64_t* elided_bytes = nullptr;
+  };
+  NodeTele& node_tele(int pe);
+  /// Prices a same-node one-way transfer (ring when small and contiguous,
+  /// NUMA memcpy otherwise) with fault dilation, bumps ring/bulk telemetry,
+  /// and fails if the peer's segment is detached before delivery.
+  /// `extra_copy` carries per-element/record gaps (forces the bulk path).
+  /// Returns {local_complete, delivered}.
+  net::PutCompletion node_oneway(const char* op, int me, int dst_pe,
+                                 std::size_t wire_bytes, sim::Time extra_copy,
+                                 NodeTele& t);
 
   // ---- pair streams ----
   //
@@ -301,6 +351,8 @@ class Domain {
 
   sim::Engine& engine_;
   net::Fabric& fabric_;
+  std::unique_ptr<net::NodeChannel> node_;  ///< null = fabric-only (default)
+  std::vector<NodeTele> node_tele_;
   net::SwProfile sw_;
   std::size_t segment_bytes_;
   std::vector<ZeroedBuffer> segments_;

@@ -67,9 +67,24 @@ sim::Time Fabric::wire(int src_pe, int dst_pe, double occupancy_ns,
 
 Fabric::WireTry Fabric::wire_faulty(int src_pe, int dst_pe,
                                     double occupancy_ns, sim::Time start) {
-  if (faults_ == nullptr || same_node(src_pe, dst_pe)) {
-    // Intra-node "wire" is a shared-memory copy; loss does not apply.
+  const bool local = same_node(src_pe, dst_pe);
+  if (faults_ == nullptr || (local && !faults_->intra_node_faults())) {
+    // Intra-node "wire" is a shared-memory copy; loss does not apply (and,
+    // unless the plan opts in, neither do kills/stragglers — flipping that
+    // default would move every checked-in golden trace).
     return {wire(src_pe, dst_pe, occupancy_ns, start), false};
+  }
+  if (local) {
+    // Opt-in honest intra-node semantics: the copy is producer CPU work, so
+    // straggler dilation stretches it, and a killed receiver's segment is
+    // detached — the store faults instead of landing. No loss, duplication,
+    // or partition model applies: shared memory delivers or the peer is gone.
+    const double occ = occupancy_ns * faults_->dilation(src_pe);
+    const sim::Time delivered =
+        start + profile_.local_latency + sim::from_ns(occ);
+    if (faults_->pe_dead(dst_pe, delivered)) return {delivered, true};
+    faults_->note_delivery(src_pe, dst_pe, delivered);
+    return {delivered, false};
   }
   // Flaky-link bandwidth degradation inflates occupancy (factor 1.0 when
   // the link is clean, so fault-free plans stay bit-identical).
@@ -103,9 +118,18 @@ Fabric::WireTry Fabric::wire_faulty(int src_pe, int dst_pe,
 PutCompletion Fabric::reliable_oneway(int src_pe, int dst_pe,
                                       double occupancy_ns,
                                       sim::Time local_complete) {
-  if (faults_ == nullptr || same_node(src_pe, dst_pe)) {
+  const bool local = same_node(src_pe, dst_pe);
+  if (faults_ == nullptr || (local && !faults_->intra_node_faults())) {
     return {local_complete,
             wire(src_pe, dst_pe, occupancy_ns, local_complete), true, 1};
+  }
+  if (local) {
+    const WireTry t =
+        wire_faulty(src_pe, dst_pe, occupancy_ns, local_complete);
+    if (!t.dropped) return {local_complete, t.delivered, true, 1};
+    // A store into a dead peer's detached segment cannot be retried.
+    faults_->note_exhaustion(src_pe, dst_pe, t.delivered);
+    return {local_complete, t.delivered, false, 1};
   }
   const int max_attempts = 1 + faults_->retry().max_retransmits;
   const double expected_oneway =
@@ -128,12 +152,24 @@ PutCompletion Fabric::reliable_oneway(int src_pe, int dst_pe,
 RoundTrip Fabric::reliable_get(int src_pe, int dst_pe,
                                double req_occupancy_ns,
                                double reply_occupancy_ns, sim::Time start) {
-  if (faults_ == nullptr || same_node(src_pe, dst_pe)) {
+  const bool local = same_node(src_pe, dst_pe);
+  if (faults_ == nullptr || (local && !faults_->intra_node_faults())) {
     const sim::Time req_arrival =
         wire(src_pe, dst_pe, req_occupancy_ns, start);
     const sim::Time reply =
         wire(dst_pe, src_pe, reply_occupancy_ns, req_arrival);
     return {req_arrival, reply, true, 1};
+  }
+  if (local) {
+    const WireTry req = wire_faulty(src_pe, dst_pe, req_occupancy_ns, start);
+    if (!req.dropped) {
+      const WireTry rep =
+          wire_faulty(dst_pe, src_pe, reply_occupancy_ns, req.delivered);
+      if (!rep.dropped) return {req.delivered, rep.delivered, true, 1};
+    }
+    // Reading a dead peer's detached segment faults; no retry can help.
+    faults_->note_exhaustion(src_pe, dst_pe, req.delivered);
+    return {req.delivered, req.delivered, false, 1};
   }
   const int max_attempts = 1 + faults_->retry().max_retransmits;
   const double expected_rtt = req_occupancy_ns + reply_occupancy_ns +
@@ -243,12 +279,28 @@ RoundTrip Fabric::reliable_exec(int src_pe, int dst_pe,
                                 double reply_occupancy_ns, sim::Time start,
                                 sim::Time unit_cost, bool read_at_exec_done) {
   const bool local = same_node(src_pe, dst_pe);
-  if (faults_ == nullptr || local) {
+  if (faults_ == nullptr || (local && !faults_->intra_node_faults())) {
     const sim::Time req_arrival =
         wire(src_pe, dst_pe, req_occupancy_ns, start);
     // Execution at the target serializes per PE (NIC atomic unit or target
     // CPU handler queue).
     const sim::Time exec_start = std::max(req_arrival, pe_proc_free_[dst_pe]);
+    const sim::Time exec_done = exec_start + unit_cost;
+    pe_proc_free_[dst_pe] = exec_done;
+    const sim::Time reply =
+        wire_control(dst_pe, src_pe, reply_occupancy_ns, exec_done);
+    return {read_at_exec_done ? exec_done : exec_start, reply, true, 1};
+  }
+  if (local) {
+    // Same-node exec with honored faults: one attempt against the target's
+    // atomic unit; a dead target can't execute and the caller must not
+    // apply the RMW/handler.
+    const WireTry req = wire_faulty(src_pe, dst_pe, req_occupancy_ns, start);
+    if (req.dropped) {
+      faults_->note_exhaustion(src_pe, dst_pe, req.delivered);
+      return {req.delivered, req.delivered, false, 1};
+    }
+    const sim::Time exec_start = std::max(req.delivered, pe_proc_free_[dst_pe]);
     const sim::Time exec_done = exec_start + unit_cost;
     pe_proc_free_[dst_pe] = exec_done;
     const sim::Time reply =

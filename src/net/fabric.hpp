@@ -74,8 +74,11 @@ class Fabric {
   /// inter-node submissions consult it per wire attempt and run a bounded
   /// retransmit loop (timeout + exponential backoff with jitter, per the
   /// plan's RetryPolicy), charging every retransmit through the normal link
-  /// model. Intra-node traffic and injector-free operation keep the original
-  /// single-attempt fast path bit-for-bit.
+  /// model. Injector-free operation keeps the original single-attempt fast
+  /// path bit-for-bit, and so does intra-node traffic unless the plan sets
+  /// FaultPlan::intra_node_faults — with it set, same-node transfers honor
+  /// the kill schedule (a dead peer's segment is detached, so the copy
+  /// fails without retransmits) and straggler dilation of the copy cost.
   void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
   FaultInjector* fault_injector() const { return faults_; }
 

@@ -149,6 +149,18 @@ struct FaultPlan {
   RetryPolicy retry;
   DetectorTunables fd;
 
+  /// Apply the kill schedule and straggler dilation to *same-node* traffic
+  /// too. Historically the fabric's fault machinery short-circuited on
+  /// same_node(), so a killed PE kept receiving intra-node puts and a
+  /// straggler's shared-memory copies ran at full speed — wrong for node
+  /// kills, where the co-located peers' segments die with the process.
+  /// Honoring them is opt-in (rather than the default) because flipping the
+  /// semantics under existing plans would move every checked-in golden trace
+  /// hash and BENCH baseline; the node-local shared-segment transport
+  /// (net::NodeChannel) always honors kills and stragglers regardless of
+  /// this flag.
+  bool intra_node_faults = false;
+
   bool active() const {
     return drop_rate > 0 || dup_rate > 0 || delay_rate > 0 ||
            !pe_kills.empty() || !node_kills.empty() || !partitions.empty() ||
@@ -188,6 +200,10 @@ struct FaultPlan {
     stragglers.push_back({pe, dilation}); return *this;
   }
   FaultPlan& with_detector(DetectorTunables t) { fd = t; return *this; }
+  FaultPlan& honor_intra_node_faults(bool on = true) {
+    intra_node_faults = on;
+    return *this;
+  }
   /// Applies the whole CAF_FD_* env family (detector + retry overrides).
   FaultPlan& apply_env() {
     fd.apply_env();
@@ -223,6 +239,8 @@ class FaultInjector {
 
   const FaultPlan& plan() const { return plan_; }
   const RetryPolicy& retry() const { return plan_.retry; }
+  /// Same-node traffic honors kills/stragglers (FaultPlan opt-in).
+  bool intra_node_faults() const { return plan_.intra_node_faults; }
   int npes() const { return static_cast<int>(kill_at_.size()); }
   int node_of(int pe) const { return pe / cores_per_node_; }
 

@@ -37,6 +37,21 @@ struct MachineProfile {
 
   sim::Time local_latency = 120;    ///< intra-node one-way latency
   double local_bytes_per_ns = 12.0; ///< intra-node copy bandwidth
+
+  // NUMA topology of one node. Every testbed in the paper is a multi-socket
+  // box (dual Sandy Bridge, dual Interlagos die, dual Ivy Bridge, dual
+  // Opteron), so "intra-node" is really two costs: a store that stays inside
+  // the producer's memory domain, and one that crosses the socket
+  // interconnect (QPI / HyperTransport). Cores map to domains contiguously:
+  // domain(pe) = (local_rank * numa_domains) / cores_per_node. Consumed only
+  // by the node-local shared-segment transport (net::NodeChannel); the
+  // classic fabric path keeps the flat local_latency/local_bytes_per_ns
+  // model, so these fields change nothing unless that transport is enabled.
+  int numa_domains = 2;
+  sim::Time numa_local_latency = 40;   ///< cache-line visibility, same domain
+  sim::Time numa_remote_latency = 100; ///< visibility across the socket link
+  double numa_local_bytes_per_ns = 16.0;  ///< memcpy bw within a domain
+  double numa_remote_bytes_per_ns = 8.0;  ///< memcpy bw across domains
 };
 
 /// Software (library) profile layered on a machine.
@@ -64,6 +79,14 @@ struct SwProfile {
   /// machine, the same way the strided planner prices wire time.
   sim::Time hw_latency = 1'000;
   sim::Time local_latency = 120;
+  /// NUMA shape of the machine, stamped by sw_profile() like the fields
+  /// above. Read by the node-local transport's cost model and by the
+  /// collectives selector when that transport is active; inert otherwise.
+  int numa_domains = 2;
+  sim::Time numa_local_latency = 40;
+  sim::Time numa_remote_latency = 100;
+  double numa_local_bytes_per_ns = 16.0;
+  double numa_remote_bytes_per_ns = 8.0;
 
   bool hw_strided = false;        ///< 1-D iput/iget offloaded to the NIC?
   sim::Time strided_elem_gap = 25;///< per-element NIC cost when hw_strided

@@ -1,0 +1,89 @@
+#include "net/node_channel.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace net {
+
+NodeChannel::NodeChannel(const MachineProfile& machine, int npes,
+                         NodeTransportOptions opts)
+    : machine_(machine), npes_(npes), opts_(opts) {
+  assert(npes_ > 0);
+  assert(opts_.ring_slots >= 2);
+  assert(opts_.slot_bytes > 0);
+  assert(machine_.numa_domains >= 1);
+  amo_free_.assign(static_cast<std::size_t>(npes_), 0);
+}
+
+int NodeChannel::segment_domain(int pe) const {
+  const int local = pe % machine_.cores_per_node;
+  switch (opts_.placement) {
+    case NumaPlacement::kLocalDomain:
+      return domain_of(pe);
+    case NumaPlacement::kInterleave:
+      return local % machine_.numa_domains;
+    case NumaPlacement::kDomain0:
+      return 0;
+  }
+  return 0;
+}
+
+NodeChannel::Ring& NodeChannel::ring(int src_pe, int dst_pe) {
+  assert(src_pe / machine_.cores_per_node == dst_pe / machine_.cores_per_node);
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(src_pe) * machine_.cores_per_node +
+      static_cast<std::uint64_t>(dst_pe % machine_.cores_per_node);
+  Ring& r = rings_[key];
+  if (r.retire.empty()) {
+    r.retire.assign(static_cast<std::size_t>(opts_.ring_slots), 0);
+  }
+  return r;
+}
+
+RingPush NodeChannel::push(int src_pe, int dst_pe, std::size_t n, sim::Time now,
+                           sim::Time write_cost, sim::Time pop_cost) {
+  Ring& r = ring(src_pe, dst_pe);
+  const auto depth = static_cast<std::uint64_t>(opts_.ring_slots);
+  // A message never spans more slots than the ring holds: the producer
+  // would deadlock waiting for slots it has not yet published.
+  const int nslots = std::min<int>(slots_for(n), opts_.ring_slots);
+  // Backpressure: the producer's store of slot i cannot start until the
+  // consumer has retired the slot's previous generation.
+  sim::Time start = now;
+  bool stalled = false;
+  for (int i = 0; i < nslots; ++i) {
+    const sim::Time busy = r.retire[(r.head + static_cast<std::uint64_t>(i)) %
+                                    depth];
+    if (busy > start) {
+      start = busy;
+      stalled = true;
+    }
+  }
+  ++pushes_;
+  if (stalled) ++stalls_;
+  wraps_ += (r.head % depth + static_cast<std::uint64_t>(nslots)) / depth;
+  const sim::Time producer_done = start + write_cost;
+  const sim::Time delivered =
+      producer_done + visibility(src_pe, dst_pe) + pop_cost;
+  // The consumer frees the slots as it pops the message.
+  for (int i = 0; i < nslots; ++i) {
+    r.retire[(r.head + static_cast<std::uint64_t>(i)) % depth] = delivered;
+  }
+  r.head += static_cast<std::uint64_t>(nslots);
+  return {producer_done, delivered, nslots, stalled};
+}
+
+NodeRoundTrip NodeChannel::amo(int src_pe, int dst_pe, sim::Time now,
+                               sim::Time issue_cost, sim::Time rmw_cost) {
+  // Request reaches the target line after the issue cost plus the domain
+  // hop; execution serializes per target PE (the line is owned exclusively
+  // for the RMW), and the fetched value travels back over the same hop.
+  const sim::Time arrival = now + issue_cost + visibility(src_pe, dst_pe);
+  sim::Time& free_at = amo_free_[static_cast<std::size_t>(dst_pe)];
+  const sim::Time exec_start = std::max(arrival, free_at);
+  const sim::Time exec_done = exec_start + rmw_cost;
+  free_at = exec_done;
+  return {exec_done, exec_done + visibility(src_pe, dst_pe)};
+}
+
+}  // namespace net

@@ -18,6 +18,11 @@ MachineProfile machine_profile(Machine m) {
       p.nic_amo_gap = 120;  // HCA-side atomics
       p.local_latency = 120;
       p.local_bytes_per_ns = 12.0;
+      p.numa_domains = 2;  // dual-socket Sandy Bridge, QPI between sockets
+      p.numa_local_latency = 40;
+      p.numa_remote_latency = 105;
+      p.numa_local_bytes_per_ns = 16.0;
+      p.numa_remote_bytes_per_ns = 8.0;
       return p;
     case Machine::kTitan:
       // OLCF Titan: Cray XK7, AMD Opteron, 16 cores/node, Gemini.
@@ -29,6 +34,11 @@ MachineProfile machine_profile(Machine m) {
       p.nic_amo_gap = 80;  // Gemini AMO engine
       p.local_latency = 140;
       p.local_bytes_per_ns = 10.0;
+      p.numa_domains = 2;  // Interlagos: two dies sharing a HyperTransport hop
+      p.numa_local_latency = 50;
+      p.numa_remote_latency = 120;
+      p.numa_local_bytes_per_ns = 12.0;
+      p.numa_remote_bytes_per_ns = 6.0;
       return p;
     case Machine::kXC30:
       // Cray XC30 (Edison-class): 2x 12-core Intel Ivy Bridge, so an honest
@@ -42,6 +52,11 @@ MachineProfile machine_profile(Machine m) {
       p.nic_amo_gap = 60;
       p.local_latency = 100;
       p.local_bytes_per_ns = 14.0;
+      p.numa_domains = 2;  // dual-socket Ivy Bridge, 12 cores per socket
+      p.numa_local_latency = 35;
+      p.numa_remote_latency = 95;
+      p.numa_local_bytes_per_ns = 18.0;
+      p.numa_remote_bytes_per_ns = 9.0;
       return p;
     case Machine::kWhale:
       // UH Whale: 2x quad-core Opteron (8 cores/node), DDR InfiniBand.
@@ -54,6 +69,11 @@ MachineProfile machine_profile(Machine m) {
       p.nic_amo_gap = 160;
       p.local_latency = 180;
       p.local_bytes_per_ns = 6.0;
+      p.numa_domains = 2;  // dual quad-core Opteron, older HyperTransport
+      p.numa_local_latency = 55;
+      p.numa_remote_latency = 140;
+      p.numa_local_bytes_per_ns = 7.0;
+      p.numa_remote_bytes_per_ns = 3.5;
       return p;
   }
   throw std::invalid_argument("unknown machine");
@@ -219,6 +239,11 @@ SwProfile sw_profile(Library lib, Machine m) {
   s.cores_per_node = mp.cores_per_node;
   s.hw_latency = mp.hw_latency;
   s.local_latency = mp.local_latency;
+  s.numa_domains = mp.numa_domains;
+  s.numa_local_latency = mp.numa_local_latency;
+  s.numa_remote_latency = mp.numa_remote_latency;
+  s.numa_local_bytes_per_ns = mp.numa_local_bytes_per_ns;
+  s.numa_remote_bytes_per_ns = mp.numa_remote_bytes_per_ns;
   return s;
 }
 

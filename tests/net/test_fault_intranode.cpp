@@ -1,0 +1,188 @@
+// Regression tests for the same-node fault bypass in net::Fabric (the
+// `faults_ == nullptr || same_node(...)` short-circuit): with
+// FaultPlan::honor_intra_node_faults(), same-node traffic must observe
+// scheduled PE kills (the shared segment detaches — stores fault instead of
+// landing) and straggler dilation (the copy is producer CPU work). With the
+// flag at its default, legacy behavior is preserved bit-for-bit so every
+// checked-in golden trace and BENCH baseline stays valid.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "fabric/domain.hpp"
+#include "net/fabric.hpp"
+#include "net/fault.hpp"
+#include "net/profiles.hpp"
+
+using namespace fabric;
+
+namespace {
+
+// Domain-level world on Stampede (16 cores/node): PEs 0..15 share node 0.
+struct World {
+  sim::Engine engine;
+  net::Fabric fabric;
+  Domain domain;
+  std::unique_ptr<net::FaultInjector> injector;
+
+  explicit World(net::FaultPlan plan = {}, int npes = 32)
+      : fabric(net::machine_profile(net::Machine::kStampede), npes),
+        domain(engine, fabric,
+               net::sw_profile(net::Library::kShmemMvapich,
+                               net::Machine::kStampede),
+               1 << 20) {
+    if (plan.active()) {
+      injector = std::make_unique<net::FaultInjector>(
+          plan, npes, fabric.profile().cores_per_node);
+      fabric.set_fault_injector(injector.get());
+      injector->arm(engine);
+    }
+  }
+};
+
+net::FaultPlan kill_plan(bool honor_intra_node) {
+  net::FaultPlan plan;
+  plan.with_seed(0xFA17).kill_pe(/*pe=*/3, /*at=*/1'000);
+  plan.intra_node_faults = honor_intra_node;
+  return plan;
+}
+
+}  // namespace
+
+TEST(IntraNodeFaults, OptInKillDetachesSameNodePutTarget) {
+  World w(kill_plan(true));
+  bool failed = false;
+  w.engine.spawn(0, [&] {
+    w.engine.advance(5'000);  // PE 3 (same node) is dead by now
+    int v = 7;
+    try {
+      w.domain.put(3, 0, &v, sizeof v);
+      w.domain.quiet();
+    } catch (const PeerFailedError& e) {
+      failed = true;
+      EXPECT_STREQ(e.op(), "put");
+      EXPECT_EQ(e.dst_pe(), 3);
+      // Shared memory has no retransmit: the segment is gone, one attempt.
+      EXPECT_EQ(e.attempts(), 1);
+    }
+  });
+  w.engine.run();
+  EXPECT_TRUE(failed) << "put into a dead same-node peer must fail";
+  int got = 0;
+  std::memcpy(&got, w.domain.segment(3), sizeof got);
+  EXPECT_EQ(got, 0) << "the store must not land in the detached segment";
+}
+
+TEST(IntraNodeFaults, OptInKillFailsSameNodeGetAndAmo) {
+  World w(kill_plan(true));
+  int get_failures = 0;
+  w.engine.spawn(0, [&] {
+    w.engine.advance(5'000);
+    int v = 0;
+    try {
+      w.domain.get(&v, 3, 0, sizeof v);
+    } catch (const PeerFailedError& e) {
+      ++get_failures;
+      EXPECT_STREQ(e.op(), "get");
+    }
+    try {
+      (void)w.domain.amo(AmoOp::kFetchAdd, 3, 0, 1);
+    } catch (const PeerFailedError& e) {
+      ++get_failures;
+      EXPECT_STREQ(e.op(), "amo");
+    }
+  });
+  w.engine.run();
+  EXPECT_EQ(get_failures, 2);
+}
+
+TEST(IntraNodeFaults, OptInKillBeforeDeliveryStillLands) {
+  // A put whose delivery completes before the scheduled kill is unaffected.
+  World w(kill_plan(true));
+  w.engine.spawn(0, [&] {
+    int v = 11;
+    w.domain.put(3, 0, &v, sizeof v);  // issued at t=0, delivered << 1000ns
+    w.domain.quiet();
+    EXPECT_LT(w.engine.now(), 1'000);
+  });
+  w.engine.run();
+  int got = 0;
+  std::memcpy(&got, w.domain.segment(3), sizeof got);
+  EXPECT_EQ(got, 11);
+}
+
+TEST(IntraNodeFaults, DefaultBypassPreservesLegacySameNodeBehavior) {
+  // With the flag at its default (off), a same-node put to a scheduled-dead
+  // PE behaves exactly as on a fault-free fabric: it lands, and the virtual
+  // timeline is bit-identical to a world with no injector at all.
+  sim::Time with_faults = -1, without = -1;
+  auto program = [](World& w, sim::Time* done) {
+    w.engine.spawn(0, [&w, done] {
+      w.engine.advance(5'000);
+      std::vector<char> buf(4096, 'x');
+      w.domain.put(3, 0, buf.data(), buf.size());
+      w.domain.quiet();
+      int v = 0;
+      w.domain.get(&v, 3, 0, sizeof v);
+      *done = w.engine.now();
+    });
+    w.engine.run();
+  };
+  {
+    World w(kill_plan(false));
+    program(w, &with_faults);
+    char got = 0;
+    std::memcpy(&got, w.domain.segment(3), 1);
+    EXPECT_EQ(got, 'x') << "legacy bypass: the put still lands";
+  }
+  {
+    World w;  // no injector
+    program(w, &without);
+  }
+  EXPECT_EQ(with_faults, without)
+      << "default-off must keep the same-node timeline bit-identical";
+}
+
+TEST(IntraNodeFaults, OptInStragglerDilatesSameNodeCopies) {
+  // A straggler's shared-memory copy is producer CPU work and stretches by
+  // the dilation factor; without the opt-in it runs at full speed (the bug
+  // this suite pins down).
+  auto timed_put = [](net::FaultPlan plan) {
+    World w(std::move(plan));
+    sim::Time done = -1;
+    w.engine.spawn(0, [&] {
+      std::vector<char> buf(256 << 10, 'y');  // big enough to dominate
+      w.domain.put(1, 0, buf.data(), buf.size());
+      w.domain.quiet();
+      done = w.engine.now();
+    });
+    w.engine.run();
+    return done;
+  };
+  net::FaultPlan slow;
+  slow.with_seed(1).straggle_pe(0, 3.0);
+  slow.intra_node_faults = true;
+  net::FaultPlan legacy;
+  legacy.with_seed(1).straggle_pe(0, 3.0);
+
+  const sim::Time dilated = timed_put(slow);
+  const sim::Time bypass = timed_put(legacy);
+  const sim::Time clean = timed_put({});
+  // Legacy behavior dilates only the CPU issue overhead (a few hundred ns);
+  // the copy itself — the dominant term — ran at full speed. That gap is
+  // the bug this flag fixes.
+  EXPECT_LT(bypass - clean, (dilated - clean) / 10)
+      << "default-off must keep the same-node copy undilated";
+  EXPECT_GT(dilated, 2 * clean)
+      << "opt-in must stretch the same-node copy by ~the dilation factor";
+}
+
+TEST(IntraNodeFaults, BuilderSetsTheFlag) {
+  net::FaultPlan plan;
+  EXPECT_FALSE(plan.intra_node_faults);
+  plan.honor_intra_node_faults();
+  EXPECT_TRUE(plan.intra_node_faults);
+  net::FaultInjector inj(plan, 4, 2);
+  EXPECT_TRUE(inj.intra_node_faults());
+}

@@ -1,0 +1,184 @@
+// net::NodeChannel unit tests: the NUMA topology mapping (contiguous core ->
+// domain, slice placement policies), the asymmetric local/remote cost model,
+// SPSC ring FIFO + backpressure + wraparound accounting, and per-target AMO
+// serialization. The channel is a pure timing oracle — no engine, no memory
+// movement — so every case is plain arithmetic against the machine profile.
+#include "net/node_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/profiles.hpp"
+
+using net::MachineProfile;
+using net::NodeChannel;
+using net::NodeRoundTrip;
+using net::NodeTransportOptions;
+using net::NumaPlacement;
+using net::RingPush;
+
+namespace {
+
+MachineProfile stampede() {
+  return net::machine_profile(net::Machine::kStampede);  // 16 cores, 2 domains
+}
+
+NodeTransportOptions on(NodeTransportOptions o = {}) {
+  o.enabled = true;
+  return o;
+}
+
+}  // namespace
+
+TEST(NodeChannel, CoreToDomainMappingIsContiguous) {
+  NodeChannel ch(stampede(), 64, on());
+  ASSERT_EQ(ch.numa_domains(), 2);
+  // 16 cores, 2 sockets: local ranks 0-7 -> domain 0, 8-15 -> domain 1.
+  for (int local = 0; local < 16; ++local) {
+    EXPECT_EQ(ch.domain_of(local), local < 8 ? 0 : 1) << "local " << local;
+  }
+  // The mapping repeats per node: pe 16 is node 1's core 0.
+  EXPECT_EQ(ch.domain_of(16), 0);
+  EXPECT_EQ(ch.domain_of(25), 1);
+}
+
+TEST(NodeChannel, PlacementPoliciesPlaceSlicesWhereAdvertised) {
+  NodeTransportOptions local = on();
+  local.placement = NumaPlacement::kLocalDomain;
+  NodeTransportOptions inter = on();
+  inter.placement = NumaPlacement::kInterleave;
+  NodeTransportOptions dom0 = on();
+  dom0.placement = NumaPlacement::kDomain0;
+
+  NodeChannel first_touch(stampede(), 32, local);
+  NodeChannel interleave(stampede(), 32, inter);
+  NodeChannel naive(stampede(), 32, dom0);
+  for (int pe = 0; pe < 32; ++pe) {
+    // First-touch: a PE's slice lives with its own cores.
+    EXPECT_EQ(first_touch.segment_domain(pe), first_touch.domain_of(pe));
+    EXPECT_TRUE(first_touch.numa_local(pe, pe));
+    // Interleave: consecutive local ranks alternate domains.
+    EXPECT_EQ(interleave.segment_domain(pe), (pe % 16) % 2);
+    // Naive allocator: one arena on domain 0.
+    EXPECT_EQ(naive.segment_domain(pe), 0);
+  }
+  // Under kDomain0, only domain-0 cores access their slices locally.
+  EXPECT_TRUE(naive.numa_local(0, 9));    // core domain 0 -> slice domain 0
+  EXPECT_FALSE(naive.numa_local(9, 9));   // socket-1 core pays the link
+}
+
+TEST(NodeChannel, CrossDomainAccessCostsMore) {
+  NodeChannel ch(stampede(), 32, on());
+  const MachineProfile& mp = ch.machine();
+  // pe 0 and pe 1 share domain 0; pe 9 lives in domain 1.
+  EXPECT_EQ(ch.visibility(0, 1), mp.numa_local_latency);
+  EXPECT_EQ(ch.visibility(0, 9), mp.numa_remote_latency);
+  EXPECT_LT(mp.numa_local_latency, mp.numa_remote_latency);
+  EXPECT_DOUBLE_EQ(ch.bytes_per_ns(0, 1), mp.numa_local_bytes_per_ns);
+  EXPECT_DOUBLE_EQ(ch.bytes_per_ns(0, 9), mp.numa_remote_bytes_per_ns);
+
+  const std::size_t n = 64 << 10;
+  EXPECT_LT(ch.copy_cost(0, 1, n), ch.copy_cost(0, 9, n));
+  EXPECT_LT(ch.copy_cost(0, 1, 1024), ch.copy_cost(0, 1, n));
+  // Strided/scatter add per-element pointer math on top of the copy.
+  EXPECT_EQ(ch.strided_cost(0, 1, 8, 100),
+            ch.copy_cost(0, 1, 800) + 100 * NodeChannel::kElemGap);
+  EXPECT_EQ(ch.scatter_cost(0, 1, 800, 10),
+            ch.copy_cost(0, 1, 800) + 10 * NodeChannel::kElemGap);
+}
+
+TEST(NodeChannel, RingPushPricesStoreVisibilityPop) {
+  NodeChannel ch(stampede(), 32, on());
+  const RingPush p = ch.push(0, 1, 8, /*now=*/1000, /*write_cost=*/10,
+                             /*pop_cost=*/NodeChannel::kRingPop);
+  EXPECT_EQ(p.slots, 1);
+  EXPECT_FALSE(p.stalled);
+  EXPECT_EQ(p.producer_done, 1000 + 10);
+  EXPECT_EQ(p.delivered, p.producer_done + ch.machine().numa_local_latency +
+                             NodeChannel::kRingPop);
+  EXPECT_EQ(ch.ring_pushes(), 1u);
+  EXPECT_EQ(ch.ring_stalls(), 0u);
+}
+
+TEST(NodeChannel, MultiSlotMessagesConsumeProportionalSlots) {
+  NodeTransportOptions o = on();
+  o.slot_bytes = 128;
+  NodeChannel ch(stampede(), 32, o);
+  EXPECT_EQ(ch.slots_for(0), 1);
+  EXPECT_EQ(ch.slots_for(128), 1);
+  EXPECT_EQ(ch.slots_for(129), 2);
+  EXPECT_EQ(ch.ring_write_cost(512), 4 * NodeChannel::kSlotWrite);
+  const RingPush p = ch.push(0, 1, 512, 0, ch.ring_write_cost(512), 0);
+  EXPECT_EQ(p.slots, 4);
+}
+
+TEST(NodeChannel, FullRingStallsProducerUntilConsumerRetires) {
+  NodeTransportOptions o = on();
+  o.ring_slots = 4;
+  o.slot_bytes = 64;
+  NodeChannel ch(stampede(), 32, o);
+  // Four one-slot pushes at t=0 fill the ring without stalling.
+  sim::Time first_retire = 0;
+  for (int i = 0; i < 4; ++i) {
+    const RingPush p = ch.push(0, 1, 8, 0, 10, 10);
+    EXPECT_FALSE(p.stalled) << "push " << i;
+    if (i == 0) first_retire = p.delivered;
+  }
+  // The fifth reuses slot 0 and must wait for its retirement.
+  const RingPush p = ch.push(0, 1, 8, 0, 10, 10);
+  EXPECT_TRUE(p.stalled);
+  EXPECT_EQ(p.producer_done, first_retire + 10);
+  EXPECT_EQ(ch.ring_stalls(), 1u);
+  EXPECT_EQ(ch.ring_wraps(), 1u);  // head crossed the ring boundary once
+}
+
+TEST(NodeChannel, WraparoundAccountingCountsRevolutions) {
+  NodeTransportOptions o = on();
+  o.ring_slots = 4;
+  o.slot_bytes = 64;
+  NodeChannel ch(stampede(), 32, o);
+  for (int i = 0; i < 12; ++i) (void)ch.push(0, 1, 8, i * 1'000'000, 10, 10);
+  EXPECT_EQ(ch.ring_pushes(), 12u);
+  EXPECT_EQ(ch.ring_wraps(), 3u);
+  // Widely spaced pushes never contend even while wrapping.
+  EXPECT_EQ(ch.ring_stalls(), 0u);
+}
+
+TEST(NodeChannel, RingsArePerOrderedPair) {
+  NodeTransportOptions o = on();
+  o.ring_slots = 2;
+  NodeChannel ch(stampede(), 32, o);
+  // Fill the 0->1 ring; the reverse direction and other pairs stay empty.
+  (void)ch.push(0, 1, 8, 0, 10, 10);
+  (void)ch.push(0, 1, 8, 0, 10, 10);
+  EXPECT_FALSE(ch.push(1, 0, 8, 0, 10, 10).stalled);
+  EXPECT_FALSE(ch.push(2, 1, 8, 0, 10, 10).stalled);
+  EXPECT_TRUE(ch.push(0, 1, 8, 0, 10, 10).stalled);
+}
+
+TEST(NodeChannel, AmoSerializesPerTargetLine) {
+  NodeChannel ch(stampede(), 32, on());
+  const sim::Time vis = ch.machine().numa_local_latency;
+  const NodeRoundTrip a =
+      ch.amo(0, 2, 0, NodeChannel::kAmoIssue, NodeChannel::kAmoRmw);
+  EXPECT_EQ(a.exec, NodeChannel::kAmoIssue + vis + NodeChannel::kAmoRmw);
+  EXPECT_EQ(a.complete, a.exec + vis);
+  // A concurrent AMO from another PE to the same line queues behind it.
+  const NodeRoundTrip b =
+      ch.amo(1, 2, 0, NodeChannel::kAmoIssue, NodeChannel::kAmoRmw);
+  EXPECT_EQ(b.exec, a.exec + NodeChannel::kAmoRmw);
+  // A different target's line is independent.
+  const NodeRoundTrip c =
+      ch.amo(1, 3, 0, NodeChannel::kAmoIssue, NodeChannel::kAmoRmw);
+  EXPECT_EQ(c.exec, NodeChannel::kAmoIssue + vis + NodeChannel::kAmoRmw);
+}
+
+TEST(NodeChannel, GetSnapshotsAtExecAndStreamsBack) {
+  NodeChannel ch(stampede(), 32, on());
+  const NodeRoundTrip rt = ch.get(0, 9, 4096, /*now=*/500, /*issue_cost=*/20,
+                                  /*extra_copy=*/14);
+  EXPECT_EQ(rt.exec, 520);
+  EXPECT_EQ(rt.complete,
+            rt.exec + ch.machine().numa_remote_latency +
+                sim::from_ns(4096.0 / ch.machine().numa_remote_bytes_per_ns) +
+                14);
+}
