@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "apps/dht_drivers.hpp"
+#include "apps/dht_rpc.hpp"
 #include "apps/driver.hpp"
 #include "bench_util.hpp"
 #include "obs/obs.hpp"
@@ -53,6 +54,91 @@ sim::Time run_craycaf(int images) {
   return engine.sim_now();
 }
 
+/// The same workload re-expressed as asynchronous remote execution
+/// (apps/dht_rpc.hpp): the update ships to the bucket's owner as caf::rpc
+/// instead of lock / get / modify / put. Small mailbox rings so the
+/// per-pair slot area still fits the 2 MB heap at 1024 images.
+sim::Time run_uhcaf_rpc(driver::StackKind kind, int images) {
+  caf::Options opts;
+  opts.rpc.enabled = true;
+  opts.rpc.slots_per_pair = 4;
+  opts.rpc.slot_bytes = 128;
+  driver::Stack stack(kind, images, net::Machine::kTitan, 2 << 20, opts);
+  return stack.run([&](caf::Runtime& rt) {
+    auto table = apps::dhtrpc::make_rpc_table(rt, dht_config());
+    rt.sync_all();
+    table.run_updates();
+    rt.sync_all();
+  });
+}
+
+// --rpc: the Figure 9 series with the async-RPC design head-to-head
+// against the one-sided lock design over the same conduit (UHCAF over
+// Cray SHMEM). The table contents are bit-identical between the two arms
+// (tests/caf/test_rpc.cpp); this prints where the time goes instead.
+int run_rpc_arm() {
+  std::printf("=== Figure 9 extension: async-RPC DHT vs one-sided ===\n");
+  std::printf("%d random updates per image, UHCAF-Cray-SHMEM\n\n",
+              dht_config().updates_per_image);
+
+  // Critical-path attribution first: one traced run of each design at 32
+  // images, so the series below can be read against where the time goes
+  // (one-sided: lock acquire + get/put under the lock; RPC: rpc.* spans).
+  obs::init_from_env();
+  if (!obs::enabled()) obs::enable({});
+  {
+    caf::Options opts;
+    opts.trace = true;
+    driver::Stack stack(driver::StackKind::kShmemCray, 32,
+                        net::Machine::kTitan, 2 << 20, opts);
+    stack.run([&](caf::Runtime& rt) {
+      auto table = apps::dht::make_caf_table(rt, dht_config());
+      rt.sync_all();
+      obs::phase("updates");
+      table.run_updates();
+      obs::phase("drain");
+      rt.sync_all();
+    });
+    bench::obs_report("one-sided locks, 32 images");
+  }
+  {
+    caf::Options opts;
+    opts.trace = true;
+    opts.rpc.enabled = true;
+    opts.rpc.slots_per_pair = 4;
+    opts.rpc.slot_bytes = 128;
+    driver::Stack stack(driver::StackKind::kShmemCray, 32,
+                        net::Machine::kTitan, 2 << 20, opts);
+    stack.run([&](caf::Runtime& rt) {
+      auto table = apps::dhtrpc::make_rpc_table(rt, dht_config());
+      rt.sync_all();
+      obs::phase("updates");
+      table.run_updates();
+      obs::phase("drain");
+      rt.sync_all();
+    });
+    bench::obs_report("async-RPC, 32 images");
+  }
+  std::printf("\n");
+
+  bench::print_series_header("images",
+                             {"one-sided locks (ms)", "async-RPC (ms)"});
+  std::vector<double> onesided, rpc;
+  for (int images : {2, 4, 8, 16, 32, 64, 128, 256}) {
+    const double s =
+        sim::to_ms(run_uhcaf(driver::StackKind::kShmemCray, images));
+    const double r =
+        sim::to_ms(run_uhcaf_rpc(driver::StackKind::kShmemCray, images));
+    onesided.push_back(s);
+    rpc.push_back(r);
+    bench::print_row(images, {s, r}, "%22.3f");
+  }
+  std::printf("\nsummary: async-RPC vs one-sided locks = %+.1f%% "
+              "(geomean; positive = RPC faster)\n",
+              (bench::geomean_ratio(onesided, rpc) - 1.0) * 100.0);
+  return 0;
+}
+
 // --smoke [N]: one traced UHCAF-Cray-SHMEM run at N images (default 8)
 // with obs forced on — the CI observability smoke. With CAF_TRACE=<path>
 // set the Chrome trace lands there; either way the per-phase wall-time
@@ -82,6 +168,7 @@ int run_smoke(int images) {
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--rpc") return run_rpc_arm();
     if (std::string_view(argv[i]) == "--smoke") {
       int images = 8;
       if (i + 1 < argc) images = std::atoi(argv[i + 1]);

@@ -22,6 +22,17 @@ Direction (is bigger better?) is resolved per leaf:
 The "higher_is_better" array itself is bench metadata, not a metric; it
 is excluded from the leaf walk on both sides.
 
+Per-metric tolerance overrides: a top-level "tolerances" object in the
+baseline maps a leaf KEY (the path tail, e.g. "rtt_8b_ns") to the allowed
+fractional worsening for every leaf with that key, replacing --tolerance
+for those metrics only. Use it for metrics that are legitimately noisier
+than the rest of the file (e.g. a p99 under a seeded fault plan). Like
+"higher_is_better", the block is metadata and is excluded from the walk.
+
+--selftest runs the built-in unit checks (tempfile fixtures) and exits;
+scripts/ci.sh invokes it so a broken diff gate fails loudly instead of
+silently passing regressions.
+
 Axis/config leaves (bytes, images, reps, ...) are compared for identity:
 if the new file benchmarks a different shape, the diff is meaningless and
 that is reported as an error. Missing keys are errors in BOTH directions,
@@ -75,7 +86,67 @@ def last_key(path):
     return tail.split("[", 1)[0]
 
 
+def selftest():
+    """Unit checks for the diff logic itself, on tempfile fixtures."""
+    import os
+    import tempfile
+
+    def run(base_obj, new_obj, extra=None):
+        paths = []
+        for obj in (base_obj, new_obj):
+            with tempfile.NamedTemporaryFile(
+                    "w", suffix=".json", delete=False) as f:
+                json.dump(obj, f)
+                paths.append(f.name)
+        saved = sys.argv
+        sys.argv = [saved[0]] + paths + (extra or [])
+        try:
+            return main()
+        finally:
+            sys.argv = saved
+            for p in paths:
+                os.unlink(p)
+
+    base = {"unit": "ns", "tolerances": {"rtt_ns": 0.50},
+            "rtt_ns": 100, "bw_mbs": 100, "images": 8}
+    checks = [
+        # Identical files are clean.
+        ("identical", run(base, dict(base)), 0),
+        # +40% on rtt_ns breaches the default 10% but sits inside its
+        # per-metric 50% override.
+        ("override admits",
+         run(base, {**base, "rtt_ns": 140}), 0),
+        # +60% breaches even the override.
+        ("override still binds",
+         run(base, {**base, "rtt_ns": 160}), 1),
+        # The override is keyed: it must not leak onto other metrics
+        # (bw_mbs is higher-is-better; -21% is a regression).
+        ("override does not leak",
+         run(base, {**base, "bw_mbs": 79}), 1),
+        # The tolerances block is metadata on both sides, never a metric:
+        # a new file without it diffs clean.
+        ("metadata excluded",
+         run(base, {k: v for k, v in base.items() if k != "tolerances"}), 0),
+        # A malformed block is an error, not a silent default.
+        ("malformed rejected",
+         run({**base, "tolerances": {"rtt_ns": "lots"}}, dict(base)), 1),
+        # Axis identity and the default tolerance still apply.
+        ("axis mismatch", run(base, {**base, "images": 16}), 1),
+        ("default tolerance", run(base, {**base, "bw_mbs": 95}), 0),
+    ]
+    failed = [name for name, got, want in checks if got != want]
+    for name, got, want in checks:
+        if got != want:
+            print(f"bench_diff selftest FAIL: {name}: exit {got}, "
+                  f"want {want}", file=sys.stderr)
+    print(f"bench_diff selftest: {len(checks) - len(failed)}/{len(checks)} "
+          f"cases passed")
+    return 1 if failed else 0
+
+
 def main():
+    if "--selftest" in sys.argv[1:]:
+        return selftest()
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline")
     ap.add_argument("new")
@@ -96,6 +167,15 @@ def main():
         return 1
     base.pop("higher_is_better", None)
     new.pop("higher_is_better", None)
+    tolerances = base.get("tolerances", {})
+    if not isinstance(tolerances, dict) or not all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in tolerances.values()):
+        print("bench_diff ERROR: top-level tolerances must map metric keys "
+              "to numbers", file=sys.stderr)
+        return 1
+    base.pop("tolerances", None)
+    new.pop("tolerances", None)
     new_leaves = dict(leaves(new))
     errors = []
     regressions = []
@@ -137,10 +217,12 @@ def main():
         gain = (-change
                 if lower_is_better(path, default_lower, higher_keys)
                 else change)
-        if gain < -args.tolerance:
+        tol = tolerances.get(last_key(path), args.tolerance)
+        if gain < -tol:
             regressions.append(
-                f"{path}: {bval} -> {nval} ({100 * change:+.1f}%)")
-        elif gain > args.tolerance:
+                f"{path}: {bval} -> {nval} ({100 * change:+.1f}%, "
+                f"tol {tol:.0%})")
+        elif gain > tol:
             improvements += 1
 
     for e in errors:

@@ -22,10 +22,10 @@ echo "=== Sanitize build (ASan/UBSan) + fault/sim-label tests ==="
 # back to the instrumented swapcontext path, so this leg checks both context
 # implementations stay in lockstep.
 cmake -B build-sanitize -S . "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=Sanitize
-cmake --build build-sanitize -j "$JOBS" --target test_faults test_sim test_sim_scale test_intranode
+cmake --build build-sanitize -j "$JOBS" --target test_faults test_sim test_sim_scale test_intranode test_rpc test_rpc_faults test_nonblocking
 ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1} \
 UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1} \
-  ctest --test-dir build-sanitize -L "faults|sim|intranode" --output-on-failure -j "$JOBS"
+  ctest --test-dir build-sanitize -L "faults|sim|intranode|rpc" --output-on-failure -j "$JOBS"
 
 echo "=== Bench smoke: RMA pipeline ==="
 # Exercise the put-bandwidth harness (including the CAF aggregation panels)
@@ -122,6 +122,31 @@ for row in data["machines"]:
           f"{row['put_p99_ns']/1000:.1f}us")
 EOF
 
+echo "=== RPC smoke: asynchronous remote execution ablation ==="
+# Future/promise + RPC layer (DESIGN.md §4f): cross-node round-trip and
+# fire-and-forget cost on both mailbox platforms and the GASNet AM
+# transport, plus the DHT-insert head-to-head against a pure-AMO design.
+# Shape gates: pipelined ff must beat a full round trip everywhere, and
+# the AM transport must hold the best round-trip latency (implicit
+# handler progress vs parked-drain polling).
+./build-release/bench/ablate_rpc --json "$ART/BENCH_rpc.json"
+python3 - <<EOF
+import json
+with open("$ART/BENCH_rpc.json") as f:
+    data = json.load(f)
+rtts = {}
+for row in data["platforms"]:
+    p = row["platform"]
+    assert 0 < row["ff_ns_per_op"] < row["rtt_8b_ns"], \
+        f"{p}: fire-and-forget does not pipeline"
+    rtts[row["transport"]] = min(rtts.get(row["transport"], 1 << 62),
+                                 row["rtt_8b_ns"])
+assert rtts["am"] < rtts["mailbox"], "AM transport lost its latency edge"
+for row in data["dht_insert"]:
+    assert row["rpc_ns_per_update"] > 0 and row["amo_ns_per_update"] > 0
+print(f"rpc smoke ok: best rtt am={rtts['am']}ns mailbox={rtts['mailbox']}ns")
+EOF
+
 echo "=== Engine-core smoke: event/fiber throughput + 16k-image gates ==="
 # Host-side engine health: queue events/sec, fiber switches/sec, zero
 # steady-state heap slabs (exact-match gate), and the two at-scale smokes
@@ -131,11 +156,15 @@ echo "=== Engine-core smoke: event/fiber throughput + 16k-image gates ==="
 ./build-release/bench/engine_micro --json "$ART/BENCH_engine.json"
 
 echo "=== Bench diff vs checked-in baselines (>10% = fail) ==="
+# The diff gate checks itself first: a broken bench_diff.py would wave
+# regressions through silently.
+python3 scripts/bench_diff.py --selftest
 python3 scripts/bench_diff.py bench/baselines/BENCH_rma.json "$ART/BENCH_rma.json"
 python3 scripts/bench_diff.py bench/baselines/BENCH_coll.json "$ART/BENCH_coll.json"
 python3 scripts/bench_diff.py bench/baselines/BENCH_intranode.json "$ART/BENCH_intranode.json"
 python3 scripts/bench_diff.py bench/baselines/BENCH_chaos.json "$ART/BENCH_chaos.json"
 python3 scripts/bench_diff.py bench/baselines/BENCH_dht_serve.json "$ART/BENCH_dht_serve.json"
+python3 scripts/bench_diff.py bench/baselines/BENCH_rpc.json "$ART/BENCH_rpc.json"
 python3 scripts/bench_diff.py --tolerance 0.5 \
   bench/baselines/BENCH_engine.json "$ART/BENCH_engine.json"
 

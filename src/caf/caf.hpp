@@ -21,9 +21,11 @@
 #include "caf/coarray.hpp"
 #include "caf/conduit.hpp"
 #include "caf/armci_conduit.hpp"
+#include "caf/future.hpp"
 #include "caf/gasnet_conduit.hpp"
 #include "caf/mpi3_conduit.hpp"
 #include "caf/remote_ptr.hpp"
+#include "caf/rpc.hpp"
 #include "caf/runtime.hpp"
 #include "caf/section.hpp"
 #include "caf/shmem_conduit.hpp"

@@ -1,0 +1,360 @@
+// caf::future<T> — the single-threaded future/promise core of the RPC layer
+// (UPC++-style asynchronous remote execution, see DESIGN.md §4f).
+//
+// A future is a handle to a shared completion state that the RPC engine
+// fulfills from a delivery event (scheduler context) or a failure sweep
+// (fiber context). Continuations attached with then() never run in
+// scheduler context: fulfillment moves them into the owning image's
+// ready-callback queue, and the RPC engine drains that queue on the owner's
+// fiber at its next progress point or future-wait — so a continuation may
+// freely issue conduit operations.
+//
+// Failure surfaces through the future's stat channel: an operation whose
+// target image dies reports caf::kStatFailedImage (and a derived future
+// inherits the first failing constituent's stat), mirroring the Fortran
+// 2018 stat= discipline used everywhere else in the runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace caf {
+
+class Runtime;
+
+namespace rpc_detail {
+
+/// Type-erased part of a future's shared state. `sink` points at the owning
+/// image's ready-callback queue inside the RPC engine (null for ready-made
+/// futures, whose continuations run inline).
+struct FutureCore {
+  bool ready = false;
+  int stat = 0;      ///< caf::StatCode numeric; 0 = ok
+  int owner = -1;    ///< 0-based rank owning the continuations
+  int target = -1;   ///< 0-based rank the operation addresses (-1: derived)
+  Runtime* rt = nullptr;  ///< null => ready-made (nothing to poll)
+  std::vector<std::function<void()>>* sink = nullptr;
+  std::vector<std::function<void()>> callbacks;
+
+  /// Marks the state complete. Queued continuations are handed to the
+  /// owner's ready queue (or run inline for ready-made futures). Idempotent:
+  /// a reply racing a failure sweep keeps the first outcome.
+  void fulfill(int stat_code) {
+    if (ready) return;
+    ready = true;
+    stat = stat_code;
+    auto cbs = std::move(callbacks);
+    callbacks.clear();
+    for (auto& cb : cbs) {
+      if (sink != nullptr) {
+        sink->push_back(std::move(cb));
+      } else {
+        cb();
+      }
+    }
+  }
+
+  /// Runs `cb` when the state completes (inline if it already has).
+  void on_ready(std::function<void()> cb) {
+    if (ready) {
+      cb();
+    } else {
+      callbacks.push_back(std::move(cb));
+    }
+  }
+};
+
+template <typename T>
+struct FutureState : FutureCore {
+  std::optional<T> value;
+  void set(T v) { value.emplace(std::move(v)); }
+};
+
+template <>
+struct FutureState<void> : FutureCore {};
+
+}  // namespace rpc_detail
+
+/// Blocks the calling fiber until `core` completes: drains the RPC mailbox
+/// and ready continuations, sweeps declared failures against outstanding
+/// operations, and parks on the doorbell cell between polls. Defined in
+/// rpc.cpp (needs the engine).
+void rpc_wait_core(Runtime& rt, rpc_detail::FutureCore& core);
+
+template <typename T>
+class future;
+
+namespace rpc_detail {
+
+/// Child state for then()/when_all: inherits owner/runtime/sink from the
+/// parent so its continuations keep running on the right fiber.
+template <typename R>
+std::shared_ptr<FutureState<R>> derive_from(const FutureCore& parent) {
+  auto st = std::make_shared<FutureState<R>>();
+  st->owner = parent.owner;
+  st->rt = parent.rt;
+  st->sink = parent.sink;
+  return st;
+}
+
+}  // namespace rpc_detail
+
+/// A value (or void) that completes asynchronously. Copyable handle; all
+/// copies observe the same shared state.
+template <typename T>
+class future {
+ public:
+  future() = default;
+  explicit future(std::shared_ptr<rpc_detail::FutureState<T>> st)
+      : st_(std::move(st)) {}
+
+  bool valid() const { return st_ != nullptr; }
+  bool ready() const { return st_ && st_->ready; }
+  /// Completion status: 0 (caf::kStatOk) or caf::kStatFailedImage. Only
+  /// meaningful once ready.
+  int stat() const { return st_ ? st_->stat : 0; }
+
+  /// The completed value. Requires ready() && stat() == 0.
+  T& value() {
+    if (!ready() || st_->stat != 0 || !st_->value.has_value()) {
+      throw std::logic_error("caf::future::value(): not ready or failed");
+    }
+    return *st_->value;
+  }
+
+  /// Blocks the calling fiber until completion; returns the stat code.
+  int wait() {
+    require();
+    if (!st_->ready) {
+      if (st_->rt == nullptr) {
+        throw std::logic_error("caf::future::wait(): detached future");
+      }
+      rpc_wait_core(*st_->rt, *st_);
+    }
+    return st_->stat;
+  }
+
+  /// wait() + value(): the blocking get.
+  T& get() {
+    (void)wait();
+    return value();
+  }
+
+  /// Chains `f(value)` (or `f()` for future<void>) to run on the owning
+  /// image's fiber once this future completes. Returns the future of `f`'s
+  /// result. On failure `f` is skipped and the stat propagates.
+  template <typename F>
+  auto then(F f) {
+    require();
+    using R = std::invoke_result_t<F, T&>;
+    auto child = rpc_detail::derive_from<R>(*st_);
+    auto parent = st_;
+    parent->on_ready([parent, child, f = std::move(f)]() mutable {
+      if (parent->stat != 0 || !parent->value.has_value()) {
+        child->fulfill(parent->stat != 0 ? parent->stat : 4 /*failed image*/);
+        return;
+      }
+      if constexpr (std::is_void_v<R>) {
+        f(*parent->value);
+      } else {
+        child->set(f(*parent->value));
+      }
+      child->fulfill(0);
+    });
+    return future<R>(child);
+  }
+
+  std::shared_ptr<rpc_detail::FutureState<T>> state() const { return st_; }
+
+ private:
+  void require() const {
+    if (!st_) throw std::logic_error("caf::future: empty handle");
+  }
+  std::shared_ptr<rpc_detail::FutureState<T>> st_;
+};
+
+template <>
+class future<void> {
+ public:
+  future() = default;
+  explicit future(std::shared_ptr<rpc_detail::FutureState<void>> st)
+      : st_(std::move(st)) {}
+
+  bool valid() const { return st_ != nullptr; }
+  bool ready() const { return st_ && st_->ready; }
+  int stat() const { return st_ ? st_->stat : 0; }
+
+  int wait() {
+    require();
+    if (!st_->ready) {
+      if (st_->rt == nullptr) {
+        throw std::logic_error("caf::future::wait(): detached future");
+      }
+      rpc_wait_core(*st_->rt, *st_);
+    }
+    return st_->stat;
+  }
+
+  template <typename F>
+  auto then(F f) {
+    require();
+    using R = std::invoke_result_t<F>;
+    auto child = rpc_detail::derive_from<R>(*st_);
+    auto parent = st_;
+    parent->on_ready([parent, child, f = std::move(f)]() mutable {
+      if (parent->stat != 0) {
+        child->fulfill(parent->stat);
+        return;
+      }
+      if constexpr (std::is_void_v<R>) {
+        f();
+      } else {
+        child->set(f());
+      }
+      child->fulfill(0);
+    });
+    return future<R>(child);
+  }
+
+  std::shared_ptr<rpc_detail::FutureState<void>> state() const { return st_; }
+
+ private:
+  void require() const {
+    if (!st_) throw std::logic_error("caf::future: empty handle");
+  }
+  std::shared_ptr<rpc_detail::FutureState<void>> st_;
+};
+
+/// A future that is already complete (UPC++ make_future analogue).
+template <typename T>
+future<std::decay_t<T>> make_ready_future(T&& v) {
+  auto st = std::make_shared<rpc_detail::FutureState<std::decay_t<T>>>();
+  st->set(std::forward<T>(v));
+  st->fulfill(0);
+  return future<std::decay_t<T>>(std::move(st));
+}
+
+inline future<void> make_ready_future() {
+  auto st = std::make_shared<rpc_detail::FutureState<void>>();
+  st->fulfill(0);
+  return future<void>(std::move(st));
+}
+
+/// Fan-in: completes when every input completes, with the values in input
+/// order. The aggregate stat is the first failing constituent's stat.
+template <typename T>
+future<std::vector<T>> when_all(std::vector<future<T>> fs) {
+  auto res = std::make_shared<rpc_detail::FutureState<std::vector<T>>>();
+  struct Agg {
+    std::vector<std::optional<T>> vals;
+    std::size_t remaining = 0;
+    int stat = 0;
+  };
+  auto agg = std::make_shared<Agg>();
+  agg->vals.resize(fs.size());
+  for (const auto& f : fs) {
+    auto st = f.state();
+    if (!st) throw std::logic_error("caf::when_all: empty future");
+    if (!st->ready) {
+      ++agg->remaining;
+      if (res->rt == nullptr) {
+        res->owner = st->owner;
+        res->rt = st->rt;
+        res->sink = st->sink;
+      }
+    }
+  }
+  auto finish = [res, agg]() {
+    std::vector<T> out;
+    out.reserve(agg->vals.size());
+    for (auto& v : agg->vals) {
+      if (v.has_value()) out.push_back(std::move(*v));
+    }
+    if (agg->stat == 0) res->set(std::move(out));
+    res->fulfill(agg->stat);
+  };
+  if (agg->remaining == 0) {
+    for (std::size_t i = 0; i < fs.size(); ++i) {
+      auto st = fs[i].state();
+      if (st->stat != 0 && agg->stat == 0) agg->stat = st->stat;
+      if (st->value.has_value()) agg->vals[i] = *st->value;
+    }
+    finish();
+    return future<std::vector<T>>(std::move(res));
+  }
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    auto st = fs[i].state();
+    if (st->ready) {
+      // Already complete at fan-in time: record it here. It did not count
+      // toward `remaining`, so it must NOT get an on_ready callback (which
+      // would run inline and decrement the count on a pending peer's
+      // behalf, firing the aggregate early with partial values).
+      if (st->stat != 0 && agg->stat == 0) agg->stat = st->stat;
+      if (st->value.has_value()) agg->vals[i] = *st->value;
+      continue;
+    }
+    st->on_ready([st, agg, i, finish]() {
+      if (st->stat != 0 && agg->stat == 0) agg->stat = st->stat;
+      if (st->value.has_value()) agg->vals[i] = *st->value;
+      if (agg->remaining > 0 && --agg->remaining == 0) finish();
+    });
+  }
+  return future<std::vector<T>>(std::move(res));
+}
+
+/// Fan-in over void futures: completes when all do; stat aggregates.
+inline future<void> when_all(std::vector<future<void>> fs) {
+  auto res = std::make_shared<rpc_detail::FutureState<void>>();
+  struct Agg {
+    std::size_t remaining = 0;
+    int stat = 0;
+  };
+  auto agg = std::make_shared<Agg>();
+  for (const auto& f : fs) {
+    auto st = f.state();
+    if (!st) throw std::logic_error("caf::when_all: empty future");
+    if (!st->ready) {
+      ++agg->remaining;
+      if (res->rt == nullptr) {
+        res->owner = st->owner;
+        res->rt = st->rt;
+        res->sink = st->sink;
+      }
+    } else if (st->stat != 0 && agg->stat == 0) {
+      agg->stat = st->stat;
+    }
+  }
+  if (agg->remaining == 0) {
+    res->fulfill(agg->stat);
+    return future<void>(std::move(res));
+  }
+  for (const auto& f : fs) {
+    auto st = f.state();
+    if (st->ready) continue;
+    st->on_ready([st, agg, res]() {
+      if (st->stat != 0 && agg->stat == 0) agg->stat = st->stat;
+      if (agg->remaining > 0 && --agg->remaining == 0) res->fulfill(agg->stat);
+    });
+  }
+  return future<void>(std::move(res));
+}
+
+/// Completion triple of one remote operation (UPC++ source/remote/operation
+/// completions): `source` — the request left this image (its buffers are
+/// reusable); `remote` — the handler executed at the target; `operation` —
+/// the result is available here.
+template <typename T>
+struct Completions {
+  future<void> source;
+  future<void> remote;
+  future<T> operation;
+};
+
+}  // namespace caf

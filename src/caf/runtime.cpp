@@ -4,11 +4,37 @@
 #include <new>
 #include <stdexcept>
 
+#include "caf/rpc.hpp"
 #include "fabric/domain.hpp"
 #include "obs/obs.hpp"
 #include "sim/engine.hpp"
 
 namespace caf {
+
+namespace {
+
+/// Marks the calling image parked for the duration of a blocking runtime
+/// wait. The constructor drains the RPC mailbox first and raises the flag
+/// with no yield in between, so no request can slip into the gap between
+/// the last poll and the block; while the flag is up, a sender's doorbell
+/// completion drains this image's mailbox from the event loop.
+struct RpcParkGuard {
+  RpcEngine* eng;
+  int image;
+  RpcParkGuard(RpcEngine* e, int img) : eng(e), image(img) {
+    if (eng != nullptr) {
+      eng->progress();
+      eng->set_parked(image, true);
+    }
+  }
+  ~RpcParkGuard() {
+    if (eng != nullptr) eng->set_parked(image, false);
+  }
+  RpcParkGuard(const RpcParkGuard&) = delete;
+  RpcParkGuard& operator=(const RpcParkGuard&) = delete;
+};
+
+}  // namespace
 
 Runtime::Runtime(Conduit& conduit, Options opts)
     : conduit_(conduit), opts_(opts) {
@@ -21,6 +47,15 @@ Runtime::Runtime(Conduit& conduit, Options opts)
       d->enable_node_transport(opts_.node);
     }
   }
+  if (opts_.rpc.enabled) {
+    rpc_engine_ = std::make_unique<RpcEngine>(*this, opts_.rpc);
+  }
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::rpc_progress() {
+  if (rpc_engine_) rpc_engine_->progress();
 }
 
 void Runtime::require_init() const {
@@ -81,6 +116,10 @@ void Runtime::init() {
     coll_engine_ = std::make_unique<CollectiveEngine>(conduit_, opts_.coll);
   }
   coll_engine_->init();
+  // RPC mailbox rings / doorbell / ack array: allocated collectively here so
+  // every image's symmetric heap carries the same layout (opts_.rpc must be
+  // uniform across images, like every other Options field).
+  if (rpc_engine_) rpc_engine_->init_symmetric();
   sync_offsets_ready_ = true;
 
   if (!failure_hook_registered_) {
@@ -116,6 +155,9 @@ void Runtime::sync_all() {
   // sync all implies completion of this image's outstanding RMA followed by
   // a global barrier (§IV-B + Table II: sync all → shmem_barrier_all).
   rma_fence();
+  // The barrier is an RPC progress point: drain the mailbox, then let
+  // senders drain it remotely while this image sits in the barrier.
+  RpcParkGuard park(rpc_engine_.get(), me());
   conduit_.barrier();
 }
 
@@ -157,11 +199,15 @@ bool Runtime::wait_fault(std::uint64_t off, Cmp cmp, std::int64_t value) {
       return true;
     }
     if (cmp_i64(raw, cmp, value)) return false;
-    // Register, block, unregister. Between the registration and block()
-    // no yield occurs, so a kill either pokes the registered cell or has
-    // already been observed by the raw read above — no missed wake-ups.
+    // Register, block, unregister. The cell is registered before any yield
+    // (the park guard's drain may advance the fiber clock), so a kill either
+    // pokes the registered cell or is re-observed by the raw read above on
+    // the next loop turn — no missed wake-ups.
     fw.push_back(off);
-    conduit_.wait_until(off, cmp, value);
+    {
+      RpcParkGuard park(rpc_engine_.get(), me());
+      conduit_.wait_until(off, cmp, value);
+    }
     for (auto it = fw.end(); it != fw.begin();) {
       --it;
       if (*it == off) {
@@ -188,6 +234,7 @@ void Runtime::sync_images(std::span<const int> images) {
                                                  sizeof(std::int64_t),
                             1);
   }
+  RpcParkGuard park(rpc_engine_.get(), me());
   for (int image : images) {
     const int partner = image - 1;
     const std::uint64_t cell =
@@ -238,6 +285,7 @@ int Runtime::sync_images_stat(std::span<const int> images) {
       any_failed = true;
     }
   }
+  RpcParkGuard park(rpc_engine_.get(), me());
   for (int image : images) {
     const int partner = image - 1;
     const std::uint64_t cell =
@@ -268,6 +316,38 @@ int Runtime::sync_images_stat(std::span<const int> images) {
     }
   }
   return any_failed ? kStatFailedImage : kStatOk;
+}
+
+bool Runtime::sync_test(int image) {
+  require_init();
+  auto& st = per_image_[me()];
+  const int partner = image - 1;
+  bool& pending = st.sync_probe_pending[partner];
+  if (!pending) {
+    // First probe of a round: run the send half of sync_images — complete
+    // my outstanding RMA, then bump my slot in the partner's counter array.
+    // This is a bounded round trip (the amo acks), not an unbounded wait.
+    rma_fence();
+    ++st.sync_sent[partner];
+    (void)conduit_.amo_fadd(partner,
+                            sync_ctrs_off_ + static_cast<std::uint64_t>(me()) *
+                                                 sizeof(std::int64_t),
+                            1);
+    pending = true;
+  }
+  // Every probe (including the first) is then a single local read of the
+  // partner's slot in my counter array — no blocking, no fiber yield.
+  const std::uint64_t cell =
+      sync_ctrs_off_ + static_cast<std::uint64_t>(partner) *
+                           sizeof(std::int64_t);
+  std::int64_t raw = read_local_i64(cell);
+  if (raw >= kSentinelThreshold) raw -= kFailedSentinel;  // peek only
+  if (raw >= st.sync_sent[partner]) {
+    pending = false;
+    ++st.stats.syncs;
+    return true;
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -450,6 +530,7 @@ void Runtime::agg_flush() {
 void Runtime::rma_fence() {
   ++per_image_[me()].stats.fences;
   obs::Span sp(obs::Cat::kFence);
+  if (rpc_engine_) rpc_engine_->progress();  // fence is an RPC progress point
   agg_flush();
   conduit_.quiet();  // tracker-elided when nothing is in flight
 }
@@ -656,6 +737,7 @@ void Runtime::lock(CoLock lck, int image) {
   require_init();
   obs::Span sp(obs::Cat::kLockAcquire, 0,
                static_cast<std::uint32_t>(image - 1));
+  if (rpc_engine_) rpc_engine_->progress();  // image control = progress point
   if (deferred()) rma_fence();  // lock is an image-control completion point
   auto& st = per_image_[me()];
   const LockKey key{lck.tail_off, image};
@@ -1298,6 +1380,7 @@ void Runtime::unlock(CoLock lck, int image) {
   require_init();
   obs::Span sp(obs::Cat::kLockHandoff, 0,
                static_cast<std::uint32_t>(image - 1));
+  if (rpc_engine_) rpc_engine_->progress();  // image control = progress point
   // Release consistency: work done inside the critical section (staged or
   // in flight) completes before the lock can be handed to the next holder.
   if (deferred()) rma_fence();
@@ -1362,8 +1445,24 @@ void Runtime::event_wait(CoEvent ev, std::int64_t until_count) {
   require_init();
   obs::Span sp(obs::Cat::kSyncWait);
   auto& consumed = per_image_[me()].event_consumed[ev.count_off];
+  RpcParkGuard park(rpc_engine_.get(), me());
   conduit_.wait_until(ev.count_off, Cmp::kGe, consumed + until_count);
   consumed += until_count;
+}
+
+bool Runtime::event_test(CoEvent ev, std::int64_t until_count) {
+  require_init();
+  // A pure local probe: one read of the count cell, no blocking, no fiber
+  // yield on either outcome. Success consumes like event_wait would; the
+  // sentinel is peeked through (not written back) like event_query.
+  auto& consumed = per_image_[me()].event_consumed[ev.count_off];
+  std::int64_t raw = read_local_i64(ev.count_off);
+  if (raw >= kSentinelThreshold) raw -= kFailedSentinel;
+  if (raw - consumed >= until_count) {
+    consumed += until_count;
+    return true;
+  }
+  return false;
 }
 
 std::int64_t Runtime::event_query(CoEvent ev) {
@@ -1803,6 +1902,9 @@ void Runtime::broadcast_bytes_any(void* data, std::size_t nbytes, int root0) {
   obs::Span sp(obs::Cat::kBroadcast, nbytes,
                static_cast<std::uint32_t>(root0));
   if (deferred()) rma_fence();  // collective = completion point for staged RMA
+  // Collective boundary = RPC progress point; stay drainable while blocked
+  // inside the collective's internal waits.
+  RpcParkGuard park(rpc_engine_.get(), me());
   if (num_images() == 1 || nbytes == 0) return;
   const bool native =
       conduit_.has_native_collectives() && opts_.use_native_collectives;
@@ -1827,6 +1929,8 @@ void Runtime::allreduce_bytes_any(
     const std::function<void(void*, const void*)>& comb) {
   obs::Span sp(obs::Cat::kReduce, nelems * elem);
   if (deferred()) rma_fence();  // collective = completion point for staged RMA
+  // Collective boundary = RPC progress point (see broadcast_bytes_any).
+  RpcParkGuard park(rpc_engine_.get(), me());
   if (num_images() == 1 || nelems == 0) return;
   const bool native =
       conduit_.has_native_collectives() && opts_.use_native_collectives;

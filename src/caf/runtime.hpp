@@ -82,6 +82,27 @@ struct RmaOptions {
 /// planner so the aggregated plan prices its staging honestly.
 inline constexpr sim::Time kAggStageCpuNs = 15;
 
+class RpcEngine;
+
+/// Asynchronous remote-execution (RPC) subsystem tuning (DESIGN.md §4f).
+/// `enabled` must be uniform across images (the engine's symmetric state is
+/// allocated collectively inside init()). Existing runs keep byte-identical
+/// timing with the default (off): no symmetric allocations, no progress
+/// hooks, no extra state.
+struct RpcOptions {
+  bool enabled = false;
+  /// Request transport. kMailbox emulates the OpenSHMEM signaling idiom:
+  /// symmetric per-pair slot rings + a put/quiet/amo doorbell, drained by
+  /// shmem_test-style polling at the runtime's progress points (no hidden
+  /// progress thread). kAm rides the conduit's active-message machinery
+  /// (GASNet only; handlers get implicit progress on the target CPU).
+  /// kAuto picks kAm on the GASNet conduit and kMailbox elsewhere.
+  enum class Transport { kAuto, kMailbox, kAm };
+  Transport transport = Transport::kAuto;
+  int slots_per_pair = 16;       ///< mailbox ring depth per (src, dst) pair
+  std::size_t slot_bytes = 256;  ///< per-slot bytes (32-byte header + blob)
+};
+
 struct Options {
   StridedAlgo strided = StridedAlgo::kTwoDim;
   MemoryModel memory_model = MemoryModel::kStrict;
@@ -109,6 +130,8 @@ struct Options {
   /// enables it on the conduit's fabric::Domain (conduits without a Domain
   /// ignore it). Off by default: existing runs stay byte-identical.
   net::NodeTransportOptions node;
+  /// Asynchronous remote execution (caf::rpc / caf::rpc_ff; DESIGN.md §4f).
+  RpcOptions rpc;
   /// Turn on the observability subsystem (per-PE event rings + latency
   /// histograms) for this run; equivalent to setting CAF_TRACE, minus the
   /// trace-file path. Counters are recorded regardless.
@@ -186,6 +209,7 @@ struct Team {
 class Runtime {
  public:
   Runtime(Conduit& conduit, Options opts = {});
+  ~Runtime();  // out of line: RpcEngine is incomplete here
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
@@ -350,6 +374,33 @@ class Runtime {
   int event_post_stat(CoEvent ev, int image);
   int event_wait_stat(CoEvent ev, std::int64_t until_count = 1);
 
+  // ---- nonblocking synchronization probes (shmem_test-shaped) ----
+  /// EVENT WAIT's nonblocking twin: true when `until_count` posts are
+  /// available (and consumes them, exactly like a satisfied event_wait);
+  /// false immediately otherwise. Never blocks, never yields the fiber, and
+  /// performs no communication — it is a single local read of the event
+  /// cell, the shape of shmem_test on the event's signal word. A pending
+  /// failure sentinel on the cell is ignored (not consumed), matching
+  /// event_query.
+  bool event_test(CoEvent ev, std::int64_t until_count = 1);
+  /// SYNC IMAGES' nonblocking twin for one partner. The first probe of each
+  /// round notifies the partner (fence + counter bump — a bounded, already-
+  /// satisfiable-or-not round trip, never an unbounded wait) and returns
+  /// whether the partner's matching notification has already arrived;
+  /// subsequent probes are pure local reads of the sync counter until one
+  /// succeeds, which completes the round (interoperating with a partner
+  /// executing plain `sync images`). Never blocks or yields.
+  bool sync_test(int image);
+
+  // ---- asynchronous remote execution (caf::rpc / caf::rpc_ff, §4f) ----
+  /// The RPC engine, or nullptr when Options::rpc.enabled is false.
+  RpcEngine* rpc_engine() { return rpc_engine_.get(); }
+  /// Explicit progress point: drains this image's request mailbox and runs
+  /// any ready future continuations. No-op when RPC is off. The runtime
+  /// calls this from its own progress points (fences, collectives, waits);
+  /// user code may call it inside long compute loops.
+  void rpc_progress();
+
   // ---- atomics on symmetric int64 cells (atomic_* intrinsics) ----
   // Atomics are completion points of the deferred pipeline in strict mode:
   // an atomic often publishes data written by preceding puts, so those puts
@@ -412,6 +463,7 @@ class Runtime {
 
  private:
   friend struct RuntimeTestPeer;
+  friend class RpcEngine;  // mailbox transport uses wait_fault/read_local_i64
 
   struct LockKey {
     std::uint64_t tail_off;
@@ -530,6 +582,7 @@ class Runtime {
   Options opts_;
   bool inited_ = false;
   std::unique_ptr<CollectiveEngine> coll_engine_;
+  std::unique_ptr<RpcEngine> rpc_engine_;
 
   // Internal symmetric offsets (identical across images).
   std::uint64_t slab_off_ = 0;       // non-symmetric managed buffer
@@ -575,6 +628,9 @@ class Runtime {
     std::unique_ptr<shmem::FreeListAllocator> slab;
     std::unordered_map<LockKey, RemotePtr, LockKeyHash> held;
     std::unordered_map<int, std::int64_t> sync_sent;  // partner rank -> count
+    /// Partners this image has already notified for the current sync_test
+    /// round (the first probe sends; later probes only poll).
+    std::unordered_map<int, bool> sync_probe_pending;
     std::unordered_map<std::uint64_t, std::int64_t> event_consumed;
     std::int64_t coll_gen = 0;
     std::int64_t syncall_round = 0;  // rounds of sync_all_stat completed

@@ -364,6 +364,55 @@ RoundTrip Fabric::submit_amo(int src_pe, int dst_pe, const SwProfile& sw,
   return r;
 }
 
+PutCompletion Fabric::submit_reply(int src_pe, int dst_pe, std::size_t bytes,
+                                   const SwProfile& sw, sim::Time now) {
+  const bool local = same_node(src_pe, dst_pe);
+  // An 8-byte completion descriptor rides along with the payload.
+  const double occ = xfer_ns(bytes + 8, sw, local);
+  if (faults_ == nullptr || (local && !faults_->intra_node_faults())) {
+    const sim::Time delivered = wire_control(src_pe, dst_pe, occ, now);
+    if (obs::enabled()) {
+      obs::wire_event(src_pe, dst_pe, bytes, now, delivered);
+    }
+    return {now, delivered, true, 1};
+  }
+  if (local) {
+    // Shared-memory handoff: straggler dilation stretches the copy, a dead
+    // receiver's detached segment faults the store, nothing else applies.
+    const double docc = occ * faults_->dilation(src_pe);
+    const sim::Time delivered =
+        now + profile_.local_latency + sim::from_ns(docc);
+    if (faults_->pe_dead(dst_pe, delivered)) {
+      faults_->note_exhaustion(src_pe, dst_pe, delivered);
+      return {now, delivered, false, 1};
+    }
+    faults_->note_delivery(src_pe, dst_pe, delivered);
+    return {now, delivered, true, 1};
+  }
+  const int max_attempts = 1 + faults_->retry().max_retransmits;
+  const double expected = occ + static_cast<double>(profile_.hw_latency);
+  sim::Time send = now;
+  for (int a = 0; a < max_attempts; ++a) {
+    const sim::Time arrive = wire_control(src_pe, dst_pe, occ, send);
+    if (!faults_->pe_dead(dst_pe, arrive)) {
+      const FaultInjector::Verdict v = faults_->judge(src_pe, dst_pe, send);
+      if (!v.drop) {
+        const sim::Time delivered = arrive + v.extra_delay;
+        faults_->record_rtt(src_pe, dst_pe,
+                            delivered - send + profile_.hw_latency, a + 1);
+        faults_->note_delivery(src_pe, dst_pe, delivered);
+        if (obs::enabled()) {
+          obs::wire_event(src_pe, dst_pe, bytes, now, delivered);
+        }
+        return {now, delivered, true, a + 1};
+      }
+    }
+    send += faults_->retrans_timeout(src_pe, dst_pe, a, expected);
+  }
+  faults_->note_exhaustion(src_pe, dst_pe, send);
+  return {now, send, false, max_attempts};
+}
+
 RoundTrip Fabric::submit_am(int src_pe, int dst_pe, std::size_t bytes,
                             const SwProfile& sw, sim::Time now) {
   const bool local = same_node(src_pe, dst_pe);

@@ -64,6 +64,17 @@ class Fabric {
   RoundTrip submit_am(int src_pe, int dst_pe, std::size_t bytes,
                       const SwProfile& sw, sim::Time now);
 
+  /// One-way control-channel message carrying `bytes` of payload (RPC
+  /// replies, mailbox acks). Like the AMO/AM reply leg it pays latency and
+  /// occupancy without reserving the data links — replies are computed
+  /// eagerly at future timestamps, and letting them block the present would
+  /// be a causality artifact, not contention. Under fault injection each
+  /// attempt is judged like any other inter-node message and retransmitted
+  /// per the plan's RetryPolicy; ok=false when the receiver is dead or the
+  /// retries exhaust.
+  PutCompletion submit_reply(int src_pe, int dst_pe, std::size_t bytes,
+                             const SwProfile& sw, sim::Time now);
+
   /// Resets link/occupancy state and, when a fault injector is attached,
   /// rewinds it to its seeded initial state (FaultInjector::reset), so each
   /// benchmark repetition starts from an identical fault stream.

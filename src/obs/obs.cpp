@@ -24,6 +24,9 @@ const char* cat_name(Cat c) {
     case Cat::kMsgWire: return "msg_wire";
     case Cat::kPhase: return "phase";
     case Cat::kReplPull: return "repl_pull";
+    case Cat::kRpcSend: return "rpc_send";
+    case Cat::kRpcExec: return "rpc_exec";
+    case Cat::kRpcWait: return "rpc_wait";
     case Cat::kCount: break;
   }
   return "?";
@@ -52,7 +55,12 @@ Group group_of(Cat c) {
     case Cat::kAmo:
     case Cat::kMsgWire:
     case Cat::kReplPull:  ///< an AE pull is wire work end to end
+    case Cat::kRpcSend:   ///< request injection is wire-bound work
       return Group::kWire;
+    case Cat::kRpcExec:
+      return Group::kCompute;
+    case Cat::kRpcWait:
+      return Group::kSyncStall;
     case Cat::kQuiet:
     case Cat::kFence:
       return Group::kQuietStall;
@@ -268,7 +276,8 @@ void Span::end() {
                      "lat.quiet",        "lat.fence",     "lat.lock_acquire",
                      "lat.lock_handoff", "lat.sync_wait", "lat.barrier",
                      "lat.broadcast",    "lat.reduce",    "lat.coll_stage",
-                     "lat.msg_wire",     "lat.phase",     "lat.repl_pull"};
+                     "lat.msg_wire",     "lat.phase",     "lat.repl_pull",
+                     "lat.rpc_send",     "lat.rpc_exec",  "lat.rpc_wait"};
     s.registry.hist(pe_, kLatNames[static_cast<std::size_t>(cat_)])
         .record(e.t1 - e.t0);
   }

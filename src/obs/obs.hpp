@@ -56,6 +56,9 @@ enum class Cat : std::uint16_t {
   kMsgWire,      ///< fabric message send→deliver (wire ring only)
   kPhase,        ///< instant phase marker; `a` = interned name id
   kReplPull,     ///< replica anti-entropy pull (lock + snapshot + install)
+  kRpcSend,      ///< RPC request injection (serialize + mailbox put / AM)
+  kRpcExec,      ///< RPC handler execution at the target
+  kRpcWait,      ///< future wait (progress-poll + block on the doorbell)
   kCount
 };
 

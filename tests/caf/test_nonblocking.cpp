@@ -1,0 +1,141 @@
+// Nonblocking test probes (shmem_test analogues): caf::event_test and
+// caf::sync_test. A failed probe must not block or advance the calling
+// image's clock; a successful event_test consumes like event_wait; a
+// sync_test round interoperates with a partner using plain sync_images.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "caf_test_util.hpp"
+#include "sim/engine.hpp"
+
+using namespace caf;
+using caftest::Harness;
+using caftest::Stack;
+
+class NonblockingStacks : public ::testing::TestWithParam<Stack> {};
+INSTANTIATE_TEST_SUITE_P(Stacks, NonblockingStacks,
+                         ::testing::ValuesIn(caftest::kAllStacks),
+                         [](const auto& info) {
+                           std::string s = caftest::to_string(info.param);
+                           for (auto& c : s) if (c == '-') c = '_';
+                           return s;
+                         });
+
+TEST_P(NonblockingStacks, EventTestProbesAndConsumes) {
+  Harness h(GetParam(), 4);
+  h.run([&] {
+    auto& rt = h.rt();
+    sim::Engine& eng = h.engine();
+    CoEvent ev = rt.make_event();
+    if (rt.this_image() == 1) {
+      // Nothing posted yet: the probe fails without yielding.
+      const sim::Time t0 = eng.now();
+      EXPECT_FALSE(rt.event_test(ev));
+      EXPECT_EQ(eng.now(), t0);
+      // Poll until both posts from image 2 arrive, consuming them together.
+      int spins = 0;
+      while (!rt.event_test(ev, 2)) {
+        eng.advance(50);
+        ASSERT_LT(++spins, 1'000'000);
+      }
+      EXPECT_GT(spins, 0);  // the posts took wire time; some probes failed
+      // Both posts were consumed by the successful probe.
+      const sim::Time t1 = eng.now();
+      EXPECT_FALSE(rt.event_test(ev));
+      EXPECT_EQ(eng.now(), t1);
+      EXPECT_EQ(rt.event_query(ev), 0);
+    } else if (rt.this_image() == 2) {
+      eng.advance(5'000);
+      rt.event_post(ev, 1);
+      rt.event_post(ev, 1);
+    }
+    rt.sync_all();
+  });
+}
+
+TEST_P(NonblockingStacks, EventTestAgreesWithEventWaitLedger) {
+  Harness h(GetParam(), 2);
+  h.run([&] {
+    auto& rt = h.rt();
+    sim::Engine& eng = h.engine();
+    CoEvent ev = rt.make_event();
+    if (rt.this_image() == 1) {
+      rt.event_wait(ev);  // consumes the first post
+      int spins = 0;
+      while (!rt.event_test(ev)) {  // then the probe consumes the second
+        eng.advance(50);
+        ASSERT_LT(++spins, 1'000'000);
+      }
+      EXPECT_EQ(rt.event_query(ev), 0);
+    } else {
+      rt.event_post(ev, 1);
+      eng.advance(2'000);
+      rt.event_post(ev, 1);
+    }
+    rt.sync_all();
+  });
+}
+
+TEST_P(NonblockingStacks, SyncTestInteropsWithSyncImages) {
+  Harness h(GetParam(), 4);
+  h.run([&] {
+    auto& rt = h.rt();
+    sim::Engine& eng = h.engine();
+    const int me = rt.this_image();
+    // Round 1: image 1 probes, image 2 does a plain sync_images.
+    if (me == 1) {
+      int spins = 0;
+      while (!rt.sync_test(2)) {
+        eng.advance(50);
+        ASSERT_LT(++spins, 1'000'000);
+      }
+      EXPECT_GT(spins, 0);
+    } else if (me == 2) {
+      eng.advance(3'000);
+      const int partner[] = {1};
+      rt.sync_images(partner);
+    }
+    rt.sync_all();
+    // Round 2: both sides probe. Each first probe notifies the partner;
+    // repeated probes are pure local reads until the partner's arrives.
+    if (me == 1 || me == 2) {
+      const int partner = me == 1 ? 2 : 1;
+      if (me == 2) eng.advance(2'000);
+      int spins = 0;
+      while (!rt.sync_test(partner)) {
+        eng.advance(50);
+        ASSERT_LT(++spins, 1'000'000);
+      }
+    }
+    rt.sync_all();
+  });
+}
+
+TEST_P(NonblockingStacks, SyncTestRepeatedProbesDoNotYield) {
+  Harness h(GetParam(), 2);
+  h.run([&] {
+    auto& rt = h.rt();
+    sim::Engine& eng = h.engine();
+    if (rt.this_image() == 1) {
+      (void)rt.sync_test(2);  // opens the round (bounded round trip)
+      const sim::Time t0 = eng.now();
+      const bool r = rt.sync_test(2);  // later probes: single local read
+      EXPECT_EQ(eng.now(), t0);
+      int spins = 0;
+      bool done = r;
+      while (!done) {
+        eng.advance(50);
+        const sim::Time t1 = eng.now();
+        done = rt.sync_test(2);
+        EXPECT_EQ(eng.now(), t1);  // success or failure, the probe is local
+        ASSERT_LT(++spins, 1'000'000);
+      }
+    } else {
+      eng.advance(4'000);
+      const int partner[] = {1};
+      rt.sync_images(partner);
+    }
+    rt.sync_all();
+  });
+}

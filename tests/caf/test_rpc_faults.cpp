@@ -1,0 +1,141 @@
+// RPC under failure: a target PE killed mid-RPC must surface
+// STAT_FAILED_IMAGE through the initiator's future (on both the mailbox and
+// the AM transport), and the RPC completion order must replay bit-
+// identically for the same seed under message loss.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "caf_test_util.hpp"
+#include "net/fault.hpp"
+#include "sim/engine.hpp"
+
+using namespace caf;
+using caftest::Harness;
+using caftest::Stack;
+
+namespace {
+
+caf::Options rpc_opts() {
+  caf::Options o;
+  o.rpc.enabled = true;
+  return o;
+}
+
+/// The last image busy-computes (never reaching a progress point) and is
+/// killed at 1 ms; image 1 issues an RPC to it just before the kill, so the
+/// request is in flight / undrained when the target dies. The future must
+/// complete with kStatFailedImage once the failure detector declares the
+/// death. The target sits on the second node: a same-node AM would be
+/// delivered (and its handler run on the still-alive CPU) inside the
+/// ~100 ns issue-to-kill window, while the cross-node hop guarantees
+/// delivery lands after the kill on both transports.
+void run_mid_rpc_kill(Stack s) {
+  const int images = 26;  // XC30 packs 24 cores/node: images 25,26 spill over
+  const int victim = images;
+  net::FaultPlan plan;
+  plan.with_seed(0xAB1E).kill_pe(/*pe=*/victim - 1, /*at=*/1'000'000);
+  Harness h(s, images, rpc_opts(), 2 << 20, plan);
+  bool checked = false;
+  h.run([&] {
+    auto& rt = h.rt();
+    sim::Engine& eng = h.engine();
+    const int me = rt.this_image();
+    if (me == victim) {
+      for (;;) eng.advance(50'000);  // killed mid-compute
+    }
+    if (me == 1) {
+      // Issue as close to the kill as possible: the request is injected
+      // while the target still counts as alive, and the reply never comes.
+      while (eng.now() < 999'900) eng.advance(20);
+      auto fut = rpc(
+          rt, victim, [](std::int64_t x) -> std::int64_t { return x + 1; },
+          std::int64_t{1});
+      EXPECT_EQ(fut.wait(), kStatFailedImage);
+      EXPECT_TRUE(fut.ready());
+      EXPECT_EQ(fut.stat(), kStatFailedImage);
+      // A future chained after the failure inherits the stat; the
+      // continuation body is skipped.
+      bool ran = false;
+      auto chained = fut.then([&ran](std::int64_t) {
+        ran = true;
+        return std::int64_t{0};
+      });
+      EXPECT_EQ(chained.wait(), kStatFailedImage);
+      EXPECT_FALSE(ran);
+      checked = true;
+    }
+    // Every other image exits immediately; no global sync with the corpse.
+  });
+  EXPECT_TRUE(checked);
+  EXPECT_EQ(h.engine().failed_count(), 1);
+}
+
+}  // namespace
+
+TEST(RpcFaults, MidRpcKillSurfacesFailedImageMailbox) {
+  run_mid_rpc_kill(Stack::kShmemCray);  // mailbox transport
+}
+
+TEST(RpcFaults, MidRpcKillSurfacesFailedImageAm) {
+  run_mid_rpc_kill(Stack::kGasnet);  // AM transport
+}
+
+// ---------------------------------------------------------------------------
+// Determinism under loss
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Every image issues a deterministic RPC stream across the node boundary
+/// under 1% message loss and logs each operation's completion (in
+/// completion order, as observed by then-continuations). Returns the
+/// per-image logs.
+std::vector<std::vector<std::uint64_t>> run_lossy_rpc(std::uint64_t seed) {
+  const int images =
+      net::machine_profile(net::Machine::kStampede).cores_per_node + 2;
+  net::FaultPlan plan;
+  plan.with_seed(seed).with_loss(0.01);
+  Harness h(Stack::kShmemMvapich, images, rpc_opts(), 4 << 20, plan);
+  std::vector<std::vector<std::uint64_t>> logs(
+      static_cast<std::size_t>(images));
+  h.run([&] {
+    auto& rt = h.rt();
+    const int me = rt.this_image();
+    const int n = rt.num_images();
+    auto& log = logs[static_cast<std::size_t>(me - 1)];
+    std::vector<future<void>> done;
+    for (int u = 0; u < 40; ++u) {
+      const int target = (me - 1 + u) % n + 1;
+      auto fut = rpc(
+          rt, target,
+          [](std::int64_t a, std::int64_t b) -> std::int64_t {
+            return a * 131 + b;
+          },
+          static_cast<std::int64_t>(target), static_cast<std::int64_t>(u));
+      done.push_back(fut.then([&log, u](std::int64_t v) {
+        log.push_back(static_cast<std::uint64_t>(u) << 32 |
+                      static_cast<std::uint32_t>(v));
+      }));
+    }
+    EXPECT_EQ(when_all(std::move(done)).wait(), kStatOk);
+    rt.sync_all();
+  });
+  // Guard against vacuity: the lossy wire must actually have been used.
+  EXPECT_GT(h.injector()->counters().judged, 0u);
+  return logs;
+}
+
+}  // namespace
+
+TEST(RpcFaults, CompletionOrderBitIdenticalUnderLoss) {
+  const auto a = run_lossy_rpc(0xC0FFEE);
+  const auto b = run_lossy_rpc(0xC0FFEE);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "completion log of image " << (i + 1);
+  }
+  // And the logs are complete: every operation's continuation ran.
+  for (const auto& log : a) EXPECT_EQ(log.size(), 40u);
+}
